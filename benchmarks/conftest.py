@@ -1,0 +1,23 @@
+"""Shared benchmark configuration.
+
+Each benchmark regenerates one of the paper's tables or figures and
+prints a paper-vs-measured comparison block.  Traces are recorded once
+per process and shared across benchmarks through the experiment layer's
+cache, so the suite measures replay/experiment cost, not recording.
+"""
+
+import pytest
+
+
+def run_once(benchmark, func):
+    """Run an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(func, rounds=1, iterations=1,
+                              warmup_rounds=0)
+
+
+@pytest.fixture
+def once(benchmark):
+    def runner(func):
+        return run_once(benchmark, func)
+
+    return runner

@@ -1,0 +1,58 @@
+"""Ablation: how the offloading trade-off moves with the link technology.
+
+The paper fixes an 11 Mbps WaveLAN; this ablation replays the Dia
+memory workload over a range of link generations, showing where
+offloading stops being viable (the GPRS-class wide-area link) and how a
+wired LAN shrinks the overhead — the sensitivity the paper's approach
+implies but could not measure in 2001.
+"""
+
+import dataclasses
+
+from repro.emulator import Emulator
+from repro.experiments import cached_trace, memory_emulator_config
+from repro.experiments.exp_overhead import MEMORY_WORKLOADS
+from repro.net import (
+    BLUETOOTH_1MBPS,
+    ETHERNET_100MBPS,
+    GPRS_50KBPS,
+    WAVELAN_11MBPS,
+)
+
+LINKS = (ETHERNET_100MBPS, WAVELAN_11MBPS, BLUETOOTH_1MBPS, GPRS_50KBPS)
+
+
+def run_link_sweep():
+    trace = cached_trace("dia", MEMORY_WORKLOADS["dia"])
+    emulator = Emulator(trace)
+    base = memory_emulator_config()
+    original = emulator.original(base).total_time
+    rows = []
+    for link in LINKS:
+        result = emulator.replay(dataclasses.replace(base, link=link))
+        overhead = (
+            (result.total_time - original) / original
+            if result.completed else None
+        )
+        rows.append((link.name, result.completed, overhead,
+                     result.total_time))
+    return original, rows
+
+
+def test_ablation_link_technologies(once):
+    original, rows = once(run_link_sweep)
+    print()
+    print(f"Ablation: Dia offloading overhead by link (original "
+          f"{original:.1f}s)")
+    for name, completed, overhead, total in rows:
+        shown = f"{overhead:+.1%}" if completed else "did not complete"
+        print(f"  {name:18s} {total:8.1f}s  {shown}")
+    by_name = {row[0]: row for row in rows}
+    # Faster links mean lower overhead.
+    assert (by_name["ethernet-100mbps"][2]
+            < by_name["wavelan-11mbps"][2]
+            < by_name["bluetooth-1mbps"][2])
+    # All completed runs still finished (offloading still rescues the
+    # heap even on slow links, it just costs more).
+    assert by_name["wavelan-11mbps"][1]
+    assert by_name["ethernet-100mbps"][1]

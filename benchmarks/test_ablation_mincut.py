@@ -1,0 +1,61 @@
+"""Ablation: the modified MINCUT heuristic vs plain Stoer-Wagner.
+
+The paper's section 3.3 argues that a plain global minimum cut "may
+simply remove a single component, which may not free enough memory to
+satisfy the partitioning policy" — the motivation for generating every
+intermediate partitioning and letting the policy choose.
+
+This ablation runs both on JavaNote's execution graph at the moment the
+real trigger would fire and compares the memory each frees.
+"""
+
+import dataclasses
+
+from repro.core.mincut import stoer_wagner
+from repro.emulator import Emulator, TraceReplayer
+from repro.experiments import cached_trace, memory_emulator_config
+from repro.experiments.exp_overhead import MEMORY_WORKLOADS
+from repro.units import MB, bytes_to_human
+
+
+def graph_at_trigger():
+    """Replay JavaNote up to its offload and grab the decision graph."""
+    trace = cached_trace("javanote", MEMORY_WORKLOADS["javanote"])
+    replayer = TraceReplayer(trace, memory_emulator_config())
+    result = replayer.run()
+    decision = result.offloads[0].decision
+    return replayer.graph, decision
+
+
+def run_ablation():
+    graph, decision = graph_at_trigger()
+    global_cut_bytes, global_partition = stoer_wagner(graph)
+    global_freed = graph.total_memory(global_partition)
+    # Normalise: stoer_wagner returns one side; take the smaller-memory
+    # interpretation as "what would be offloaded" like MINCUT would.
+    other_side = frozenset(graph.nodes()) - global_partition
+    other_freed = graph.total_memory(other_side)
+    offloadable_freed = min(global_freed, other_freed)
+    return {
+        "policy_freed": decision.freed_bytes,
+        "policy_cut": decision.cut_bytes,
+        "global_cut": global_cut_bytes,
+        "global_freed": offloadable_freed,
+    }
+
+
+def test_ablation_mincut_vs_stoer_wagner(once):
+    outcome = once(run_ablation)
+    print()
+    print("Ablation: modified MINCUT (policy-evaluated candidates) vs "
+          "plain Stoer-Wagner global minimum cut")
+    print(f"  policy choice: frees {bytes_to_human(outcome['policy_freed'])}"
+          f" across a {outcome['policy_cut']}-byte cut")
+    print(f"  global min cut: frees {bytes_to_human(outcome['global_freed'])}"
+          f" across a {outcome['global_cut']}-byte cut")
+    # The paper's point: the global minimum cut frees (almost) nothing,
+    # while the policy-selected candidate satisfies the 20%-of-6MB
+    # requirement.
+    assert outcome["global_cut"] <= outcome["policy_cut"]
+    assert outcome["policy_freed"] >= 0.20 * 6 * MB
+    assert outcome["global_freed"] < 0.20 * 6 * MB

@@ -1,0 +1,30 @@
+"""Figure 6: remote execution overhead under the initial policy.
+
+Shape checks (paper values): JavaNote ~4.8%, Dia ~8.5%, Biomer ~27.5%;
+the ordering javanote < dia < biomer must hold, all three runs must
+complete, and every overhead must be positive but far below the memory
+savings' value (offloading is worth it here).
+"""
+
+from repro.experiments import format_overheads, run_all_overheads
+
+
+def test_fig6_overhead(once):
+    rows = once(run_all_overheads)
+    print()
+    print(format_overheads(rows))
+    by_app = {row.app: row for row in rows}
+    assert all(row.completed for row in rows)
+    assert all(row.overhead_fraction > 0 for row in rows)
+    # Ordering: javanote < dia < biomer.
+    assert (by_app["javanote"].overhead_fraction
+            < by_app["dia"].overhead_fraction
+            < by_app["biomer"].overhead_fraction)
+    # Magnitudes within a factor of ~2 of the paper's bars.
+    assert 0.02 < by_app["javanote"].overhead_fraction < 0.10
+    assert 0.04 < by_app["dia"].overhead_fraction < 0.17
+    assert 0.14 < by_app["biomer"].overhead_fraction < 0.55
+    # Overhead decomposes into migration + communication.
+    for row in rows:
+        assert row.migration_seconds > 0
+        assert row.comm_seconds > 0

@@ -1,0 +1,33 @@
+"""Figure 7: the policy sweep (trigger 2-50%, tolerance 1-3, free 10-80%).
+
+Shape checks (paper): Dia and Biomer improve by tens of percent (paper
+30-43%) under their best policy; JavaNote is essentially unchanged; the
+best policies differ from the initial policy (Biomer/Dia prefer the
+early 50% threshold with a single report).
+"""
+
+from repro.experiments import format_policy_sweeps, run_all_policy_sweeps
+
+
+def test_fig7_policy_sweep(once):
+    rows = once(run_all_policy_sweeps)
+    print()
+    print(format_policy_sweeps(rows))
+    by_app = {row.app: row for row in rows}
+
+    # JavaNote: unchanged (within noise).
+    assert by_app["javanote"].overhead_reduction < 0.10
+
+    # Dia and Biomer: large reductions, tens of percent.
+    for app in ("dia", "biomer"):
+        row = by_app[app]
+        assert 0.20 < row.overhead_reduction < 0.60, (
+            f"{app} reduction {row.overhead_reduction:.0%} outside band"
+        )
+        # Their best policies trigger earlier than the initial 5%.
+        assert row.best_threshold > 0.05
+        assert row.best_tolerance == 1
+
+    # The whole grid was swept.
+    assert all(row.policies_swept == 75 for row in rows)
+    assert all(row.policies_completed > 0 for row in rows)

@@ -1,0 +1,24 @@
+"""Figure 8: remote invocations leading to native calls.
+
+Shape checks (paper): for JavaNote and Dia, native methods account for
+a large percentage of remote invocations; for Biomer the share is
+small (its remote traffic is data access between the split halves).
+"""
+
+from repro.experiments import format_native_shares, run_all_native_shares
+
+
+def test_fig8_native_fraction(once):
+    rows = once(run_all_native_shares)
+    print()
+    print(format_native_shares(rows))
+    by_app = {row.app: row for row in rows}
+    assert by_app["javanote"].native_share_of_invocations > 0.20
+    assert by_app["dia"].native_share_of_invocations > 0.20
+    assert by_app["biomer"].native_share_of_invocations < 0.20
+    assert (by_app["biomer"].native_share_of_invocations
+            < min(by_app["javanote"].native_share_of_invocations,
+                  by_app["dia"].native_share_of_invocations))
+    for row in rows:
+        assert row.remote_native_invocations <= row.total_remote_invocations
+        assert row.total_remote_interactions >= row.total_remote_invocations

@@ -1,0 +1,13 @@
+"""Table 1: the application catalog."""
+
+from repro.experiments import format_catalog, run_catalog
+
+
+def test_table1_catalog(once):
+    rows = once(run_catalog)
+    print()
+    print(format_catalog(rows))
+    assert [r.name for r in rows] == [
+        "javanote", "dia", "biomer", "voxel", "tracer"
+    ]
+    assert all(r.description and r.resource_demands for r in rows)

@@ -1,0 +1,48 @@
+"""Table 2 + the monitoring-overhead measurement.
+
+One harness powers both reported results: JavaNote's monitoring
+scenario (open a 600 KB file on a PC, light editing and scrolling) run
+with monitoring off and on.
+
+Shape checks (paper values): ~11% performance overhead (31.59 s ->
+35.04 s); ~1.2 M interaction events; class population in the 130s;
+thousands of objects created with ~1-3 k live; the execution graph's
+storage footprint is small (tens of KB, not megabytes).
+"""
+
+import pytest
+
+from repro.experiments import format_monitoring, run_monitoring_overhead
+from repro.units import MB
+
+_cache = {}
+
+
+def monitoring_result():
+    if "result" not in _cache:
+        _cache["result"] = run_monitoring_overhead()
+    return _cache["result"]
+
+
+def test_table2_metrics(once):
+    result = once(monitoring_result)
+    print()
+    print(format_monitoring(result))
+    assert 1.4e5 <= result.interaction_events <= 5e6
+    assert result.interaction_events == pytest.approx(1.2e6, rel=0.25)
+    assert 80 <= result.classes_maximum <= 200
+    assert 500 <= result.objects_average <= 5000
+    assert result.objects_created >= result.objects_maximum
+    assert 100 <= result.links_maximum <= 2500
+    assert result.graph_storage_bytes < 1 * MB
+
+
+def test_monitoring_overhead(once):
+    result = once(monitoring_result)
+    print()
+    print(format_monitoring(result))
+    assert result.time_with_monitoring > result.time_without_monitoring
+    # The paper measures ~11%; accept a band around it.
+    assert 0.06 <= result.overhead_fraction <= 0.18
+    # The scenario runs on the paper's ~30 s scale.
+    assert 20 <= result.time_without_monitoring <= 45

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Ad-hoc platform creation: discovering and selecting a surrogate.
+
+The paper's platform is created at run time between a client and the
+most appropriate nearby surrogate ("based on factors such as latency of
+access and resource availability").  This example advertises three
+surrogates over different links, lets the directory pick, runs a
+workload, then dissolves the platform — returning all offloaded state
+to the client.
+"""
+
+from repro import (
+    MigrationError,
+    DeviceProfile,
+    DistributedPlatform,
+    GCConfig,
+    SurrogateDirectory,
+    SurrogateOffer,
+    VMConfig,
+)
+from repro.net import BLUETOOTH_1MBPS, ETHERNET_100MBPS, WAVELAN_11MBPS
+from repro.units import KB, MB, bytes_to_human
+
+import quickstart
+
+
+def main() -> None:
+    directory = SurrogateDirectory()
+    directory.advertise(SurrogateOffer(
+        "meeting-room-server",
+        DeviceProfile("meeting-room-server", cpu_speed=8.0,
+                      heap_capacity=128 * MB),
+        ETHERNET_100MBPS,
+        load=0.7,
+    ))
+    directory.advertise(SurrogateOffer(
+        "colleague-laptop",
+        DeviceProfile("colleague-laptop", cpu_speed=3.5,
+                      heap_capacity=64 * MB),
+        WAVELAN_11MBPS,
+        load=0.1,
+    ))
+    directory.advertise(SurrogateOffer(
+        "phone-in-pocket",
+        DeviceProfile("phone-in-pocket", cpu_speed=0.5,
+                      heap_capacity=8 * MB),
+        BLUETOOTH_1MBPS,
+    ))
+
+    print("Advertised surrogates:")
+    for offer in directory.offers():
+        print(f"  {offer.name:22s} link={offer.link.name:18s} "
+              f"speed={offer.effective_speed:.1f}x load={offer.load:.0%}")
+
+    chosen = directory.select(min_free_heap=16 * MB)
+    print(f"\nSelected: {chosen.name} (lowest round-trip among those with "
+          "enough memory)")
+
+    platform = DistributedPlatform.from_discovery(
+        directory,
+        client_config=quickstart.tiny_device(256 * KB),
+        min_free_heap=16 * MB,
+    )
+    report = platform.run(quickstart.PhotoAlbum())
+    print(f"\nRan {report.app_name!r}: {report.offload_count} offload(s), "
+          f"{bytes_to_human(report.migrated_bytes)} migrated, "
+          f"surrogate now holds "
+          f"{bytes_to_human(report.surrogate_heap_used)}")
+
+    try:
+        outcome = platform.teardown()
+        print(f"\nTeardown: {outcome.moved_objects} objects "
+              f"({bytes_to_human(outcome.moved_bytes)}) returned to the "
+              "client; platform dissolved.")
+    except MigrationError as refused:
+        # The application's live state has outgrown the client — the
+        # whole point of the offload.  The ad-hoc platform cannot be
+        # dissolved without losing data; a real deployment would hand
+        # the state to the *next* surrogate instead (the paper's
+        # "combine offloading and mobility" future work).
+        print(f"\nTeardown refused: {refused}")
+        print("The offloaded state no longer fits on the client; "
+              "the platform must persist (or hand off to another "
+              "surrogate) until the application releases memory.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Offloading computation to a faster surrogate (Section 5.2 / Figure 10).
+
+Replays the Voxel fractal-landscape trace against a surrogate 3.5x
+faster than the client and shows the paper's central processing-
+constraint findings:
+
+* naive offloading is *slower* than local execution — native math
+  bounces back to the client and class-granularity placement drags the
+  renderer's scratch arrays to the surrogate;
+* each enhancement fixes one of those; only together do they realise a
+  win (the paper reports savings of up to ~15%);
+* with the refusal-capable policy in charge, Biomer is (correctly)
+  never offloaded, while forcing its best partition — the paper's
+  manual partitioning — shows a small win was theoretically available.
+"""
+
+import dataclasses
+
+from repro import BestEffortCpuPolicy, CpuPartitionPolicy, EnhancementFlags
+from repro.emulator import Emulator
+from repro.experiments import (
+    CPU_OFFLOAD_EVENT_FRACTION,
+    cached_trace,
+    cpu_emulator_config,
+)
+from repro.experiments.exp_cpu import CPU_WORKLOADS
+
+
+def study(app_name: str) -> None:
+    print(f"== {app_name} ==")
+    trace = cached_trace(f"{app_name}-cpu", CPU_WORKLOADS[app_name],
+                         variant="cpu")
+    emulator = Emulator(trace)
+    base = cpu_emulator_config(
+        offload_at_event=int(len(trace) * CPU_OFFLOAD_EVENT_FRACTION[app_name])
+    )
+    original = emulator.replay(
+        dataclasses.replace(base, offload_enabled=False)
+    ).total_time
+    print(f"  original (local only):       {original:8.1f}s")
+    for label, flags in [
+        ("initial (no enhancements)", EnhancementFlags(False, False)),
+        ("stateless natives local", EnhancementFlags(True, False)),
+        ("arrays at object granularity", EnhancementFlags(False, True)),
+        ("both enhancements", EnhancementFlags(True, True)),
+    ]:
+        result = emulator.replay(dataclasses.replace(
+            base, partition_policy=BestEffortCpuPolicy(), flags=flags
+        ))
+        delta = (result.total_time - original) / original
+        print(f"  {label:28s} {result.total_time:8.1f}s ({delta:+.1%}, "
+              f"{result.remote_native_invocations} native bounces)")
+    policy_run = emulator.replay(dataclasses.replace(
+        base, partition_policy=CpuPartitionPolicy(),
+        flags=EnhancementFlags(True, True),
+    ))
+    verdict = ("offloaded" if policy_run.offload_count else
+               "REFUSED to offload (predicted no benefit)")
+    print(f"  refusal-capable policy:      {policy_run.total_time:8.1f}s "
+          f"-> {verdict}")
+    print()
+
+
+def main() -> None:
+    for app_name in ("voxel", "biomer"):
+        study(app_name)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""The paper's headline experiment: rescuing JavaNote from a 6 MB heap.
+
+Reproduces Section 5.1 / Figure 5 on the live prototype: JavaNote loads
+and edits a 600 KB file; the unmodified VM fails with an out-of-memory
+error, while the platform detects the pressure, partitions the
+execution graph with the modified MINCUT heuristic, and offloads the
+document engine to the surrogate (~90% of the heap — more than the
+required 20%, because the bandwidth minimum lies there).
+
+Run time: around ten seconds of host time.
+"""
+
+from pathlib import Path
+
+from repro.core.graph import node_class
+from repro.experiments import format_memory_rescue, run_memory_rescue
+from repro.experiments.exp_memory import MemoryRescueResult
+
+
+def narrate(result: MemoryRescueResult) -> None:
+    print(format_memory_rescue(result))
+    print()
+    print("Narrative:")
+    print(f"  * unmodified 6MB VM: {result.oom_message}")
+    print(f"  * platform: completed in {result.elapsed:.1f}s of simulated"
+          f" time with {result.offload_count} offload")
+    print(f"  * the heuristic produced {result.candidates_evaluated}"
+          " candidate partitionings (fewer than the number of classes)"
+          f" in {result.partition_compute_seconds * 1000:.1f}ms")
+    print(f"  * {result.offloaded_classes} classes moved to the surrogate,"
+          f" {result.client_classes} stayed (UI widgets, natives, <main>)")
+    print(f"  * predicted post-offload bandwidth:"
+          f" {result.predicted_bandwidth / 1024:.1f}KB/s"
+          " (paper predicted ~100KB/s)")
+
+
+def main() -> None:
+    result = run_memory_rescue()
+    narrate(result)
+    # Figure 5's execution-graph renderings (Graphviz):
+    #   dot -Tpng figure5a.dot -o figure5a.png
+    Path("figure5a.dot").write_text(result.graph_dot)
+    Path("figure5b.dot").write_text(result.partitioned_graph_dot)
+    print("\nwrote figure5a.dot (execution graph) and figure5b.dot "
+          "(partitioned, offloaded side shaded, cut edges dashed)")
+
+
+if __name__ == "__main__":
+    main()

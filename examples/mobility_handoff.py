@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Offloading meets mobility: handing the platform to a new surrogate.
+
+The paper's future work asks what should happen when "a user moves from
+one surrogate's region to that of another... should the objects on the
+first surrogate be migrated to the second surrogate?"  This library
+implements the migration answer: ``DistributedPlatform.handoff`` ships
+every offloaded object to the newly discovered surrogate over an
+infrastructure backhaul and re-points the client's link, while the
+application keeps running, oblivious.
+
+The scenario: a PDA user edits a large document in their office (state
+offloaded to the office server), walks to a meeting room, and keeps
+editing against the meeting-room server.
+"""
+
+from repro import (
+    DeviceProfile,
+    DistributedPlatform,
+    GCConfig,
+    OffloadPolicy,
+    SurrogateOffer,
+    TriggerConfig,
+    VMConfig,
+)
+from repro.net import ETHERNET_100MBPS, WAVELAN_11MBPS
+from repro.units import KB, MB, bytes_to_human
+
+import quickstart
+
+
+def main() -> None:
+    platform = DistributedPlatform(
+        client_config=quickstart.tiny_device(256 * KB),
+        surrogate_config=VMConfig(
+            device=DeviceProfile("office-server", cpu_speed=4.0,
+                                 heap_capacity=64 * MB)),
+        link=WAVELAN_11MBPS,
+        offload_policy=OffloadPolicy(TriggerConfig(0.05, 1), 0.20),
+    )
+    print("== In the office ==")
+    platform.run(quickstart.PhotoAlbum())
+    print(f"offloaded to {platform.surrogate.vm.name!r}: surrogate holds "
+          f"{bytes_to_human(platform.surrogate.vm.heap.used)}")
+
+    print("\n== Walking to the meeting room ==")
+    meeting_room = SurrogateOffer(
+        "meeting-room-server",
+        DeviceProfile("meeting-room-server", cpu_speed=6.0,
+                      heap_capacity=128 * MB),
+        WAVELAN_11MBPS,
+    )
+    outcome = platform.handoff(meeting_room, backhaul=ETHERNET_100MBPS)
+    print(f"handoff moved {outcome.moved_objects} objects "
+          f"({bytes_to_human(outcome.moved_bytes)}) over the backhaul in "
+          f"{outcome.seconds * 1000:.1f}ms")
+    print(f"new surrogate {platform.surrogate.vm.name!r} holds "
+          f"{bytes_to_human(platform.surrogate.vm.heap.used)}")
+
+    print("\n== Continuing to work, transparently ==")
+    album = platform.ctx.get_global("album")
+    before = platform.ctx.get_field(album, "count")
+    for _ in range(5):
+        platform.ctx.invoke(album, "addPhoto", 4 * KB)
+    after = platform.ctx.get_field(album, "count")
+    print(f"added {after - before} photos; album object lives on "
+          f"{album.home!r}")
+    print(f"remote invocations so far: "
+          f"{platform.monitor.remote.remote_invocations}")
+
+
+if __name__ == "__main__":
+    main()

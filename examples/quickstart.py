@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Quickstart: write a guest application and let the platform offload it.
+
+This walks the public API end to end:
+
+1. define guest classes (a natively-rendering UI pinned to the client,
+   and a memory-hungry data model that is free to move);
+2. run the application on a standalone 256 KB VM — it dies with an
+   OutOfMemoryError;
+3. run it on the distributed platform — the trigger fires, the modified
+   MINCUT heuristic picks a partition, the data model migrates to the
+   surrogate, and the run completes;
+4. inspect what the platform observed and decided.
+"""
+
+from repro import (
+    DeviceProfile,
+    DistributedPlatform,
+    GCConfig,
+    GuestApplication,
+    LocalSession,
+    OffloadPolicy,
+    OutOfMemoryError,
+    VMConfig,
+)
+from repro.units import KB, MB, bytes_to_human
+
+
+class PhotoAlbum(GuestApplication):
+    """Loads photo thumbnails until memory runs out — unless offloaded."""
+
+    name = "photo-album"
+    description = "Quickstart demo application"
+    resource_demands = "Content-based memory intensive"
+
+    def __init__(self, photos=96, thumb_bytes=4 * KB):
+        self.photos = photos
+        self.thumb_bytes = thumb_bytes
+
+    def install(self, registry):
+        if registry.has_class("album.Album"):
+            return
+
+        def add_photo(ctx, album, nbytes):
+            thumb = ctx.new_array("byte", nbytes)
+            ctx.array_write(thumb, nbytes)
+            entry = ctx.new("album.Photo", thumb=thumb)
+            shelf = ctx.get_field(album, "shelf")
+            count = ctx.get_field(album, "count")
+            shelf.data[count % shelf.length] = entry
+            ctx.array_write(shelf, 1)
+            ctx.set_field(album, "count", count + 1)
+            ctx.work(2e-3)
+            return count + 1
+
+        registry.define("album.Photo").field("thumb").register()
+        registry.define("album.Album") \
+            .field("shelf") \
+            .field("count", "int", default=0) \
+            .method("addPhoto", func=add_photo, cpu_cost=1e-4) \
+            .register()
+        # The gallery widget owns the physical screen: a stateful native
+        # pins it (and only it) to the client.
+        registry.define("album.GalleryWidget") \
+            .native_method("paint",
+                           func=lambda ctx, w, n: ctx.work(1e-4),
+                           cpu_cost=1e-4) \
+            .register()
+
+    def main(self, ctx):
+        shelf = ctx.new_array("ref", self.photos, data=[None] * self.photos)
+        ctx.set_global("shelf", shelf)
+        album = ctx.new("album.Album", shelf=shelf)
+        ctx.set_global("album", album)
+        widget = ctx.new("album.GalleryWidget")
+        ctx.set_global("widget", widget)
+        for index in range(self.photos):
+            ctx.invoke(album, "addPhoto", self.thumb_bytes)
+            if index % 6 == 0:
+                ctx.invoke(widget, "paint", 64)
+
+
+def tiny_device(heap):
+    return VMConfig(
+        device=DeviceProfile("pda", cpu_speed=1.0, heap_capacity=heap),
+        gc=GCConfig(space_pressure_fraction=0.10,
+                    allocations_per_cycle=32,
+                    bytes_per_cycle=32 * KB),
+    )
+
+
+def main():
+    print("== 1. Standalone 256KB VM ==")
+    session = LocalSession(tiny_device(256 * KB))
+    app = PhotoAlbum()
+    app.install(session.registry)
+    try:
+        app.main(session.ctx)
+        print("completed (unexpected!)")
+    except OutOfMemoryError as oom:
+        print(f"OutOfMemoryError, as expected: {oom}")
+
+    print()
+    print("== 2. The same run on the distributed platform ==")
+    platform = DistributedPlatform(
+        client_config=tiny_device(256 * KB),
+        surrogate_config=VMConfig(
+            device=DeviceProfile("desktop", cpu_speed=3.5,
+                                 heap_capacity=64 * MB)),
+        offload_policy=OffloadPolicy.initial(),
+    )
+    report = platform.run(PhotoAlbum())
+    print(f"completed in {report.elapsed:.3f}s of simulated time")
+    print(f"offloads performed: {report.offload_count}")
+    print(f"bytes migrated:     {bytes_to_human(report.migrated_bytes)}")
+    print(f"remote invocations: {report.remote_invocations}")
+
+    print()
+    print("== 3. What the platform observed and decided ==")
+    graph = platform.monitor.graph
+    print(f"execution graph: {graph.node_count} nodes, "
+          f"{graph.link_count} links")
+    decision = platform.engine.performed_events[0].decision
+    print(f"policy: {decision.policy_name}")
+    print(f"kept on client:  {sorted(decision.client_nodes)}")
+    print(f"offloaded:       {sorted(decision.offload_nodes)}")
+    print(f"freed {bytes_to_human(decision.freed_bytes)} "
+          f"({decision.freed_bytes / (256 * KB):.0%} of the client heap) "
+          f"across a {decision.cut_bytes}-byte cut")
+    print(f"candidates evaluated: {decision.candidates_evaluated} "
+          f"in {decision.compute_seconds * 1000:.2f}ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy setup shim: enables `pip install -e .` on environments
+without the `wheel` package (offline editable installs fall back to
+the setup.py develop path)."""
+
+from setuptools import setup
+
+setup()

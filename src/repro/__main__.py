@@ -1,0 +1,197 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro list
+    python -m repro table1 fig5
+    python -m repro all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict
+
+
+def _table1() -> str:
+    from .experiments import format_catalog, run_catalog
+
+    return format_catalog(run_catalog())
+
+
+def _fig5() -> str:
+    from .experiments import format_memory_rescue, run_memory_rescue
+
+    return format_memory_rescue(run_memory_rescue())
+
+
+def _fig6() -> str:
+    from .experiments import format_overheads, run_all_overheads
+
+    return format_overheads(run_all_overheads())
+
+
+def _fig7() -> str:
+    from .experiments import format_policy_sweeps, run_all_policy_sweeps
+
+    return format_policy_sweeps(run_all_policy_sweeps())
+
+
+def _fig8() -> str:
+    from .experiments import format_native_shares, run_all_native_shares
+
+    return format_native_shares(run_all_native_shares())
+
+
+def _table2() -> str:
+    from .experiments import format_monitoring, run_monitoring_overhead
+
+    return format_monitoring(run_monitoring_overhead())
+
+
+def _fig10() -> str:
+    from .experiments import format_cpu_offloads, run_all_cpu_offloads
+
+    return format_cpu_offloads(run_all_cpu_offloads())
+
+
+EXPERIMENTS: Dict[str, Callable[[], str]] = {
+    "table1": _table1,
+    "fig5": _fig5,
+    "fig6": _fig6,
+    "fig7": _fig7,
+    "fig8": _fig8,
+    "table2": _table2,
+    "fig10": _fig10,
+}
+
+DESCRIPTIONS = {
+    "table1": "application catalog",
+    "fig5": "JavaNote memory rescue (prototype)",
+    "fig6": "remote execution overhead, initial policy",
+    "fig7": "policy sweep (slowest: ~30s)",
+    "fig8": "native share of remote invocations",
+    "table2": "execution metrics + monitoring overhead",
+    "fig10": "offloading under processing constraints",
+}
+
+
+def _record(app_name: str, path: str) -> int:
+    from .apps import ALL_APPLICATIONS
+    from .emulator import record_application
+
+    by_name = {cls().name: cls for cls in ALL_APPLICATIONS}
+    if app_name not in by_name:
+        print(f"unknown application {app_name!r}; one of "
+              f"{', '.join(sorted(by_name))}", file=sys.stderr)
+        return 2
+    trace = record_application(by_name[app_name]())
+    trace.save(path)
+    print(f"recorded {len(trace)} events from {app_name!r} to {path}")
+    return 0
+
+
+def _replay(path: str, heap_mb: float, offload: bool) -> int:
+    from .config import DeviceProfile
+    from .emulator import Emulator, EmulatorConfig, Trace
+    from .units import MB
+
+    trace = Trace.load(path)
+    config = EmulatorConfig(
+        client=DeviceProfile("client-dev", cpu_speed=1.0,
+                             heap_capacity=int(heap_mb * MB)),
+        offload_enabled=offload,
+    )
+    result = Emulator(trace).replay(config)
+    print(f"replayed {result.events_processed} events of "
+          f"{trace.app_name!r} (heap {heap_mb:g}MB, "
+          f"offload={'on' if offload else 'off'})")
+    print(f"  completed: {result.completed}"
+          + ("" if result.completed else
+             f" (out of memory at t={result.oom_time:.1f}s)"))
+    print(f"  total time: {result.total_time:.1f}s "
+          f"(comm {result.comm_time:.1f}s, "
+          f"migration {result.migration_time:.1f}s)")
+    print(f"  offloads: {result.offload_count}, remote interactions: "
+          f"{result.remote_interactions}")
+    return 0 if result.completed else 1
+
+
+def _result_payload(name: str, output: str, elapsed: float) -> dict:
+    return {"experiment": name, "elapsed_host_seconds": round(elapsed, 3),
+            "report": output}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate tables/figures from the ICDCS 2002 "
+                    "AIDE paper, or record/replay workload traces.",
+    )
+    parser.add_argument(
+        "targets", nargs="*",
+        help="experiment names (see 'list'), 'all', "
+             "'record <app> <path>', or 'replay <path>'",
+    )
+    parser.add_argument("--heap-mb", type=float, default=6.0,
+                        help="client heap for 'replay' (default 6)")
+    parser.add_argument("--json", metavar="PATH",
+                        help="also write experiment reports to a JSON file")
+    parser.add_argument("--no-offload", action="store_true",
+                        help="disable offloading for 'replay'")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    targets = args.targets or ["list"]
+    if targets[0] == "record":
+        if len(targets) != 3:
+            print("usage: python -m repro record <app> <path>",
+                  file=sys.stderr)
+            return 2
+        return _record(targets[1], targets[2])
+    if targets[0] == "replay":
+        if len(targets) != 2:
+            print("usage: python -m repro replay <path> [--heap-mb N] "
+                  "[--no-offload]", file=sys.stderr)
+            return 2
+        return _replay(targets[1], args.heap_mb, not args.no_offload)
+    if targets == ["list"]:
+        print("available experiments:")
+        for name, description in DESCRIPTIONS.items():
+            print(f"  {name:8s} {description}")
+        print("  all      run everything")
+        print("other commands:")
+        print("  record <app> <path>   record a workload trace")
+        print("  replay <path>         replay a recorded trace")
+        return 0
+    if "all" in targets:
+        targets = list(EXPERIMENTS)
+    unknown = [t for t in targets if t not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}",
+              file=sys.stderr)
+        print("run 'python -m repro list' for options", file=sys.stderr)
+        return 2
+    payloads = []
+    for name in targets:
+        started = time.perf_counter()
+        output = EXPERIMENTS[name]()
+        elapsed = time.perf_counter() - started
+        print(output)
+        print(f"[{name} regenerated in {elapsed:.1f}s]\n")
+        payloads.append(_result_payload(name, output, elapsed))
+    if args.json:
+        import json
+
+        with open(args.json, "w") as stream:
+            json.dump(payloads, stream, indent=2)
+        print(f"wrote {len(payloads)} report(s) to {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

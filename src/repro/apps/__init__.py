@@ -1,0 +1,33 @@
+"""The five guest workloads from Table 1 of the paper."""
+
+from .base import (
+    APPLICATION_CATALOG,
+    ClassFamily,
+    GuestApplication,
+    WorkloadPhase,
+    require_positive,
+)
+from .biomer import Biomer
+from .dia import Dia
+from .javanote import JavaNote
+from .mixed import MixedSession
+from .tracer import Tracer
+from .voxel import Voxel
+
+#: All five applications with their default (paper-shaped) parameters.
+ALL_APPLICATIONS = (JavaNote, Dia, Biomer, Voxel, Tracer)
+
+__all__ = [
+    "ALL_APPLICATIONS",
+    "APPLICATION_CATALOG",
+    "Biomer",
+    "ClassFamily",
+    "Dia",
+    "GuestApplication",
+    "JavaNote",
+    "MixedSession",
+    "Tracer",
+    "Voxel",
+    "WorkloadPhase",
+    "require_positive",
+]

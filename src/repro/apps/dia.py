@@ -1,0 +1,339 @@
+"""Dia: an image manipulation program (content-based, memory intensive).
+
+Structure reproduced from the paper's observations:
+
+* the image lives in primitive integer pixel arrays (tiles), the
+  dominant memory consumer; filter passes churn them and an undo buffer
+  snapshots dirty tiles, so memory grows with every pass;
+* a natively-blitting preview panel is pinned to the client.  Once the
+  user opens the preview (a few passes into the session), the panel
+  borrows *persistent scratch buffers of the same primitive array class
+  the tiles use* and reuses them every render;
+* that shared class is the paper's placement pathology: a *late*
+  offload (the initial 5%-trigger policy) finds the preview's scratch
+  arrays already alive and drags them to the surrogate together with
+  the tiles, so every subsequent render writes its scratch remotely.
+  An *early* trigger (the 50% threshold the Figure 7 sweep finds best)
+  fires during image loading, before any scratch exists, and the
+  later-created scratch stays client-local — this is why Dia's best
+  policy beats its initial policy by tens of percent while JavaNote,
+  with no cross-cluster class sharing, is insensitive.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from ..units import KB
+from ..vm.classloader import ClassRegistry
+from ..vm.context import ExecutionContext
+from ..vm.natives import FRAMEBUFFER_CLASS, SYSTEM_CLASS
+from .base import ClassFamily, GuestApplication, require_positive
+from .textgen import image_tiles
+
+IMAGE = "dia.Image"
+TILE = "dia.Tile"
+LOADER = "dia.ImageLoader"
+PIPELINE = "dia.Pipeline"
+HISTOGRAM = "dia.Histogram"
+UNDO = "dia.UndoBuffer"
+PREVIEW = "dia.Preview"
+PALETTE = "dia.Palette"
+
+FILTER_PREFIX = "dia.Filter"
+WIDGET_PREFIX = "dia.Widget"
+
+#: Pixels per tile edge; one tile is ``TILE_EDGE**2`` ints.
+TILE_EDGE = 64
+TILE_PIXELS = TILE_EDGE * TILE_EDGE
+
+
+def _loader_read_tile(ctx, self_obj, pixels):
+    handle = ctx.get_field(self_obj, "file")
+    ctx.invoke(handle, "read", pixels * 4)
+    ctx.work(1.5e-3)
+    return pixels
+
+
+def _image_add_tile(ctx, self_obj, pixels):
+    data = ctx.new_array("int", pixels)
+    ctx.array_write(data, pixels)
+    tile = ctx.new(TILE, pixels=data, dirty=False)
+    tiles = ctx.get_field(self_obj, "tiles")
+    count = ctx.get_field(self_obj, "tile_count")
+    tiles.data[count] = tile
+    ctx.array_write(tiles, 1)
+    ctx.set_field(self_obj, "tile_count", count + 1)
+    return count + 1
+
+
+def _image_tile_at(ctx, self_obj, index):
+    tiles = ctx.get_field(self_obj, "tiles")
+    count = ctx.get_field(self_obj, "tile_count")
+    if count == 0:
+        return None
+    ctx.array_read(tiles, 1)
+    return tiles.data[index % count]
+
+
+def _filter_apply(ctx, self_obj, tile, work_seconds):
+    pixels = ctx.get_field(tile, "pixels")
+    ctx.array_read(pixels, TILE_PIXELS)
+    ctx.work(work_seconds)
+    ctx.array_write(pixels, TILE_PIXELS)
+    ctx.set_field(tile, "dirty", True)
+    return TILE_PIXELS
+
+
+def _pipeline_run_pass(ctx, self_obj, image, filter_index, work_seconds):
+    filters = ctx.get_field(self_obj, "filters")
+    ctx.array_read(filters, 1)
+    chosen = filters.data[filter_index % filters.length]
+    histogram = ctx.get_field(self_obj, "histogram")
+    undo = ctx.get_field(self_obj, "undo")
+    count = ctx.get_field(image, "tile_count")
+    for index in range(count):
+        tile = ctx.invoke(image, "tileAt", index)
+        ctx.invoke(chosen, "apply", tile, work_seconds)
+        if index % 2 == 0:
+            # Edge wrap-around between neighbouring tiles uses the
+            # library's native (stateless) block copy.
+            pixels = ctx.get_field(tile, "pixels")
+            ctx.invoke_static(SYSTEM_CLASS, "arraycopy", pixels, pixels, 256)
+        if index % 8 == 0:
+            ctx.invoke(histogram, "update", tile)
+        if index % 12 == 0:
+            ctx.invoke(undo, "snapshot", tile)
+    return count
+
+
+def _histogram_update(ctx, self_obj, tile):
+    pixels = ctx.get_field(tile, "pixels")
+    ctx.array_read(pixels, 256)
+    bins = ctx.get_field(self_obj, "bins")
+    ctx.array_write(bins, 64)
+    ctx.work(4e-4)
+    return 64
+
+
+def _undo_snapshot(ctx, self_obj, tile):
+    pixels = ctx.get_field(tile, "pixels")
+    ctx.array_read(pixels, TILE_PIXELS)
+    copy = ctx.new_array("int", TILE_PIXELS)
+    ctx.array_write(copy, TILE_PIXELS)
+    ring = ctx.get_field(self_obj, "ring")
+    cursor = ctx.get_field(self_obj, "cursor")
+    ring.data[cursor % ring.length] = copy
+    ctx.array_write(ring, 1)
+    ctx.set_field(self_obj, "cursor", cursor + 1)
+    ctx.work(8e-4)
+    return cursor + 1
+
+
+def _preview_render(ctx, self_obj, image, rows):
+    # Lazily create the persistent scratch buffers on first use; they
+    # are ordinary int[] arrays, the same class as the image tiles.
+    scratch = ctx.get_field(self_obj, "scratch")
+    if scratch is None:
+        scratch = ctx.new_array("ref", 4, data=[None] * 4)
+        ctx.set_field(self_obj, "scratch", scratch)
+        for slot in range(4):
+            buffer = ctx.new_array("int", 8 * KB // 8)
+            scratch.data[slot] = buffer
+            ctx.array_write(scratch, 1)
+    count = ctx.get_field(image, "tile_count")
+    stride = max(count // 27, 1)
+    for index in range(0, count, stride):
+        tile = ctx.invoke(image, "tileAt", index)
+        pixels = ctx.get_field(tile, "pixels")
+        ctx.array_read(pixels, TILE_PIXELS // 16)
+    for row in range(rows):
+        buffer = scratch.data[row % scratch.length]
+        ctx.array_read(buffer, 512 // 8)
+        ctx.array_write(buffer, 1024 // 8)
+    screen = ctx.get_field(self_obj, "screen")
+    ctx.invoke(screen, "draw", 320 * 240)
+    ctx.invoke(self_obj, "blit")
+    ctx.work(0.05)
+    return rows
+
+
+def _preview_blit(ctx, self_obj):
+    ctx.work(2e-3)
+
+
+def _widget_paint(ctx, self_obj, pixels):
+    ctx.work(2e-4)
+
+
+class Dia(GuestApplication):
+    """The paper's image-manipulation workload."""
+
+    name = "dia"
+    description = "Image manipulation program"
+    resource_demands = "Content-based memory intensive"
+
+    def __init__(
+        self,
+        width: int = 768,
+        height: int = 576,
+        passes: int = 12,
+        render_start_pass: int = 4,
+        renders_per_pass: int = 3,
+        filter_kinds: int = 12,
+        widgets: int = 24,
+        filter_work: float = 0.22,
+        seed: int = 20020202,
+    ) -> None:
+        require_positive(width=width, height=height, passes=passes,
+                         renders_per_pass=renders_per_pass,
+                         filter_kinds=filter_kinds, widgets=widgets,
+                         filter_work=filter_work)
+        if render_start_pass < 0:
+            raise ConfigurationError("render_start_pass cannot be negative")
+        self.width = width
+        self.height = height
+        self.passes = passes
+        self.render_start_pass = render_start_pass
+        self.renders_per_pass = renders_per_pass
+        self.filter_kinds = filter_kinds
+        self.widgets = widgets
+        self.filter_work = filter_work
+        self.seed = seed
+        self._filter_family = None
+        self._widget_family = None
+
+    def install(self, registry: ClassRegistry) -> None:
+        work = self.filter_work
+        self._filter_family = ClassFamily(
+            registry, FILTER_PREFIX, self.filter_kinds
+        ).define_each(
+            lambda builder, index: builder
+            .field("strength", "int")
+            .method("apply", func=_filter_apply, cpu_cost=1e-4)
+        )
+        self._widget_family = ClassFamily(
+            registry, WIDGET_PREFIX, self.widgets
+        ).define_each(
+            lambda builder, index: builder
+            .field("state", "int")
+            .native_method("paint", func=_widget_paint, cpu_cost=2e-4)
+        )
+        if registry.has_class(IMAGE):
+            return
+        registry.define(LOADER) \
+            .field("file") \
+            .method("readTile", func=_loader_read_tile, cpu_cost=1e-3) \
+            .register()
+        registry.define(TILE) \
+            .field("pixels") \
+            .field("dirty", "bool") \
+            .register()
+        registry.define(IMAGE) \
+            .field("tiles") \
+            .field("tile_count", "int", default=0) \
+            .field("width", "int") \
+            .field("height", "int") \
+            .method("addTile", func=_image_add_tile, cpu_cost=5e-4) \
+            .method("tileAt", func=_image_tile_at, cpu_cost=5e-5) \
+            .register()
+        registry.define(HISTOGRAM) \
+            .field("bins") \
+            .method("update", func=_histogram_update, cpu_cost=1e-4) \
+            .register()
+        registry.define(UNDO) \
+            .field("ring") \
+            .field("cursor", "int", default=0) \
+            .method("snapshot", func=_undo_snapshot, cpu_cost=2e-4) \
+            .register()
+        registry.define(PIPELINE) \
+            .field("filters") \
+            .field("histogram") \
+            .field("undo") \
+            .method(
+                "runPass",
+                func=lambda ctx, obj, image, findex: _pipeline_run_pass(
+                    ctx, obj, image, findex, work
+                ),
+                cpu_cost=1e-3,
+            ) \
+            .register()
+        registry.define(PREVIEW) \
+            .field("screen") \
+            .field("scratch") \
+            .method("render", func=_preview_render, cpu_cost=1e-3) \
+            .native_method("blit", func=_preview_blit, cpu_cost=2e-3) \
+            .register()
+        registry.define(PALETTE) \
+            .field("colors") \
+            .register()
+
+    # -- workload ------------------------------------------------------------
+
+    def main(self, ctx: ExecutionContext) -> None:
+        self._startup(ctx)
+        self._load_image(ctx)
+        self._filter_session(ctx)
+
+    def _startup(self, ctx: ExecutionContext) -> None:
+        screen = ctx.new(FRAMEBUFFER_CLASS, width=320, height=240)
+        ctx.set_global("screen", screen)
+        widget_refs = ctx.new_array("ref", self.widgets,
+                                    data=[None] * self.widgets)
+        ctx.set_global("widgets", widget_refs)
+        for index in range(self.widgets):
+            widget = ctx.new(self._widget_family.name_for(index))
+            widget_refs.data[index] = widget
+        tile_grid = image_tiles(self.width, self.height, TILE_EDGE)
+        tiles = ctx.new_array("ref", len(tile_grid),
+                              data=[None] * len(tile_grid))
+        ctx.set_global("tiles", tiles)
+        image = ctx.new(IMAGE, tiles=tiles, width=self.width,
+                        height=self.height)
+        ctx.set_global("image", image)
+        filters = ctx.new_array("ref", self.filter_kinds,
+                                data=[None] * self.filter_kinds)
+        ctx.set_global("filters", filters)
+        for index in range(self.filter_kinds):
+            filter_obj = ctx.new(self._filter_family.name_for(index),
+                                 strength=index)
+            filters.data[index] = filter_obj
+        bins = ctx.new_array("int", 256)
+        ctx.set_global("bins", bins)
+        histogram = ctx.new(HISTOGRAM, bins=bins)
+        ctx.set_global("histogram", histogram)
+        ring = ctx.new_array("ref", 64, data=[None] * 64)
+        ctx.set_global("ring", ring)
+        undo = ctx.new(UNDO, ring=ring)
+        ctx.set_global("undo", undo)
+        pipeline = ctx.new(PIPELINE, filters=filters, histogram=histogram,
+                           undo=undo)
+        ctx.set_global("pipeline", pipeline)
+        preview = ctx.new(PREVIEW, screen=screen)
+        ctx.set_global("preview", preview)
+        image_file = ctx.new("java.io.File", path="photo.dia")
+        ctx.set_global("file", image_file)
+        loader = ctx.new(LOADER, file=image_file)
+        ctx.set_global("loader", loader)
+        ctx.work(0.5)
+
+    def _load_image(self, ctx: ExecutionContext) -> None:
+        image = ctx.get_global("image")
+        loader = ctx.get_global("loader")
+        for tile_width, tile_height in image_tiles(self.width, self.height,
+                                                   TILE_EDGE):
+            pixels = tile_width * tile_height
+            ctx.invoke(loader, "readTile", pixels)
+            ctx.invoke(image, "addTile", pixels)
+
+    def _filter_session(self, ctx: ExecutionContext) -> None:
+        image = ctx.get_global("image")
+        pipeline = ctx.get_global("pipeline")
+        preview = ctx.get_global("preview")
+        widgets = ctx.get_global("widgets")
+        for pass_index in range(self.passes):
+            ctx.invoke(pipeline, "runPass", image, pass_index)
+            widget = widgets.data[pass_index % widgets.length]
+            ctx.invoke(widget, "paint", 512)
+            if pass_index >= self.render_start_pass:
+                for _ in range(self.renders_per_pass):
+                    ctx.invoke(preview, "render", image, 160)

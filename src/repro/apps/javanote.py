@@ -1,0 +1,448 @@
+"""JavaNote: a simple text editor (content-based, memory intensive).
+
+The paper's headline memory experiment: loading and editing a 600 KB
+text file exhausts a 6 MB Java heap on the unmodified VM, while the
+offloading platform detects the pressure and moves the document engine
+(segments, character buffers, undo history, render caches) to the
+surrogate, leaving the natively-rendered UI on the client.
+
+Structure reproduced from the paper's observations:
+
+* the document lives in primitive character arrays ("the primitive
+  character arrays account for a large percentage of the available
+  memory");
+* a large widget population with stateful paint natives pins the UI to
+  the client (~70 widget classes plus editor/library classes give a
+  runtime class population in the 130 range, Table 2);
+* edits create undo snapshots and interned strings; scrolling fills a
+  render cache and repaints through the framebuffer — so memory grows
+  well past the document itself;
+* the editor engine forms one tightly coupled cluster whose boundary to
+  the UI is thin: the min-bandwidth partition offloads ~90% of the heap
+  (Figure 5), and the choice is insensitive to trigger timing
+  (Figure 7's "JavaNote unchanged").
+
+``fidelity`` selects event granularity: ``"coarse"`` uses bulk array
+accounting (default; right for offloading studies), ``"fine"`` performs
+per-character operations, reproducing Table 2's ~1.2 M interaction
+events for the monitoring-overhead experiment.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..errors import ConfigurationError
+from ..units import KB
+from ..vm.classloader import ClassRegistry
+from ..vm.context import ExecutionContext
+from ..vm.natives import FRAMEBUFFER_CLASS, STRING_CLASS, SYSTEM_CLASS
+from ..vm.objectmodel import JArray
+from .base import ClassFamily, GuestApplication, require_positive
+from .textgen import chunk_sizes, edit_script, scroll_script
+
+SEGMENT_CHARS = 2 * KB  # 2048 characters = 4 KB of heap per segment
+
+LOADER = "editor.FileLoader"
+POOL = "editor.StringPool"
+SEGMENT = "editor.Segment"
+DOCUMENT = "editor.Document"
+UNDO_STACK = "editor.UndoStack"
+UNDO_ENTRY = "editor.UndoEntry"
+HIGHLIGHTER = "editor.Highlighter"
+LINE_CACHE = "editor.LineCache"
+SEARCH = "editor.SearchEngine"
+CURSOR = "editor.Cursor"
+CLIPBOARD = "editor.Clipboard"
+STATUS = "editor.StatusModel"
+VIEW = "editor.View"
+
+WIDGET_PREFIX = "ui.Widget"
+TOKEN_PREFIX = "editor.Token"
+
+
+# -- guest method bodies ------------------------------------------------------
+
+
+def _loader_read_chunk(ctx, self_obj, nchars):
+    handle = ctx.get_field(self_obj, "file")
+    ctx.invoke(handle, "read", nchars * 2)
+    ctx.work(2e-3)
+    return nchars
+
+
+def _pool_intern(ctx, self_obj, length):
+    text = "x" * min(length, 64)
+    interned = ctx.new(STRING_CLASS, value=text, length=len(text))
+    ctx.invoke(interned, "copy")
+    count = ctx.get_field(self_obj, "count")
+    ctx.set_field(self_obj, "count", count + 1)
+    return interned
+
+
+def _document_load_chunk(ctx, self_obj, nchars):
+    buffer = ctx.new_array("char", nchars)
+    ctx.array_write(buffer, nchars)
+    segment = ctx.new(SEGMENT, buffer=buffer, length=nchars)
+    index = ctx.get_field(self_obj, "index")
+    count = ctx.get_field(self_obj, "segment_count")
+    index.data[count] = segment
+    ctx.array_write(index, 1)
+    ctx.set_field(self_obj, "segment_count", count + 1)
+    total = ctx.get_field(self_obj, "total_chars")
+    ctx.set_field(self_obj, "total_chars", total + nchars)
+    ctx.work(3e-3)
+    return count + 1
+
+
+def _document_segment_at(ctx, self_obj, chunk_index):
+    index = ctx.get_field(self_obj, "index")
+    count = ctx.get_field(self_obj, "segment_count")
+    if count == 0:
+        return None
+    ctx.array_read(index, 1)
+    return index.data[chunk_index % count]
+
+
+def _document_char_at(ctx, self_obj, segment, offset):
+    buffer = ctx.get_field(segment, "buffer")
+    ctx.array_read(buffer, 1)
+    ctx.work(6e-5)
+    return offset
+
+
+def _document_edit(ctx, self_obj, op, chunk_index, length, fine):
+    segment = ctx.invoke(self_obj, "segmentAt", chunk_index)
+    if segment is None:
+        return 0
+    buffer = ctx.get_field(segment, "buffer")
+    if fine:
+        for offset in range(0, length, 4):
+            ctx.invoke(self_obj, "charAt", segment, offset)
+        ctx.array_write(buffer, length)
+    else:
+        ctx.array_read(buffer, length)
+        ctx.array_write(buffer, length)
+        ctx.work(0.26)
+    # Undo snapshot retains a copy of the whole edited segment.
+    snapshot = ctx.new_array("char", SEGMENT_CHARS)
+    ctx.invoke_static(SYSTEM_CLASS, "arraycopy", buffer, snapshot,
+                      SEGMENT_CHARS)
+    entry = ctx.new(UNDO_ENTRY, snapshot=snapshot, position=chunk_index)
+    undo = ctx.get_field(self_obj, "undo")
+    ctx.invoke(undo, "push", entry)
+    pool = ctx.get_field(self_obj, "pool")
+    ctx.invoke(pool, "intern", length)
+    if op == "delete":
+        seg_length = ctx.get_field(segment, "length")
+        ctx.set_field(segment, "length", max(seg_length - length, 0))
+    elif op == "insert" and length >= 96:
+        # A large paste overflows the segment: split off a new one.
+        ctx.invoke(self_obj, "loadChunk", SEGMENT_CHARS)
+    ctx.work(4e-3)
+    return length
+
+
+def _undo_push(ctx, self_obj, entry):
+    head = ctx.get_field(self_obj, "head")
+    ctx.set_field(entry, "next", head)
+    ctx.set_field(self_obj, "head", entry)
+    depth = ctx.get_field(self_obj, "depth")
+    ctx.set_field(self_obj, "depth", depth + 1)
+    return depth + 1
+
+
+def _highlighter_line(ctx, self_obj, segment, nchars, variant, token_family, fine):
+    buffer = ctx.get_field(segment, "buffer")
+    if fine:
+        for _ in range(0, nchars, 2):
+            ctx.array_read(buffer, 2)
+            ctx.work(2.1e-5)
+    else:
+        ctx.array_read(buffer, nchars)
+        ctx.work(6e-3)
+    tokens = ctx.new_array("int", max(nchars // 16, 4))
+    ctx.array_write(tokens, tokens.length)
+    token_cls = token_family.name_for(variant)
+    token = ctx.new(token_cls, span=nchars)
+    ctx.set_field(token, "data", tokens)
+    cache = ctx.get_field(self_obj, "cache")
+    ctx.invoke(cache, "store", token)
+    return tokens.length
+
+
+def _cache_store(ctx, self_obj, token):
+    ring = ctx.get_field(self_obj, "ring")
+    cursor = ctx.get_field(self_obj, "cursor")
+    ring.data[cursor % ring.length] = token
+    ctx.array_write(ring, 1)
+    ctx.set_field(self_obj, "cursor", cursor + 1)
+    return cursor + 1
+
+
+def _search_find(ctx, self_obj, document, needle_length):
+    count = ctx.get_field(document, "segment_count")
+    hits = 0
+    for chunk_index in range(0, max(count, 1), 7):
+        segment = ctx.invoke(document, "segmentAt", chunk_index)
+        if segment is None:
+            continue
+        buffer = ctx.get_field(segment, "buffer")
+        ctx.array_read(buffer, min(needle_length * 8, SEGMENT_CHARS))
+        hits += 1
+    ctx.work(0.03)
+    return hits
+
+
+def _view_scroll(ctx, self_obj, first, count):
+    document = ctx.get_field(self_obj, "document")
+    highlighter = ctx.get_field(self_obj, "highlighter")
+    screen = ctx.get_field(self_obj, "screen")
+    fine = ctx.get_field(self_obj, "fine")
+    for line in range(count):
+        segment = ctx.invoke(document, "segmentAt", first + line)
+        if segment is not None:
+            ctx.invoke(highlighter, "highlightLine", segment,
+                       SEGMENT_CHARS if fine else 512, first + line)
+    ctx.invoke(screen, "draw", 640 * 16)
+    ctx.work(0.01 if fine else 0.15)
+    return count
+
+
+def _widget_paint(ctx, self_obj, pixels):
+    ctx.work(2e-4)
+
+
+def _widget_layout(ctx, self_obj, width):
+    ctx.set_field(self_obj, "state", width)
+    ctx.work(1e-4)
+    return width
+
+
+def _widget_arrange(ctx, self_obj, neighbours):
+    ctx.set_field(self_obj, "state", len(neighbours) if neighbours else 0)
+    for neighbour in neighbours or []:
+        ctx.invoke(neighbour, "layout", 64)
+        ctx.get_field(neighbour, "state")
+    ctx.work(2e-4)
+    return len(neighbours) if neighbours else 0
+
+
+class JavaNote(GuestApplication):
+    """The paper's text-editor workload."""
+
+    name = "javanote"
+    description = "Simple text editor"
+    resource_demands = "Content-based memory intensive"
+
+    def __init__(
+        self,
+        document_bytes: int = 600 * KB,
+        edits: int = 850,
+        scrolls: int = 400,
+        widgets: int = 80,
+        token_kinds: int = 35,
+        fidelity: str = "coarse",
+        seed: int = 20020101,
+    ) -> None:
+        require_positive(document_bytes=document_bytes, edits=edits,
+                         scrolls=scrolls, widgets=widgets,
+                         token_kinds=token_kinds)
+        if fidelity not in ("coarse", "fine"):
+            raise ConfigurationError(
+                f"fidelity must be 'coarse' or 'fine', got {fidelity!r}"
+            )
+        self.document_bytes = document_bytes
+        self.edits = edits
+        self.scrolls = scrolls
+        self.widgets = widgets
+        self.token_kinds = token_kinds
+        self.fidelity = fidelity
+        self.seed = seed
+        self._token_family: Optional[ClassFamily] = None
+        self._widget_family: Optional[ClassFamily] = None
+
+    # -- class registration ------------------------------------------------------
+
+    def install(self, registry: ClassRegistry) -> None:
+        self._widget_family = ClassFamily(
+            registry, WIDGET_PREFIX, self.widgets
+        ).define_each(
+            lambda builder, index: builder
+            .field("state", "int")
+            .native_method("paint", func=_widget_paint, cpu_cost=3e-4)
+            .method("layout", func=_widget_layout, cpu_cost=1e-4)
+            .method("arrange", func=_widget_arrange, cpu_cost=2e-4)
+        )
+        self._token_family = ClassFamily(
+            registry, TOKEN_PREFIX, self.token_kinds
+        ).define_each(
+            lambda builder, index: builder
+            .field("span", "int")
+            .field("data")
+        )
+        if registry.has_class(DOCUMENT):
+            return
+        registry.define(LOADER) \
+            .field("file") \
+            .method("readChunk", func=_loader_read_chunk, cpu_cost=1e-3) \
+            .register()
+        registry.define(POOL) \
+            .field("count", "int", default=0) \
+            .method("intern", func=_pool_intern, cpu_cost=2e-4) \
+            .register()
+        registry.define(SEGMENT) \
+            .field("buffer") \
+            .field("length", "int") \
+            .register()
+        token_family = self._token_family
+        fine = self.fidelity == "fine"
+        registry.define(DOCUMENT) \
+            .field("index") \
+            .field("segment_count", "int", default=0) \
+            .field("total_chars", "int", default=0) \
+            .field("pool") \
+            .field("undo") \
+            .method("loadChunk", func=_document_load_chunk, cpu_cost=1e-3) \
+            .method("segmentAt", func=_document_segment_at, cpu_cost=5e-5) \
+            .method("charAt", func=_document_char_at, cpu_cost=2e-5) \
+            .method(
+                "edit",
+                func=lambda ctx, obj, op, idx, length: _document_edit(
+                    ctx, obj, op, idx, length, fine
+                ),
+                cpu_cost=1e-3,
+            ) \
+            .register()
+        registry.define(UNDO_ENTRY) \
+            .field("snapshot") \
+            .field("position", "int") \
+            .field("next") \
+            .register()
+        registry.define(UNDO_STACK) \
+            .field("head") \
+            .field("depth", "int", default=0) \
+            .method("push", func=_undo_push, cpu_cost=1e-4) \
+            .register()
+        registry.define(LINE_CACHE) \
+            .field("ring") \
+            .field("cursor", "int", default=0) \
+            .method("store", func=_cache_store, cpu_cost=1e-4) \
+            .register()
+        registry.define(HIGHLIGHTER) \
+            .field("cache") \
+            .method(
+                "highlightLine",
+                func=lambda ctx, obj, segment, nchars, variant: _highlighter_line(
+                    ctx, obj, segment, nchars, variant, token_family, fine
+                ),
+                cpu_cost=3e-4,
+            ) \
+            .register()
+        registry.define(SEARCH) \
+            .method("find", func=_search_find, cpu_cost=1e-3) \
+            .register()
+        registry.define(VIEW) \
+            .field("document") \
+            .field("highlighter") \
+            .field("screen") \
+            .field("fine", "bool") \
+            .method("scroll", func=_view_scroll, cpu_cost=1e-3) \
+            .register()
+        registry.define(CURSOR).field("position", "int").register()
+        registry.define(CLIPBOARD).field("content").register()
+        registry.define(STATUS).field("dirty", "bool").register()
+
+    # -- workload ------------------------------------------------------------
+
+    def main(self, ctx: ExecutionContext) -> None:
+        fine = self.fidelity == "fine"
+        self._startup(ctx)
+        self._load_document(ctx)
+        self._edit_phase(ctx, fine)
+        self._scroll_phase(ctx, fine)
+
+    def _startup(self, ctx: ExecutionContext) -> None:
+        screen = ctx.new(FRAMEBUFFER_CLASS, width=640, height=480)
+        ctx.set_global("screen", screen)
+        widget_refs = ctx.new_array("ref", self.widgets,
+                                    data=[None] * self.widgets)
+        ctx.set_global("widgets", widget_refs)
+        for index in range(self.widgets):
+            widget = ctx.new(self._widget_family.name_for(index))
+            widget_refs.data[index] = widget
+            ctx.invoke(widget, "layout", 640)
+        # Widget-tree layout pass: each widget arranges a handful of
+        # neighbours, giving the dense class-interaction graph a real
+        # UI toolkit produces.
+        for index in range(self.widgets):
+            neighbours = [
+                widget_refs.data[(index * stride + offset) % self.widgets]
+                for stride, offset in ((3, 1), (7, 2), (11, 5), (13, 8),
+                                       (17, 21), (19, 34))
+            ]
+            ctx.invoke(widget_refs.data[index], "arrange", neighbours)
+
+        undo = ctx.new(UNDO_STACK)
+        ctx.set_global("undo", undo)
+        pool = ctx.new(POOL)
+        ctx.set_global("pool", pool)
+        segment_slots = self.document_bytes // SEGMENT_CHARS + self.edits + 4
+        index = ctx.new_array("ref", segment_slots,
+                              data=[None] * segment_slots)
+        ctx.set_global("segment-index", index)
+        document = ctx.new(DOCUMENT, index=index, pool=pool, undo=undo)
+        ctx.set_global("document", document)
+        ring = ctx.new_array("ref", 2048, data=[None] * 2048)
+        ctx.set_global("ring", ring)
+        cache = ctx.new(LINE_CACHE, ring=ring)
+        ctx.set_global("cache", cache)
+        highlighter = ctx.new(HIGHLIGHTER, cache=cache)
+        ctx.set_global("highlighter", highlighter)
+        loader_file = ctx.new("java.io.File", path="novel.txt")
+        ctx.set_global("file", loader_file)
+        loader = ctx.new(LOADER, file=loader_file)
+        ctx.set_global("loader", loader)
+        view = ctx.new(VIEW, document=document, highlighter=highlighter,
+                       screen=screen, fine=self.fidelity == "fine")
+        ctx.set_global("view", view)
+        ctx.work(0.5)
+
+    def _load_document(self, ctx: ExecutionContext) -> None:
+        document = ctx.get_global("document")
+        loader = ctx.get_global("loader")
+        total_chars = self.document_bytes
+        for nbytes in chunk_sizes(total_chars, SEGMENT_CHARS):
+            ctx.invoke(loader, "readChunk", nbytes)
+            ctx.invoke(document, "loadChunk", nbytes)
+
+    def _edit_phase(self, ctx: ExecutionContext, fine: bool) -> None:
+        document = ctx.get_global("document")
+        widgets: JArray = ctx.get_global("widgets")
+        screen = ctx.get_global("screen")
+        chunks = self.document_bytes // SEGMENT_CHARS
+        for step, (op, chunk_index, length) in enumerate(
+            edit_script(self.seed, self.edits, chunks)
+        ):
+            ctx.invoke(document, "edit", op, chunk_index, length)
+            if step % 6 == 0:
+                widget = widgets.data[step % widgets.length]
+                ctx.invoke(widget, "paint", 2048)
+            if step % 10 == 0:
+                ctx.invoke(screen, "draw", 4096)
+
+    def _scroll_phase(self, ctx: ExecutionContext, fine: bool) -> None:
+        document = ctx.get_global("document")
+        view = ctx.get_global("view")
+        widgets: JArray = ctx.get_global("widgets")
+        search = ctx.new(SEARCH)
+        ctx.set_global("search", search)
+        chunks = self.document_bytes // SEGMENT_CHARS
+        for step, (first, count) in enumerate(
+            scroll_script(self.seed, self.scrolls, chunks)
+        ):
+            ctx.invoke(view, "scroll", first, count)
+            widget = widgets.data[step % widgets.length]
+            ctx.invoke(widget, "paint", 1024)
+            if step % 50 == 25:
+                ctx.invoke(search, "find", document, 12)

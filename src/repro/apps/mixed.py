@@ -1,0 +1,98 @@
+"""A mixed user session: switching between applications.
+
+The paper's future work wants "a realistic mix of applications that
+people would really use" (section 8).  :class:`MixedSession` models a
+PDA user alternating between editing a document (a JavaNote-scale
+editor) and touching up an image (a Dia-scale filter pass), in
+interleaved bursts.
+
+The interesting platform behaviour this provokes: the hot cluster
+*changes over time*.  A single-shot offload taken during an editing
+burst strands the image data's placement decision; periodic
+re-evaluation (the global-placement extension) re-partitions as the
+session's focus shifts.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..errors import ConfigurationError
+from ..units import KB
+from ..vm.classloader import ClassRegistry
+from ..vm.context import ExecutionContext
+from .base import GuestApplication, require_positive
+from .dia import Dia
+from .javanote import JavaNote
+
+
+class MixedSession(GuestApplication):
+    """Interleaved editor + image-touch-up session."""
+
+    name = "mixed-session"
+    description = "Alternating editor and image-manipulation session"
+    resource_demands = "Content-based memory intensive, phase-shifting"
+
+    def __init__(
+        self,
+        bursts: int = 4,
+        edits_per_burst: int = 60,
+        passes_per_burst: int = 1,
+        document_bytes: int = 128 * KB,
+        image_width: int = 256,
+        image_height: int = 192,
+        seed: int = 20020606,
+    ) -> None:
+        require_positive(bursts=bursts, edits_per_burst=edits_per_burst,
+                         passes_per_burst=passes_per_burst)
+        self.bursts = bursts
+        self.seed = seed
+        # Sub-workloads are configured once; their phases are driven
+        # manually below so the bursts interleave.
+        self.editor = JavaNote(
+            document_bytes=document_bytes,
+            edits=edits_per_burst * bursts,
+            scrolls=10 * bursts,
+            widgets=16, token_kinds=8, seed=seed,
+        )
+        self.painter = Dia(
+            width=image_width, height=image_height,
+            passes=passes_per_burst * bursts,
+            render_start_pass=0, renders_per_pass=1,
+            filter_kinds=6, widgets=8, filter_work=0.03,
+            seed=seed + 1,
+        )
+        self.edits_per_burst = edits_per_burst
+        self.passes_per_burst = passes_per_burst
+
+    def install(self, registry: ClassRegistry) -> None:
+        self.editor.install(registry)
+        self.painter.install(registry)
+
+    def main(self, ctx: ExecutionContext) -> None:
+        from .javanote import SEGMENT_CHARS
+        from .textgen import edit_script
+
+        # Start both applications (their windows stay open all session).
+        self.editor._startup(ctx)
+        self.editor._load_document(ctx)
+        self.painter._startup(ctx)
+        self.painter._load_image(ctx)
+
+        document = ctx.get_global("document")
+        image = ctx.get_global("image")
+        pipeline = ctx.get_global("pipeline")
+        preview = ctx.get_global("preview")
+        chunks = self.editor.document_bytes // SEGMENT_CHARS
+        edit_ops = edit_script(self.seed, self.editor.edits, chunks)
+        pass_index = 0
+        for burst in range(self.bursts):
+            # Editing burst.
+            for _ in range(self.edits_per_burst):
+                op, chunk_index, length = next(edit_ops)
+                ctx.invoke(document, "edit", op, chunk_index, length)
+            # Image burst.
+            for _ in range(self.passes_per_burst):
+                ctx.invoke(pipeline, "runPass", image, pass_index)
+                ctx.invoke(preview, "render", image, 48)
+                pass_index += 1

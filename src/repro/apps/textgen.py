@@ -1,0 +1,92 @@
+"""Deterministic content generators for the workloads.
+
+The paper's JavaNote experiment edits a 600 KB text file; Dia
+manipulates raster images.  These helpers produce *sizes and shapes*
+(chunk lists, edit positions, tile dimensions) deterministically from a
+seed so that every run of a given workload is identical.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Tuple
+
+from ..errors import ConfigurationError
+from ..units import KB
+
+
+def chunk_sizes(total_bytes: int, chunk_bytes: int) -> List[int]:
+    """Split a document of ``total_bytes`` into read chunks.
+
+    >>> chunk_sizes(10, 4)
+    [4, 4, 2]
+    """
+    if total_bytes <= 0 or chunk_bytes <= 0:
+        raise ConfigurationError("sizes must be positive")
+    sizes = [chunk_bytes] * (total_bytes // chunk_bytes)
+    remainder = total_bytes % chunk_bytes
+    if remainder:
+        sizes.append(remainder)
+    return sizes
+
+
+def edit_script(
+    seed: int, edits: int, document_chunks: int
+) -> Iterator[Tuple[str, int, int]]:
+    """Yield ``(operation, chunk_index, length)`` edit operations.
+
+    Operations mix inserts, deletes, and replacements with a locality
+    bias: edits cluster around a moving cursor, like a human editing
+    session, which concentrates interactions on a few segments.
+    """
+    if edits <= 0 or document_chunks <= 0:
+        raise ConfigurationError("edits and document_chunks must be positive")
+    rng = random.Random(seed)
+    cursor = rng.randrange(document_chunks)
+    for _ in range(edits):
+        if rng.random() < 0.2:
+            cursor = rng.randrange(document_chunks)
+        else:
+            cursor = max(0, min(document_chunks - 1,
+                                cursor + rng.choice((-1, 0, 0, 1))))
+        op = rng.choices(("insert", "delete", "replace"),
+                         weights=(5, 2, 3))[0]
+        length = rng.randrange(8, 220)
+        yield op, cursor, length
+
+
+def scroll_script(seed: int, scrolls: int, document_chunks: int,
+                  window: int = 8) -> Iterator[Tuple[int, int]]:
+    """Yield ``(first_chunk, chunk_count)`` visible windows per scroll."""
+    if scrolls <= 0 or document_chunks <= 0 or window <= 0:
+        raise ConfigurationError("parameters must be positive")
+    rng = random.Random(seed * 7919 + 13)
+    position = 0
+    for _ in range(scrolls):
+        if rng.random() < 0.1:
+            position = rng.randrange(document_chunks)
+        else:
+            position = max(0, min(document_chunks - 1,
+                                  position + rng.choice((-2, -1, 1, 2, 3))))
+        count = min(window, document_chunks - position)
+        yield position, max(count, 1)
+
+
+def image_tiles(width: int, height: int, tile: int) -> List[Tuple[int, int]]:
+    """Tile grid for an image: list of (tile_width, tile_height).
+
+    >>> image_tiles(100, 50, 64)
+    [(64, 50), (36, 50)]
+    """
+    if width <= 0 or height <= 0 or tile <= 0:
+        raise ConfigurationError("dimensions must be positive")
+    tiles = []
+    for y in range(0, height, tile):
+        tile_height = min(tile, height - y)
+        for x in range(0, width, tile):
+            tiles.append((min(tile, width - x), tile_height))
+    return tiles
+
+
+DEFAULT_DOCUMENT_BYTES = 600 * KB
+DEFAULT_CHUNK_BYTES = 4 * KB

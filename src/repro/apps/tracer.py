@@ -1,0 +1,178 @@
+"""Tracer: an interactive Java raytracer (CPU intensive, low interaction).
+
+The engine traces ray batches against the scene, leaning hard on the
+library's native math (square roots and powers per intersection), and
+pushes a finished scanline to the natively-drawn canvas after each
+batch.  A display pipeline — pinned to the client, where the framebuffer
+and tone-mapping tables live — assembles a progressive frame only every
+few hundred batches ("low interaction").
+
+Figure 10 mechanics: the *Initial* offload of the tracing engine drowns
+in native math bounce-backs (a raytracer's inner loop is mostly math
+natives) and comes out slower than local execution; the *Native*
+enhancement alone recovers most of the win because math dominates; the
+*Array* enhancement contributes little here (few shared arrays — the
+counterpart of Voxel, where arrays dominate); *Combined* lands a modest
+overall speedup, bounded by the client-pinned display pipeline.
+"""
+
+from __future__ import annotations
+
+from ..units import KB
+from ..vm.classloader import ClassRegistry
+from ..vm.context import ExecutionContext
+from ..vm.natives import FRAMEBUFFER_CLASS, MATH_CLASS
+from .base import GuestApplication, require_positive
+
+SCENE = "tracer.Scene"
+ENGINE = "tracer.Engine"
+CANVAS = "tracer.Canvas"
+DISPLAY = "tracer.DisplayPipeline"
+SAMPLER = "tracer.Sampler"
+
+#: Ints in the shared accumulation buffer.
+ACCUM_SLOTS = 128 * KB // 8
+#: Bytes in one pushed scanline.
+SCANLINE_BYTES = int(2.5 * KB)
+
+
+def _scene_object_at(ctx, self_obj, index):
+    spheres = ctx.get_field(self_obj, "spheres")
+    ctx.array_read(spheres, 1)
+    return index % max(spheres.length, 1)
+
+
+def _engine_trace_batch(ctx, self_obj, batch, work_seconds, math_calls):
+    scene = ctx.get_field(self_obj, "scene")
+    ctx.invoke(scene, "objectAt", batch)
+    for call in range(math_calls):
+        if call % 3 == 0:
+            ctx.invoke_static(MATH_CLASS, "pow", 1.5, 2.0)
+        elif call % 3 == 1:
+            ctx.invoke_static(MATH_CLASS, "sqrt", float(batch + call))
+        else:
+            ctx.invoke_static(MATH_CLASS, "atan2", 1.0, float(call + 1))
+    ctx.work(work_seconds)
+    accum = ctx.get_field(self_obj, "accum")
+    ctx.array_write(accum, SCANLINE_BYTES // 8)
+    canvas = ctx.get_field(self_obj, "canvas")
+    ctx.invoke(canvas, "putLine", SCANLINE_BYTES)
+    return batch
+
+
+def _canvas_put_line(ctx, self_obj, nbytes):
+    ctx.work(5e-4)
+
+
+def _display_compose(ctx, self_obj, frame_work):
+    accum = ctx.get_field(self_obj, "accum")
+    ctx.array_read(accum, ACCUM_SLOTS)
+    screen = ctx.get_field(self_obj, "screen")
+    ctx.invoke(screen, "draw", 640 * 480)
+    ctx.invoke(self_obj, "toneMap")
+    ctx.work(frame_work)
+    return ACCUM_SLOTS
+
+
+def _display_tone_map(ctx, self_obj):
+    ctx.work(5e-3)
+
+
+def _sampler_jitter(ctx, self_obj, batch):
+    ctx.set_field(self_obj, "state", batch * 16807 % 2147483647)
+    ctx.work(1e-4)
+    return batch
+
+
+class Tracer(GuestApplication):
+    """The paper's raytracer workload."""
+
+    name = "tracer"
+    description = "Interactive Java Raytracer"
+    resource_demands = "CPU intensive, low interaction"
+
+    def __init__(
+        self,
+        batches: int = 5000,
+        frame_every: int = 500,
+        batch_work: float = 0.1,
+        frame_work: float = 100.0,
+        math_calls: int = 32,
+        spheres: int = 64,
+        seed: int = 20020505,
+    ) -> None:
+        require_positive(batches=batches, frame_every=frame_every,
+                         batch_work=batch_work, frame_work=frame_work,
+                         spheres=spheres)
+        if math_calls < 0:
+            raise ValueError("math_calls cannot be negative")
+        self.batches = batches
+        self.frame_every = frame_every
+        self.batch_work = batch_work
+        self.frame_work = frame_work
+        self.math_calls = math_calls
+        self.spheres = spheres
+        self.seed = seed
+
+    def install(self, registry: ClassRegistry) -> None:
+        if registry.has_class(ENGINE):
+            return
+        registry.define(SCENE) \
+            .field("spheres") \
+            .method("objectAt", func=_scene_object_at, cpu_cost=5e-5) \
+            .register()
+        registry.define(CANVAS) \
+            .field("width", "int") \
+            .native_method("putLine", func=_canvas_put_line, cpu_cost=5e-4) \
+            .register()
+        registry.define(ENGINE) \
+            .field("scene") \
+            .field("accum") \
+            .field("canvas") \
+            .method(
+                "traceBatch",
+                func=lambda ctx, obj, batch, work, calls:
+                    _engine_trace_batch(ctx, obj, batch, work, calls),
+                cpu_cost=2e-4,
+            ) \
+            .register()
+        registry.define(DISPLAY) \
+            .field("screen") \
+            .field("accum") \
+            .method(
+                "compose",
+                func=lambda ctx, obj, work: _display_compose(ctx, obj, work),
+                cpu_cost=1e-3,
+            ) \
+            .native_method("toneMap", func=_display_tone_map, cpu_cost=5e-3) \
+            .register()
+        registry.define(SAMPLER) \
+            .field("state", "int") \
+            .method("jitter", func=_sampler_jitter, cpu_cost=1e-4) \
+            .register()
+
+    def main(self, ctx: ExecutionContext) -> None:
+        screen = ctx.new(FRAMEBUFFER_CLASS, width=640, height=480)
+        ctx.set_global("screen", screen)
+        spheres = ctx.new_array("int", self.spheres * 8)
+        ctx.set_global("spheres", spheres)
+        scene = ctx.new(SCENE, spheres=spheres)
+        ctx.set_global("scene", scene)
+        accum = ctx.new_array("int", ACCUM_SLOTS)
+        ctx.set_global("accum", accum)
+        canvas = ctx.new(CANVAS, width=640)
+        ctx.set_global("canvas", canvas)
+        engine = ctx.new(ENGINE, scene=scene, accum=accum, canvas=canvas)
+        ctx.set_global("engine", engine)
+        display = ctx.new(DISPLAY, screen=screen, accum=accum)
+        ctx.set_global("display", display)
+        sampler = ctx.new(SAMPLER)
+        ctx.set_global("sampler", sampler)
+        ctx.work(0.5)
+
+        for batch in range(self.batches):
+            ctx.invoke(sampler, "jitter", batch)
+            ctx.invoke(engine, "traceBatch", batch, self.batch_work,
+                       self.math_calls)
+            if (batch + 1) % self.frame_every == 0:
+                ctx.invoke(display, "compose", self.frame_work)

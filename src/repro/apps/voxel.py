@@ -1,0 +1,208 @@
+"""Voxel: a fractal landscape generator (CPU intensive, interactive).
+
+The generator iterates midpoint-displacement regions over integer
+heightfield tiles, calling the library's native math functions heavily;
+an interactive renderer (pinned: it owns the framebuffer) redraws a
+preview every few regions and keeps persistent integer scratch rows.
+
+Figure 10 mechanics reproduced here:
+
+* *Initial* offloading moves the generator and the whole ``int[]``
+  class to the surrogate — dragging the renderer's scratch rows with it
+  (class granularity) and bouncing every native math call back to the
+  client, so the offloaded run is slower than local execution despite
+  the 3.5x surrogate;
+* the *Native* enhancement keeps math where it is invoked;
+* the *Array* enhancement places individual arrays, so the renderer's
+  scratch stays on the client while the generator's tiles move;
+* *Combined*, the offload finally wins — modestly (the paper reports up
+  to ~15%), because the interactive rendering pipeline is pinned to the
+  client and keeps the offloadable compute share small.
+"""
+
+from __future__ import annotations
+
+from ..units import KB
+from ..vm.classloader import ClassRegistry
+from ..vm.context import ExecutionContext
+from ..vm.natives import FRAMEBUFFER_CLASS, MATH_CLASS
+from .base import GuestApplication, require_positive
+
+GENERATOR = "vox.Generator"
+HEIGHTFIELD = "vox.Heightfield"
+RENDERER = "vox.Renderer"
+CAMERA = "vox.Camera"
+EROSION = "vox.ErosionModel"
+
+#: Ints per heightfield tile.
+TILE_SLOTS = 4 * KB // 8
+#: Ints in the shared preview buffer the renderer consumes.
+PREVIEW_SLOTS = 16 * KB // 8
+
+
+def _field_tile_at(ctx, self_obj, index):
+    tiles = ctx.get_field(self_obj, "tiles")
+    ctx.array_read(tiles, 1)
+    return tiles.data[index % tiles.length]
+
+
+def _generator_iterate(ctx, self_obj, field_obj, first_region, count,
+                       work_seconds, math_calls):
+    preview = ctx.get_field(self_obj, "preview")
+    for region in range(first_region, first_region + count):
+        tile = ctx.invoke(field_obj, "tileAt", region)
+        ctx.array_read(tile, TILE_SLOTS // 4)
+        for call in range(math_calls):
+            if call % 2 == 0:
+                ctx.invoke_static(MATH_CLASS, "sqrt", float(region + call))
+            else:
+                ctx.invoke_static(MATH_CLASS, "pow", 2.0, 0.5)
+        ctx.work(work_seconds)
+        ctx.array_write(tile, TILE_SLOTS // 4)
+        ctx.array_write(preview, PREVIEW_SLOTS // 16)
+    return count
+
+
+def _renderer_warm_cache(ctx, self_obj, rows):
+    cache = ctx.new_array("ref", rows, data=[None] * rows)
+    ctx.set_field(self_obj, "rows", cache)
+    for slot in range(rows):
+        row_buffer = ctx.new_array("int", 2 * KB // 8)
+        cache.data[slot] = row_buffer
+        # Clear, then pre-render the gradient tables: two full writes.
+        ctx.array_write(row_buffer, 2 * KB // 8)
+        ctx.array_write(row_buffer, 2 * KB // 8)
+    ctx.work(5e-3)
+    return rows
+
+
+def _renderer_draw_frame(ctx, self_obj, render_work):
+    cache = ctx.get_field(self_obj, "rows")
+    preview = ctx.get_field(self_obj, "preview")
+    ctx.array_read(preview, PREVIEW_SLOTS)
+    for slot in range(cache.length):
+        row_buffer = cache.data[slot]
+        ctx.array_write(row_buffer, 64 // 8)
+    screen = ctx.get_field(self_obj, "screen")
+    ctx.invoke(screen, "draw", 640 * 480)
+    ctx.invoke(self_obj, "present")
+    ctx.work(render_work)
+    return cache.length
+
+
+def _renderer_present(ctx, self_obj):
+    ctx.work(2e-3)
+
+
+def _camera_update(ctx, self_obj, region):
+    ctx.set_field(self_obj, "yaw", region % 360)
+    ctx.work(1e-4)
+    return region % 360
+
+
+class Voxel(GuestApplication):
+    """The paper's fractal-landscape workload."""
+
+    name = "voxel"
+    description = "Fractal landscape generator"
+    resource_demands = "CPU intensive, interactive"
+
+    def __init__(
+        self,
+        regions: int = 2500,
+        tiles: int = 64,
+        frame_every: int = 8,
+        region_work: float = 0.1,
+        render_work: float = 3.9,
+        math_calls: int = 16,
+        cache_rows: int = 192,
+        first_frame_fraction: float = 0.30,
+        seed: int = 20020404,
+    ) -> None:
+        require_positive(regions=regions, tiles=tiles,
+                         frame_every=frame_every, region_work=region_work,
+                         render_work=render_work, cache_rows=cache_rows)
+        if not 0.0 <= first_frame_fraction < 1.0:
+            raise ValueError("first_frame_fraction must be in [0, 1)")
+        if math_calls < 0:
+            raise ValueError("math_calls cannot be negative")
+        self.regions = regions
+        self.tiles = tiles
+        self.frame_every = frame_every
+        self.region_work = region_work
+        self.render_work = render_work
+        self.math_calls = math_calls
+        self.cache_rows = cache_rows
+        self.first_frame_fraction = first_frame_fraction
+        self.seed = seed
+
+    def install(self, registry: ClassRegistry) -> None:
+        if registry.has_class(GENERATOR):
+            return
+        registry.define(HEIGHTFIELD) \
+            .field("tiles") \
+            .method("tileAt", func=_field_tile_at, cpu_cost=5e-5) \
+            .register()
+        registry.define(GENERATOR) \
+            .field("preview") \
+            .method(
+                "iterate",
+                func=lambda ctx, obj, field_obj, first, count, work, calls:
+                    _generator_iterate(ctx, obj, field_obj, first, count,
+                                       work, calls),
+                cpu_cost=2e-4,
+            ) \
+            .register()
+        registry.define(RENDERER) \
+            .field("screen") \
+            .field("preview") \
+            .field("rows") \
+            .method("warmCache", func=_renderer_warm_cache, cpu_cost=1e-3) \
+            .method(
+                "drawFrame",
+                func=lambda ctx, obj, work: _renderer_draw_frame(
+                    ctx, obj, work
+                ),
+                cpu_cost=1e-3,
+            ) \
+            .native_method("present", func=_renderer_present, cpu_cost=2e-3) \
+            .register()
+        registry.define(CAMERA) \
+            .field("yaw", "int") \
+            .method("update", func=_camera_update, cpu_cost=1e-4) \
+            .register()
+        registry.define(EROSION) \
+            .field("rate", "float") \
+            .register()
+
+    def main(self, ctx: ExecutionContext) -> None:
+        screen = ctx.new(FRAMEBUFFER_CLASS, width=640, height=480)
+        ctx.set_global("screen", screen)
+        tiles = ctx.new_array("ref", self.tiles, data=[None] * self.tiles)
+        ctx.set_global("tiles", tiles)
+        for index in range(self.tiles):
+            tile = ctx.new_array("int", TILE_SLOTS)
+            tiles.data[index] = tile
+        field_obj = ctx.new(HEIGHTFIELD, tiles=tiles)
+        ctx.set_global("field", field_obj)
+        preview = ctx.new_array("int", PREVIEW_SLOTS)
+        ctx.set_global("preview", preview)
+        generator = ctx.new(GENERATOR, preview=preview)
+        ctx.set_global("generator", generator)
+        renderer = ctx.new(RENDERER, screen=screen, preview=preview)
+        ctx.set_global("renderer", renderer)
+        camera = ctx.new(CAMERA)
+        ctx.set_global("camera", camera)
+        # The renderer prepares its persistent row cache up front (the
+        # preview window's backing store), before any generation runs.
+        ctx.invoke(renderer, "warmCache", self.cache_rows)
+        ctx.work(0.5)
+
+        first_frame = int(self.regions * self.first_frame_fraction)
+        for first_region in range(0, self.regions, self.frame_every):
+            count = min(self.frame_every, self.regions - first_region)
+            ctx.invoke(generator, "iterate", field_obj, first_region,
+                       count, self.region_work, self.math_calls)
+            if first_region + count > first_frame:
+                ctx.invoke(camera, "update", first_region)
+                ctx.invoke(renderer, "drawFrame", self.render_work)

@@ -1,0 +1,149 @@
+"""Configuration objects for VMs, devices, and the emulator.
+
+The paper's experiments are parameterised by a small number of knobs:
+heap size (6 MB vs 8 MB for JavaNote), GC trigger conditions, the client
+/ surrogate CPU speed ratio (3.5x in section 5.2), and the wireless link
+(11 Mbps WaveLAN, 2.4 ms null-RPC round trip).  These dataclasses hold
+those knobs and validate them eagerly so that a bad experiment setup
+fails at construction time rather than mid-run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from .errors import ConfigurationError
+from .units import KB, MB
+
+
+@dataclass(frozen=True)
+class GCConfig:
+    """Trigger conditions for the incremental mark-and-sweep collector.
+
+    Chai (and hence the paper's prototype) triggers a collection cycle on
+    space limitation, on the number of objects created since the last
+    cycle, or on the bytes allocated since the last cycle; this produces
+    the frequent free-memory reports that drive offload triggering.
+    """
+
+    #: Collect when free heap falls below this fraction of capacity.
+    space_pressure_fraction: float = 0.10
+    #: Collect after this many allocations since the previous cycle.
+    allocations_per_cycle: int = 2000
+    #: Collect after this many bytes allocated since the previous cycle.
+    bytes_per_cycle: int = 512 * KB
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.space_pressure_fraction < 1.0:
+            raise ConfigurationError(
+                "space_pressure_fraction must be in (0, 1), got "
+                f"{self.space_pressure_fraction}"
+            )
+        if self.allocations_per_cycle <= 0:
+            raise ConfigurationError("allocations_per_cycle must be positive")
+        if self.bytes_per_cycle <= 0:
+            raise ConfigurationError("bytes_per_cycle must be positive")
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """A device role in the ad-hoc platform.
+
+    ``cpu_speed`` is a relative execution rate: a method whose declared
+    cost is ``c`` seconds of *reference* CPU time takes ``c / cpu_speed``
+    seconds of simulated wall time on this device.  The paper calibrated
+    the surrogate (a PC) at 3.5x the client (a Jornada 547).
+    """
+
+    name: str
+    cpu_speed: float = 1.0
+    heap_capacity: int = 6 * MB
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("device name must be non-empty")
+        if self.cpu_speed <= 0:
+            raise ConfigurationError("cpu_speed must be positive")
+        if self.heap_capacity <= 0:
+            raise ConfigurationError("heap_capacity must be positive")
+
+    def scaled(self, reference_seconds: float) -> float:
+        """Wall time on this device for the given reference CPU time."""
+        if reference_seconds < 0:
+            raise ConfigurationError("reference_seconds must be non-negative")
+        return reference_seconds / self.cpu_speed
+
+    def with_heap(self, heap_capacity: int) -> "DeviceProfile":
+        """Copy of this profile with a different heap capacity."""
+        return replace(self, heap_capacity=heap_capacity)
+
+
+#: Client profile matching the paper's HP Jornada 547 handheld.
+JORNADA = DeviceProfile(name="jornada-547", cpu_speed=1.0, heap_capacity=6 * MB)
+
+#: Surrogate profile matching the paper's PC (3.5x the Jornada).
+PC_SURROGATE = DeviceProfile(name="pc-surrogate", cpu_speed=3.5, heap_capacity=64 * MB)
+
+#: A development PC running the prototype standalone (monitoring study).
+PC_CLIENT = DeviceProfile(name="pc-600mhz", cpu_speed=3.5, heap_capacity=8 * MB)
+
+
+@dataclass(frozen=True)
+class VMConfig:
+    """Configuration of one guest virtual machine instance."""
+
+    device: DeviceProfile = JORNADA
+    gc: GCConfig = field(default_factory=GCConfig)
+    #: Enable execution monitoring hooks (the paper measures ~11% cost).
+    monitoring_enabled: bool = True
+    #: CPU cost charged per recorded monitoring event, so that the paper's
+    #: ~11% monitoring overhead *emerges* from the ~1.2M events a JavaNote
+    #: run produces rather than being injected as a constant.
+    monitoring_event_cost: float = 2.9e-6
+    #: Seed for any randomised guest behaviour; keeps runs repeatable.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.monitoring_event_cost < 0:
+            raise ConfigurationError("monitoring_event_cost must be non-negative")
+
+    def with_device(self, device: DeviceProfile) -> "VMConfig":
+        return replace(self, device=device)
+
+    def with_monitoring(self, enabled: bool) -> "VMConfig":
+        return replace(self, monitoring_enabled=enabled)
+
+
+@dataclass(frozen=True)
+class EnhancementFlags:
+    """The two emulator enhancements studied in section 5.2.
+
+    ``stateless_natives_local`` lets annotated stateless/idempotent native
+    methods (math, string copy) execute on the device where they are
+    invoked instead of forcing a hop back to the client.
+
+    ``arrays_object_granularity`` places primitive arrays at *object*
+    granularity instead of class granularity, so individual arrays can be
+    split between the client and surrogate.
+    """
+
+    stateless_natives_local: bool = False
+    arrays_object_granularity: bool = False
+
+    @classmethod
+    def none(cls) -> "EnhancementFlags":
+        return cls(False, False)
+
+    @classmethod
+    def combined(cls) -> "EnhancementFlags":
+        return cls(True, True)
+
+    def label(self) -> str:
+        """Bar label used by the Figure 10 harness."""
+        if self.stateless_natives_local and self.arrays_object_granularity:
+            return "Combined"
+        if self.stateless_natives_local:
+            return "Native"
+        if self.arrays_object_granularity:
+            return "Array"
+        return "Initial"

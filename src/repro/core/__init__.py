@@ -1,0 +1,87 @@
+"""The AIDE modules: monitoring, partitioning, and offloading control."""
+
+from .energy import (
+    EnergyPartitionPolicy,
+    JORNADA_POWER,
+    PowerProfile,
+    local_energy,
+    predict_client_energy,
+    realized_client_energy,
+)
+from .engine import MigrationOutcome, OffloadEvent, OffloadingEngine
+from .hints import (
+    PlacementHints,
+    contract_graph,
+    expand_nodes,
+    interaction_profile,
+)
+from .graph import EdgeStats, ExecutionGraph, NodeStats, node_class, object_node_id
+from .mincut import (
+    CandidatePartition,
+    generate_candidates,
+    min_bandwidth_candidate,
+    stoer_wagner,
+)
+from .monitor import ExecutionMonitor, MonitorCounters, RemoteCounters, ResourceMonitor
+from .partitioner import PartitionDecision, Partitioner
+from .policy import (
+    BestEffortCpuPolicy,
+    CombinedPartitionPolicy,
+    CpuPartitionPolicy,
+    EvaluationContext,
+    MemoryPartitionPolicy,
+    MemoryTrigger,
+    OffloadPolicy,
+    PartitionPolicy,
+    PeriodicTrigger,
+    PolicyDecision,
+    TriggerConfig,
+    policy_sweep,
+    predict_compute_only,
+    predict_completion_time,
+)
+
+__all__ = [
+    "BestEffortCpuPolicy",
+    "CandidatePartition",
+    "CombinedPartitionPolicy",
+    "CpuPartitionPolicy",
+    "EdgeStats",
+    "EnergyPartitionPolicy",
+    "EvaluationContext",
+    "ExecutionGraph",
+    "ExecutionMonitor",
+    "MemoryPartitionPolicy",
+    "MemoryTrigger",
+    "MigrationOutcome",
+    "MonitorCounters",
+    "NodeStats",
+    "OffloadEvent",
+    "OffloadPolicy",
+    "OffloadingEngine",
+    "PartitionDecision",
+    "PartitionPolicy",
+    "Partitioner",
+    "PeriodicTrigger",
+    "PlacementHints",
+    "PolicyDecision",
+    "PowerProfile",
+    "JORNADA_POWER",
+    "RemoteCounters",
+    "ResourceMonitor",
+    "TriggerConfig",
+    "contract_graph",
+    "expand_nodes",
+    "generate_candidates",
+    "local_energy",
+    "predict_client_energy",
+    "realized_client_energy",
+    "interaction_profile",
+    "min_bandwidth_candidate",
+    "node_class",
+    "object_node_id",
+    "policy_sweep",
+    "predict_completion_time",
+    "predict_compute_only",
+    "stoer_wagner",
+]

@@ -1,0 +1,268 @@
+"""The execution graph.
+
+The paper represents execution history as a fully connected weighted
+graph: each node is a class annotated with the memory occupied by its
+objects (and, for the processing experiments, the CPU time spent in its
+methods); each edge carries the number of interactions between two
+classes and the total bytes exchanged through parameters and return
+values.  Interactions within a single class are not recorded.
+
+Nodes are identified by strings.  At class granularity the id is the
+class name; under the "Array" enhancement, individual primitive arrays
+become their own nodes with ids like ``int[]#1042`` (see
+:func:`object_node_id`), allowing the placement of single arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+
+from ..errors import PartitioningError
+
+
+def object_node_id(class_name: str, oid: int) -> str:
+    """Node id for a single object tracked at object granularity."""
+    return f"{class_name}#{oid}"
+
+
+def node_class(node_id: str) -> str:
+    """Class name of a node id (strips any ``#oid`` suffix).
+
+    >>> node_class("int[]#42")
+    'int[]'
+    >>> node_class("editor.Document")
+    'editor.Document'
+    """
+    return node_id.split("#", 1)[0]
+
+
+@dataclass
+class NodeStats:
+    """Per-node annotations: live memory, CPU self-time, populations."""
+
+    memory_bytes: int = 0
+    cpu_seconds: float = 0.0
+    live_objects: int = 0
+    created_objects: int = 0
+
+
+@dataclass
+class EdgeStats:
+    """Per-edge annotations: interaction count and bytes exchanged."""
+
+    count: int = 0
+    bytes: int = 0
+
+
+def edge_key(a: str, b: str) -> Tuple[str, str]:
+    """Canonical (sorted) key for the undirected edge between a and b."""
+    return (a, b) if a <= b else (b, a)
+
+
+class ExecutionGraph:
+    """Weighted interaction graph over classes (or objects)."""
+
+    def __init__(self) -> None:
+        self._nodes: Dict[str, NodeStats] = {}
+        self._edges: Dict[Tuple[str, str], EdgeStats] = {}
+        self._adjacency: Dict[str, Set[str]] = {}
+
+    # -- construction -----------------------------------------------------------
+
+    def ensure_node(self, node_id: str) -> NodeStats:
+        stats = self._nodes.get(node_id)
+        if stats is None:
+            stats = NodeStats()
+            self._nodes[node_id] = stats
+            self._adjacency[node_id] = set()
+        return stats
+
+    def add_memory(self, node_id: str, delta: int) -> None:
+        stats = self.ensure_node(node_id)
+        stats.memory_bytes += delta
+        if stats.memory_bytes < 0:
+            raise PartitioningError(
+                f"node {node_id!r} memory went negative ({stats.memory_bytes})"
+            )
+
+    def note_object_created(self, node_id: str) -> None:
+        stats = self.ensure_node(node_id)
+        stats.live_objects += 1
+        stats.created_objects += 1
+
+    def note_object_freed(self, node_id: str) -> None:
+        stats = self.ensure_node(node_id)
+        stats.live_objects -= 1
+
+    def add_cpu(self, node_id: str, seconds: float) -> None:
+        if seconds < 0:
+            raise PartitioningError("cpu seconds cannot be negative")
+        self.ensure_node(node_id).cpu_seconds += seconds
+
+    def record_interaction(self, a: str, b: str, nbytes: int, count: int = 1) -> None:
+        """Record ``count`` interactions moving ``nbytes`` between a and b.
+
+        Same-node interactions are ignored, as in the paper ("information
+        is recorded only for interactions between two different classes").
+        """
+        if a == b:
+            return
+        self.ensure_node(a)
+        self.ensure_node(b)
+        key = edge_key(a, b)
+        edge = self._edges.get(key)
+        if edge is None:
+            edge = EdgeStats()
+            self._edges[key] = edge
+            self._adjacency[a].add(b)
+            self._adjacency[b].add(a)
+        edge.count += count
+        edge.bytes += nbytes
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def node_count(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def link_count(self) -> int:
+        """Number of distinct interacting pairs (Table 2's "interactions")."""
+        return len(self._edges)
+
+    def nodes(self) -> Iterator[str]:
+        return iter(self._nodes)
+
+    def node(self, node_id: str) -> NodeStats:
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise PartitioningError(f"unknown node {node_id!r}") from None
+
+    def has_node(self, node_id: str) -> bool:
+        return node_id in self._nodes
+
+    def neighbors(self, node_id: str) -> Set[str]:
+        return self._adjacency.get(node_id, set())
+
+    def edge(self, a: str, b: str) -> Optional[EdgeStats]:
+        return self._edges.get(edge_key(a, b))
+
+    def edges(self) -> Iterator[Tuple[Tuple[str, str], EdgeStats]]:
+        return iter(self._edges.items())
+
+    def edge_bytes(self, a: str, b: str) -> int:
+        edge = self._edges.get(edge_key(a, b))
+        return edge.bytes if edge else 0
+
+    def edge_count(self, a: str, b: str) -> int:
+        edge = self._edges.get(edge_key(a, b))
+        return edge.count if edge else 0
+
+    def total_memory(self, node_ids: Optional[Iterable[str]] = None) -> int:
+        if node_ids is None:
+            return sum(s.memory_bytes for s in self._nodes.values())
+        return sum(self.node(n).memory_bytes for n in node_ids)
+
+    def total_cpu(self, node_ids: Optional[Iterable[str]] = None) -> float:
+        if node_ids is None:
+            return sum(s.cpu_seconds for s in self._nodes.values())
+        return sum(self.node(n).cpu_seconds for n in node_ids)
+
+    def total_interaction_bytes(self) -> int:
+        return sum(e.bytes for e in self._edges.values())
+
+    def total_interaction_count(self) -> int:
+        return sum(e.count for e in self._edges.values())
+
+    def cut(self, partition: FrozenSet[str]) -> Tuple[int, int]:
+        """Interaction (count, bytes) crossing the given partition.
+
+        ``partition`` is one side; everything else is the other side.
+        """
+        count = 0
+        nbytes = 0
+        for (a, b), edge in self._edges.items():
+            if (a in partition) != (b in partition):
+                count += edge.count
+                nbytes += edge.bytes
+        return count, nbytes
+
+    def connectivity(self, node_id: str, group: Set[str]) -> int:
+        """Total edge bytes between ``node_id`` and the nodes in ``group``."""
+        total = 0
+        for neighbor in self._adjacency.get(node_id, ()):
+            if neighbor in group:
+                total += self._edges[edge_key(node_id, neighbor)].bytes
+        return total
+
+    # -- serialisation -----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "nodes": {
+                n: {
+                    "memory_bytes": s.memory_bytes,
+                    "cpu_seconds": s.cpu_seconds,
+                    "live_objects": s.live_objects,
+                    "created_objects": s.created_objects,
+                }
+                for n, s in self._nodes.items()
+            },
+            "edges": [
+                {"a": a, "b": b, "count": e.count, "bytes": e.bytes}
+                for (a, b), e in self._edges.items()
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExecutionGraph":
+        graph = cls()
+        for node_id, stats in data.get("nodes", {}).items():
+            node = graph.ensure_node(node_id)
+            node.memory_bytes = stats.get("memory_bytes", 0)
+            node.cpu_seconds = stats.get("cpu_seconds", 0.0)
+            node.live_objects = stats.get("live_objects", 0)
+            node.created_objects = stats.get("created_objects", 0)
+        for edge in data.get("edges", []):
+            graph.record_interaction(
+                edge["a"], edge["b"], edge["bytes"], count=edge["count"]
+            )
+        return graph
+
+    def copy(self) -> "ExecutionGraph":
+        return ExecutionGraph.from_dict(self.to_dict())
+
+    def to_dot(self, partition: Optional[FrozenSet[str]] = None,
+               min_edge_bytes: int = 0) -> str:
+        """Render the graph in Graphviz DOT form (the paper's Figure 5).
+
+        With ``partition`` (the offloaded node set), nodes are coloured
+        by side and cut edges drawn dashed — the paper's Figure 5b.
+        ``min_edge_bytes`` drops feather-weight edges for readability.
+        """
+        lines = ["graph execution {", "  layout=neato;", "  overlap=false;"]
+        for node_id, stats in sorted(self._nodes.items()):
+            label = f"{node_id}\\n{stats.memory_bytes}B"
+            if partition is not None and node_id in partition:
+                style = 'style=filled, fillcolor="lightsteelblue"'
+            else:
+                style = 'style=filled, fillcolor="white"'
+            lines.append(f'  "{node_id}" [label="{label}", {style}];')
+        for (a, b), edge in sorted(self._edges.items()):
+            if edge.bytes < min_edge_bytes:
+                continue
+            attributes = [f'label="{edge.count}"']
+            if partition is not None and (a in partition) != (b in partition):
+                attributes.append("style=dashed")
+            lines.append(
+                f'  "{a}" -- "{b}" [{", ".join(attributes)}];'
+            )
+        lines.append("}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"ExecutionGraph(nodes={self.node_count}, links={self.link_count})"
+        )

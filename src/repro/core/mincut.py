@@ -1,0 +1,214 @@
+"""Graph partitioning: the modified MINCUT heuristic and Stoer–Wagner.
+
+The paper derives its heuristic from Stoer & Wagner's simple min-cut
+algorithm: seed the client partition with every class that cannot be
+offloaded (native methods), then repeatedly move the node with the
+greatest connectivity to the client partition, recording *every*
+intermediate partitioning.  The policy layer then evaluates all of the
+candidates and picks the one that best satisfies the policy — which may
+not be the global minimum cut, but will, for example, actually free
+enough memory.
+
+The classic Stoer–Wagner global minimum cut is also implemented, both as
+the ancestry of the heuristic and as an ablation baseline (it can return
+a cut that frees almost nothing, which is precisely the paper's argument
+for the modification).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from ..errors import PartitioningError
+from .graph import ExecutionGraph, edge_key
+
+
+@dataclass(frozen=True)
+class CandidatePartition:
+    """One intermediate partitioning produced by the heuristic.
+
+    ``client_nodes`` stay on the device; ``surrogate_nodes`` would be
+    offloaded.  The cut statistics are the historical interactions that
+    would become remote under this placement.
+    """
+
+    client_nodes: FrozenSet[str]
+    surrogate_nodes: FrozenSet[str]
+    cut_count: int
+    cut_bytes: int
+    surrogate_memory: int
+    surrogate_cpu: float
+    client_cpu: float
+
+    @property
+    def offloads_anything(self) -> bool:
+        return bool(self.surrogate_nodes)
+
+
+def _seed_nodes(graph: ExecutionGraph, pinned: Iterable[str]) -> Set[str]:
+    """Client-partition seed: pinned nodes present in the graph.
+
+    If nothing is pinned (an application with no native classes), seed
+    with the most-connected node, mirroring Stoer–Wagner's arbitrary
+    start vertex but made deterministic.
+    """
+    nodes = set(graph.nodes())
+    seed = {node for node in pinned if node in nodes}
+    if seed:
+        return seed
+    if not nodes:
+        raise PartitioningError("cannot partition an empty execution graph")
+    best = max(
+        nodes,
+        key=lambda n: (graph.connectivity(n, nodes - {n}), n),
+    )
+    return {best}
+
+
+def generate_candidates(
+    graph: ExecutionGraph, pinned: Iterable[str]
+) -> List[CandidatePartition]:
+    """Run the modified MINCUT heuristic, returning all candidates.
+
+    Candidates are ordered from the largest offload (everything that is
+    not pinned) down to offloading a single node.  The number of
+    candidates is strictly smaller than the number of nodes, as the
+    paper notes.
+    """
+    client: Set[str] = _seed_nodes(graph, pinned)
+    surrogate: Set[str] = set(graph.nodes()) - client
+    if not surrogate:
+        return []
+
+    total_memory = graph.total_memory()
+    total_cpu = graph.total_cpu()
+
+    # Incrementally maintained cut statistics and per-node connectivity
+    # (bytes and counts towards the client partition).
+    cut_count, cut_bytes = graph.cut(frozenset(client))
+    conn_bytes: Dict[str, int] = {}
+    conn_count: Dict[str, int] = {}
+    for node in surrogate:
+        nbytes = ncount = 0
+        for neighbor in graph.neighbors(node):
+            if neighbor in client:
+                edge = graph.edge(node, neighbor)
+                nbytes += edge.bytes
+                ncount += edge.count
+        conn_bytes[node] = nbytes
+        conn_count[node] = ncount
+
+    client_memory = graph.total_memory(client)
+    client_cpu = graph.total_cpu(client)
+
+    candidates: List[CandidatePartition] = []
+
+    def record() -> None:
+        candidates.append(
+            CandidatePartition(
+                client_nodes=frozenset(client),
+                surrogate_nodes=frozenset(surrogate),
+                cut_count=cut_count,
+                cut_bytes=cut_bytes,
+                surrogate_memory=total_memory - client_memory,
+                surrogate_cpu=total_cpu - client_cpu,
+                client_cpu=client_cpu,
+            )
+        )
+
+    record()
+    while len(surrogate) > 1:
+        # Most tightly coupled to the client partition; deterministic
+        # tie-break on (count, node id).
+        moved = max(
+            surrogate,
+            key=lambda n: (conn_bytes[n], conn_count[n], n),
+        )
+        surrogate.discard(moved)
+        client.add(moved)
+        client_memory += graph.node(moved).memory_bytes
+        client_cpu += graph.node(moved).cpu_seconds
+        # The moved node's client-side edges leave the cut; its edges to
+        # the remaining surrogate nodes join the cut.
+        cut_bytes -= conn_bytes.pop(moved)
+        cut_count -= conn_count.pop(moved)
+        for neighbor in graph.neighbors(moved):
+            if neighbor in surrogate:
+                edge = graph.edge(moved, neighbor)
+                cut_bytes += edge.bytes
+                cut_count += edge.count
+                conn_bytes[neighbor] += edge.bytes
+                conn_count[neighbor] += edge.count
+        record()
+    return candidates
+
+
+def min_bandwidth_candidate(
+    candidates: List[CandidatePartition],
+) -> Optional[CandidatePartition]:
+    """The candidate with the globally smallest cut bytes (no constraints)."""
+    if not candidates:
+        return None
+    return min(candidates, key=lambda c: (c.cut_bytes, c.cut_count))
+
+
+def stoer_wagner(graph: ExecutionGraph) -> Tuple[int, FrozenSet[str]]:
+    """Classic Stoer–Wagner global minimum cut (weight = edge bytes).
+
+    Returns ``(cut_bytes, partition)`` where ``partition`` is one side of
+    the minimum cut.  Used as an ablation baseline: the unmodified
+    algorithm is free to return a cut that isolates a single node and
+    frees almost no memory.
+    """
+    nodes = list(graph.nodes())
+    if len(nodes) < 2:
+        raise PartitioningError("minimum cut requires at least two nodes")
+
+    # Work on a contractible copy of the weights.
+    weights: Dict[Tuple[str, str], int] = {
+        key: edge.bytes for key, edge in graph.edges()
+    }
+    groups: Dict[str, Set[str]] = {n: {n} for n in nodes}
+    active = set(nodes)
+
+    def weight(a: str, b: str) -> int:
+        return weights.get(edge_key(a, b), 0)
+
+    best_cut = None
+    best_partition: FrozenSet[str] = frozenset()
+
+    while len(active) > 1:
+        # Minimum cut phase (maximum adjacency ordering).
+        order = []
+        in_a: Set[str] = set()
+        conn: Dict[str, int] = {n: 0 for n in active}
+        remaining = set(active)
+        while remaining:
+            nxt = max(remaining, key=lambda n: (conn[n], n))
+            remaining.discard(nxt)
+            order.append(nxt)
+            in_a.add(nxt)
+            for other in remaining:
+                other_weight = weight(nxt, other)
+                if other_weight:
+                    conn[other] += other_weight
+        last = order[-1]
+        cut_of_phase = conn[last]
+        if best_cut is None or cut_of_phase < best_cut:
+            best_cut = cut_of_phase
+            best_partition = frozenset(groups[last])
+        # Merge the last two vertices of the ordering.
+        if len(order) >= 2:
+            merged_into = order[-2]
+            groups[merged_into] |= groups[last]
+            for other in list(active):
+                if other in (last, merged_into):
+                    continue
+                joining_weight = weight(last, other)
+                if joining_weight:
+                    key = edge_key(merged_into, other)
+                    weights[key] = weights.get(key, 0) + joining_weight
+            active.discard(last)
+    assert best_cut is not None
+    return best_cut, best_partition

@@ -1,0 +1,212 @@
+"""Execution and resource monitoring (AIDE's monitoring module).
+
+The monitor subscribes to the VM's interception hooks and maintains the
+weighted execution graph described in section 3.4 of the paper: memory
+per class, CPU self-time per class, and interaction counts/bytes per
+class pair.  It also keeps the aggregate counters behind Table 2 and the
+remote-invocation statistics behind Figure 8.
+
+CPU self-time attribution follows Figure 9: time is charged to the class
+whose method frame is current, so a method's node receives its gross
+time *minus* the time spent in nested calls to other classes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+from ..vm.gc import GCReport
+from ..vm.hooks import AccessRecord, ExecutionListener, InvokeRecord
+from ..vm.objectmodel import JObject
+from .graph import ExecutionGraph, object_node_id
+
+#: Approximate in-memory cost of one graph node / edge, used for the
+#: "graph occupies a small amount of storage" measurement.
+NODE_STORAGE_BYTES = 48
+EDGE_STORAGE_BYTES = 32
+
+
+@dataclass
+class MonitorCounters:
+    """Aggregate event counters (the raw material of Table 2)."""
+
+    invocation_events: int = 0
+    access_events: int = 0
+    objects_created: int = 0
+    objects_freed: int = 0
+    allocations_bytes: int = 0
+
+    @property
+    def interaction_events(self) -> int:
+        return self.invocation_events + self.access_events
+
+
+@dataclass
+class RemoteCounters:
+    """Remote-interaction counters (the raw material of Figure 8)."""
+
+    remote_invocations: int = 0
+    remote_native_invocations: int = 0
+    remote_accesses: int = 0
+    remote_bytes: int = 0
+
+    @property
+    def total_remote(self) -> int:
+        return self.remote_invocations + self.remote_accesses
+
+
+@dataclass
+class SampledSeries:
+    """Running average/maximum over sampled values (Table 2 rows)."""
+
+    samples: int = 0
+    total: float = 0.0
+    maximum: float = 0.0
+
+    def observe(self, value: float) -> None:
+        self.samples += 1
+        self.total += value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def average(self) -> float:
+        if self.samples == 0:
+            return 0.0
+        return self.total / self.samples
+
+
+class ExecutionMonitor(ExecutionListener):
+    """Builds the execution graph from hook events."""
+
+    def __init__(
+        self, object_granularity_classes: Optional[Set[str]] = None,
+        profile: Optional[ExecutionGraph] = None,
+    ) -> None:
+        # Warm start from previously gathered profiling information
+        # (paper section 8): seed the execution graph with a prior
+        # run's interaction history.  Callers should pass a profile
+        # produced by :func:`repro.core.hints.interaction_profile`, so
+        # stale live-memory numbers are not inherited.
+        self.graph = profile.copy() if profile is not None else ExecutionGraph()
+        self.counters = MonitorCounters()
+        self.remote = RemoteCounters()
+        #: Classes whose instances get their own graph node (the
+        #: section 5.2 "Array" enhancement uses this for primitive
+        #: arrays).
+        self.object_granularity_classes: Set[str] = set(
+            object_granularity_classes or ()
+        )
+        self._live_objects = 0
+        self._live_classes: Dict[str, int] = {}
+        self.classes_series = SampledSeries()
+        self.objects_series = SampledSeries()
+        self.links_series = SampledSeries()
+        self.last_gc_report: Optional[GCReport] = None
+
+    # -- node naming -----------------------------------------------------------
+
+    def node_for(self, class_name: str, oid: Optional[int]) -> str:
+        if oid is not None and class_name in self.object_granularity_classes:
+            return object_node_id(class_name, oid)
+        return class_name
+
+    # -- hook implementations -----------------------------------------------------
+
+    def on_alloc(self, obj: JObject, site: str) -> None:
+        node = self.node_for(obj.class_name, obj.oid)
+        self.graph.add_memory(node, obj.size_bytes)
+        self.graph.note_object_created(node)
+        self.counters.objects_created += 1
+        self.counters.allocations_bytes += obj.size_bytes
+        self._live_objects += 1
+        self._live_classes[obj.class_name] = (
+            self._live_classes.get(obj.class_name, 0) + 1
+        )
+
+    def on_free(self, obj: JObject) -> None:
+        node = self.node_for(obj.class_name, obj.oid)
+        if not self.graph.has_node(node):
+            return
+        self.graph.add_memory(node, -obj.size_bytes)
+        self.graph.note_object_freed(node)
+        self.counters.objects_freed += 1
+        self._live_objects -= 1
+        remaining = self._live_classes.get(obj.class_name, 0) - 1
+        if remaining <= 0:
+            self._live_classes.pop(obj.class_name, None)
+        else:
+            self._live_classes[obj.class_name] = remaining
+
+    def on_invoke(self, record: InvokeRecord) -> None:
+        caller = self.node_for(record.caller_class, record.caller_oid)
+        callee = self.node_for(record.callee_class, record.callee_oid)
+        nbytes = record.arg_bytes + record.ret_bytes
+        self.graph.record_interaction(caller, callee, nbytes)
+        self.counters.invocation_events += 1
+        if record.remote:
+            self.remote.remote_invocations += 1
+            self.remote.remote_bytes += nbytes
+            if record.is_native:
+                self.remote.remote_native_invocations += 1
+
+    def on_access(self, record: AccessRecord) -> None:
+        accessor = self.node_for(record.accessor_class, record.accessor_oid)
+        owner = self.node_for(record.owner_class, record.owner_oid)
+        self.graph.record_interaction(accessor, owner, record.value_bytes)
+        self.counters.access_events += 1
+        if record.remote:
+            self.remote.remote_accesses += 1
+            self.remote.remote_bytes += record.value_bytes
+
+    def on_cpu(self, class_name: str, site: str, seconds: float) -> None:
+        self.graph.add_cpu(class_name, seconds)
+
+    def on_gc_report(self, report: GCReport, site: str) -> None:
+        self.last_gc_report = report
+        self.classes_series.observe(len(self._live_classes))
+        self.objects_series.observe(self._live_objects)
+        self.links_series.observe(self.graph.link_count)
+
+    # -- derived metrics ----------------------------------------------------------
+
+    @property
+    def live_objects(self) -> int:
+        return self._live_objects
+
+    @property
+    def live_classes(self) -> int:
+        return len(self._live_classes)
+
+    def graph_storage_bytes(self) -> int:
+        """Approximate in-memory footprint of the execution graph."""
+        return (
+            self.graph.node_count * NODE_STORAGE_BYTES
+            + self.graph.link_count * EDGE_STORAGE_BYTES
+        )
+
+    def snapshot(self) -> ExecutionGraph:
+        """Copy of the execution graph for a partitioning decision."""
+        return self.graph.copy()
+
+
+class ResourceMonitor(ExecutionListener):
+    """Tracks per-site heap pressure from GC reports.
+
+    Policies read the latest report; experiments read the whole series.
+    """
+
+    def __init__(self, keep_series: bool = True) -> None:
+        self.latest: Dict[str, GCReport] = {}
+        self.series: Dict[str, list] = {}
+        self._keep_series = keep_series
+
+    def on_gc_report(self, report: GCReport, site: str) -> None:
+        self.latest[site] = report
+        if self._keep_series:
+            self.series.setdefault(site, []).append(report)
+
+    def free_fraction(self, site: str) -> Optional[float]:
+        report = self.latest.get(site)
+        return report.free_fraction if report else None

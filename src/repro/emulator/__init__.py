@@ -1,0 +1,46 @@
+"""Trace-driven emulator: record, replay, and compare configurations."""
+
+from .emulator import Emulator, OverheadStudy, UNCONSTRAINED_HEAP
+from .events import (
+    AccessEvent,
+    AllocEvent,
+    FreeEvent,
+    InvokeEvent,
+    TraceEvent,
+    WorkEvent,
+    event_from_row,
+)
+from .recorder import TraceRecorder, collect_class_traits, record_application
+from .replay import EmulationResult, EmulatorConfig, ReplayOffload, TraceReplayer
+from .timemodel import (
+    migration_cost,
+    migration_payload,
+    remote_access_cost,
+    remote_invoke_cost,
+)
+from .traces import Trace
+
+__all__ = [
+    "AccessEvent",
+    "AllocEvent",
+    "EmulationResult",
+    "Emulator",
+    "EmulatorConfig",
+    "FreeEvent",
+    "InvokeEvent",
+    "OverheadStudy",
+    "ReplayOffload",
+    "Trace",
+    "TraceEvent",
+    "TraceRecorder",
+    "TraceReplayer",
+    "UNCONSTRAINED_HEAP",
+    "WorkEvent",
+    "collect_class_traits",
+    "event_from_row",
+    "migration_cost",
+    "migration_payload",
+    "record_application",
+    "remote_access_cost",
+    "remote_invoke_cost",
+]

@@ -1,0 +1,152 @@
+"""Trace event records.
+
+The emulator replays execution and resource traces extracted from a
+run of the prototype (paper section 4).  Events are compact slotted
+records — a full-length application trace holds 10^5–10^6 of them.
+
+Event kinds:
+
+* ``AllocEvent`` — object creation, with the creating class (new
+  objects are placed on the VM performing the creation);
+* ``FreeEvent`` — the object became garbage (observed at the recording
+  VM's collection; the replayer schedules reclamation under its own
+  emulated collector);
+* ``InvokeEvent`` — one completed method invocation, with enough
+  routing information (method kind, stateless annotation, receiver
+  identity) for the replayer to re-decide placement under any policy;
+* ``AccessEvent`` — one data access (field or bulk array);
+* ``WorkEvent`` — CPU self-time charged to a class (replayed at the
+  executing device's speed).  Declared per-invocation costs are folded
+  into WorkEvents at record time, so replay charges CPU exactly once.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Union
+
+from ..errors import TraceFormatError
+
+
+class AllocEvent:
+    __slots__ = ("oid", "class_name", "size", "creator_class", "creator_oid")
+    kind = "alloc"
+
+    def __init__(self, oid: int, class_name: str, size: int,
+                 creator_class: str, creator_oid: Optional[int]) -> None:
+        self.oid = oid
+        self.class_name = class_name
+        self.size = size
+        self.creator_class = creator_class
+        self.creator_oid = creator_oid
+
+    def to_row(self) -> list:
+        return ["A", self.oid, self.class_name, self.size,
+                self.creator_class, self.creator_oid]
+
+
+class FreeEvent:
+    __slots__ = ("oid",)
+    kind = "free"
+
+    def __init__(self, oid: int) -> None:
+        self.oid = oid
+
+    def to_row(self) -> list:
+        return ["F", self.oid]
+
+
+class InvokeEvent:
+    __slots__ = (
+        "caller_class", "caller_oid", "callee_class", "callee_oid",
+        "method", "mkind", "stateless", "arg_bytes", "ret_bytes",
+    )
+    kind = "invoke"
+
+    def __init__(self, caller_class: str, caller_oid: Optional[int],
+                 callee_class: str, callee_oid: Optional[int], method: str,
+                 mkind: str, stateless: bool, arg_bytes: int,
+                 ret_bytes: int) -> None:
+        self.caller_class = caller_class
+        self.caller_oid = caller_oid
+        self.callee_class = callee_class
+        self.callee_oid = callee_oid
+        self.method = method
+        self.mkind = mkind
+        self.stateless = stateless
+        self.arg_bytes = arg_bytes
+        self.ret_bytes = ret_bytes
+
+    @property
+    def is_native(self) -> bool:
+        return self.mkind == "native"
+
+    @property
+    def is_static(self) -> bool:
+        return self.mkind == "static"
+
+    def to_row(self) -> list:
+        return ["I", self.caller_class, self.caller_oid, self.callee_class,
+                self.callee_oid, self.method, self.mkind,
+                int(self.stateless), self.arg_bytes, self.ret_bytes]
+
+
+class AccessEvent:
+    __slots__ = ("accessor_class", "accessor_oid", "owner_class",
+                 "owner_oid", "nbytes", "is_write", "is_static")
+    kind = "access"
+
+    def __init__(self, accessor_class: str, accessor_oid: Optional[int],
+                 owner_class: str, owner_oid: Optional[int], nbytes: int,
+                 is_write: bool, is_static: bool) -> None:
+        self.accessor_class = accessor_class
+        self.accessor_oid = accessor_oid
+        self.owner_class = owner_class
+        self.owner_oid = owner_oid
+        self.nbytes = nbytes
+        self.is_write = is_write
+        self.is_static = is_static
+
+    def to_row(self) -> list:
+        return ["D", self.accessor_class, self.accessor_oid,
+                self.owner_class, self.owner_oid, self.nbytes,
+                int(self.is_write), int(self.is_static)]
+
+
+class WorkEvent:
+    __slots__ = ("class_name", "oid", "seconds")
+    kind = "work"
+
+    def __init__(self, class_name: str, oid: Optional[int],
+                 seconds: float) -> None:
+        self.class_name = class_name
+        self.oid = oid
+        self.seconds = seconds
+
+    def to_row(self) -> list:
+        return ["W", self.class_name, self.oid, self.seconds]
+
+
+TraceEvent = Union[AllocEvent, FreeEvent, InvokeEvent, AccessEvent, WorkEvent]
+
+
+def event_from_row(row: list) -> TraceEvent:
+    """Inverse of ``to_row``; raises TraceFormatError on bad input."""
+    if not row:
+        raise TraceFormatError("empty trace row")
+    tag = row[0]
+    try:
+        if tag == "A":
+            return AllocEvent(row[1], row[2], row[3], row[4], row[5])
+        if tag == "F":
+            return FreeEvent(row[1])
+        if tag == "I":
+            return InvokeEvent(row[1], row[2], row[3], row[4], row[5],
+                               row[6], bool(row[7]), row[8], row[9])
+        if tag == "D":
+            return AccessEvent(row[1], row[2], row[3], row[4], row[5],
+                               bool(row[6]), bool(row[7]))
+        if tag == "W":
+            return WorkEvent(row[1], row[2], row[3])
+    except (IndexError, TypeError) as exc:
+        raise TraceFormatError(f"malformed trace row {row!r}") from exc
+    raise TraceFormatError(f"unknown trace event tag {tag!r}")

@@ -1,0 +1,132 @@
+"""Trace recording.
+
+The paper extracts traces "from the prototype while running the
+application to completion on a single PC".  :func:`record_application`
+does the same: it runs a guest application on a single large-heap VM
+with monitoring on and captures every hook event into a
+:class:`~repro.emulator.traces.Trace`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..config import DeviceProfile, GCConfig, VMConfig
+from ..units import MB
+from ..vm.classloader import ClassRegistry
+from ..vm.gc import GCReport
+from ..vm.hooks import AccessRecord, ExecutionListener, InvokeRecord
+from ..vm.objectmodel import JObject, MethodDef
+from ..vm.session import LocalSession
+from .events import (
+    AccessEvent,
+    AllocEvent,
+    FreeEvent,
+    InvokeEvent,
+    WorkEvent,
+)
+from .traces import Trace
+
+#: Recording happens on a developer PC with a heap big enough that the
+#: application never hits its memory constraint.
+RECORDING_DEVICE = DeviceProfile("recording-pc", cpu_speed=1.0,
+                                 heap_capacity=64 * MB)
+
+
+class TraceRecorder(ExecutionListener):
+    """Hook listener that appends every event to a trace.
+
+    The recorder mirrors the context's frame nesting through the
+    invoke-enter/invoke-completed hook pair so that allocations can name
+    their *creator* class — new objects are placed on the VM performing
+    the creation, so the replayer needs this attribution.  (A guest
+    exception unwinding through frames would desynchronise the mirror;
+    recordings are of complete, successful runs.)
+    """
+
+    def __init__(self, trace: Optional[Trace] = None) -> None:
+        self.trace = trace if trace is not None else Trace()
+        self._current_class = "<main>"
+        self._current_oid: Optional[int] = None
+        self._stack: List[Tuple[str, Optional[int]]] = []
+
+    def on_alloc(self, obj: JObject, site: str) -> None:
+        self.trace.append(
+            AllocEvent(obj.oid, obj.class_name, obj.size_bytes,
+                       self._current_class, self._current_oid)
+        )
+
+    def on_invoke_enter(self, callee_class: str, method: MethodDef,
+                        site: str) -> None:
+        self._stack.append((self._current_class, self._current_oid))
+        self._current_class = callee_class
+        self._current_oid = None
+
+    def on_invoke(self, record: InvokeRecord) -> None:
+        if self._stack:
+            self._current_class, self._current_oid = self._stack.pop()
+        self.trace.append(
+            InvokeEvent(
+                record.caller_class, record.caller_oid,
+                record.callee_class, record.callee_oid, record.method,
+                record.kind, record.native_stateless,
+                record.arg_bytes, record.ret_bytes,
+            )
+        )
+
+    def on_access(self, record: AccessRecord) -> None:
+        self.trace.append(
+            AccessEvent(
+                record.accessor_class, record.accessor_oid,
+                record.owner_class, record.owner_oid, record.value_bytes,
+                record.is_write, record.is_static,
+            )
+        )
+
+    def on_free(self, obj: JObject) -> None:
+        self.trace.append(FreeEvent(obj.oid))
+
+    def on_cpu(self, class_name: str, site: str, seconds: float) -> None:
+        self.trace.append(WorkEvent(class_name, None, seconds))
+
+    def on_gc_report(self, report: GCReport, site: str) -> None:
+        # The recording VM's GC schedule is irrelevant: the replayer
+        # synthesises its own collection cycles for the emulated heap.
+        pass
+
+
+def collect_class_traits(registry: ClassRegistry) -> dict:
+    """Placement-relevant traits for every registered class."""
+    traits = {}
+    for cls in registry:
+        traits[cls.name] = {
+            "native": cls.has_native_methods,
+            "stateful_native": cls.has_stateful_natives,
+        }
+    return traits
+
+
+def record_application(
+    app,
+    device: DeviceProfile = RECORDING_DEVICE,
+    gc: Optional[GCConfig] = None,
+    notes: str = "",
+) -> Trace:
+    """Run ``app`` to completion on one big VM, returning its trace."""
+    config = VMConfig(
+        device=device,
+        gc=gc if gc is not None else GCConfig(),
+        monitoring_enabled=True,
+        monitoring_event_cost=0.0,
+    )
+    session = LocalSession(config)
+    trace = Trace(app_name=app.name, notes=notes)
+    recorder = TraceRecorder(trace)
+    session.add_listener(recorder)
+    app.install(session.registry)
+    app.main(session.ctx)
+    # A final collection flushes every unreachable object into the
+    # trace's free stream so the replayer sees the full garbage set.
+    session.vm.collect_garbage("record-flush")
+    trace.class_traits = collect_class_traits(session.registry)
+    return trace

@@ -1,0 +1,512 @@
+"""Trace replay: the emulator's execution engine.
+
+Replaying a trace re-executes the recorded event schedule under a
+chosen device pair, link, heap size, policy, and enhancement flags.
+Distributed execution is serial (the paper's assumption): after an
+offload, execution simply moves between the two emulated VMs, and time
+stretches for every interaction that crosses them.
+
+The replayer runs the *same* AIDE modules as the prototype — the
+execution graph is rebuilt incrementally during replay, the real
+:class:`~repro.core.partitioner.Partitioner` evaluates the real
+candidate generator, and triggering comes from an emulated collector
+with Chai's trigger conditions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..config import DeviceProfile, EnhancementFlags, GCConfig, JORNADA, PC_SURROGATE
+from ..core.graph import ExecutionGraph, object_node_id
+from ..core.partitioner import PartitionDecision, Partitioner
+from ..core.policy import (
+    EvaluationContext,
+    MemoryTrigger,
+    OffloadPolicy,
+    PartitionPolicy,
+)
+from ..errors import ConfigurationError
+from ..net.link import LinkModel
+from ..net.wavelan import WAVELAN_11MBPS
+from ..vm.gc import GCReport, default_pause_model
+from .events import (
+    AccessEvent,
+    AllocEvent,
+    FreeEvent,
+    InvokeEvent,
+    WorkEvent,
+)
+from .timemodel import (
+    migration_cost,
+    migration_payload,
+    remote_access_cost,
+    remote_invoke_cost,
+)
+from .traces import Trace
+
+CLIENT = "client"
+SURROGATE = "surrogate"
+MAIN = "<main>"
+INT_ARRAY = "int[]"
+
+
+@dataclass(frozen=True)
+class EmulatorConfig:
+    """Everything a replay run is parameterised by."""
+
+    client: DeviceProfile = JORNADA
+    surrogate: DeviceProfile = PC_SURROGATE
+    link: LinkModel = WAVELAN_11MBPS
+    gc: GCConfig = field(default_factory=GCConfig)
+    policy: OffloadPolicy = field(default_factory=OffloadPolicy.initial)
+    #: Override the partitioning policy (e.g. a CPU policy for the
+    #: section 5.2 experiments); defaults to the memory policy derived
+    #: from ``policy``.
+    partition_policy: Optional[PartitionPolicy] = None
+    flags: EnhancementFlags = field(default_factory=EnhancementFlags)
+    offload_enabled: bool = True
+    single_shot: bool = True
+    monitoring_event_cost: float = 0.0
+    #: Attempt a partitioning when this many events have been replayed,
+    #: regardless of memory pressure.  This drives the processing-
+    #: constraint experiments (paper section 5.2), where offloading is
+    #: not provoked by the collector but by the platform's re-evaluation
+    #: after enough execution history has accumulated.
+    offload_at_event: Optional[int] = None
+    #: Bypass the partitioner entirely: when the offload attempt fires,
+    #: apply exactly this placement.  Used by oracle searches that
+    #: measure the *realised* cost of every candidate the heuristic
+    #: produced (the paper's "partitioning the application manually").
+    forced_offload_nodes: Optional[FrozenSet[str]] = None
+
+    def with_heap(self, capacity: int) -> "EmulatorConfig":
+        from dataclasses import replace
+        return replace(self, client=self.client.with_heap(capacity))
+
+
+@dataclass
+class ReplayOffload:
+    """One offload (or refusal) that occurred during replay."""
+
+    time: float
+    decision: PartitionDecision
+    migrated_bytes: int = 0
+    migrated_objects: int = 0
+
+
+@dataclass
+class EmulationResult:
+    """Outcome of one replay."""
+
+    app_name: str
+    completed: bool
+    total_time: float
+    cpu_time_client: float = 0.0
+    cpu_time_surrogate: float = 0.0
+    comm_time: float = 0.0
+    migration_time: float = 0.0
+    gc_pause_time: float = 0.0
+    migration_bytes: int = 0
+    monitoring_time: float = 0.0
+    gc_cycles: int = 0
+    remote_invocations: int = 0
+    remote_native_invocations: int = 0
+    remote_accesses: int = 0
+    remote_bytes: int = 0
+    events_processed: int = 0
+    oom: bool = False
+    oom_time: Optional[float] = None
+    offloads: List[ReplayOffload] = field(default_factory=list)
+    refusals: int = 0
+    final_offload_nodes: FrozenSet[str] = frozenset()
+    peak_client_bytes: int = 0
+
+    @property
+    def offload_count(self) -> int:
+        return len([o for o in self.offloads if o.decision.beneficial])
+
+    @property
+    def remote_interactions(self) -> int:
+        return self.remote_invocations + self.remote_accesses
+
+    @property
+    def overhead_time(self) -> float:
+        """The paper's "remote execution overhead": offload + comm time."""
+        return self.migration_time + self.comm_time
+
+    def overhead_fraction(self, original_time: float) -> float:
+        if original_time <= 0:
+            raise ConfigurationError("original_time must be positive")
+        return (self.total_time - original_time) / original_time
+
+
+class TraceReplayer:
+    """Replays one trace under one configuration."""
+
+    def __init__(self, trace: Trace, config: EmulatorConfig) -> None:
+        self.trace = trace
+        self.config = config
+        # Object residency and bookkeeping.
+        self._site: Dict[int, str] = {}
+        self._size: Dict[int, int] = {}
+        self._class: Dict[int, str] = {}
+        self._client_live = 0
+        self._surrogate_live = 0
+        self._pending_garbage: List[int] = []
+        self._pending_garbage_bytes = 0
+        # Emulated collector counters.
+        self._allocs_since_gc = 0
+        self._bytes_since_gc = 0
+        self._gc_cycles = 0
+        # Placement.
+        self._offloaded: FrozenSet[str] = frozenset()
+        self._class_on_surrogate: Set[str] = set()
+        # AIDE modules.
+        self.graph = ExecutionGraph()
+        self._trigger: MemoryTrigger = config.policy.make_trigger()
+        self._partitioner = Partitioner(
+            config.partition_policy
+            if config.partition_policy is not None
+            else config.policy.make_partition_policy()
+        )
+        granular = config.flags.arrays_object_granularity
+        self._granular_classes: Set[str] = {INT_ARRAY} if granular else set()
+        # The entry point is always a (pinned) graph node, even before
+        # any interaction references it.
+        self.graph.ensure_node(MAIN)
+        # Clock and result.
+        self._now = 0.0
+        self.result = EmulationResult(
+            app_name=trace.app_name, completed=False, total_time=0.0
+        )
+
+    # -- naming and placement ------------------------------------------------
+
+    def _node_for(self, class_name: str, oid: Optional[int]) -> str:
+        if oid is not None and class_name in self._granular_classes:
+            return object_node_id(class_name, oid)
+        return class_name
+
+    def _class_site(self, class_name: str) -> str:
+        if class_name in self._class_on_surrogate:
+            return SURROGATE
+        return CLIENT
+
+    def _site_for(self, class_name: str, oid: Optional[int]) -> str:
+        if oid is not None:
+            site = self._site.get(oid)
+            if site is not None:
+                return site
+        return self._class_site(class_name)
+
+    # -- time ------------------------------------------------------------
+
+    def _charge_cpu(self, site: str, reference_seconds: float) -> None:
+        if site == CLIENT:
+            wall = reference_seconds / self.config.client.cpu_speed
+            self.result.cpu_time_client += wall
+        else:
+            wall = reference_seconds / self.config.surrogate.cpu_speed
+            self.result.cpu_time_surrogate += wall
+        self._now += wall
+
+    def _charge_comm(self, seconds: float) -> None:
+        self.result.comm_time += seconds
+        self._now += seconds
+
+    def _charge_monitoring(self, site: str) -> None:
+        cost = self.config.monitoring_event_cost
+        if not cost:
+            return
+        speed = (self.config.client.cpu_speed if site == CLIENT
+                 else self.config.surrogate.cpu_speed)
+        wall = cost / speed
+        self.result.monitoring_time += wall
+        self._now += wall
+
+    # -- the replay loop ------------------------------------------------------
+
+    def run(self) -> EmulationResult:
+        handlers = {
+            AllocEvent: self._replay_alloc,
+            FreeEvent: self._replay_free,
+            InvokeEvent: self._replay_invoke,
+            AccessEvent: self._replay_access,
+            WorkEvent: self._replay_work,
+        }
+        offload_at = self.config.offload_at_event
+        for event in self.trace.events:
+            handlers[type(event)](event)
+            self.result.events_processed += 1
+            if (
+                offload_at is not None
+                and self.result.events_processed == offload_at
+                and self.config.offload_enabled
+            ):
+                self._attempt_offload()
+            if self.result.oom:
+                break
+        self.result.completed = not self.result.oom
+        self.result.total_time = self._now
+        self.result.final_offload_nodes = self._offloaded
+        return self.result
+
+    # -- allocation and the emulated collector -------------------------------------
+
+    def _replay_alloc(self, event: AllocEvent) -> None:
+        site = self._class_site(event.creator_class)
+        if site == CLIENT:
+            capacity = self.config.client.heap_capacity
+            if self._client_live + event.size > capacity:
+                self._gc_cycle("space-exhausted")
+                if self._client_live + event.size > capacity:
+                    self.result.oom = True
+                    self.result.oom_time = self._now
+                    return
+            self._client_live += event.size
+            if self._client_live > self.result.peak_client_bytes:
+                self.result.peak_client_bytes = self._client_live
+            self._allocs_since_gc += 1
+            self._bytes_since_gc += event.size
+        else:
+            self._surrogate_live += event.size
+        self._site[event.oid] = site
+        self._size[event.oid] = event.size
+        self._class[event.oid] = event.class_name
+        node = self._node_for(event.class_name, event.oid)
+        self.graph.add_memory(node, event.size)
+        self.graph.note_object_created(node)
+        # The creating class is part of the execution picture even if no
+        # interaction has referenced it yet.
+        self.graph.ensure_node(event.creator_class)
+        self._charge_monitoring(site)
+        self._maybe_gc()
+
+    def _replay_free(self, event: FreeEvent) -> None:
+        site = self._site.get(event.oid)
+        if site is None:
+            return
+        if site == CLIENT:
+            # Client garbage waits for an emulated collection cycle.
+            self._pending_garbage.append(event.oid)
+            self._pending_garbage_bytes += self._size[event.oid]
+        else:
+            self._reclaim(event.oid)
+
+    def _reclaim(self, oid: int) -> None:
+        site = self._site.pop(oid, None)
+        if site is None:
+            return
+        size = self._size.pop(oid)
+        class_name = self._class.pop(oid)
+        if site == CLIENT:
+            self._client_live -= size
+        else:
+            self._surrogate_live -= size
+        node = self._node_for(class_name, oid)
+        if self.graph.has_node(node):
+            self.graph.add_memory(node, -size)
+            self.graph.note_object_freed(node)
+
+    def _maybe_gc(self) -> None:
+        capacity = self.config.client.heap_capacity
+        free_fraction = (capacity - self._client_live) / capacity
+        if free_fraction < self.config.gc.space_pressure_fraction:
+            self._gc_cycle("space-pressure")
+        elif self._allocs_since_gc >= self.config.gc.allocations_per_cycle:
+            self._gc_cycle("allocation-count")
+        elif self._bytes_since_gc >= self.config.gc.bytes_per_cycle:
+            self._gc_cycle("allocation-bytes")
+
+    def _gc_cycle(self, reason: str) -> None:
+        freed_bytes = self._pending_garbage_bytes
+        freed_objects = len(self._pending_garbage)
+        for oid in self._pending_garbage:
+            # Only reclaim garbage still on the client: a migration may
+            # not move garbage, so client garbage stays client garbage.
+            self._reclaim(oid)
+        self._pending_garbage = []
+        self._pending_garbage_bytes = 0
+        self._allocs_since_gc = 0
+        self._bytes_since_gc = 0
+        self._gc_cycles += 1
+        self.result.gc_cycles += 1
+        pause = (default_pause_model(len(self._site), freed_objects)
+                 / self.config.client.cpu_speed)
+        self.result.gc_pause_time += pause
+        self._now += pause
+        capacity = self.config.client.heap_capacity
+        report = GCReport(
+            cycle=self._gc_cycles,
+            reason=reason,
+            live_objects=len(self._site),
+            freed_objects=freed_objects,
+            freed_bytes=freed_bytes,
+            used_bytes=self._client_live,
+            free_bytes=capacity - self._client_live,
+            capacity=capacity,
+        )
+        if not self.config.offload_enabled:
+            return
+        if self.config.single_shot and self.result.offload_count > 0:
+            return
+        if self._trigger.observe(report):
+            self._attempt_offload()
+
+    # -- partitioning and migration -----------------------------------------------
+
+    def _pinned_nodes(self) -> List[str]:
+        pinned = [MAIN]
+        pinned.extend(self.trace.pinned_classes(
+            stateless_natives_ok=self.config.flags.stateless_natives_local
+        ))
+        return pinned
+
+    def _evaluation_context(self) -> EvaluationContext:
+        return EvaluationContext(
+            heap_capacity=self.config.client.heap_capacity,
+            client_speed=self.config.client.cpu_speed,
+            surrogate_speed=self.config.surrogate.cpu_speed,
+            link=self.config.link,
+            total_cpu=self.graph.total_cpu(),
+            elapsed=self._now,
+        )
+
+    def _attempt_offload(self) -> None:
+        if self.config.forced_offload_nodes is not None:
+            moved_bytes, moved_objects = self._apply_placement(
+                self.config.forced_offload_nodes
+            )
+            self.result.offloads.append(ReplayOffload(
+                time=self._now,
+                decision=PartitionDecision(
+                    beneficial=True,
+                    offload_nodes=self.config.forced_offload_nodes,
+                    client_nodes=frozenset(),
+                    cut_bytes=0, cut_count=0,
+                    freed_bytes=moved_bytes,
+                    predicted_bandwidth=0.0,
+                    candidates_evaluated=0,
+                    compute_seconds=0.0,
+                    policy_name="forced-placement",
+                ),
+                migrated_bytes=moved_bytes,
+                migrated_objects=moved_objects,
+            ))
+            return
+        decision = self._partitioner.partition(
+            self.graph, self._pinned_nodes(), self._evaluation_context()
+        )
+        offload = ReplayOffload(time=self._now, decision=decision)
+        if not decision.beneficial:
+            self.result.refusals += 1
+            self._trigger.reset()
+            self.result.offloads.append(offload)
+            return
+        moved_bytes, moved_objects = self._apply_placement(
+            decision.offload_nodes
+        )
+        offload.migrated_bytes = moved_bytes
+        offload.migrated_objects = moved_objects
+        self.result.offloads.append(offload)
+
+    def _apply_placement(
+        self, offload_nodes: FrozenSet[str]
+    ) -> Tuple[int, int]:
+        self._offloaded = offload_nodes
+        self._class_on_surrogate = {
+            node for node in offload_nodes if "#" not in node
+        }
+        garbage = set(self._pending_garbage)
+        to_surrogate: List[int] = []
+        to_client: List[int] = []
+        for oid, site in self._site.items():
+            if oid in garbage:
+                continue
+            class_name = self._class[oid]
+            node = self._node_for(class_name, oid)
+            wants_surrogate = node in offload_nodes
+            if wants_surrogate and site == CLIENT:
+                to_surrogate.append(oid)
+            elif not wants_surrogate and site == SURROGATE:
+                to_client.append(oid)
+        moved_bytes = 0
+        moved_objects = 0
+        for oids, destination in ((to_surrogate, SURROGATE),
+                                  (to_client, CLIENT)):
+            if not oids:
+                continue
+            batch_bytes = sum(self._size[oid] for oid in oids)
+            for oid in oids:
+                self._site[oid] = destination
+            if destination == SURROGATE:
+                self._client_live -= batch_bytes
+                self._surrogate_live += batch_bytes
+            else:
+                self._client_live += batch_bytes
+                self._surrogate_live -= batch_bytes
+            wire = migration_payload(batch_bytes, len(oids))
+            duration = migration_cost(self.config.link, batch_bytes,
+                                      len(oids))
+            self.result.migration_bytes += wire
+            self.result.migration_time += duration
+            self._now += duration
+            moved_bytes += wire
+            moved_objects += len(oids)
+        return moved_bytes, moved_objects
+
+    # -- interactions ------------------------------------------------------------
+
+    def _replay_invoke(self, event: InvokeEvent) -> None:
+        caller_site = self._site_for(event.caller_class, event.caller_oid)
+        if event.is_native:
+            if event.stateless and self.config.flags.stateless_natives_local:
+                exec_site = caller_site
+            else:
+                exec_site = CLIENT
+        elif event.is_static:
+            exec_site = caller_site
+        else:
+            exec_site = self._site_for(event.callee_class, event.callee_oid)
+        remote = exec_site != caller_site
+        nbytes = event.arg_bytes + event.ret_bytes
+        if remote:
+            self._charge_comm(remote_invoke_cost(
+                self.config.link, event.arg_bytes, event.ret_bytes
+            ))
+            self.result.remote_invocations += 1
+            self.result.remote_bytes += nbytes
+            if event.is_native:
+                self.result.remote_native_invocations += 1
+        caller_node = self._node_for(event.caller_class, event.caller_oid)
+        callee_node = self._node_for(event.callee_class, event.callee_oid)
+        self.graph.record_interaction(caller_node, callee_node, nbytes)
+        self._charge_monitoring(exec_site)
+
+    def _replay_access(self, event: AccessEvent) -> None:
+        accessor_site = self._site_for(event.accessor_class,
+                                       event.accessor_oid)
+        if event.is_static:
+            owner_site = CLIENT
+        else:
+            owner_site = self._site_for(event.owner_class, event.owner_oid)
+        remote = owner_site != accessor_site
+        if remote:
+            self._charge_comm(remote_access_cost(
+                self.config.link, event.nbytes, event.is_write
+            ))
+            self.result.remote_accesses += 1
+            self.result.remote_bytes += event.nbytes
+        accessor_node = self._node_for(event.accessor_class,
+                                       event.accessor_oid)
+        owner_node = self._node_for(event.owner_class, event.owner_oid)
+        self.graph.record_interaction(accessor_node, owner_node,
+                                      event.nbytes)
+        self._charge_monitoring(owner_site)
+
+    def _replay_work(self, event: WorkEvent) -> None:
+        site = self._site_for(event.class_name, event.oid)
+        self._charge_cpu(site, event.seconds)
+        self.graph.add_cpu(event.class_name, event.seconds)

@@ -1,0 +1,83 @@
+"""Experiment harnesses: one per table and figure in the paper."""
+
+from .catalog import CatalogRow, format_catalog, run_catalog
+from .common import (
+    CLIENT_6MB,
+    CPU_OFFLOAD_EVENT_FRACTION,
+    SURROGATE_35X,
+    SURROGATE_SAME_SPEED,
+    cached_trace,
+    clear_trace_cache,
+    cpu_emulator_config,
+    memory_emulator_config,
+)
+from .exp_cpu import (
+    CpuOffloadResult,
+    format_cpu_offloads,
+    run_all_cpu_offloads,
+    run_cpu_offload,
+)
+from .exp_memory import (
+    MemoryRescueResult,
+    format_memory_rescue,
+    run_memory_rescue,
+)
+from .exp_monitoring import (
+    MonitoringResult,
+    format_monitoring,
+    run_monitoring_overhead,
+)
+from .exp_native import (
+    NativeShareRow,
+    format_native_shares,
+    run_all_native_shares,
+    run_native_share,
+)
+from .exp_overhead import (
+    OverheadRow,
+    format_overheads,
+    run_all_overheads,
+    run_overhead,
+)
+from .exp_policy import (
+    PolicySweepRow,
+    format_policy_sweeps,
+    run_all_policy_sweeps,
+    run_policy_sweep,
+)
+
+__all__ = [
+    "CLIENT_6MB",
+    "CPU_OFFLOAD_EVENT_FRACTION",
+    "CatalogRow",
+    "CpuOffloadResult",
+    "MemoryRescueResult",
+    "MonitoringResult",
+    "NativeShareRow",
+    "OverheadRow",
+    "PolicySweepRow",
+    "SURROGATE_35X",
+    "SURROGATE_SAME_SPEED",
+    "cached_trace",
+    "clear_trace_cache",
+    "cpu_emulator_config",
+    "format_catalog",
+    "format_cpu_offloads",
+    "format_memory_rescue",
+    "format_monitoring",
+    "format_native_shares",
+    "format_overheads",
+    "format_policy_sweeps",
+    "memory_emulator_config",
+    "run_all_cpu_offloads",
+    "run_all_native_shares",
+    "run_all_overheads",
+    "run_all_policy_sweeps",
+    "run_catalog",
+    "run_cpu_offload",
+    "run_memory_rescue",
+    "run_monitoring_overhead",
+    "run_native_share",
+    "run_overhead",
+    "run_policy_sweep",
+]

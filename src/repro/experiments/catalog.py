@@ -1,0 +1,34 @@
+"""Table 1: the application catalog."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..apps import ALL_APPLICATIONS
+from .reporting import header, table
+
+
+@dataclass(frozen=True)
+class CatalogRow:
+    name: str
+    description: str
+    resource_demands: str
+
+
+def run_catalog() -> List[CatalogRow]:
+    """Instantiate each application and collect its Table 1 row."""
+    rows = []
+    for app_class in ALL_APPLICATIONS:
+        app = app_class()
+        rows.append(CatalogRow(app.name, app.description,
+                               app.resource_demands))
+    return rows
+
+
+def format_catalog(rows: List[CatalogRow]) -> str:
+    body = table(
+        ["Name", "Description", "Resource Demands"],
+        [[r.name, r.description, r.resource_demands] for r in rows],
+    )
+    return f"{header('Table 1: Java applications used for experiments')}\n{body}"

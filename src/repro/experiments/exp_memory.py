@@ -1,0 +1,122 @@
+"""Section 5.1 / Figure 5: avoiding memory constraints with JavaNote.
+
+The scenario: JavaNote loads and edits a 600 KB text file.  On an
+unmodified VM with a 6 MB heap the application runs out of memory and
+fails; on the offloading platform the memory pressure is detected, data
+and computation move to the surrogate, and the run completes.  The
+paper reports that the selected partitioning freed ~90% of the heap
+(more than the required 20%, because the interaction bandwidth was
+minimised there), predicted ~100 KB/s of cut bandwidth, and took ~0.1 s
+to compute on a 600 MHz Pentium.
+
+This harness exercises the *prototype* path: two live VMs, the real
+trigger/partition/migrate loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..config import VMConfig
+from ..core.policy import OffloadPolicy
+from ..errors import OutOfMemoryError
+from ..platform.platform import DistributedPlatform
+from ..units import MB
+from ..vm.session import LocalSession
+from .common import CHAI_GC, CLIENT_6MB, SURROGATE_SAME_SPEED, javanote_memory
+from .reporting import comparison_block, pct, secs, size
+
+
+@dataclass
+class MemoryRescueResult:
+    """Outcome of the paired unmodified-VM / platform runs."""
+
+    unmodified_failed: bool
+    oom_message: str
+    rescued: bool
+    elapsed: float
+    offload_count: int
+    freed_bytes: int
+    freed_fraction: float
+    heap_capacity: int
+    cut_bytes: int
+    predicted_bandwidth: float
+    partition_compute_seconds: float
+    candidates_evaluated: int
+    client_classes: int
+    offloaded_classes: int
+    migrated_bytes: int
+    #: Graphviz renderings of the execution graph (the paper's Figure 5):
+    #: the full graph, and the graph with the selected partition marked.
+    graph_dot: str = ""
+    partitioned_graph_dot: str = ""
+
+
+def run_memory_rescue(app_factory=javanote_memory) -> MemoryRescueResult:
+    """Run the failure case and the rescue case back to back."""
+    # 1. Unmodified VM at 6MB: expect an out-of-memory failure.
+    failed = False
+    oom_message = ""
+    session = LocalSession(VMConfig(device=CLIENT_6MB, gc=CHAI_GC,
+                                    monitoring_event_cost=0.0))
+    app = app_factory()
+    app.install(session.registry)
+    try:
+        app.main(session.ctx)
+    except OutOfMemoryError as oom:
+        failed = True
+        oom_message = str(oom)
+
+    # 2. The distributed platform with the initial policy.
+    platform = DistributedPlatform(
+        client_config=VMConfig(device=CLIENT_6MB, gc=CHAI_GC,
+                               monitoring_event_cost=0.0),
+        surrogate_config=VMConfig(device=SURROGATE_SAME_SPEED, gc=CHAI_GC,
+                                  monitoring_event_cost=0.0),
+        offload_policy=OffloadPolicy.initial(),
+    )
+    report = platform.run(app_factory())
+    event = platform.engine.performed_events[0]
+    decision = event.decision
+    return MemoryRescueResult(
+        unmodified_failed=failed,
+        oom_message=oom_message,
+        rescued=report.offload_count >= 1,
+        elapsed=report.elapsed,
+        offload_count=report.offload_count,
+        freed_bytes=decision.freed_bytes,
+        freed_fraction=decision.freed_bytes / platform.client.vm.heap.capacity,
+        heap_capacity=platform.client.vm.heap.capacity,
+        cut_bytes=decision.cut_bytes,
+        predicted_bandwidth=decision.predicted_bandwidth,
+        partition_compute_seconds=decision.compute_seconds,
+        candidates_evaluated=decision.candidates_evaluated,
+        client_classes=len(decision.client_nodes),
+        offloaded_classes=len(decision.offload_nodes),
+        migrated_bytes=report.migrated_bytes,
+        graph_dot=platform.monitor.graph.to_dot(min_edge_bytes=64),
+        partitioned_graph_dot=platform.monitor.graph.to_dot(
+            partition=decision.offload_nodes, min_edge_bytes=64
+        ),
+    )
+
+
+def format_memory_rescue(result: MemoryRescueResult) -> str:
+    rows = [
+        ["6MB unmodified VM outcome", "fails (OOM)",
+         "fails (OOM)" if result.unmodified_failed else "completed (!)"],
+        ["6MB platform outcome", "completes",
+         "completes" if result.rescued else "failed (!)"],
+        ["heap freed by selected partitioning", "~90%",
+         pct(result.freed_fraction)],
+        ["predicted cut bandwidth", "~100KB/s",
+         f"{result.predicted_bandwidth / 1024:.1f}KB/s"],
+        ["partitioning heuristic compute time", "~0.1s (600MHz)",
+         secs(result.partition_compute_seconds)],
+        ["state migrated to surrogate", "(not reported)",
+         size(result.migrated_bytes)],
+    ]
+    return comparison_block(
+        "Figure 5 / Section 5.1: JavaNote memory rescue", rows
+    )

@@ -1,0 +1,80 @@
+"""Figure 8: remote native method invocations vs total remote invocations.
+
+After offloading, code executing on the surrogate keeps calling native
+methods, which are pinned to the client; the paper measures how many
+remote invocations lead to native calls.  For the UI-coupled content
+applications (JavaNote, Dia) natives are a large share of remote
+invocations; for Biomer the remote traffic is dominated by data access
+between the split halves instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..emulator import Emulator
+from .common import cached_trace, memory_emulator_config
+from .exp_overhead import MEMORY_WORKLOADS
+from .reporting import comparison_block, pct
+
+PAPER_NATIVE_SHARE: Dict[str, str] = {
+    "javanote": "large",
+    "dia": "large",
+    "biomer": "small",
+}
+
+
+@dataclass
+class NativeShareRow:
+    """One Figure 8 bar pair."""
+
+    app: str
+    total_remote_invocations: int
+    remote_native_invocations: int
+    total_remote_interactions: int
+    native_share_of_invocations: float
+
+
+def run_native_share(app_name: str) -> NativeShareRow:
+    trace = cached_trace(app_name, MEMORY_WORKLOADS[app_name])
+    result = Emulator(trace).replay(memory_emulator_config())
+    invocations = result.remote_invocations
+    natives = result.remote_native_invocations
+    return NativeShareRow(
+        app=app_name,
+        total_remote_invocations=invocations,
+        remote_native_invocations=natives,
+        total_remote_interactions=result.remote_interactions,
+        native_share_of_invocations=(
+            natives / invocations if invocations else 0.0
+        ),
+    )
+
+
+def run_all_native_shares() -> List[NativeShareRow]:
+    return [run_native_share(name) for name in MEMORY_WORKLOADS]
+
+
+def format_native_shares(rows: List[NativeShareRow]) -> str:
+    body = []
+    for row in rows:
+        body.append([
+            f"{row.app} remote invocations (total/native)",
+            "(figure bars)",
+            f"{row.total_remote_invocations}/{row.remote_native_invocations}",
+        ])
+        body.append([
+            f"{row.app} native share",
+            PAPER_NATIVE_SHARE[row.app],
+            pct(row.native_share_of_invocations),
+        ])
+    block = comparison_block(
+        "Figure 8: remote native calls vs total remote invocations", body
+    )
+    by_share = sorted(rows, key=lambda r: -r.native_share_of_invocations)
+    ordering = " > ".join(r.app for r in by_share)
+    return (
+        f"{block}\nnative-share ordering: {ordering} "
+        "(paper: javanote, dia large; biomer small)"
+    )

@@ -1,0 +1,99 @@
+"""Figure 6: remote execution overhead under the initial policies.
+
+The emulator replays each memory workload's trace against the 6 MB
+client with the paper's initial policy (trigger below 5% free for three
+reports, free at least 20%), with the same processor speed on both
+sides.  Remote execution overhead = offloading time + communication
+time for remote interactions, reported relative to the unconstrained
+original run.
+
+Paper values: JavaNote ~4.8%, Dia ~8.5%, Biomer ~27.5%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from ..emulator import Emulator
+from .common import (
+    biomer_memory,
+    cached_trace,
+    dia_memory,
+    javanote_memory,
+    memory_emulator_config,
+)
+from .reporting import comparison_block, pct, secs
+
+PAPER_OVERHEADS: Dict[str, str] = {
+    "javanote": "4.8%",
+    "dia": "8.5%",
+    "biomer": "27.5%",
+}
+
+MEMORY_WORKLOADS: Dict[str, Callable] = {
+    "javanote": javanote_memory,
+    "dia": dia_memory,
+    "biomer": biomer_memory,
+}
+
+
+@dataclass
+class OverheadRow:
+    """One Figure 6 bar pair."""
+
+    app: str
+    original_seconds: float
+    offloaded_seconds: float
+    overhead_seconds: float
+    overhead_fraction: float
+    migration_seconds: float
+    comm_seconds: float
+    remote_interactions: int
+    completed: bool
+
+
+def run_overhead(app_name: str) -> OverheadRow:
+    """Figure 6 for one application."""
+    factory = MEMORY_WORKLOADS[app_name]
+    trace = cached_trace(app_name, factory)
+    emulator = Emulator(trace)
+    study = emulator.overhead_study(memory_emulator_config())
+    offloaded = study.offloaded
+    return OverheadRow(
+        app=app_name,
+        original_seconds=study.original.total_time,
+        offloaded_seconds=offloaded.total_time,
+        overhead_seconds=study.overhead_seconds,
+        overhead_fraction=study.overhead_fraction,
+        migration_seconds=offloaded.migration_time,
+        comm_seconds=offloaded.comm_time,
+        remote_interactions=offloaded.remote_interactions,
+        completed=offloaded.completed,
+    )
+
+
+def run_all_overheads() -> List[OverheadRow]:
+    return [run_overhead(name) for name in MEMORY_WORKLOADS]
+
+
+def format_overheads(rows: List[OverheadRow]) -> str:
+    body_rows = []
+    for row in rows:
+        body_rows.append([
+            f"{row.app} overhead (initial policy)",
+            PAPER_OVERHEADS[row.app],
+            pct(row.overhead_fraction),
+        ])
+        body_rows.append([
+            f"{row.app} original / offloaded time",
+            "~300s scale",
+            f"{secs(row.original_seconds)} / {secs(row.offloaded_seconds)}",
+        ])
+    block = comparison_block(
+        "Figure 6: remote execution overhead (initial policy)", body_rows
+    )
+    ordering = " < ".join(
+        r.app for r in sorted(rows, key=lambda r: r.overhead_fraction)
+    )
+    return f"{block}\noverhead ordering: {ordering} (paper: javanote < dia < biomer)"

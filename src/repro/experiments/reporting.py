@@ -1,0 +1,64 @@
+"""Plain-text renderers for experiment results.
+
+The benchmarks print the same rows/series the paper reports; these
+helpers keep the output format consistent across experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from ..units import bytes_to_human, seconds_to_human
+
+
+def header(title: str, width: int = 78) -> str:
+    bar = "=" * width
+    return f"{bar}\n{title}\n{bar}"
+
+
+def table(columns: Sequence[str], rows: Iterable[Sequence[object]],
+          widths: Sequence[int] = ()) -> str:
+    """Render a simple fixed-width table.
+
+    >>> print(table(["app", "time"], [["javanote", "315s"]], widths=[10, 8]))
+    app            time
+    ---------- --------
+    javanote       315s
+    """
+    rows = [list(map(str, row)) for row in rows]
+    if not widths:
+        widths = [
+            max(len(str(col)), *(len(r[i]) for r in rows)) if rows
+            else len(str(col))
+            for i, col in enumerate(columns)
+        ]
+    lines = []
+    lines.append(" ".join(
+        f"{col:<{w}}" if i == 0 else f"{col:>{w}}"
+        for i, (col, w) in enumerate(zip(columns, widths))
+    ))
+    lines.append(" ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(" ".join(
+            f"{cell:<{w}}" if i == 0 else f"{cell:>{w}}"
+            for i, (cell, w) in enumerate(zip(row, widths))
+        ))
+    return "\n".join(lines)
+
+
+def pct(fraction: float) -> str:
+    return f"{fraction * 100:.1f}%"
+
+
+def secs(value: float) -> str:
+    return seconds_to_human(value)
+
+
+def size(value: int) -> str:
+    return bytes_to_human(value)
+
+
+def comparison_block(title: str, rows: List[Sequence[str]]) -> str:
+    """A paper-vs-measured block used in EXPERIMENTS.md and bench output."""
+    body = table(["quantity", "paper", "measured"], rows)
+    return f"{header(title)}\n{body}"

@@ -1,0 +1,22 @@
+"""Network substrate: link models, profiles, and traffic accounting."""
+
+from .link import LinkModel
+from .stats import CategoryStats, TrafficStats
+from .wavelan import (
+    ALL_PROFILES,
+    BLUETOOTH_1MBPS,
+    ETHERNET_100MBPS,
+    GPRS_50KBPS,
+    WAVELAN_11MBPS,
+)
+
+__all__ = [
+    "ALL_PROFILES",
+    "BLUETOOTH_1MBPS",
+    "CategoryStats",
+    "ETHERNET_100MBPS",
+    "GPRS_50KBPS",
+    "LinkModel",
+    "TrafficStats",
+    "WAVELAN_11MBPS",
+]

@@ -1,0 +1,58 @@
+"""Analytic network link model.
+
+The paper's emulator reduces the wireless network to two constants — an
+11 Mbps WaveLAN link with a 2.4 ms round-trip time for a null message —
+and stretches simulated execution time to account for remote invocations
+and data accesses.  :class:`LinkModel` is that reduction, made explicit
+and reusable for other link technologies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class LinkModel:
+    """A symmetric point-to-point link.
+
+    ``latency_s`` is the one-way propagation plus protocol-stack latency;
+    a null RPC therefore costs ``2 * latency_s`` (the round-trip time).
+    """
+
+    name: str
+    bandwidth_bps: float
+    latency_s: float
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bps <= 0:
+            raise ConfigurationError("bandwidth must be positive")
+        if self.latency_s < 0:
+            raise ConfigurationError("latency cannot be negative")
+
+    @property
+    def rtt(self) -> float:
+        """Round-trip time of a null message."""
+        return 2 * self.latency_s
+
+    def one_way(self, nbytes: int) -> float:
+        """Seconds to deliver one ``nbytes`` message one way."""
+        if nbytes < 0:
+            raise ConfigurationError("message size cannot be negative")
+        return self.latency_s + (nbytes * 8) / self.bandwidth_bps
+
+    def round_trip(self, request_bytes: int, response_bytes: int = 0) -> float:
+        """Seconds for a request/response exchange."""
+        return self.one_way(request_bytes) + self.one_way(response_bytes)
+
+    def bulk_transfer(self, nbytes: int) -> float:
+        """Seconds to stream a large payload (single latency charge).
+
+        Used for object migration, where the platform ships the selected
+        partition in one streamed transfer rather than per-object RPCs.
+        """
+        if nbytes < 0:
+            raise ConfigurationError("transfer size cannot be negative")
+        return self.latency_s + (nbytes * 8) / self.bandwidth_bps

@@ -1,0 +1,41 @@
+"""Traffic accounting for a simulated link."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class TrafficStats:
+    """Message and byte counters, grouped by category.
+
+    Categories used by the platform: ``rpc`` (remote invocations and
+    data accesses), ``migration`` (offloaded object state), and
+    ``control`` (platform setup and GC coordination).
+    """
+
+    messages: int = 0
+    bytes: int = 0
+    by_category: Dict[str, "CategoryStats"] = field(default_factory=dict)
+
+    def record(self, nbytes: int, category: str = "rpc") -> None:
+        if nbytes < 0:
+            raise ValueError("message size cannot be negative")
+        self.messages += 1
+        self.bytes += nbytes
+        bucket = self.by_category.get(category)
+        if bucket is None:
+            bucket = CategoryStats()
+            self.by_category[category] = bucket
+        bucket.messages += 1
+        bucket.bytes += nbytes
+
+    def category(self, name: str) -> "CategoryStats":
+        return self.by_category.get(name, CategoryStats())
+
+
+@dataclass
+class CategoryStats:
+    messages: int = 0
+    bytes: int = 0

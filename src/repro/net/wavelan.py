@@ -1,0 +1,39 @@
+"""Standard link profiles.
+
+``WAVELAN_11MBPS`` reproduces the paper's measured link: 11 Mbps with a
+2.4 ms null-message round trip.  The other profiles support the
+extension experiments (how the offloading trade-off moves with the
+network generation).
+"""
+
+from __future__ import annotations
+
+from ..units import MBIT
+from .link import LinkModel
+
+#: The paper's link: 11 Mbps WaveLAN, 2.4 ms null-RPC round trip.
+WAVELAN_11MBPS = LinkModel(
+    name="wavelan-11mbps", bandwidth_bps=11 * MBIT, latency_s=1.2e-3
+)
+
+#: Early-2000s Bluetooth personal-area link.
+BLUETOOTH_1MBPS = LinkModel(
+    name="bluetooth-1mbps", bandwidth_bps=1 * MBIT, latency_s=15e-3
+)
+
+#: Wired fast Ethernet between a desktop client and a LAN server.
+ETHERNET_100MBPS = LinkModel(
+    name="ethernet-100mbps", bandwidth_bps=100 * MBIT, latency_s=0.2e-3
+)
+
+#: Wide-area cellular data (GPRS-class), the worst case for offloading.
+GPRS_50KBPS = LinkModel(
+    name="gprs-50kbps", bandwidth_bps=50_000, latency_s=300e-3
+)
+
+ALL_PROFILES = (
+    WAVELAN_11MBPS,
+    BLUETOOTH_1MBPS,
+    ETHERNET_100MBPS,
+    GPRS_50KBPS,
+)

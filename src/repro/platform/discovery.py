@@ -1,0 +1,89 @@
+"""Surrogate discovery and selection.
+
+Ad-hoc platform creation (paper section 2) requires a client to find
+the most appropriate surrogate based on factors such as access latency
+and resource availability.  The directory here is a deliberately simple
+local registry — the paper scopes full discovery protocols out — but the
+*selection* logic (filter by requirements, rank by latency then by
+compute) is the part the platform depends on and is implemented fully.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..config import DeviceProfile
+from ..errors import PlatformError, SurrogateUnavailableError
+from ..net.link import LinkModel
+
+
+@dataclass(frozen=True)
+class SurrogateOffer:
+    """One advertised surrogate: its device, its link to us, its load."""
+
+    name: str
+    device: DeviceProfile
+    link: LinkModel
+    load: float = 0.0  # 0.0 idle .. 1.0 saturated
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.load <= 1.0:
+            raise PlatformError(f"load must be in [0, 1], got {self.load}")
+
+    @property
+    def effective_speed(self) -> float:
+        """CPU speed discounted by current load."""
+        return self.device.cpu_speed * (1.0 - self.load)
+
+
+class SurrogateDirectory:
+    """Registry of currently reachable surrogates."""
+
+    def __init__(self) -> None:
+        self._offers: Dict[str, SurrogateOffer] = {}
+
+    def advertise(self, offer: SurrogateOffer) -> None:
+        """Add or refresh an offer (latest advertisement wins)."""
+        self._offers[offer.name] = offer
+
+    def withdraw(self, name: str) -> None:
+        if name not in self._offers:
+            raise PlatformError(f"no advertised surrogate named {name!r}")
+        del self._offers[name]
+
+    def offers(self) -> List[SurrogateOffer]:
+        return sorted(self._offers.values(), key=lambda o: o.name)
+
+    def __len__(self) -> int:
+        return len(self._offers)
+
+    def select(
+        self,
+        min_free_heap: int = 0,
+        max_rtt: Optional[float] = None,
+        min_effective_speed: float = 0.0,
+    ) -> SurrogateOffer:
+        """Pick the best offer meeting the constraints.
+
+        Candidates are filtered by heap, round-trip latency, and
+        load-discounted speed, then ranked: lowest RTT first (the
+        dominant cost for fine-grained offloading), effective speed as
+        the tie-breaker.
+        """
+        eligible = [
+            offer for offer in self._offers.values()
+            if offer.device.heap_capacity >= min_free_heap
+            and (max_rtt is None or offer.link.rtt <= max_rtt)
+            and offer.effective_speed >= min_effective_speed
+        ]
+        if not eligible:
+            raise SurrogateUnavailableError(
+                f"no surrogate satisfies min_free_heap={min_free_heap}, "
+                f"max_rtt={max_rtt}, min_effective_speed={min_effective_speed} "
+                f"among {len(self._offers)} offers"
+            )
+        return min(
+            eligible,
+            key=lambda o: (o.link.rtt, -o.effective_speed, o.name),
+        )

@@ -1,0 +1,133 @@
+"""Object migration between the client and surrogate VMs.
+
+Given a placement (the set of graph nodes the partitioner wants on the
+surrogate), the migrator moves the corresponding live objects: whole
+classes at class granularity, individual arrays at object granularity.
+It charges the transfer against the link, keeps traffic statistics, and
+notifies the hooks so the monitor and experiments can see offloads.
+
+Migration is bidirectional: applying a placement also returns to the
+client any object whose node is *not* in the offload set, which gives
+the platform the "global placement" behaviour the paper lists as future
+work (reverse migration on re-evaluation).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Set, Tuple
+
+from ..core.engine import MigrationOutcome
+from ..core.graph import node_class, object_node_id
+from ..errors import MigrationError
+from ..net.link import LinkModel
+from ..net.stats import TrafficStats
+from ..rpc.marshal import MESSAGE_HEADER_BYTES
+from ..vm.hooks import HookFanout
+from ..vm.objectmodel import JObject
+from ..vm.vm import VirtualMachine
+
+#: Serialisation overhead charged per migrated object (type tag, oid,
+#: field map framing).
+PER_OBJECT_OVERHEAD_BYTES = 16
+
+
+class Migrator:
+    """Applies placements between one client and one surrogate VM."""
+
+    def __init__(
+        self,
+        client: VirtualMachine,
+        surrogate: VirtualMachine,
+        link: LinkModel,
+        hooks: HookFanout,
+        traffic: TrafficStats,
+        object_granularity_classes: Set[str] = frozenset(),
+    ) -> None:
+        self.client = client
+        self.surrogate = surrogate
+        self.link = link
+        self.hooks = hooks
+        self.traffic = traffic
+        self.object_granularity_classes = set(object_granularity_classes)
+
+    # -- placement interpretation ------------------------------------------------
+
+    def _wants_surrogate(self, obj: JObject, offload_nodes: FrozenSet[str]) -> bool:
+        if obj.class_name in self.object_granularity_classes:
+            return object_node_id(obj.class_name, obj.oid) in offload_nodes
+        return obj.class_name in offload_nodes
+
+    def _select(
+        self, vm: VirtualMachine, offload_nodes: FrozenSet[str], to_surrogate: bool
+    ) -> List[JObject]:
+        chosen = []
+        for obj in vm.heap.objects():
+            if self._wants_surrogate(obj, offload_nodes) == to_surrogate:
+                chosen.append(obj)
+        return chosen
+
+    # -- the move itself ------------------------------------------------------
+
+    def apply_placement(self, offload_nodes: FrozenSet[str]) -> MigrationOutcome:
+        """Move objects so residency matches ``offload_nodes``.
+
+        Objects of offloaded nodes found on the client move out; objects
+        of non-offloaded nodes found on the surrogate move back.
+        """
+        for node in offload_nodes:
+            if node_class(node) == "<main>":
+                raise MigrationError("the application entry point cannot move")
+        outgoing = self._select(self.client, offload_nodes, to_surrogate=True)
+        returning = self._select(self.surrogate, offload_nodes, to_surrogate=False)
+        moved_bytes = 0
+        moved_objects = 0
+        seconds = 0.0
+        if outgoing:
+            nbytes, duration = self._move(outgoing, self.client, self.surrogate)
+            moved_bytes += nbytes
+            moved_objects += len(outgoing)
+            seconds += duration
+        if returning:
+            nbytes, duration = self._move(returning, self.surrogate, self.client)
+            moved_bytes += nbytes
+            moved_objects += len(returning)
+            seconds += duration
+        return MigrationOutcome(
+            moved_bytes=moved_bytes, moved_objects=moved_objects, seconds=seconds
+        )
+
+    def _move(
+        self,
+        objects: List[JObject],
+        source: VirtualMachine,
+        destination: VirtualMachine,
+    ) -> Tuple[int, float]:
+        payload = sum(
+            obj.size_bytes + PER_OBJECT_OVERHEAD_BYTES for obj in objects
+        )
+        total = payload + MESSAGE_HEADER_BYTES
+        # Capacity check before touching either heap, so a failed
+        # migration leaves residency unchanged.
+        incoming = sum(obj.size_bytes for obj in objects)
+        if destination.heap.free < incoming:
+            destination.collect_garbage("pre-migration")
+            if destination.heap.free < incoming:
+                raise MigrationError(
+                    f"{destination.name} cannot host {incoming} bytes "
+                    f"({destination.heap.free} free)"
+                )
+        for obj in objects:
+            source.evict(obj)
+            destination.adopt(obj)
+        duration = self.link.bulk_transfer(total)
+        source.clock.advance(duration)
+        self.traffic.record(total, category="migration")
+        class_names = sorted({obj.class_name for obj in objects})
+        self.hooks.on_offload(
+            class_names, total, source.name, destination.name
+        )
+        return total, duration
+
+    def return_everything(self) -> MigrationOutcome:
+        """Bring every offloaded object home (platform teardown)."""
+        return self.apply_placement(frozenset())

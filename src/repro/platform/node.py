@@ -1,0 +1,54 @@
+"""Device nodes: the client and surrogate roles.
+
+A *surrogate* is any device willing to lend resources; a *client* is a
+device that may use them (paper section 2).  A node bundles the device
+profile with its VM so the platform can reason about both roles
+uniformly — including surrogates that are themselves clients of other
+surrogates (supported by chaining platforms, see
+:class:`~repro.platform.platform.DistributedPlatform`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import DeviceProfile, VMConfig
+from ..vm.classloader import ClassRegistry
+from ..vm.clock import VirtualClock
+from ..vm.vm import VirtualMachine
+
+
+@dataclass
+class Node:
+    """One device participating in the ad-hoc platform."""
+
+    name: str
+    role: str
+    vm: VirtualMachine
+
+    @property
+    def device(self) -> DeviceProfile:
+        return self.vm.config.device
+
+    @property
+    def free_heap(self) -> int:
+        return self.vm.heap.free
+
+    def __repr__(self) -> str:
+        return f"Node({self.name!r}, role={self.role!r})"
+
+
+def make_client_node(
+    config: VMConfig, registry: ClassRegistry, clock: VirtualClock,
+    name: str = "client",
+) -> Node:
+    return Node(name=name, role="client",
+                vm=VirtualMachine(name, config, registry, clock=clock))
+
+
+def make_surrogate_node(
+    config: VMConfig, registry: ClassRegistry, clock: VirtualClock,
+    name: str = "surrogate",
+) -> Node:
+    return Node(name=name, role="surrogate",
+                vm=VirtualMachine(name, config, registry, clock=clock))

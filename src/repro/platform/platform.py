@@ -1,0 +1,390 @@
+"""The ad-hoc distributed platform (the paper's prototype).
+
+A :class:`DistributedPlatform` joins a client VM and a surrogate VM over
+a simulated wireless link, shares the application bytecodes between
+them, and installs the three AIDE modules: the execution monitor, the
+partitioner (behind the offloading engine), and the remote invocation
+support.  Running a guest application on the platform reproduces the
+paper's prototype behaviour: the application starts on the client, the
+platform watches memory pressure, and when the trigger policy fires it
+transparently offloads the selected classes to the surrogate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from ..config import EnhancementFlags, JORNADA, PC_SURROGATE, VMConfig
+from ..core.engine import MigrationOutcome, OffloadEvent, OffloadingEngine
+from ..core.monitor import ExecutionMonitor, ResourceMonitor
+from ..core.partitioner import Partitioner
+from ..core.policy import (
+    EvaluationContext,
+    OffloadPolicy,
+    PartitionPolicy,
+)
+from ..errors import PlatformError
+from ..net.link import LinkModel
+from ..net.stats import TrafficStats
+from ..net.wavelan import WAVELAN_11MBPS
+from ..rpc.channel import RpcChannel
+from ..rpc.distgc import CrossHeapRootScanner
+from ..vm.classloader import ClassRegistry
+from ..vm.clock import VirtualClock
+from ..vm.context import ExecutionContext, MAIN_CLASS, Runtime
+from ..vm.hooks import HookFanout
+from ..vm.natives import install_standard_library
+from ..vm.vm import VirtualMachine
+from .discovery import SurrogateDirectory, SurrogateOffer
+from .migration import Migrator
+from .node import Node, make_client_node, make_surrogate_node
+
+#: Graph-node name for primitive integer arrays, the class the paper's
+#: "Array" enhancement tracks at object granularity.
+INT_ARRAY_CLASS = "int[]"
+
+
+class DistributedRuntime(Runtime):
+    """Two-site runtime: routing between the client and one surrogate."""
+
+    def __init__(
+        self,
+        client_vm: VirtualMachine,
+        surrogate_vm: VirtualMachine,
+        link: LinkModel,
+        traffic: TrafficStats,
+    ) -> None:
+        self._vms = {client_vm.name: client_vm, surrogate_vm.name: surrogate_vm}
+        self._client = client_vm
+        self.link = link
+        self.traffic = traffic
+
+    def client(self) -> VirtualMachine:
+        return self._client
+
+    def vm(self, name: str) -> VirtualMachine:
+        try:
+            return self._vms[name]
+        except KeyError:
+            raise PlatformError(f"unknown site {name!r}") from None
+
+    def vms(self) -> Iterable[VirtualMachine]:
+        return self._vms.values()
+
+    def register(self, vm: VirtualMachine) -> None:
+        """Attach another site (used by surrogate handoff)."""
+        if vm.name in self._vms:
+            raise PlatformError(f"site {vm.name!r} already registered")
+        self._vms[vm.name] = vm
+
+    def transfer(self, from_site: str, to_site: str, nbytes: int) -> None:
+        if from_site == to_site:
+            return
+        self.vm(from_site)  # validate both endpoints
+        self.vm(to_site)
+        self._client.clock.advance(self.link.one_way(nbytes))
+        self.traffic.record(nbytes, category="rpc")
+
+
+@dataclass
+class PlatformReport:
+    """Summary of one application run on the platform."""
+
+    app_name: str
+    elapsed: float
+    offload_count: int
+    refusal_count: int
+    migrated_bytes: int
+    rpc_messages: int
+    rpc_bytes: int
+    remote_invocations: int
+    remote_native_invocations: int
+    client_heap_used: int
+    surrogate_heap_used: int
+
+
+class DistributedPlatform:
+    """One client + one surrogate joined at run time."""
+
+    def __init__(
+        self,
+        client_config: Optional[VMConfig] = None,
+        surrogate_config: Optional[VMConfig] = None,
+        link: LinkModel = WAVELAN_11MBPS,
+        offload_policy: Optional[OffloadPolicy] = None,
+        partition_policy: Optional[PartitionPolicy] = None,
+        flags: EnhancementFlags = EnhancementFlags(),
+        single_shot: bool = True,
+        reevaluate_every: Optional[float] = None,
+        hints=None,
+        profile=None,
+        registry: Optional[ClassRegistry] = None,
+        install_stdlib: bool = True,
+    ) -> None:
+        self.client_config = client_config or VMConfig(device=JORNADA)
+        self.surrogate_config = surrogate_config or VMConfig(device=PC_SURROGATE)
+        self.link = link
+        self.flags = flags
+        offload_policy = offload_policy or OffloadPolicy.initial()
+        self.offload_policy = offload_policy
+
+        if registry is None:
+            registry = ClassRegistry()
+            if install_stdlib:
+                install_standard_library(registry)
+        self.registry = registry
+        self.clock = VirtualClock()
+        self.client = make_client_node(self.client_config, registry, self.clock)
+        self.surrogate = make_surrogate_node(
+            self.surrogate_config, registry, self.clock
+        )
+        self.hooks = HookFanout()
+        self.traffic = TrafficStats()
+        self.runtime = DistributedRuntime(
+            self.client.vm, self.surrogate.vm, link, self.traffic
+        )
+        self.ctx = ExecutionContext(
+            self.runtime, registry, hooks=self.hooks, flags=flags
+        )
+
+        granularity = {INT_ARRAY_CLASS} if flags.arrays_object_granularity else set()
+        self.monitor = ExecutionMonitor(
+            object_granularity_classes=granularity, profile=profile
+        )
+        self.resources = ResourceMonitor()
+        self.hooks.add(self.monitor)
+        self.hooks.add(self.resources)
+
+        self.migrator = Migrator(
+            self.client.vm,
+            self.surrogate.vm,
+            link,
+            self.hooks,
+            self.traffic,
+            object_granularity_classes=granularity,
+        )
+        self.partitioner = Partitioner(
+            partition_policy or offload_policy.make_partition_policy(),
+            hints=hints,
+        )
+        self.engine = OffloadingEngine(
+            monitor=self.monitor,
+            partitioner=self.partitioner,
+            trigger=offload_policy.make_trigger(),
+            pinned_provider=self.pinned_nodes,
+            context_provider=self.evaluation_context,
+            migrate=self._migrate,
+            now=lambda: self.clock.now,
+            client_site=self.client.vm.name,
+            single_shot=single_shot,
+            reevaluate_every=reevaluate_every,
+        )
+        self.hooks.add(self.engine)
+
+        self.channel = RpcChannel(
+            self.ctx, self.client.vm.name, self.surrogate.vm.name
+        )
+        self._wire_gc(self.client.vm)
+        self._wire_gc(self.surrogate.vm)
+        self._install_distributed_gc()
+        self._torn_down = False
+
+    # -- construction helpers ------------------------------------------------
+
+    def _wire_gc(self, vm: VirtualMachine) -> None:
+        vm.collector.subscribe(
+            lambda report, site=vm.name: self.hooks.on_gc_report(report, site)
+        )
+        vm.collector.subscribe_free(self.hooks.on_free)
+
+    def _install_distributed_gc(self) -> None:
+        # Each scanner also consults the peer's *direct* roots (named
+        # globals, static fields): a client global may point straight at
+        # a migrated object on the surrogate.
+        client_scanner = CrossHeapRootScanner(
+            self.client.vm, self.surrogate.vm,
+            self.channel.exports[self.client.vm.name],
+            extra_peer_roots=self.surrogate.vm.local_roots,
+        )
+        surrogate_scanner = CrossHeapRootScanner(
+            self.surrogate.vm, self.client.vm,
+            self.channel.exports[self.surrogate.vm.name],
+            extra_peer_roots=self.client.vm.local_roots,
+        )
+        self.client.vm.add_root_source(client_scanner.roots)
+        self.surrogate.vm.add_root_source(surrogate_scanner.roots)
+
+    @classmethod
+    def from_discovery(
+        cls,
+        directory: SurrogateDirectory,
+        client_config: Optional[VMConfig] = None,
+        min_free_heap: int = 0,
+        max_rtt: Optional[float] = None,
+        **kwargs,
+    ) -> "DistributedPlatform":
+        """Ad-hoc creation: pick the best advertised surrogate and attach."""
+        offer = directory.select(min_free_heap=min_free_heap, max_rtt=max_rtt)
+        return cls(
+            client_config=client_config,
+            surrogate_config=VMConfig(device=offer.device),
+            link=offer.link,
+            **kwargs,
+        )
+
+    # -- engine plumbing ------------------------------------------------------
+
+    def pinned_nodes(self) -> List[str]:
+        """Graph nodes that must stay on the client.
+
+        The application entry point and every class with native methods
+        (only *stateful* natives under the stateless-native enhancement).
+        """
+        pinned = [MAIN_CLASS]
+        pinned.extend(
+            self.registry.pinned_class_names(
+                stateless_natives_ok=self.flags.stateless_natives_local
+            )
+        )
+        return pinned
+
+    def evaluation_context(self) -> EvaluationContext:
+        return EvaluationContext(
+            heap_capacity=self.client.vm.heap.capacity,
+            client_speed=self.client.device.cpu_speed,
+            surrogate_speed=self.surrogate.device.cpu_speed,
+            link=self.link,
+            total_cpu=self.monitor.graph.total_cpu(),
+            elapsed=self.clock.now,
+        )
+
+    def _migrate(self, offload_nodes) -> MigrationOutcome:
+        outcome = self.migrator.apply_placement(offload_nodes)
+        # A post-offload cycle refreshes the free-memory picture so the
+        # trigger policy sees the relief immediately.
+        self.client.vm.collect_garbage("post-offload")
+        return outcome
+
+    # -- running applications ------------------------------------------------------
+
+    def run(self, app) -> PlatformReport:
+        """Install and execute a guest application to completion."""
+        if self._torn_down:
+            raise PlatformError("platform has been torn down")
+        app.install(self.registry)
+        app.main(self.ctx)
+        return self.report(app.name)
+
+    def report(self, app_name: str = "") -> PlatformReport:
+        rpc = self.traffic.category("rpc")
+        return PlatformReport(
+            app_name=app_name,
+            elapsed=self.clock.now,
+            offload_count=self.engine.offload_count,
+            refusal_count=self.engine.refusal_count,
+            migrated_bytes=self.traffic.category("migration").bytes,
+            rpc_messages=rpc.messages,
+            rpc_bytes=rpc.bytes,
+            remote_invocations=self.monitor.remote.remote_invocations,
+            remote_native_invocations=self.monitor.remote.remote_native_invocations,
+            client_heap_used=self.client.vm.heap.used,
+            surrogate_heap_used=self.surrogate.vm.heap.used,
+        )
+
+    @property
+    def offload_events(self) -> List[OffloadEvent]:
+        return self.engine.events
+
+    @property
+    def elapsed(self) -> float:
+        return self.clock.now
+
+    def teardown(self) -> MigrationOutcome:
+        """Dissolve the ad-hoc platform, returning all state to the client."""
+        outcome = self.migrator.return_everything()
+        self._torn_down = True
+        return outcome
+
+    # -- mobility (paper section 8: "combine offloading and mobility") ---------
+
+    def handoff(self, offer: SurrogateOffer,
+                backhaul: Optional[LinkModel] = None) -> MigrationOutcome:
+        """Move the platform to a new surrogate as the user roams.
+
+        Implements the migration answer to the paper's handoff question
+        ("should the objects on the first surrogate be migrated to the
+        second surrogate?"): every object on the departing surrogate is
+        shipped to the new one over a surrogate-to-surrogate backhaul
+        link (infrastructure wiring, default fast Ethernet), the client
+        link is switched to the new offer's link, and the AIDE modules
+        re-attach to the new surrogate.  Execution continues
+        transparently — subsequent remote interactions route to the new
+        surrogate.
+        """
+        from ..net.wavelan import ETHERNET_100MBPS
+        from ..rpc.marshal import MESSAGE_HEADER_BYTES
+        from .migration import PER_OBJECT_OVERHEAD_BYTES
+
+        if self._torn_down:
+            raise PlatformError("platform has been torn down")
+        backhaul = backhaul if backhaul is not None else ETHERNET_100MBPS
+        old_surrogate = self.surrogate
+        suffix = sum(1 for vm in self.runtime.vms()) - 1
+        new_name = f"surrogate-{suffix + 1}"
+        new_node = make_surrogate_node(
+            VMConfig(device=offer.device), self.registry, self.clock,
+            name=new_name,
+        )
+        self.runtime.register(new_node.vm)
+        new_node.vm.add_root_source(self.ctx.frame_roots)
+        self._wire_gc(new_node.vm)
+
+        # Ship every departing object over the backhaul in one stream.
+        departing = list(old_surrogate.vm.heap.objects())
+        moved_bytes = 0
+        for obj in departing:
+            old_surrogate.vm.evict(obj)
+            new_node.vm.adopt(obj)
+            moved_bytes += obj.size_bytes
+        if departing:
+            wire = (moved_bytes
+                    + len(departing) * PER_OBJECT_OVERHEAD_BYTES
+                    + MESSAGE_HEADER_BYTES)
+            self.clock.advance(backhaul.bulk_transfer(wire))
+            self.traffic.record(wire, category="migration")
+            self.hooks.on_offload(
+                sorted({obj.class_name for obj in departing}),
+                wire, old_surrogate.vm.name, new_node.vm.name,
+            )
+        else:
+            wire = 0
+
+        # Re-point the platform at the new surrogate.
+        self.surrogate = new_node
+        self.link = offer.link
+        self.runtime.link = offer.link
+        granularity = set(self.migrator.object_granularity_classes)
+        self.migrator = Migrator(
+            self.client.vm, new_node.vm, offer.link, self.hooks,
+            self.traffic, object_granularity_classes=granularity,
+        )
+        self.channel = RpcChannel(
+            self.ctx, self.client.vm.name, new_node.vm.name
+        )
+        client_scanner = CrossHeapRootScanner(
+            self.client.vm, new_node.vm,
+            self.channel.exports[self.client.vm.name],
+            extra_peer_roots=new_node.vm.local_roots,
+        )
+        surrogate_scanner = CrossHeapRootScanner(
+            new_node.vm, self.client.vm,
+            self.channel.exports[new_node.vm.name],
+            extra_peer_roots=self.client.vm.local_roots,
+        )
+        self.client.vm.add_root_source(client_scanner.roots)
+        new_node.vm.add_root_source(surrogate_scanner.roots)
+        return MigrationOutcome(
+            moved_bytes=wire, moved_objects=len(departing),
+            seconds=backhaul.bulk_transfer(wire) if departing else 0.0,
+        )

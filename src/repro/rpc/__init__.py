@@ -1,0 +1,33 @@
+"""Remote invocation: marshalling, reference maps, stubs, and channels."""
+
+from .channel import RpcChannel, WorkerPool
+from .distgc import CrossHeapRootScanner, peer_reachable_oids, reconcile_exports
+from .marshal import (
+    MESSAGE_HEADER_BYTES,
+    REFERENCE_BYTES,
+    args_size,
+    decode_value,
+    deep_size,
+    encode_value,
+    message_size,
+)
+from .proxy import RemoteProxy, RemoteStub
+from .refmap import ReferenceMap
+
+__all__ = [
+    "CrossHeapRootScanner",
+    "MESSAGE_HEADER_BYTES",
+    "REFERENCE_BYTES",
+    "ReferenceMap",
+    "RemoteProxy",
+    "RemoteStub",
+    "RpcChannel",
+    "WorkerPool",
+    "args_size",
+    "decode_value",
+    "deep_size",
+    "encode_value",
+    "message_size",
+    "peer_reachable_oids",
+    "reconcile_exports",
+]

@@ -1,0 +1,159 @@
+"""The RPC channel between two VMs.
+
+The transparent offloading path in :mod:`repro.vm.context` routes and
+times remote operations itself (the emulator's serial-execution model).
+The channel adds the *mechanism* the paper's remote invocation module
+provides around that path:
+
+* per-VM export tables (:class:`~repro.rpc.refmap.ReferenceMap`) so each
+  VM only ever sees its own handles for the peer's objects;
+* wire encode/decode of requests and responses through
+  :mod:`repro.rpc.marshal`;
+* a pool of worker threads on each VM that performs RPCs on behalf of
+  the other VM (modelled, with occupancy statistics — execution itself
+  is serial, as the paper's emulator assumes);
+* an explicit RMI-style call API (used with :class:`~repro.rpc.proxy.RemoteProxy`).
+
+Timing and traffic are charged exactly once, by the execution context's
+runtime, when the underlying invocation crosses sites.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Any, Dict, Iterator
+
+from ..errors import RemoteInvocationError
+from ..vm.objectmodel import JObject
+
+if TYPE_CHECKING:  # avoid a circular import with repro.vm.context
+    from ..vm.context import ExecutionContext
+from .marshal import decode_value, encode_value
+from .proxy import RemoteStub
+from .refmap import ReferenceMap
+
+
+class WorkerPool:
+    """Occupancy model of one VM's RPC service threads."""
+
+    def __init__(self, size: int = 4) -> None:
+        if size < 1:
+            raise RemoteInvocationError("worker pool needs at least one thread")
+        self.size = size
+        self.in_flight = 0
+        self.served = 0
+        self.peak_in_flight = 0
+
+    @contextmanager
+    def serve(self) -> Iterator[None]:
+        if self.in_flight >= self.size:
+            raise RemoteInvocationError(
+                f"worker pool exhausted ({self.size} threads)"
+            )
+        self.in_flight += 1
+        self.served += 1
+        if self.in_flight > self.peak_in_flight:
+            self.peak_in_flight = self.in_flight
+        try:
+            yield
+        finally:
+            self.in_flight -= 1
+
+
+class RpcChannel:
+    """Bidirectional RPC between the two sites of one execution context."""
+
+    def __init__(
+        self, ctx: "ExecutionContext", site_a: str, site_b: str,
+        pool_size: int = 4,
+    ) -> None:
+        if site_a == site_b:
+            raise RemoteInvocationError("a channel joins two distinct sites")
+        self.ctx = ctx
+        self.sites = (site_a, site_b)
+        self.exports: Dict[str, ReferenceMap] = {
+            site_a: ReferenceMap(site_a),
+            site_b: ReferenceMap(site_b),
+        }
+        self.pools: Dict[str, WorkerPool] = {
+            site_a: WorkerPool(pool_size),
+            site_b: WorkerPool(pool_size),
+        }
+
+    # -- stubs ------------------------------------------------------------
+
+    def _map_for(self, site: str) -> ReferenceMap:
+        try:
+            return self.exports[site]
+        except KeyError:
+            raise RemoteInvocationError(
+                f"site {site!r} is not an endpoint of this channel"
+            ) from None
+
+    def stub_for(self, obj: JObject) -> RemoteStub:
+        """Export ``obj`` from its home VM and return a peer-side stub."""
+        handle = self._map_for(obj.home).export(obj)
+        return RemoteStub(peer=obj.home, handle=handle, class_name=obj.class_name)
+
+    def resolve(self, stub: RemoteStub) -> JObject:
+        """Translate a stub back into the live exported object."""
+        return self._map_for(stub.peer).resolve(stub.handle)
+
+    # -- wire helpers -----------------------------------------------------------
+
+    def _encode(self, value: Any) -> Any:
+        def export_ref(obj: JObject) -> Dict[str, Any]:
+            return {
+                "owner": obj.home,
+                "handle": self._map_for(obj.home).export(obj),
+            }
+
+        return encode_value(value, export_ref)
+
+    def _decode(self, encoded: Any) -> Any:
+        def resolve_ref(token: Any) -> JObject:
+            if (
+                not isinstance(token, dict)
+                or "owner" not in token
+                or "handle" not in token
+            ):
+                raise RemoteInvocationError(
+                    f"malformed reference token {token!r}"
+                )
+            return self._map_for(token["owner"]).resolve(token["handle"])
+
+        return decode_value(encoded, resolve_ref)
+
+    # -- explicit RPC API ---------------------------------------------------------
+
+    def call(self, stub: RemoteStub, method: str, *args: Any) -> Any:
+        """Invoke a method on the remote object named by ``stub``.
+
+        The arguments make a genuine wire round trip: object references
+        are translated to handles in their owner's namespace, decoded on
+        the serving side, and the result travels back the same way.
+        """
+        target = self.resolve(stub)
+        request = {
+            "op": "invoke",
+            "handle": stub.handle,
+            "method": method,
+            "args": [self._encode(arg) for arg in args],
+        }
+        with self.pools[target.home].serve():
+            decoded_args = [self._decode(arg) for arg in request["args"]]
+            result = self.ctx.invoke(target, method, *decoded_args)
+        response = {"op": "result", "value": self._encode(result)}
+        return self._decode(response["value"])
+
+    def get_field(self, stub: RemoteStub, field_name: str) -> Any:
+        target = self.resolve(stub)
+        with self.pools[target.home].serve():
+            value = self.ctx.get_field(target, field_name)
+        return self._decode(self._encode(value))
+
+    def set_field(self, stub: RemoteStub, field_name: str, value: Any) -> None:
+        target = self.resolve(stub)
+        encoded = self._encode(value)
+        with self.pools[target.home].serve():
+            self.ctx.set_field(target, field_name, self._decode(encoded))

@@ -1,0 +1,138 @@
+"""Marshalling: byte-size measurement and wire encoding of guest values.
+
+Two jobs live here:
+
+* :func:`deep_size` — the byte accounting used for *every* interaction,
+  local or remote.  The paper's execution graph annotates each edge with
+  "the total amount of information transferred between objects of the
+  classes as represented by the parameters and return values", so sizes
+  are measured uniformly whether or not a call actually crosses the
+  network.
+* :func:`encode_value` / :func:`decode_value` — the wire format used by
+  the RPC channel between two VMs.  Guest objects travel *by reference*
+  (an 8-byte handle resolved through the reference-mapping tables);
+  primitives travel by value.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple, Union
+
+from ..errors import ReferenceMappingError, RemoteInvocationError
+from ..vm.objectmodel import JObject
+
+#: Wire overhead charged per RPC message (headers, opcode, request id).
+MESSAGE_HEADER_BYTES = 32
+
+#: Size of one object reference handle on the wire.
+REFERENCE_BYTES = 8
+
+#: Fixed overhead of an encoded string (length + tag) before its chars.
+STRING_HEADER_BYTES = 24
+
+#: Per-character size (UTF-16, as in Java).
+CHAR_BYTES = 2
+
+_SCALAR_SIZES = {
+    bool: 1,
+    int: 8,
+    float: 8,
+    type(None): 8,
+}
+
+
+def deep_size(value: Any) -> int:
+    """Measure the marshalled size of one guest value in bytes.
+
+    >>> deep_size(42)
+    8
+    >>> deep_size("ab")
+    28
+    >>> deep_size((1, 2.0, None))
+    40
+    """
+    if isinstance(value, JObject):
+        return REFERENCE_BYTES
+    value_type = type(value)
+    if value_type in _SCALAR_SIZES:
+        return _SCALAR_SIZES[value_type]
+    if isinstance(value, str):
+        return STRING_HEADER_BYTES + CHAR_BYTES * len(value)
+    if isinstance(value, (tuple, list)):
+        return 16 + sum(deep_size(item) for item in value)
+    if isinstance(value, dict):
+        return 16 + sum(
+            deep_size(k) + deep_size(v) for k, v in value.items()
+        )
+    raise RemoteInvocationError(
+        f"value of type {value_type.__name__} cannot be marshalled"
+    )
+
+
+def args_size(args: Tuple[Any, ...]) -> int:
+    """Total marshalled size of a parameter tuple (without the header)."""
+    return sum(deep_size(arg) for arg in args)
+
+
+# -- wire encoding ----------------------------------------------------------
+#
+# The encoded form is a small JSON-able structure.  Object references are
+# encoded as ``{"$ref": <token>}`` where the token names the owning VM's
+# namespace and the handle within it — the two VMs deliberately do not
+# share an object-reference namespace (paper section 3.2), so a bare
+# handle would be ambiguous the moment a call carries references in both
+# directions.
+
+Encoded = Union[None, bool, int, float, str, List, Dict]
+
+
+def encode_value(value: Any, export_ref) -> Encoded:
+    """Encode one value for the wire.
+
+    ``export_ref(obj)`` is called for each :class:`JObject` and must
+    return a JSON-able token (typically ``{"owner": site, "handle": n}``)
+    that the receiving side's ``resolve_ref`` understands.
+    """
+    if isinstance(value, JObject):
+        return {"$ref": export_ref(value)}
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (tuple, list)):
+        return [encode_value(item, export_ref) for item in value]
+    if isinstance(value, dict):
+        encoded = {}
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise RemoteInvocationError("dict keys on the wire must be str")
+            if key.startswith("$"):
+                raise RemoteInvocationError(
+                    f"dict key {key!r} collides with wire tags"
+                )
+            encoded[key] = encode_value(item, export_ref)
+        return encoded
+    raise RemoteInvocationError(
+        f"value of type {type(value).__name__} cannot be encoded"
+    )
+
+
+def decode_value(encoded: Encoded, resolve_ref) -> Any:
+    """Decode one wire value.
+
+    ``resolve_ref(token)`` must translate a reference token produced by
+    the sender's ``export_ref`` into a live object (possibly a stub for
+    a still-remote object).
+    """
+    if isinstance(encoded, dict):
+        if "$ref" in encoded:
+            return resolve_ref(encoded["$ref"])
+        return {k: decode_value(v, resolve_ref) for k, v in encoded.items()}
+    if isinstance(encoded, list):
+        return [decode_value(item, resolve_ref) for item in encoded]
+    return encoded
+
+
+def message_size(payload_bytes: int) -> int:
+    """Total on-wire size of a message with the given payload."""
+    if payload_bytes < 0:
+        raise RemoteInvocationError("payload size cannot be negative")
+    return MESSAGE_HEADER_BYTES + payload_bytes

@@ -1,0 +1,51 @@
+"""Remote object stubs.
+
+A :class:`RemoteStub` is the local placeholder a VM keeps for an object
+living on its peer — the paper's "stub local references for remote
+objects".  :class:`RemoteProxy` layers a convenience API on top of a
+stub and a channel for explicitly RMI-style use (the transparent path in
+:mod:`repro.vm.context` does not need proxies, because placement routing
+happens inside the platform).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class RemoteStub:
+    """A local placeholder naming an object exported by a peer VM."""
+
+    peer: str
+    handle: int
+    class_name: str
+
+    def __repr__(self) -> str:
+        return f"<stub {self.class_name}@{self.peer}:{self.handle}>"
+
+
+class RemoteProxy:
+    """Explicit call interface over a stub.
+
+    >>> proxy = RemoteProxy(channel, stub)        # doctest: +SKIP
+    >>> proxy.invoke("render", 640, 480)          # doctest: +SKIP
+    """
+
+    def __init__(self, channel: "RpcChannel", stub: RemoteStub) -> None:
+        self._channel = channel
+        self._stub = stub
+
+    @property
+    def stub(self) -> RemoteStub:
+        return self._stub
+
+    def invoke(self, method: str, *args: Any) -> Any:
+        return self._channel.call(self._stub, method, *args)
+
+    def get(self, field_name: str) -> Any:
+        return self._channel.get_field(self._stub, field_name)
+
+    def set(self, field_name: str, value: Any) -> None:
+        self._channel.set_field(self._stub, field_name, value)

@@ -1,0 +1,91 @@
+"""Cross-VM object reference mapping.
+
+Each JVM has a private object-reference namespace and cannot interpret a
+reference from another VM (paper section 3.2).  A :class:`ReferenceMap`
+is one VM's export table: local objects are registered under small
+integer *handles*, which are what actually travel on the wire.  The
+receiving VM resolves a handle back through the sender's map, keeping
+stub-style placeholders (:mod:`repro.rpc.proxy`) where it wants a local
+face for the remote object.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List
+
+from ..errors import ReferenceMappingError
+from ..vm.objectmodel import JObject
+
+
+class ReferenceMap:
+    """Export table for one VM: local object <-> wire handle."""
+
+    def __init__(self, owner: str) -> None:
+        self.owner = owner
+        self._by_handle: Dict[int, JObject] = {}
+        self._by_oid: Dict[int, int] = {}
+        self._next_handle = 1
+
+    def export(self, obj: JObject) -> int:
+        """Register ``obj`` (idempotently) and return its handle."""
+        if obj is None:
+            raise ReferenceMappingError("cannot export a null reference")
+        if not obj.alive:
+            raise ReferenceMappingError(f"cannot export dead object {obj!r}")
+        handle = self._by_oid.get(obj.oid)
+        if handle is not None:
+            return handle
+        handle = self._next_handle
+        self._next_handle += 1
+        self._by_handle[handle] = obj
+        self._by_oid[obj.oid] = handle
+        return handle
+
+    def resolve(self, handle: int) -> JObject:
+        """Translate a handle back to the exported object."""
+        obj = self._by_handle.get(handle)
+        if obj is None:
+            raise ReferenceMappingError(
+                f"{self.owner}: unknown reference handle {handle}"
+            )
+        if not obj.alive:
+            raise ReferenceMappingError(
+                f"{self.owner}: handle {handle} refers to a collected object"
+            )
+        return obj
+
+    def is_exported(self, obj: JObject) -> bool:
+        return obj.oid in self._by_oid
+
+    def handle_for(self, obj: JObject) -> int:
+        handle = self._by_oid.get(obj.oid)
+        if handle is None:
+            raise ReferenceMappingError(
+                f"{self.owner}: object {obj!r} was never exported"
+            )
+        return handle
+
+    def forget(self, handle: int) -> None:
+        """Drop an export (the distributed GC's release path)."""
+        obj = self._by_handle.pop(handle, None)
+        if obj is None:
+            raise ReferenceMappingError(
+                f"{self.owner}: cannot forget unknown handle {handle}"
+            )
+        del self._by_oid[obj.oid]
+
+    def prune_dead(self) -> int:
+        """Remove exports whose objects have been collected; return count."""
+        dead = [h for h, obj in self._by_handle.items() if not obj.alive]
+        for handle in dead:
+            self.forget(handle)
+        return len(dead)
+
+    def exported_objects(self) -> List[JObject]:
+        return list(self._by_handle.values())
+
+    def __len__(self) -> int:
+        return len(self._by_handle)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._by_handle)

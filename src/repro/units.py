@@ -1,0 +1,78 @@
+"""Byte and time unit helpers.
+
+All sizes in the library are plain ``int`` bytes and all durations are
+``float`` seconds; these constants and formatters keep call sites
+readable (``6 * MB`` rather than ``6291456``) and reports consistent.
+"""
+
+from __future__ import annotations
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+#: Bits per second for one megabit; link bandwidths are given in bit/s.
+MBIT = 1_000_000
+
+MILLISECONDS = 1e-3
+MICROSECONDS = 1e-6
+
+
+def bytes_to_human(size: int) -> str:
+    """Render a byte count as a short human-readable string.
+
+    >>> bytes_to_human(600 * KB)
+    '600.0KB'
+    >>> bytes_to_human(500)
+    '500B'
+    """
+    if size < 0:
+        raise ValueError(f"size must be non-negative, got {size}")
+    if size >= GB:
+        return f"{size / GB:.1f}GB"
+    if size >= MB:
+        return f"{size / MB:.1f}MB"
+    if size >= KB:
+        return f"{size / KB:.1f}KB"
+    return f"{size}B"
+
+
+def seconds_to_human(duration: float) -> str:
+    """Render a duration in seconds as a short human-readable string.
+
+    >>> seconds_to_human(0.0024)
+    '2.4ms'
+    >>> seconds_to_human(31.59)
+    '31.59s'
+    """
+    if duration < 0:
+        raise ValueError(f"duration must be non-negative, got {duration}")
+    if duration >= 1.0:
+        return f"{duration:.2f}s"
+    if duration >= MILLISECONDS:
+        return f"{duration / MILLISECONDS:.1f}ms"
+    return f"{duration / MICROSECONDS:.1f}us"
+
+
+def transfer_seconds(size_bytes: int, bandwidth_bits_per_s: float) -> float:
+    """Time to push ``size_bytes`` through a link of the given bandwidth.
+
+    >>> transfer_seconds(11_000_000 // 8, 11 * MBIT)
+    1.0
+    """
+    if bandwidth_bits_per_s <= 0:
+        raise ValueError("bandwidth must be positive")
+    if size_bytes < 0:
+        raise ValueError("size must be non-negative")
+    return (size_bytes * 8) / bandwidth_bits_per_s
+
+
+def fraction(part: float, whole: float) -> float:
+    """``part / whole`` guarding against a zero denominator.
+
+    Used throughout reporting code where an empty run would otherwise
+    produce a ZeroDivisionError deep inside a formatter.
+    """
+    if whole == 0:
+        return 0.0
+    return part / whole

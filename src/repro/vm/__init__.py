@@ -1,0 +1,58 @@
+"""Guest virtual machine: object model, heap, GC, and execution hooks.
+
+This package is the Python analogue of the paper's modified Chai VM —
+the substrate on which the AIDE monitoring/partitioning/offloading
+modules operate.
+"""
+
+from .classloader import ClassRegistry
+from .clock import Stopwatch, VirtualClock
+from .context import ExecutionContext, Runtime, SingleVMRuntime
+from .gc import GCReport, GCStats, MarkSweepCollector
+from .heap import Heap, HeapStats
+from .hooks import AccessRecord, ExecutionListener, HookFanout, InvokeRecord
+from .natives import install_standard_library, new_integer, new_string
+from .objectmodel import (
+    ClassBuilder,
+    ClassDef,
+    FieldDef,
+    JArray,
+    JObject,
+    MethodDef,
+    MethodKind,
+    array_class_name,
+)
+from .session import CLIENT_SITE, LocalSession
+from .vm import VirtualMachine
+
+__all__ = [
+    "AccessRecord",
+    "CLIENT_SITE",
+    "ClassBuilder",
+    "ClassDef",
+    "ClassRegistry",
+    "ExecutionContext",
+    "ExecutionListener",
+    "FieldDef",
+    "GCReport",
+    "GCStats",
+    "Heap",
+    "HeapStats",
+    "HookFanout",
+    "InvokeRecord",
+    "JArray",
+    "JObject",
+    "LocalSession",
+    "MarkSweepCollector",
+    "MethodDef",
+    "MethodKind",
+    "Runtime",
+    "SingleVMRuntime",
+    "Stopwatch",
+    "VirtualClock",
+    "VirtualMachine",
+    "array_class_name",
+    "install_standard_library",
+    "new_integer",
+    "new_string",
+]

@@ -1,0 +1,107 @@
+"""Class registry shared between VMs.
+
+The paper simplifies its platform by assuming both VMs have access to
+the application's bytecodes, giving them common knowledge about every
+class.  We model that directly: a single :class:`ClassRegistry` instance
+is shared by the client and surrogate VM, so a class registered once is
+loadable on both sides.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List
+
+from ..errors import ConfigurationError, NoSuchClassError
+from .objectmodel import ClassBuilder, ClassDef, SLOT_SIZES, array_class_name
+
+
+class ClassRegistry:
+    """Name-to-definition map for all guest classes in a session."""
+
+    def __init__(self) -> None:
+        self._classes: Dict[str, ClassDef] = {}
+        self._register_array_classes()
+
+    def _register_array_classes(self) -> None:
+        """Pre-register the primitive and reference array classes.
+
+        Array classes have no methods and no declared fields; their
+        per-instance size comes from :class:`~repro.vm.objectmodel.JArray`.
+        """
+        for element_type in SLOT_SIZES:
+            name = array_class_name(element_type)
+            self._classes[name] = ClassDef(
+                name, is_array_class=True, category="array"
+            )
+
+    # -- registration ---------------------------------------------------------
+
+    def register(self, cls: ClassDef) -> ClassDef:
+        if cls.name in self._classes:
+            raise ConfigurationError(f"class {cls.name!r} is already registered")
+        self._classes[cls.name] = cls
+        return cls
+
+    def register_all(self, classes: Iterable[ClassDef]) -> None:
+        for cls in classes:
+            self.register(cls)
+
+    def define(self, name: str, category: str = "app") -> ClassBuilder:
+        """Start a fluent class definition that registers on ``build``.
+
+        >>> registry = ClassRegistry()
+        >>> cls = registry.define("a.B").field("x", "int").register()
+        >>> registry.lookup("a.B") is cls
+        True
+        """
+        return _RegisteringBuilder(self, name, category)
+
+    # -- lookup ------------------------------------------------------------
+
+    def lookup(self, name: str) -> ClassDef:
+        try:
+            return self._classes[name]
+        except KeyError:
+            raise NoSuchClassError(name) from None
+
+    def has_class(self, name: str) -> bool:
+        return name in self._classes
+
+    def array_class(self, element_type: str) -> ClassDef:
+        return self.lookup(array_class_name(element_type))
+
+    def app_classes(self) -> List[ClassDef]:
+        """Every non-array class, in registration order."""
+        return [c for c in self._classes.values() if not c.is_array_class]
+
+    def pinned_class_names(self, stateless_natives_ok: bool = False) -> List[str]:
+        """Classes that must stay on the client.
+
+        With ``stateless_natives_ok`` (the section 5.2 enhancement) only
+        classes containing *stateful* natives are pinned.
+        """
+        pinned = []
+        for cls in self._classes.values():
+            if stateless_natives_ok:
+                if cls.has_stateful_natives:
+                    pinned.append(cls.name)
+            elif cls.has_native_methods:
+                pinned.append(cls.name)
+        return pinned
+
+    def __iter__(self) -> Iterator[ClassDef]:
+        return iter(self._classes.values())
+
+    def __len__(self) -> int:
+        return len(self._classes)
+
+
+class _RegisteringBuilder(ClassBuilder):
+    """A :class:`ClassBuilder` that can register its product directly."""
+
+    def __init__(self, registry: ClassRegistry, name: str, category: str) -> None:
+        super().__init__(name, category=category)
+        self._registry = registry
+
+    def register(self) -> ClassDef:
+        return self._registry.register(self.build())

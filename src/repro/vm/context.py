@@ -1,0 +1,498 @@
+"""Execution context: where guest code runs and how calls are routed.
+
+The context is the reproduction of the paper's interception hooks: every
+method invocation, field access, and allocation made by guest code flows
+through it.  The context decides *where* each operation executes:
+
+* instance methods run on the VM hosting the receiver object;
+* static Java methods run wherever the caller is currently executing
+  (both VMs share the bytecodes);
+* native methods are pinned to the client, unless they are annotated
+  stateless and the section 5.2 enhancement is enabled;
+* static data accesses are always directed to the client VM;
+* new objects are created on the VM performing the creation.
+
+Crossing sites turns the operation into a transparent RPC, whose cost is
+charged through the :class:`Runtime`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional, Tuple
+
+from ..config import EnhancementFlags
+from ..errors import (
+    GuestError,
+    NullReferenceError,
+    StaleObjectError,
+)
+from ..rpc.marshal import args_size, deep_size, message_size
+from .classloader import ClassRegistry
+from .clock import VirtualClock
+from .hooks import AccessRecord, HookFanout, InvokeRecord
+from .objectmodel import (
+    JArray,
+    JObject,
+    MethodDef,
+    MethodKind,
+    SLOT_SIZES,
+)
+from .vm import VirtualMachine
+
+#: Class name used to attribute top-level (entry point) activity.
+MAIN_CLASS = "<main>"
+
+
+class Runtime:
+    """Placement and transport services used by the context.
+
+    The single-VM runtime below is trivial; the distributed runtime in
+    :mod:`repro.platform` maps sites onto two device VMs joined by a
+    simulated wireless link.
+    """
+
+    def client(self) -> VirtualMachine:
+        raise NotImplementedError
+
+    def vm(self, name: str) -> VirtualMachine:
+        raise NotImplementedError
+
+    def vms(self) -> Iterable[VirtualMachine]:
+        raise NotImplementedError
+
+    def transfer(self, from_site: str, to_site: str, nbytes: int) -> None:
+        """Move one message of ``nbytes`` between sites, charging time."""
+        raise NotImplementedError
+
+    def new_instance(self, site: str, cls) -> "JObject":
+        """Allocate an instance on ``site``.
+
+        Runtimes may override placement under pressure (e.g. the
+        multi-surrogate runtime spills a full surrogate's allocations to
+        a sibling with free heap).
+        """
+        return self.vm(site).new_instance(cls)
+
+    def new_array(self, site: str, element_type: str, length: int,
+                  data=None) -> "JArray":
+        return self.vm(site).new_array(element_type, length, data=data)
+
+
+class SingleVMRuntime(Runtime):
+    """Runtime for a standalone client VM (no surrogate attached)."""
+
+    def __init__(self, vm: VirtualMachine) -> None:
+        self._vm = vm
+
+    def client(self) -> VirtualMachine:
+        return self._vm
+
+    def vm(self, name: str) -> VirtualMachine:
+        if name != self._vm.name:
+            raise StaleObjectError(f"unknown site {name!r}")
+        return self._vm
+
+    def vms(self) -> Iterable[VirtualMachine]:
+        return (self._vm,)
+
+    def transfer(self, from_site: str, to_site: str, nbytes: int) -> None:
+        raise StaleObjectError(
+            "single-VM runtime cannot transfer between sites "
+            f"({from_site!r} -> {to_site!r})"
+        )
+
+
+class Frame:
+    """One guest invocation frame; its refs are GC roots."""
+
+    __slots__ = ("site", "class_name", "oid", "refs")
+
+    def __init__(self, site: str, class_name: str, oid: Optional[int]) -> None:
+        self.site = site
+        self.class_name = class_name
+        self.oid = oid
+        self.refs: List[JObject] = []
+
+
+class ExecutionContext:
+    """The single entry point through which guest code touches the VM."""
+
+    def __init__(
+        self,
+        runtime: Runtime,
+        registry: ClassRegistry,
+        hooks: Optional[HookFanout] = None,
+        flags: EnhancementFlags = EnhancementFlags(),
+    ) -> None:
+        self.runtime = runtime
+        self.registry = registry
+        self.hooks = hooks if hooks is not None else HookFanout()
+        self.flags = flags
+        self._frames: List[Frame] = []
+        #: The most recent object handed to *top-level* code is a GC
+        #: root: it models the register holding a freshly produced
+        #: reference, closing the window between ``new`` (or a returned
+        #: value) and the store that links it.  Inside method frames the
+        #: frame's ref list provides this protection instead.
+        self._last_alloc: Optional[JObject] = None
+        client = runtime.client()
+        self.monitoring_enabled = client.config.monitoring_enabled
+        self._event_cost = client.config.monitoring_event_cost
+        for vm in runtime.vms():
+            vm.add_root_source(self.frame_roots)
+
+    # -- frame and site state ------------------------------------------------
+
+    @property
+    def clock(self) -> VirtualClock:
+        return self.runtime.client().clock
+
+    @property
+    def current_site(self) -> str:
+        if self._frames:
+            return self._frames[-1].site
+        return self.runtime.client().name
+
+    @property
+    def current_class(self) -> str:
+        if self._frames:
+            return self._frames[-1].class_name
+        return MAIN_CLASS
+
+    @property
+    def current_oid(self) -> Optional[int]:
+        if self._frames:
+            return self._frames[-1].oid
+        return None
+
+    @property
+    def depth(self) -> int:
+        return len(self._frames)
+
+    def frame_roots(self) -> List[JObject]:
+        """All objects referenced from any live frame (GC roots)."""
+        roots: List[JObject] = []
+        for frame in self._frames:
+            roots.extend(frame.refs)
+        if self._last_alloc is not None and self._last_alloc.alive:
+            roots.append(self._last_alloc)
+        return roots
+
+    def set_global(self, name: str, obj: Optional[JObject]) -> None:
+        """Install a named root on the client VM (a "static" anchor).
+
+        Top-level application code must anchor its root object here (or
+        link it into an already-anchored object) before allocating
+        further, otherwise the collector is entitled to reclaim it.
+        """
+        self.runtime.client().set_root(name, obj)
+
+    def get_global(self, name: str) -> Optional[JObject]:
+        return self.runtime.client().get_root(name)
+
+    def retain(self, obj: JObject) -> JObject:
+        """Pin ``obj`` into the current frame (a guest local variable)."""
+        if self._frames:
+            self._frames[-1].refs.append(obj)
+        return obj
+
+    # -- CPU ------------------------------------------------------------------
+
+    def work(self, reference_seconds: float) -> None:
+        """Charge data-dependent CPU time to the current class and site."""
+        if reference_seconds == 0:
+            return
+        vm = self.runtime.vm(self.current_site)
+        vm.charge_cpu(reference_seconds)
+        if self.monitoring_enabled:
+            self.hooks.on_cpu(self.current_class, vm.name, reference_seconds)
+
+    def _charge_monitoring_event(self, site: str, events: int = 1) -> None:
+        if self.monitoring_enabled and self._event_cost > 0:
+            self.runtime.vm(site).charge_cpu(self._event_cost * events)
+
+    # -- allocation -------------------------------------------------------------
+
+    def new(self, class_name: str, **field_values: Any) -> JObject:
+        """Create an instance of ``class_name`` on the current site."""
+        cls = self.registry.lookup(class_name)
+        obj = self.runtime.new_instance(self.current_site, cls)
+        vm = self.runtime.vm(obj.home)
+        if not self._frames:
+            self._last_alloc = obj
+        for name, value in field_values.items():
+            cls.field(name)
+            obj.values[name] = value
+        self.retain(obj)
+        if self.monitoring_enabled:
+            self.hooks.on_alloc(obj, vm.name)
+            self._charge_monitoring_event(vm.name)
+        self._run_gc_if_due(vm)
+        return obj
+
+    def new_array(
+        self, element_type: str, length: int, data: Optional[list] = None
+    ) -> JArray:
+        """Create an array on the current site."""
+        arr = self.runtime.new_array(self.current_site, element_type,
+                                     length, data=data)
+        vm = self.runtime.vm(arr.home)
+        if not self._frames:
+            self._last_alloc = arr
+        self.retain(arr)
+        if self.monitoring_enabled:
+            self.hooks.on_alloc(arr, vm.name)
+            self._charge_monitoring_event(vm.name)
+        self._run_gc_if_due(vm)
+        return arr
+
+    def _run_gc_if_due(self, vm: VirtualMachine) -> None:
+        report = vm.maybe_collect()
+        if report is not None:
+            self.hooks.on_gc_report(report, vm.name)
+
+    # -- invocation -----------------------------------------------------------
+
+    def invoke(self, target: JObject, method_name: str, *args: Any) -> Any:
+        """Invoke an instance method on ``target``."""
+        if target is None:
+            raise NullReferenceError(f"invoke of {method_name!r} on null")
+        if not target.alive:
+            raise StaleObjectError(f"invoke on collected object {target!r}")
+        mdef = target.cls.method(method_name)
+        return self._dispatch(mdef, target.cls.name, target, args)
+
+    def invoke_static(self, class_name: str, method_name: str, *args: Any) -> Any:
+        """Invoke a static or class-level native method."""
+        cls = self.registry.lookup(class_name)
+        mdef = cls.method(method_name)
+        if mdef.kind is MethodKind.INSTANCE:
+            raise GuestError(
+                f"{class_name}.{method_name} is an instance method; "
+                "use invoke() with a receiver"
+            )
+        return self._dispatch(mdef, class_name, None, args)
+
+    def _dispatch(
+        self,
+        mdef: MethodDef,
+        callee_class: str,
+        target: Optional[JObject],
+        args: Tuple[Any, ...],
+    ) -> Any:
+        caller_class = self.current_class
+        caller_oid = self.current_oid
+        caller_site = self.current_site
+        exec_site = self._exec_site(mdef, target)
+        remote = exec_site != caller_site
+        arg_bytes = args_size(args)
+        if remote:
+            self.runtime.transfer(caller_site, exec_site, message_size(arg_bytes))
+
+        frame = Frame(exec_site, callee_class, target.oid if target else None)
+        if target is not None:
+            frame.refs.append(target)
+        frame.refs.extend(a for a in args if isinstance(a, JObject))
+        self._frames.append(frame)
+        if self.monitoring_enabled:
+            self.hooks.on_invoke_enter(callee_class, mdef, exec_site)
+        try:
+            if mdef.cpu_cost:
+                self.work(mdef.cpu_cost)
+            result = mdef.func(self, target, *args) if mdef.func else None
+        finally:
+            self._frames.pop()
+
+        ret_bytes = deep_size(result) if result is not None else 0
+        if remote:
+            self.runtime.transfer(exec_site, caller_site, message_size(ret_bytes))
+        if self.monitoring_enabled:
+            record = InvokeRecord(
+                caller_class=caller_class,
+                caller_oid=caller_oid,
+                callee_class=callee_class,
+                callee_oid=target.oid if target else None,
+                method=mdef.name,
+                kind=mdef.kind.value,
+                native_stateless=mdef.stateless,
+                arg_bytes=arg_bytes,
+                ret_bytes=ret_bytes,
+                cpu_seconds=mdef.cpu_cost,
+                caller_site=caller_site,
+                exec_site=exec_site,
+                remote=remote,
+            )
+            self.hooks.on_invoke(record)
+            self._charge_monitoring_event(exec_site)
+        if isinstance(result, JObject):
+            if self._frames:
+                self.retain(result)
+            else:
+                self._last_alloc = result
+        return result
+
+    def _exec_site(self, mdef: MethodDef, target: Optional[JObject]) -> str:
+        if mdef.kind is MethodKind.NATIVE:
+            if mdef.stateless and self.flags.stateless_natives_local:
+                return self.current_site
+            return self.runtime.client().name
+        if mdef.kind is MethodKind.STATIC:
+            return self.current_site
+        if target is None:
+            raise NullReferenceError(f"instance method {mdef.name!r} needs a receiver")
+        return target.home
+
+    # -- field access ------------------------------------------------------------
+
+    def get_field(self, target: JObject, field_name: str) -> Any:
+        """Read an instance field, remotely if the owner lives elsewhere."""
+        self._check_target(target, field_name)
+        fdef = target.cls.field(field_name)
+        if fdef.static:
+            return self.get_static(target.cls.name, field_name)
+        value = target.values[field_name]
+        self._record_access(target, field_name, value, is_write=False)
+        if isinstance(value, JObject):
+            self.retain(value)
+        return value
+
+    def set_field(self, target: JObject, field_name: str, value: Any) -> None:
+        """Write an instance field, remotely if the owner lives elsewhere."""
+        self._check_target(target, field_name)
+        fdef = target.cls.field(field_name)
+        if fdef.static:
+            self.set_static(target.cls.name, field_name, value)
+            return
+        target.values[field_name] = value
+        self._record_access(target, field_name, value, is_write=True)
+
+    def _check_target(self, target: JObject, field_name: str) -> None:
+        if target is None:
+            raise NullReferenceError(f"field access {field_name!r} on null")
+        if not target.alive:
+            raise StaleObjectError(f"field access on collected object {target!r}")
+
+    def _record_access(
+        self, target: JObject, field_name: str, value: Any, is_write: bool
+    ) -> None:
+        accessor_site = self.current_site
+        owner_site = target.home
+        remote = owner_site != accessor_site
+        nbytes = deep_size(value) if value is not None else SLOT_SIZES["ref"]
+        if remote:
+            if is_write:
+                self.runtime.transfer(accessor_site, owner_site, message_size(nbytes))
+                self.runtime.transfer(owner_site, accessor_site, message_size(0))
+            else:
+                self.runtime.transfer(accessor_site, owner_site, message_size(0))
+                self.runtime.transfer(owner_site, accessor_site, message_size(nbytes))
+        if self.monitoring_enabled:
+            self.hooks.on_access(
+                AccessRecord(
+                    accessor_class=self.current_class,
+                    accessor_oid=self.current_oid,
+                    owner_class=target.cls.name,
+                    owner_oid=target.oid,
+                    field=field_name,
+                    value_bytes=nbytes,
+                    is_write=is_write,
+                    is_static=False,
+                    accessor_site=accessor_site,
+                    exec_site=owner_site,
+                    remote=remote,
+                )
+            )
+            self._charge_monitoring_event(owner_site)
+
+    # -- static data (always on the client) ----------------------------------------
+
+    def get_static(self, class_name: str, field_name: str) -> Any:
+        client = self.runtime.client()
+        value = client.get_static(class_name, field_name)
+        self._record_static_access(class_name, field_name, value, is_write=False)
+        if isinstance(value, JObject):
+            self.retain(value)
+        return value
+
+    def set_static(self, class_name: str, field_name: str, value: Any) -> None:
+        client = self.runtime.client()
+        client.set_static(class_name, field_name, value)
+        self._record_static_access(class_name, field_name, value, is_write=True)
+
+    def _record_static_access(
+        self, class_name: str, field_name: str, value: Any, is_write: bool
+    ) -> None:
+        accessor_site = self.current_site
+        client_site = self.runtime.client().name
+        remote = accessor_site != client_site
+        nbytes = deep_size(value) if value is not None else SLOT_SIZES["ref"]
+        if remote:
+            if is_write:
+                self.runtime.transfer(accessor_site, client_site, message_size(nbytes))
+                self.runtime.transfer(client_site, accessor_site, message_size(0))
+            else:
+                self.runtime.transfer(accessor_site, client_site, message_size(0))
+                self.runtime.transfer(client_site, accessor_site, message_size(nbytes))
+        if self.monitoring_enabled:
+            self.hooks.on_access(
+                AccessRecord(
+                    accessor_class=self.current_class,
+                    accessor_oid=self.current_oid,
+                    owner_class=class_name,
+                    owner_oid=None,
+                    field=field_name,
+                    value_bytes=nbytes,
+                    is_write=is_write,
+                    is_static=True,
+                    accessor_site=accessor_site,
+                    exec_site=client_site,
+                    remote=remote,
+                )
+            )
+            self._charge_monitoring_event(client_site)
+
+    # -- array element access -----------------------------------------------------
+
+    def array_read(self, arr: JArray, count: int = 1) -> None:
+        """Read ``count`` elements from an array (bulk-accounted)."""
+        self._array_access(arr, count, is_write=False)
+
+    def array_write(self, arr: JArray, count: int = 1) -> None:
+        """Write ``count`` elements into an array (bulk-accounted)."""
+        self._array_access(arr, count, is_write=True)
+
+    def _array_access(self, arr: JArray, count: int, is_write: bool) -> None:
+        if arr is None:
+            raise NullReferenceError("array access on null")
+        if not arr.alive:
+            raise StaleObjectError(f"array access on collected array {arr!r}")
+        if count < 0:
+            raise GuestError(f"negative element count {count}")
+        if count == 0:
+            return
+        accessor_site = self.current_site
+        owner_site = arr.home
+        remote = owner_site != accessor_site
+        nbytes = count * SLOT_SIZES[arr.element_type]
+        if remote:
+            self.runtime.transfer(accessor_site, owner_site,
+                                  message_size(nbytes if is_write else 0))
+            self.runtime.transfer(owner_site, accessor_site,
+                                  message_size(0 if is_write else nbytes))
+        if self.monitoring_enabled:
+            self.hooks.on_access(
+                AccessRecord(
+                    accessor_class=self.current_class,
+                    accessor_oid=self.current_oid,
+                    owner_class=arr.cls.name,
+                    owner_oid=arr.oid,
+                    field="[]",
+                    value_bytes=nbytes,
+                    is_write=is_write,
+                    is_static=False,
+                    accessor_site=accessor_site,
+                    exec_site=owner_site,
+                    remote=remote,
+                )
+            )
+            self._charge_monitoring_event(owner_site)

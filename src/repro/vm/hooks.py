@@ -1,0 +1,137 @@
+"""Execution hook interface.
+
+The paper instruments the JVM at four points — method invocation, data
+field access, object creation, and object deletion — plus the garbage
+collector's free-memory reports.  :class:`ExecutionListener` is the
+Python face of those hooks: the execution monitor, the trace recorder,
+and tests all subscribe through it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .gc import GCReport
+from .objectmodel import JObject, MethodDef
+
+
+@dataclass(frozen=True)
+class InvokeRecord:
+    """One completed method invocation."""
+
+    caller_class: str
+    caller_oid: Optional[int]
+    callee_class: str
+    callee_oid: Optional[int]
+    method: str
+    kind: str
+    native_stateless: bool
+    arg_bytes: int
+    ret_bytes: int
+    cpu_seconds: float
+    caller_site: str
+    exec_site: str
+    remote: bool
+
+    @property
+    def is_native(self) -> bool:
+        return self.kind == "native"
+
+
+@dataclass(frozen=True)
+class AccessRecord:
+    """One data field access."""
+
+    accessor_class: str
+    accessor_oid: Optional[int]
+    owner_class: str
+    owner_oid: Optional[int]
+    field: str
+    value_bytes: int
+    is_write: bool
+    is_static: bool
+    accessor_site: str
+    exec_site: str
+    remote: bool
+
+
+class ExecutionListener:
+    """Base class with no-op hook methods; subclass and override."""
+
+    def on_alloc(self, obj: JObject, site: str) -> None:
+        """An object or array was created on ``site``."""
+
+    def on_free(self, obj: JObject) -> None:
+        """An object was reclaimed by the collector."""
+
+    def on_invoke(self, record: InvokeRecord) -> None:
+        """A method invocation completed."""
+
+    def on_invoke_enter(self, callee_class: str, method: MethodDef, site: str) -> None:
+        """A method invocation is about to run its body."""
+
+    def on_access(self, record: AccessRecord) -> None:
+        """A field read or write completed."""
+
+    def on_cpu(self, class_name: str, site: str, seconds: float) -> None:
+        """Reference CPU seconds were charged to ``class_name``.
+
+        This is how per-class execution time reaches the execution graph
+        (paper Figure 9): time is attributed directly to the class whose
+        method is on top of the stack, which equals gross time minus
+        nested-call time by construction.
+        """
+
+    def on_gc_report(self, report: GCReport, site: str) -> None:
+        """The collector on ``site`` finished a cycle."""
+
+    def on_offload(self, class_names: List[str], nbytes: int, site_from: str,
+                   site_to: str) -> None:
+        """A partition of classes was migrated between sites."""
+
+
+class HookFanout(ExecutionListener):
+    """Broadcasts each hook to an ordered list of listeners."""
+
+    def __init__(self) -> None:
+        self.listeners: List[ExecutionListener] = []
+
+    def add(self, listener: ExecutionListener) -> None:
+        self.listeners.append(listener)
+
+    def remove(self, listener: ExecutionListener) -> None:
+        self.listeners.remove(listener)
+
+    def on_alloc(self, obj: JObject, site: str) -> None:
+        for listener in self.listeners:
+            listener.on_alloc(obj, site)
+
+    def on_free(self, obj: JObject) -> None:
+        for listener in self.listeners:
+            listener.on_free(obj)
+
+    def on_invoke(self, record: InvokeRecord) -> None:
+        for listener in self.listeners:
+            listener.on_invoke(record)
+
+    def on_invoke_enter(self, callee_class: str, method: MethodDef, site: str) -> None:
+        for listener in self.listeners:
+            listener.on_invoke_enter(callee_class, method, site)
+
+    def on_access(self, record: AccessRecord) -> None:
+        for listener in self.listeners:
+            listener.on_access(record)
+
+    def on_cpu(self, class_name: str, site: str, seconds: float) -> None:
+        for listener in self.listeners:
+            listener.on_cpu(class_name, site, seconds)
+
+    def on_gc_report(self, report: GCReport, site: str) -> None:
+        for listener in self.listeners:
+            listener.on_gc_report(report, site)
+
+    def on_offload(self, class_names: List[str], nbytes: int, site_from: str,
+                   site_to: str) -> None:
+        for listener in self.listeners:
+            listener.on_offload(class_names, nbytes, site_from, site_to)

@@ -1,0 +1,191 @@
+"""Standard guest library with native methods.
+
+The paper's applications lean on the Java standard library, whose native
+methods are the crux of section 5.2: natives are pinned to the client
+unless they are stateless (math, string copy) and the stateless-native
+enhancement is active.  This module installs a compact analogue of that
+library: math functions, string utilities, host properties, file I/O,
+and the graphical framebuffer that can never leave the client.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Optional
+
+from .classloader import ClassRegistry
+from .objectmodel import ClassBuilder, JObject, MethodKind
+
+MATH_CLASS = "java.lang.Math"
+SYSTEM_CLASS = "java.lang.System"
+STRING_CLASS = "java.lang.String"
+INTEGER_CLASS = "java.lang.Integer"
+FILE_CLASS = "java.io.File"
+FRAMEBUFFER_CLASS = "ui.Framebuffer"
+CONSOLE_CLASS = "ui.Console"
+
+#: Reference CPU seconds for one trivial native call.
+_TINY = 0.2e-6
+#: Reference CPU seconds for a transcendental math call.
+_MATH_COST = 0.5e-6
+
+
+def _math_sin(ctx, _target, x: float) -> float:
+    return math.sin(x)
+
+
+def _math_cos(ctx, _target, x: float) -> float:
+    return math.cos(x)
+
+
+def _math_sqrt(ctx, _target, x: float) -> float:
+    return math.sqrt(x) if x >= 0 else 0.0
+
+
+def _math_pow(ctx, _target, x: float, y: float) -> float:
+    try:
+        return math.pow(x, y)
+    except (OverflowError, ValueError):
+        return 0.0
+
+
+def _math_atan2(ctx, _target, y: float, x: float) -> float:
+    return math.atan2(y, x)
+
+
+def _math_floor(ctx, _target, x: float) -> float:
+    return float(math.floor(x))
+
+
+def _string_copy(ctx, target: JObject) -> JObject:
+    """Stateless native: duplicate a guest string object."""
+    payload = target.values.get("value") or ""
+    copy = ctx.new(STRING_CLASS, value=payload, length=len(payload))
+    return copy
+
+
+def _string_length(ctx, target: JObject) -> int:
+    return target.values.get("length") or 0
+
+
+def _system_get_property(ctx, _target, key: str) -> Optional[str]:
+    properties = ctx.get_static(SYSTEM_CLASS, "properties") or {}
+    return properties.get(key)
+
+
+def _system_current_millis(ctx, _target) -> int:
+    """Host-specific native: reads the *client* device's clock."""
+    return int(ctx.clock.now * 1000)
+
+
+def _system_arraycopy(ctx, _target, src, dst, count: int) -> None:
+    ctx.array_read(src, count)
+    ctx.array_write(dst, count)
+    ctx.work(1e-9 * count)
+
+
+def _file_read(ctx, target: JObject, nbytes: int) -> int:
+    """Stateful native: local filesystem access on the client."""
+    ctx.work(2e-9 * nbytes)
+    return nbytes
+
+
+def _file_write(ctx, target: JObject, nbytes: int) -> int:
+    ctx.work(2e-9 * nbytes)
+    return nbytes
+
+
+def _fb_draw(ctx, target: JObject, pixels: int) -> None:
+    """Stateful native: only the client owns the physical framebuffer."""
+    ctx.work(1e-9 * pixels)
+
+
+def _fb_flush(ctx, target: JObject) -> None:
+    ctx.work(5e-6)
+
+
+def _console_print(ctx, _target, text: str) -> None:
+    ctx.work(_TINY)
+
+
+def build_math_class() -> ClassBuilder:
+    builder = ClassBuilder(MATH_CLASS, category="library")
+    for name, func in [
+        ("sin", _math_sin),
+        ("cos", _math_cos),
+        ("sqrt", _math_sqrt),
+        ("pow", _math_pow),
+        ("atan2", _math_atan2),
+        ("floor", _math_floor),
+    ]:
+        builder.native_method(name, func=func, cpu_cost=_MATH_COST, stateless=True)
+    return builder
+
+
+def install_standard_library(registry: ClassRegistry) -> None:
+    """Register the standard library classes into ``registry``."""
+    registry.register(build_math_class().build())
+
+    registry.register(
+        ClassBuilder(SYSTEM_CLASS, category="library")
+        .field("properties", "ref", static=True,
+               default={"os.name": "guest-ce", "vm.vendor": "repro"})
+        .native_method("getProperty", func=_system_get_property,
+                       cpu_cost=_TINY)
+        .native_method("currentTimeMillis", func=_system_current_millis,
+                       cpu_cost=_TINY)
+        .native_method("arraycopy", func=_system_arraycopy,
+                       cpu_cost=_TINY, stateless=True)
+        .build()
+    )
+
+    registry.register(
+        ClassBuilder(STRING_CLASS, category="library")
+        .field("value", "ref")
+        .field("length", "int")
+        .native_method("copy", func=_string_copy, cpu_cost=_TINY, stateless=True)
+        .method("lengthOf", func=_string_length, cpu_cost=_TINY)
+        .build()
+    )
+
+    registry.register(
+        ClassBuilder(INTEGER_CLASS, category="library")
+        .field("value", "int")
+        .method("intValue",
+                func=lambda ctx, target: target.values.get("value") or 0,
+                cpu_cost=_TINY)
+        .build()
+    )
+
+    registry.register(
+        ClassBuilder(FILE_CLASS, category="library")
+        .field("path", "ref")
+        .native_method("read", func=_file_read, cpu_cost=_TINY)
+        .native_method("write", func=_file_write, cpu_cost=_TINY)
+        .build()
+    )
+
+    registry.register(
+        ClassBuilder(FRAMEBUFFER_CLASS, category="library")
+        .field("width", "int")
+        .field("height", "int")
+        .native_method("draw", func=_fb_draw, cpu_cost=_TINY)
+        .native_method("flush", func=_fb_flush, cpu_cost=_TINY)
+        .build()
+    )
+
+    registry.register(
+        ClassBuilder(CONSOLE_CLASS, category="library")
+        .native_method("print", func=_console_print, cpu_cost=_TINY)
+        .build()
+    )
+
+
+def new_string(ctx, text: str) -> Any:
+    """Allocate a guest string wrapping ``text`` on the current site."""
+    return ctx.new(STRING_CLASS, value=text, length=len(text))
+
+
+def new_integer(ctx, value: int) -> Any:
+    """Allocate a boxed integer on the current site."""
+    return ctx.new(INTEGER_CLASS, value=value)

@@ -1,0 +1,95 @@
+"""Unit tests for the guest application framework."""
+
+import pytest
+
+from repro.apps.base import (
+    APPLICATION_CATALOG,
+    ClassFamily,
+    GuestApplication,
+    WorkloadPhase,
+    require_positive,
+)
+from repro.errors import ConfigurationError
+from repro.vm.classloader import ClassRegistry
+
+
+class TestRequirePositive:
+    def test_accepts_positive(self):
+        require_positive(a=1, b=0.5)
+
+    def test_rejects_zero_and_negative(self):
+        with pytest.raises(ConfigurationError):
+            require_positive(edits=0)
+        with pytest.raises(ConfigurationError):
+            require_positive(edits=-3)
+
+
+class TestClassFamily:
+    def test_generates_numbered_classes(self):
+        registry = ClassRegistry()
+        family = ClassFamily(registry, "t.Widget", 5).define_each(
+            lambda builder, index: builder.field("state", "int")
+        )
+        assert family.names == [f"t.Widget0{i}" for i in range(5)]
+        for name in family.names:
+            assert registry.has_class(name)
+
+    def test_name_for_wraps(self):
+        registry = ClassRegistry()
+        family = ClassFamily(registry, "t.W", 3).define_each(
+            lambda builder, index: builder
+        )
+        assert family.name_for(0) == family.name_for(3)
+
+    def test_redefinition_is_idempotent(self):
+        registry = ClassRegistry()
+        for _ in range(2):
+            ClassFamily(registry, "t.W", 3).define_each(
+                lambda builder, index: builder.field("x", "int")
+            )
+        assert registry.has_class("t.W00")
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClassFamily(ClassRegistry(), "t.W", 0)
+
+
+class TestWorkloadPhase:
+    def test_iterates_steps(self):
+        phase = WorkloadPhase("edit", 4)
+        assert list(phase) == [0, 1, 2, 3]
+
+    def test_positive_steps_required(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadPhase("empty", 0)
+
+
+class TestCatalog:
+    def test_catalog_matches_table_1(self):
+        assert set(APPLICATION_CATALOG) == {
+            "javanote", "dia", "biomer", "voxel", "tracer"
+        }
+        assert APPLICATION_CATALOG["javanote"]["description"] == (
+            "Simple text editor"
+        )
+        assert "CPU" in APPLICATION_CATALOG["voxel"]["resource_demands"]
+
+    def test_base_class_is_abstract(self):
+        app = GuestApplication()
+        with pytest.raises(NotImplementedError):
+            app.install(ClassRegistry())
+        with pytest.raises(NotImplementedError):
+            app.main(None)
+
+    def test_rng_is_seeded(self):
+        class Seeded(GuestApplication):
+            seed = 42
+
+            def install(self, registry):
+                pass
+
+            def main(self, ctx):
+                pass
+
+        app = Seeded()
+        assert app.rng().random() == app.rng().random()

@@ -1,0 +1,60 @@
+"""Tests for the mixed user session (section 8's application mix)."""
+
+import pytest
+
+from repro.apps.mixed import MixedSession
+from repro.config import DeviceProfile, GCConfig, VMConfig
+from repro.core.policy import OffloadPolicy, TriggerConfig
+from repro.errors import ConfigurationError
+from repro.platform.platform import DistributedPlatform
+from repro.units import KB, MB
+from repro.vm.session import LocalSession
+
+from tests.apps.test_workloads import run_on_session
+
+
+def small_session(**overrides):
+    params = dict(bursts=3, edits_per_burst=20, passes_per_burst=1,
+                  document_bytes=32 * KB, image_width=128,
+                  image_height=96)
+    params.update(overrides)
+    return MixedSession(**params)
+
+
+class TestMixedSession:
+    def test_runs_to_completion(self):
+        session, monitor = run_on_session(small_session())
+        assert monitor.graph.has_node("editor.Document")
+        assert monitor.graph.has_node("dia.Image")
+
+    def test_both_clusters_accumulate_memory(self):
+        session, monitor = run_on_session(small_session())
+        assert monitor.graph.node("char[]").memory_bytes > 0
+        assert monitor.graph.node("int[]").memory_bytes > 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MixedSession(bursts=0)
+
+    def test_offloads_on_a_constrained_platform(self):
+        gc = GCConfig(space_pressure_fraction=0.10,
+                      allocations_per_cycle=100,
+                      bytes_per_cycle=64 * KB)
+        platform = DistributedPlatform(
+            client_config=VMConfig(
+                device=DeviceProfile("jornada", 1.0, 1152 * KB),
+                gc=gc, monitoring_event_cost=0.0),
+            surrogate_config=VMConfig(
+                device=DeviceProfile("pc", 1.0, 64 * MB),
+                gc=gc, monitoring_event_cost=0.0),
+            offload_policy=OffloadPolicy(TriggerConfig(0.05, 1), 0.20),
+            single_shot=False,
+            reevaluate_every=5.0,
+        )
+        platform.run(small_session(bursts=4, edits_per_burst=40))
+        assert platform.engine.offload_count >= 1
+        # The session touched both applications' classes; whatever got
+        # offloaded, the pinned UI stayed home.
+        for node in platform.engine.performed_events[0].decision.offload_nodes:
+            assert not node.startswith("ui.Widget")
+            assert not node.startswith("dia.Widget")

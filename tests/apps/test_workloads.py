@@ -1,0 +1,226 @@
+"""Tests of the five workloads' structural properties.
+
+These run scaled-down configurations (the full paper-shaped runs live in
+the benchmarks) and verify the properties the evaluation relies on:
+determinism, pinned/offloadable class splits, memory shapes, and the
+catalog metadata of Table 1.
+"""
+
+import pytest
+
+from repro.apps import ALL_APPLICATIONS, Biomer, Dia, JavaNote, Tracer, Voxel
+from repro.apps.base import APPLICATION_CATALOG
+from repro.config import DeviceProfile, GCConfig, VMConfig
+from repro.core.monitor import ExecutionMonitor
+from repro.errors import ConfigurationError
+from repro.units import MB
+from repro.vm.session import LocalSession
+
+
+def small_apps():
+    """One cheap configuration per application."""
+    return [
+        JavaNote(document_bytes=64 * 1024, edits=30, scrolls=20,
+                 widgets=10, token_kinds=5),
+        Dia(width=256, height=192, passes=3, render_start_pass=1,
+            renders_per_pass=1, filter_kinds=4, widgets=6,
+            filter_work=0.01),
+        Biomer(residues=8, iterations=10, element_kinds=4),
+        Voxel(regions=64, tiles=8, frame_every=8, region_work=0.01,
+              render_work=0.05, math_calls=2, cache_rows=8,
+              first_frame_fraction=0.3),
+        Tracer(batches=40, frame_every=20, batch_work=0.01,
+               frame_work=0.5, math_calls=4, spheres=8),
+    ]
+
+
+def run_on_session(app, heap=64 * MB):
+    config = VMConfig(
+        device=DeviceProfile("pc", cpu_speed=1.0, heap_capacity=heap),
+        gc=GCConfig(),
+        monitoring_event_cost=0.0,
+    )
+    session = LocalSession(config)
+    monitor = ExecutionMonitor()
+    session.add_listener(monitor)
+    app.install(session.registry)
+    app.main(session.ctx)
+    return session, monitor
+
+
+class TestAllApplications:
+    @pytest.mark.parametrize("app", small_apps(),
+                             ids=lambda a: a.name)
+    def test_runs_to_completion(self, app):
+        session, monitor = run_on_session(app)
+        assert session.clock.now > 0
+        assert monitor.counters.interaction_events > 0
+        assert monitor.counters.objects_created > 0
+
+    @pytest.mark.parametrize("app", small_apps(),
+                             ids=lambda a: a.name)
+    def test_deterministic_virtual_time(self, app):
+        first, _ = run_on_session(app)
+        # A second instance of the same configuration replays identically.
+        second, _ = run_on_session(type(app)(**_params_of(app)))
+        assert second.clock.now == pytest.approx(first.clock.now)
+
+    @pytest.mark.parametrize("app", small_apps(),
+                             ids=lambda a: a.name)
+    def test_has_pinned_and_offloadable_classes(self, app):
+        session, monitor = run_on_session(app)
+        pinned = session.registry.pinned_class_names()
+        offloadable = [
+            c.name for c in session.registry.app_classes()
+            if c.offloadable
+        ]
+        assert pinned, f"{app.name} must have client-pinned classes"
+        assert offloadable, f"{app.name} must have offloadable classes"
+
+    def test_catalog_covers_all_apps(self):
+        names = {cls().name if cls is not Biomer else Biomer().name
+                 for cls in ALL_APPLICATIONS}
+        assert names == set(APPLICATION_CATALOG)
+
+    def test_descriptions_match_table1(self):
+        for cls in ALL_APPLICATIONS:
+            app = cls()
+            assert app.description == (
+                APPLICATION_CATALOG[app.name]["description"]
+            )
+            assert app.resource_demands == (
+                APPLICATION_CATALOG[app.name]["resource_demands"]
+            )
+
+
+def _params_of(app):
+    """Extract constructor parameters from an instance (by convention)."""
+    import inspect
+
+    signature = inspect.signature(type(app).__init__)
+    params = {}
+    for name in signature.parameters:
+        if name == "self":
+            continue
+        if hasattr(app, name):
+            params[name] = getattr(app, name)
+    return params
+
+
+class TestJavaNoteShape:
+    def test_memory_grows_with_edits(self):
+        light, _ = run_on_session(
+            JavaNote(document_bytes=64 * 1024, edits=10, scrolls=5,
+                     widgets=5, token_kinds=3)
+        )
+        heavy, _ = run_on_session(
+            JavaNote(document_bytes=64 * 1024, edits=60, scrolls=5,
+                     widgets=5, token_kinds=3)
+        )
+        assert heavy.vm.heap.stats.peak_used > light.vm.heap.stats.peak_used
+
+    def test_fine_fidelity_multiplies_events(self):
+        _, coarse = run_on_session(
+            JavaNote(document_bytes=32 * 1024, edits=10, scrolls=5,
+                     widgets=5, token_kinds=3, fidelity="coarse")
+        )
+        _, fine = run_on_session(
+            JavaNote(document_bytes=32 * 1024, edits=10, scrolls=5,
+                     widgets=5, token_kinds=3, fidelity="fine")
+        )
+        assert fine.counters.interaction_events > (
+            3 * coarse.counters.interaction_events
+        )
+
+    def test_invalid_fidelity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            JavaNote(fidelity="ultra")
+
+    def test_widget_classes_are_pinned(self):
+        session, _ = run_on_session(
+            JavaNote(document_bytes=32 * 1024, edits=5, scrolls=3,
+                     widgets=4, token_kinds=3)
+        )
+        pinned = set(session.registry.pinned_class_names())
+        assert "ui.Widget00" in pinned
+        assert "editor.Document" not in pinned
+
+
+class TestDiaShape:
+    def test_preview_scratch_shares_int_array_class(self):
+        session, monitor = run_on_session(
+            Dia(width=256, height=192, passes=3, render_start_pass=0,
+                renders_per_pass=1, filter_kinds=3, widgets=4,
+                filter_work=0.01)
+        )
+        # Both tiles and preview scratch live in int[]; the class node
+        # carries edges to both the pipeline side and the preview side.
+        graph = monitor.graph
+        assert graph.edge("dia.Preview", "int[]") is not None
+        assert graph.edge("dia.Filter00", "int[]") is not None
+
+    def test_render_start_zero_allowed(self):
+        Dia(render_start_pass=0)
+        with pytest.raises(ConfigurationError):
+            Dia(render_start_pass=-1)
+
+
+class TestBiomerShape:
+    def test_scenarios_have_distinct_profiles(self):
+        memory = Biomer()
+        cpu = Biomer.cpu_scenario(iterations=30)
+        assert memory.snapshot_every < cpu.snapshot_every
+        assert cpu.render_work > memory.render_work
+
+    def test_invalid_scenario_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Biomer(scenario="network")
+
+    def test_trajectory_archive_uses_byte_arrays(self):
+        session, monitor = run_on_session(
+            Biomer(residues=6, iterations=8, element_kinds=3)
+        )
+        assert monitor.graph.has_node("byte[]")
+        assert monitor.graph.node("byte[]").memory_bytes > 0
+
+
+class TestCpuWorkloads:
+    def test_voxel_math_usage_recorded(self):
+        _, monitor = run_on_session(
+            Voxel(regions=32, tiles=4, frame_every=8, region_work=0.01,
+                  render_work=0.05, math_calls=3, cache_rows=4)
+        )
+        assert monitor.graph.edge("vox.Generator", "java.lang.Math") is not None
+
+    def test_voxel_frames_only_after_warmup(self):
+        _, early = run_on_session(
+            Voxel(regions=32, tiles=4, frame_every=4, region_work=0.01,
+                  render_work=0.05, math_calls=1, cache_rows=4,
+                  first_frame_fraction=0.9)
+        )
+        _, late = run_on_session(
+            Voxel(regions=32, tiles=4, frame_every=4, region_work=0.01,
+                  render_work=0.05, math_calls=1, cache_rows=4,
+                  first_frame_fraction=0.0)
+        )
+        def frames(monitor):
+            edge = monitor.graph.edge("vox.Renderer", "ui.Framebuffer")
+            return edge.count if edge else 0
+        assert frames(late) > frames(early)
+
+    def test_tracer_canvas_is_pinned_but_engine_is_not(self):
+        session, _ = run_on_session(
+            Tracer(batches=20, frame_every=10, batch_work=0.01,
+                   frame_work=0.2, math_calls=2, spheres=4)
+        )
+        pinned = set(session.registry.pinned_class_names())
+        assert "tracer.Canvas" in pinned
+        assert "tracer.Engine" not in pinned
+
+    def test_tracer_math_dominates_native_profile(self):
+        _, monitor = run_on_session(
+            Tracer(batches=30, frame_every=15, batch_work=0.01,
+                   frame_work=0.2, math_calls=6, spheres=4)
+        )
+        math_edge = monitor.graph.edge("tracer.Engine", "java.lang.Math")
+        assert math_edge.count >= 30 * 6

@@ -1,0 +1,78 @@
+"""Small-scale workload runs on the live distributed platform.
+
+The emulator experiments validate the full-scale shapes; these tests
+confirm that each memory workload also drives the *prototype* path
+(two live VMs, real migration) without errors at reduced scale, and
+that the offloading behaviours the experiments depend on appear there
+too.
+"""
+
+import pytest
+
+from repro.apps import Biomer, Dia, JavaNote
+from repro.config import DeviceProfile, GCConfig, VMConfig
+from repro.core.policy import OffloadPolicy, TriggerConfig
+from repro.platform.platform import DistributedPlatform
+from repro.units import KB, MB
+
+
+def platform_for(client_heap):
+    gc = GCConfig(space_pressure_fraction=0.10,
+                  allocations_per_cycle=200,
+                  bytes_per_cycle=128 * KB)
+    return DistributedPlatform(
+        client_config=VMConfig(
+            device=DeviceProfile("jornada", 1.0, client_heap),
+            gc=gc, monitoring_event_cost=0.0),
+        surrogate_config=VMConfig(
+            device=DeviceProfile("pc", 1.0, 64 * MB),
+            gc=gc, monitoring_event_cost=0.0),
+        offload_policy=OffloadPolicy(TriggerConfig(0.05, 1), 0.20),
+    )
+
+
+class TestJavaNoteOnPlatform:
+    def test_small_javanote_offloads_and_completes(self):
+        app = JavaNote(document_bytes=256 * KB, edits=260, scrolls=40,
+                       widgets=12, token_kinds=6)
+        platform = platform_for(client_heap=1536 * KB)
+        report = platform.run(app)
+        assert report.offload_count == 1
+        # The document engine moved; the widgets did not.
+        decision = platform.engine.performed_events[0].decision
+        assert "editor.Segment" in decision.offload_nodes
+        assert all(not node.startswith("ui.Widget")
+                   for node in decision.offload_nodes)
+
+    def test_document_grows_on_surrogate_after_offload(self):
+        app = JavaNote(document_bytes=256 * KB, edits=260, scrolls=40,
+                       widgets=12, token_kinds=6)
+        platform = platform_for(client_heap=1536 * KB)
+        platform.run(app)
+        document = platform.ctx.get_global("document")
+        assert document.home == "surrogate"
+        count_before = platform.surrogate.vm.heap.live_count
+        platform.ctx.invoke(document, "edit", "insert", 3, 128)
+        assert platform.surrogate.vm.heap.live_count > count_before
+
+
+class TestDiaOnPlatform:
+    def test_small_dia_offloads_and_completes(self):
+        app = Dia(width=384, height=288, passes=6, render_start_pass=2,
+                  renders_per_pass=1, filter_kinds=6, widgets=8,
+                  filter_work=0.02)
+        platform = platform_for(client_heap=1024 * KB)
+        report = platform.run(app)
+        assert report.offload_count == 1
+        assert platform.surrogate.vm.heap.used > 0
+        assert report.remote_invocations > 0
+
+
+class TestBiomerOnPlatform:
+    def test_small_biomer_offloads_and_completes(self):
+        app = Biomer(residues=10, iterations=40, element_kinds=4)
+        platform = platform_for(client_heap=640 * KB)
+        report = platform.run(app)
+        assert report.offload_count == 1
+        viewer = platform.ctx.get_global("viewer")
+        assert viewer.home == "client"

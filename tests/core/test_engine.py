@@ -1,0 +1,138 @@
+"""Unit tests for the offloading engine control loop."""
+
+import pytest
+
+from repro.core.engine import MigrationOutcome, OffloadingEngine
+from repro.core.monitor import ExecutionMonitor
+from repro.core.partitioner import Partitioner
+from repro.core.policy import (
+    EvaluationContext,
+    MemoryPartitionPolicy,
+    MemoryTrigger,
+    TriggerConfig,
+)
+from repro.vm.gc import GCReport
+from repro.vm.hooks import InvokeRecord
+from repro.vm.objectmodel import ClassBuilder, JObject
+
+
+def low_report(cycle=1):
+    return GCReport(cycle=cycle, reason="t", live_objects=10,
+                    freed_objects=0, freed_bytes=0, used_bytes=990,
+                    free_bytes=10, capacity=1000)
+
+
+def populate(monitor):
+    """Two clusters: pinned ui+model on the client, data+cache offloadable."""
+    for caller, callee, nbytes in [
+        ("ui", "model", 10_000),
+        ("data", "cache", 8_000),
+        ("model", "data", 5),
+    ]:
+        monitor.on_invoke(InvokeRecord(
+            caller_class=caller, caller_oid=None, callee_class=callee,
+            callee_oid=None, method="m", kind="instance",
+            native_stateless=False, arg_bytes=nbytes, ret_bytes=0,
+            cpu_seconds=0.0, caller_site="client", exec_site="client",
+            remote=False,
+        ))
+    for class_name, size in [("ui", 100), ("model", 100),
+                             ("data", 500), ("cache", 300)]:
+        obj = JObject(ClassBuilder(class_name).build(), "client")
+        monitor.on_alloc(obj, "client")
+        monitor.graph.add_memory(class_name, size - obj.size_bytes)
+
+
+def make_engine(min_free=0.20, tolerance=1, single_shot=True,
+                migrations=None):
+    monitor = ExecutionMonitor()
+    populate(monitor)
+    migrations = migrations if migrations is not None else []
+
+    def migrate(nodes):
+        migrations.append(nodes)
+        return MigrationOutcome(moved_bytes=100, moved_objects=2, seconds=0.5)
+
+    engine = OffloadingEngine(
+        monitor=monitor,
+        partitioner=Partitioner(MemoryPartitionPolicy(min_free)),
+        trigger=MemoryTrigger(TriggerConfig(free_threshold=0.05,
+                                            tolerance=tolerance)),
+        pinned_provider=lambda: ["ui"],
+        context_provider=lambda: EvaluationContext(heap_capacity=1000,
+                                                   elapsed=10.0),
+        migrate=migrate,
+        now=lambda: 42.0,
+        single_shot=single_shot,
+    )
+    return engine, migrations
+
+
+class TestEngineFlow:
+    def test_offloads_when_trigger_fires(self):
+        engine, migrations = make_engine()
+        engine.on_gc_report(low_report(), "client")
+        assert engine.offload_count == 1
+        assert migrations == [frozenset({"data", "cache"})]
+        event = engine.last_event
+        assert event.performed
+        assert event.time == 42.0
+        assert event.migrated_bytes == 100
+        assert event.migration_seconds == 0.5
+
+    def test_tolerance_delays_trigger(self):
+        engine, migrations = make_engine(tolerance=3)
+        engine.on_gc_report(low_report(1), "client")
+        engine.on_gc_report(low_report(2), "client")
+        assert engine.offload_count == 0
+        engine.on_gc_report(low_report(3), "client")
+        assert engine.offload_count == 1
+
+    def test_single_shot_ignores_later_reports(self):
+        engine, migrations = make_engine()
+        engine.on_gc_report(low_report(1), "client")
+        engine.on_gc_report(low_report(2), "client")
+        assert engine.offload_count == 1
+        assert len(migrations) == 1
+
+    def test_multi_shot_can_repartition(self):
+        engine, migrations = make_engine(single_shot=False)
+        engine.on_gc_report(low_report(1), "client")
+        engine.on_gc_report(low_report(2), "client")
+        assert engine.offload_count == 2
+
+    def test_surrogate_reports_ignored(self):
+        engine, migrations = make_engine()
+        engine.on_gc_report(low_report(), "surrogate")
+        assert engine.offload_count == 0
+
+    def test_refusal_recorded_and_trigger_reset(self):
+        engine, migrations = make_engine(min_free=0.99)
+        engine.on_gc_report(low_report(), "client")
+        assert engine.offload_count == 0
+        assert engine.refusal_count == 1
+        assert not engine.last_event.performed
+        assert migrations == []
+
+    def test_reentrant_reports_during_migration_ignored(self):
+        migrations = []
+        engine_holder = {}
+
+        def migrate(nodes):
+            migrations.append(nodes)
+            # Migration itself causes GC activity on the client; the
+            # engine must not recurse into another attempt.
+            engine_holder["engine"].on_gc_report(low_report(99), "client")
+            return MigrationOutcome()
+
+        engine, _ = make_engine(migrations=migrations)
+        engine._migrate = migrate
+        engine_holder["engine"] = engine
+        engine.on_gc_report(low_report(), "client")
+        assert engine.offload_count == 1
+        assert len(migrations) == 1
+
+    def test_performed_events_filter(self):
+        engine, _ = make_engine(min_free=0.99)
+        engine.on_gc_report(low_report(), "client")
+        assert engine.performed_events == []

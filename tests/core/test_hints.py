@@ -1,0 +1,159 @@
+"""Tests for placement hints and profile reuse (section 8 extensions)."""
+
+import pytest
+
+from repro.core.graph import ExecutionGraph
+from repro.core.hints import (
+    PlacementHints,
+    contract_graph,
+    expand_nodes,
+    group_node_id,
+    interaction_profile,
+)
+from repro.core.partitioner import Partitioner
+from repro.core.policy import EvaluationContext, MemoryPartitionPolicy
+from repro.errors import ConfigurationError
+
+
+def clustered_graph():
+    graph = ExecutionGraph()
+    graph.record_interaction("ui", "model", 10_000, count=100)
+    graph.record_interaction("data", "cache", 8_000, count=80)
+    graph.record_interaction("model", "data", 5, count=1)
+    for node, memory in [("ui", 100), ("model", 200),
+                         ("data", 5000), ("cache", 3000)]:
+        graph.add_memory(node, memory)
+    return graph
+
+
+class TestPlacementHints:
+    def test_valid_hints(self):
+        hints = PlacementHints(
+            pin_local=frozenset({"ui"}),
+            keep_together=(frozenset({"data", "cache"}),),
+        )
+        assert hints.has_groups
+
+    def test_singleton_group_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PlacementHints(keep_together=(frozenset({"only"}),))
+
+    def test_overlapping_groups_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PlacementHints(keep_together=(
+                frozenset({"a", "b"}), frozenset({"b", "c"}),
+            ))
+
+
+class TestContraction:
+    def test_group_merges_stats_and_edges(self):
+        graph = clustered_graph()
+        groups = (frozenset({"data", "cache"}),)
+        contracted, expansion = contract_graph(graph, groups)
+        supernode = group_node_id(0, frozenset({"data", "cache"}))
+        assert contracted.has_node(supernode)
+        assert contracted.node(supernode).memory_bytes == 8000
+        # The internal data-cache edge is gone; model-data re-attaches.
+        assert contracted.edge_bytes("model", supernode) == 5
+        assert contracted.node_count == graph.node_count - 1
+        assert expansion[supernode] == frozenset({"data", "cache"})
+
+    def test_absent_members_are_ignored(self):
+        graph = clustered_graph()
+        contracted, expansion = contract_graph(
+            graph, (frozenset({"data", "ghost"}),)
+        )
+        # Only one member present: no contraction happens.
+        assert expansion == {}
+        assert contracted.node_count == graph.node_count
+
+    def test_expand_nodes(self):
+        expansion = {"<g>": frozenset({"a", "b"})}
+        assert expand_nodes(frozenset({"<g>", "c"}), expansion) == (
+            frozenset({"a", "b", "c"})
+        )
+
+    def test_total_memory_preserved(self):
+        graph = clustered_graph()
+        contracted, _ = contract_graph(
+            graph, (frozenset({"data", "cache"}),)
+        )
+        assert contracted.total_memory() == graph.total_memory()
+
+
+class TestHintedPartitioner:
+    def ctx(self):
+        return EvaluationContext(heap_capacity=10_000, elapsed=10.0)
+
+    def test_pin_local_hint_keeps_class_home(self):
+        graph = clustered_graph()
+        hinted = Partitioner(
+            MemoryPartitionPolicy(0.20),
+            hints=PlacementHints(pin_local=frozenset({"cache"})),
+        )
+        decision = hinted.partition(graph, ["ui"], self.ctx())
+        assert decision.beneficial
+        assert "cache" not in decision.offload_nodes
+
+    def test_keep_together_survives_partitioning(self):
+        graph = clustered_graph()
+        # model and data are in different natural clusters; the hint
+        # forces them to travel together.
+        hinted = Partitioner(
+            MemoryPartitionPolicy(0.20),
+            hints=PlacementHints(
+                keep_together=(frozenset({"model", "data"}),)
+            ),
+        )
+        decision = hinted.partition(graph, ["ui"], self.ctx())
+        assert decision.beneficial
+        together = {"model", "data"}
+        assert (together <= set(decision.offload_nodes)
+                or together <= set(decision.client_nodes))
+
+    def test_pinned_member_pins_whole_group(self):
+        graph = clustered_graph()
+        hinted = Partitioner(
+            MemoryPartitionPolicy(0.10),
+            hints=PlacementHints(
+                keep_together=(frozenset({"ui", "data"}),)
+            ),
+        )
+        decision = hinted.partition(graph, ["ui"], self.ctx())
+        if decision.beneficial:
+            assert "data" not in decision.offload_nodes
+            assert "ui" in decision.client_nodes
+
+    def test_decision_nodes_are_real_nodes(self):
+        graph = clustered_graph()
+        hinted = Partitioner(
+            MemoryPartitionPolicy(0.20),
+            hints=PlacementHints(
+                keep_together=(frozenset({"data", "cache"}),)
+            ),
+        )
+        decision = hinted.partition(graph, ["ui"], self.ctx())
+        for node in decision.offload_nodes | decision.client_nodes:
+            assert graph.has_node(node), node
+
+
+class TestInteractionProfile:
+    def test_profile_keeps_edges_and_cpu_drops_memory(self):
+        graph = clustered_graph()
+        graph.add_cpu("data", 5.0)
+        profile = interaction_profile(graph)
+        assert profile.edge_bytes("data", "cache") == 8000
+        assert profile.node("data").cpu_seconds == 5.0
+        assert profile.total_memory() == 0
+        assert profile.node("data").live_objects == 0
+
+    def test_warm_started_monitor_uses_profile(self):
+        from repro.core.monitor import ExecutionMonitor
+
+        profile = interaction_profile(clustered_graph())
+        monitor = ExecutionMonitor(profile=profile)
+        assert monitor.graph.edge_bytes("ui", "model") == 10_000
+        # The monitor's graph is a copy: mutating it leaves the profile
+        # untouched for the next run.
+        monitor.graph.record_interaction("ui", "model", 1)
+        assert profile.edge_bytes("ui", "model") == 10_000

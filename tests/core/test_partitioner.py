@@ -1,0 +1,86 @@
+"""Unit tests for the partitioner facade."""
+
+import pytest
+
+from repro.core.graph import ExecutionGraph
+from repro.core.partitioner import PartitionDecision, Partitioner
+from repro.core.policy import (
+    CpuPartitionPolicy,
+    EvaluationContext,
+    MemoryPartitionPolicy,
+)
+from repro.units import MB
+
+
+def clustered_graph():
+    graph = ExecutionGraph()
+    graph.record_interaction("ui", "model", 10_000, count=100)
+    graph.record_interaction("data", "cache", 8_000, count=80)
+    graph.record_interaction("model", "data", 5, count=1)
+    for node, memory in [
+        ("ui", 100), ("model", 200), ("data", 5000), ("cache", 3000)
+    ]:
+        graph.add_memory(node, memory)
+    return graph
+
+
+class TestPartitionerMemory:
+    def test_successful_decision_fields(self):
+        partitioner = Partitioner(MemoryPartitionPolicy(min_free_fraction=0.20))
+        ctx = EvaluationContext(heap_capacity=10_000, elapsed=10.0)
+        decision = partitioner.partition(clustered_graph(), ["ui"], ctx)
+        assert decision.beneficial
+        assert decision.offload_nodes == frozenset({"data", "cache"})
+        assert decision.client_nodes == frozenset({"ui", "model"})
+        assert decision.cut_bytes == 5
+        assert decision.freed_bytes == 8000
+        assert decision.predicted_bandwidth == pytest.approx(0.5)
+        assert 0 < decision.candidates_evaluated < 4
+        assert decision.compute_seconds >= 0
+        assert decision.policy_name == "memory-min-bandwidth"
+        assert decision.refusal_reason is None
+
+    def test_refusal_is_a_decision_not_an_exception(self):
+        partitioner = Partitioner(MemoryPartitionPolicy(min_free_fraction=0.99))
+        ctx = EvaluationContext(heap_capacity=10 * MB)
+        decision = partitioner.partition(clustered_graph(), ["ui"], ctx)
+        assert not decision.beneficial
+        assert decision.offload_nodes == frozenset()
+        assert decision.refusal_reason
+        assert decision.candidates_evaluated > 0
+
+    def test_fully_pinned_graph_refuses(self):
+        partitioner = Partitioner(MemoryPartitionPolicy())
+        ctx = EvaluationContext(heap_capacity=10_000)
+        decision = partitioner.partition(
+            clustered_graph(), ["ui", "model", "data", "cache"], ctx
+        )
+        assert not decision.beneficial
+
+
+class TestPartitionerCpu:
+    def test_cpu_policy_predictions_attached(self):
+        graph = clustered_graph()
+        graph.add_cpu("data", 500.0)
+        graph.add_cpu("ui", 10.0)
+        partitioner = Partitioner(CpuPartitionPolicy())
+        ctx = EvaluationContext(
+            heap_capacity=10 * MB, client_speed=1.0, surrogate_speed=3.5,
+            total_cpu=graph.total_cpu(),
+        )
+        decision = partitioner.partition(graph, ["ui"], ctx)
+        assert decision.beneficial
+        assert decision.predicted_time is not None
+        assert decision.original_time == pytest.approx(510.0)
+        assert decision.predicted_time < decision.original_time
+
+
+class TestRefusalFactory:
+    def test_refusal_constructor(self):
+        refusal = PartitionDecision.refusal(
+            "nope", candidates_evaluated=3, compute_seconds=0.01,
+            policy_name="p",
+        )
+        assert not refusal.beneficial
+        assert refusal.refusal_reason == "nope"
+        assert refusal.freed_bytes == 0

@@ -1,0 +1,187 @@
+"""Property tests for policies and candidate generation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.graph import ExecutionGraph
+from repro.core.mincut import CandidatePartition, generate_candidates
+from repro.core.policy import (
+    EvaluationContext,
+    MemoryPartitionPolicy,
+    predict_completion_time,
+)
+from repro.errors import NoBeneficialPartitionError
+from repro.net.wavelan import WAVELAN_11MBPS
+
+
+@st.composite
+def candidate_lists(draw):
+    count = draw(st.integers(min_value=1, max_value=8))
+    candidates = []
+    for index in range(count):
+        candidates.append(CandidatePartition(
+            client_nodes=frozenset({f"c{index}"}),
+            surrogate_nodes=frozenset({f"s{index}"}),
+            cut_count=draw(st.integers(0, 1000)),
+            cut_bytes=draw(st.integers(0, 10**6)),
+            surrogate_memory=draw(st.integers(0, 10**6)),
+            surrogate_cpu=draw(st.floats(0, 100)),
+            client_cpu=draw(st.floats(0, 100)),
+        ))
+    return candidates
+
+
+@st.composite
+def weighted_graphs(draw):
+    node_count = draw(st.integers(min_value=2, max_value=8))
+    nodes = [f"n{i}" for i in range(node_count)]
+    graph = ExecutionGraph()
+    for node in nodes:
+        graph.add_memory(node, draw(st.integers(0, 10_000)))
+    for i in range(node_count):
+        for j in range(i + 1, node_count):
+            if draw(st.booleans()):
+                graph.record_interaction(
+                    nodes[i], nodes[j], draw(st.integers(1, 1000)),
+                    count=draw(st.integers(1, 10)),
+                )
+    return graph, nodes
+
+
+class TestMemoryPolicyProperties:
+    @given(candidate_lists(), st.floats(min_value=0.01, max_value=1.0))
+    @settings(max_examples=80, deadline=None)
+    def test_selection_always_meets_requirement(self, candidates, min_free):
+        policy = MemoryPartitionPolicy(min_free_fraction=min_free)
+        ctx = EvaluationContext(heap_capacity=10**6)
+        try:
+            decision = policy.evaluate(candidates, ctx)
+        except NoBeneficialPartitionError:
+            # Then genuinely nothing was eligible.
+            assert all(
+                c.surrogate_memory < min_free * ctx.heap_capacity
+                for c in candidates
+            )
+            return
+        assert decision.candidate in candidates
+        assert decision.freed_bytes >= min_free * ctx.heap_capacity
+
+    @given(candidate_lists())
+    @settings(max_examples=80, deadline=None)
+    def test_selected_cut_is_minimal_among_eligible(self, candidates):
+        policy = MemoryPartitionPolicy(min_free_fraction=0.10)
+        ctx = EvaluationContext(heap_capacity=10**6)
+        try:
+            decision = policy.evaluate(candidates, ctx)
+        except NoBeneficialPartitionError:
+            return
+        eligible = [
+            c for c in candidates
+            if c.surrogate_memory >= 0.10 * ctx.heap_capacity
+        ]
+        assert decision.candidate.cut_bytes == min(
+            c.cut_bytes for c in eligible
+        )
+
+    @given(candidate_lists())
+    @settings(max_examples=50, deadline=None)
+    def test_raising_min_free_never_lowers_freed_memory(self, candidates):
+        ctx = EvaluationContext(heap_capacity=10**6)
+        freed = []
+        for min_free in (0.05, 0.25, 0.50):
+            try:
+                decision = MemoryPartitionPolicy(min_free).evaluate(
+                    candidates, ctx
+                )
+                freed.append(decision.freed_bytes)
+            except NoBeneficialPartitionError:
+                freed.append(None)
+        # Once the policy starts refusing, it keeps refusing at higher
+        # requirements.
+        seen_refusal = False
+        for value in freed:
+            if value is None:
+                seen_refusal = True
+            else:
+                assert not seen_refusal
+
+
+class TestPredictionProperties:
+    def base_candidate(self, **overrides):
+        fields = dict(
+            client_nodes=frozenset({"c"}),
+            surrogate_nodes=frozenset({"s"}),
+            cut_count=10, cut_bytes=1000, surrogate_memory=1000,
+            surrogate_cpu=5.0, client_cpu=5.0,
+        )
+        fields.update(overrides)
+        return CandidatePartition(**fields)
+
+    def ctx(self):
+        return EvaluationContext(
+            heap_capacity=10**6, client_speed=1.0, surrogate_speed=3.5,
+            link=WAVELAN_11MBPS, total_cpu=10.0,
+        )
+
+    @given(st.integers(0, 10**5), st.integers(0, 10**5))
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_cut_count(self, low, delta):
+        ctx = self.ctx()
+        less = predict_completion_time(
+            self.base_candidate(cut_count=low), ctx
+        )
+        more = predict_completion_time(
+            self.base_candidate(cut_count=low + delta), ctx
+        )
+        assert more >= less
+
+    @given(st.integers(0, 10**8), st.integers(0, 10**8))
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_cut_bytes(self, low, delta):
+        ctx = self.ctx()
+        less = predict_completion_time(
+            self.base_candidate(cut_bytes=low), ctx
+        )
+        more = predict_completion_time(
+            self.base_candidate(cut_bytes=low + delta), ctx
+        )
+        assert more >= less
+
+    def test_faster_surrogate_predicts_faster(self):
+        candidate = self.base_candidate()
+        slow = EvaluationContext(heap_capacity=10**6, surrogate_speed=1.0,
+                                 total_cpu=10.0)
+        fast = EvaluationContext(heap_capacity=10**6, surrogate_speed=4.0,
+                                 total_cpu=10.0)
+        assert (predict_completion_time(candidate, fast)
+                < predict_completion_time(candidate, slow))
+
+
+class TestCandidateChainProperties:
+    @given(weighted_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_client_sets_are_nested(self, graph_nodes):
+        graph, nodes = graph_nodes
+        candidates = generate_candidates(graph, pinned=[nodes[0]])
+        for earlier, later in zip(candidates, candidates[1:]):
+            assert earlier.client_nodes < later.client_nodes
+            assert later.surrogate_nodes < earlier.surrogate_nodes
+
+    @given(weighted_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_memory_is_conserved(self, graph_nodes):
+        graph, nodes = graph_nodes
+        total = graph.total_memory()
+        for candidate in generate_candidates(graph, pinned=[nodes[0]]):
+            client_memory = graph.total_memory(candidate.client_nodes)
+            assert client_memory + candidate.surrogate_memory == total
+
+    @given(weighted_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_candidate_count_bound(self, graph_nodes):
+        graph, nodes = graph_nodes
+        candidates = generate_candidates(graph, pinned=[nodes[0]])
+        # "The number of partitionings that will be evaluated is smaller
+        # than the number of components."
+        assert len(candidates) < graph.node_count

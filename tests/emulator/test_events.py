@@ -1,0 +1,53 @@
+"""Unit tests for trace events and their serialisation."""
+
+import pytest
+
+from repro.emulator.events import (
+    AccessEvent,
+    AllocEvent,
+    FreeEvent,
+    InvokeEvent,
+    WorkEvent,
+    event_from_row,
+)
+from repro.errors import TraceFormatError
+
+
+def sample_events():
+    return [
+        AllocEvent(1, "t.A", 128, "<main>", None),
+        FreeEvent(1),
+        InvokeEvent("t.A", 1, "t.B", 2, "run", "instance", False, 16, 8),
+        InvokeEvent("t.B", 2, "java.lang.Math", None, "sqrt", "native",
+                    True, 8, 8),
+        AccessEvent("t.A", 1, "int[]", 3, 64, True, False),
+        WorkEvent("t.A", None, 0.25),
+    ]
+
+
+class TestRowRoundtrip:
+    @pytest.mark.parametrize("event", sample_events(),
+                             ids=lambda e: e.kind)
+    def test_roundtrip_preserves_fields(self, event):
+        clone = event_from_row(event.to_row())
+        assert type(clone) is type(event)
+        for slot in event.__slots__:
+            assert getattr(clone, slot) == getattr(event, slot)
+
+    def test_invoke_flags(self):
+        native = sample_events()[3]
+        assert native.is_native
+        assert not native.is_static
+        assert native.stateless
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(TraceFormatError):
+            event_from_row(["Z", 1])
+
+    def test_empty_row_rejected(self):
+        with pytest.raises(TraceFormatError):
+            event_from_row([])
+
+    def test_truncated_row_rejected(self):
+        with pytest.raises(TraceFormatError):
+            event_from_row(["A", 1, "t.A"])

@@ -1,0 +1,142 @@
+"""Property and consistency tests for the replayer."""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import DeviceProfile, GCConfig
+from repro.core.policy import OffloadPolicy, TriggerConfig
+from repro.emulator.events import (
+    AccessEvent,
+    AllocEvent,
+    FreeEvent,
+    InvokeEvent,
+    WorkEvent,
+)
+from repro.emulator.replay import EmulatorConfig, TraceReplayer
+from repro.emulator.traces import Trace
+from repro.units import KB
+
+CLASSES = ("app.A", "app.B", "app.C", "ui.Pinned")
+
+
+@st.composite
+def random_traces(draw):
+    """Random but structurally valid traces."""
+    trace = Trace(app_name="random")
+    trace.class_traits = {
+        name: {"native": name.startswith("ui."),
+               "stateful_native": name.startswith("ui.")}
+        for name in CLASSES
+    }
+    trace.class_traits["java.lang.Math"] = {
+        "native": True, "stateful_native": False
+    }
+    live = []
+    next_oid = [1]
+    for _ in range(draw(st.integers(5, 60))):
+        kind = draw(st.sampled_from(
+            ("alloc", "free", "invoke", "access", "work")
+        ))
+        if kind == "alloc":
+            oid = next_oid[0]
+            next_oid[0] += 1
+            trace.append(AllocEvent(
+                oid, draw(st.sampled_from(CLASSES[:3])),
+                draw(st.integers(16, 4 * KB)),
+                draw(st.sampled_from(CLASSES + ("<main>",))), None,
+            ))
+            live.append(oid)
+        elif kind == "free" and live:
+            trace.append(FreeEvent(live.pop(0)))
+        elif kind == "invoke":
+            trace.append(InvokeEvent(
+                draw(st.sampled_from(CLASSES + ("<main>",))), None,
+                draw(st.sampled_from(CLASSES)), None, "m",
+                draw(st.sampled_from(("instance", "static", "native"))),
+                False, draw(st.integers(0, 256)), draw(st.integers(0, 256)),
+            ))
+        elif kind == "access":
+            trace.append(AccessEvent(
+                draw(st.sampled_from(CLASSES + ("<main>",))), None,
+                draw(st.sampled_from(CLASSES)), None,
+                draw(st.integers(1, 1024)), draw(st.booleans()),
+                draw(st.booleans()),
+            ))
+        else:
+            trace.append(WorkEvent(
+                draw(st.sampled_from(CLASSES)), None,
+                draw(st.floats(0.0, 0.5)),
+            ))
+    return trace
+
+
+def config(heap=64 * KB):
+    return EmulatorConfig(
+        client=DeviceProfile("c", cpu_speed=1.0, heap_capacity=heap),
+        surrogate=DeviceProfile("s", cpu_speed=2.0, heap_capacity=1024 * KB),
+        gc=GCConfig(allocations_per_cycle=8, bytes_per_cycle=16 * KB),
+        policy=OffloadPolicy(TriggerConfig(0.25, 1), 0.10),
+        monitoring_event_cost=1e-6,
+    )
+
+
+# Invokes with kind 'native' on classes whose traits say otherwise are
+# routed by the event's own mkind field, which is what the recorder
+# writes; the trait table only drives pinning.
+
+
+class TestReplayProperties:
+    @given(random_traces())
+    @settings(max_examples=40, deadline=None)
+    def test_replay_is_deterministic(self, trace):
+        first = TraceReplayer(trace, config()).run()
+        second = TraceReplayer(trace, config()).run()
+        assert first.total_time == second.total_time
+        assert first.offload_count == second.offload_count
+        assert first.remote_interactions == second.remote_interactions
+        assert first.oom == second.oom
+
+    @given(random_traces())
+    @settings(max_examples=40, deadline=None)
+    def test_total_time_decomposes(self, trace):
+        result = TraceReplayer(trace, config()).run()
+        parts = (
+            result.cpu_time_client
+            + result.cpu_time_surrogate
+            + result.comm_time
+            + result.migration_time
+            + result.gc_pause_time
+            + result.monitoring_time
+        )
+        assert result.total_time == pytest.approx(parts)
+
+    @given(random_traces())
+    @settings(max_examples=40, deadline=None)
+    def test_offload_disabled_has_no_remote_activity(self, trace):
+        cfg = dataclasses.replace(config(heap=1024 * KB),
+                                  offload_enabled=False)
+        result = TraceReplayer(trace, cfg).run()
+        assert result.remote_interactions == 0
+        assert result.comm_time == 0.0
+        assert result.migration_bytes == 0
+        assert result.offload_count == 0
+
+    @given(random_traces())
+    @settings(max_examples=40, deadline=None)
+    def test_bigger_heap_never_increases_gc_cycles(self, trace):
+        small = TraceReplayer(trace, config(heap=32 * KB)).run()
+        large = TraceReplayer(trace, config(heap=1024 * KB)).run()
+        if small.completed and large.completed:
+            assert large.gc_cycles <= small.gc_cycles
+
+    @given(random_traces())
+    @settings(max_examples=40, deadline=None)
+    def test_events_processed_counts_to_failure_point(self, trace):
+        result = TraceReplayer(trace, config()).run()
+        if result.completed:
+            assert result.events_processed == len(trace)
+        else:
+            assert result.events_processed <= len(trace)

@@ -1,0 +1,113 @@
+"""Unit tests for trace containers and persistence."""
+
+import pytest
+
+from repro.emulator.events import AllocEvent, InvokeEvent, WorkEvent
+from repro.emulator.traces import Trace
+from repro.errors import TraceFormatError
+
+
+def make_trace():
+    trace = Trace(app_name="demo", notes="unit test")
+    trace.class_traits = {
+        "ui.Screen": {"native": True, "stateful_native": True},
+        "util.FastMath": {"native": True, "stateful_native": False},
+        "app.Model": {"native": False, "stateful_native": False},
+    }
+    trace.append(AllocEvent(1, "app.Model", 64, "<main>", None))
+    trace.append(InvokeEvent("<main>", None, "app.Model", 1, "run",
+                             "instance", False, 8, 8))
+    trace.append(WorkEvent("app.Model", None, 1.5))
+    return trace
+
+
+class TestTrace:
+    def test_length_and_iteration(self):
+        trace = make_trace()
+        assert len(trace) == 3
+        assert [e.kind for e in trace] == ["alloc", "invoke", "work"]
+
+    def test_pinned_classes_initial_rule(self):
+        trace = make_trace()
+        assert trace.pinned_classes() == ["ui.Screen", "util.FastMath"]
+
+    def test_pinned_classes_with_stateless_enhancement(self):
+        trace = make_trace()
+        assert trace.pinned_classes(stateless_natives_ok=True) == ["ui.Screen"]
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        trace = make_trace()
+        path = tmp_path / "demo.trace"
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert loaded.app_name == "demo"
+        assert loaded.notes == "unit test"
+        assert loaded.class_traits == trace.class_traits
+        assert len(loaded) == len(trace)
+        assert loaded.events[0].class_name == "app.Model"
+        assert loaded.events[2].seconds == 1.5
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.trace"
+        path.write_text("")
+        with pytest.raises(TraceFormatError):
+            Trace.load(path)
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("not json\n")
+        with pytest.raises(TraceFormatError):
+            Trace.load(path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "old.trace"
+        path.write_text('{"version": 99, "events": 0}\n')
+        with pytest.raises(TraceFormatError):
+            Trace.load(path)
+
+    def test_truncated_event_stream_rejected(self, tmp_path):
+        trace = make_trace()
+        path = tmp_path / "trunc.trace"
+        trace.save(path)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n")
+        with pytest.raises(TraceFormatError):
+            Trace.load(path)
+
+    def test_malformed_event_line_rejected(self, tmp_path):
+        path = tmp_path / "noise.trace"
+        path.write_text(
+            '{"version": 1, "app": "x", "class_traits": {}, "events": 1}\n'
+            "{broken\n"
+        )
+        with pytest.raises(TraceFormatError):
+            Trace.load(path)
+
+
+class TestGzipPersistence:
+    def test_gz_suffix_roundtrips_compressed(self, tmp_path):
+        trace = make_trace()
+        plain = tmp_path / "demo.trace"
+        packed = tmp_path / "demo.trace.gz"
+        trace.save(plain)
+        trace.save(packed)
+        loaded = Trace.load(packed)
+        assert len(loaded) == len(trace)
+        assert loaded.class_traits == trace.class_traits
+        # It really is gzip on disk.
+        assert packed.read_bytes()[:2] == b"\x1f\x8b"
+
+    def test_large_trace_compresses_well(self, tmp_path):
+        from repro.emulator.events import AccessEvent
+
+        trace = make_trace()
+        for index in range(2000):
+            trace.append(AccessEvent("app.Model", None, "int[]", index,
+                                     64, True, False))
+        plain = tmp_path / "big.trace"
+        packed = tmp_path / "big.trace.gz"
+        trace.save(plain)
+        trace.save(packed)
+        assert packed.stat().st_size < plain.stat().st_size / 4

@@ -1,0 +1,70 @@
+"""Unit tests for shared experiment infrastructure."""
+
+import pytest
+
+from repro.config import DeviceProfile
+from repro.core.policy import OffloadPolicy
+from repro.emulator import UNCONSTRAINED_HEAP
+from repro.experiments.common import (
+    CLIENT_6MB,
+    CPU_OFFLOAD_EVENT_FRACTION,
+    PaperReference,
+    SURROGATE_35X,
+    SURROGATE_SAME_SPEED,
+    cpu_emulator_config,
+    javanote_memory,
+    javanote_monitoring,
+    memory_emulator_config,
+)
+from repro.units import MB
+
+
+class TestPaperConstants:
+    def test_client_is_the_6mb_jornada(self):
+        assert CLIENT_6MB.heap_capacity == 6 * MB
+        assert CLIENT_6MB.cpu_speed == 1.0
+
+    def test_surrogate_speed_ratio(self):
+        assert SURROGATE_35X.cpu_speed == pytest.approx(3.5)
+        assert SURROGATE_SAME_SPEED.cpu_speed == 1.0
+
+    def test_memory_config_uses_same_speed_surrogate(self):
+        config = memory_emulator_config()
+        assert config.surrogate.cpu_speed == config.client.cpu_speed
+        assert config.client.heap_capacity == 6 * MB
+        assert config.policy.trigger.free_threshold == 0.05
+
+    def test_cpu_config_uses_asymmetric_devices(self):
+        config = cpu_emulator_config(offload_at_event=100)
+        assert config.surrogate.cpu_speed == pytest.approx(3.5)
+        assert config.offload_at_event == 100
+        # The CPU experiments are not memory-constrained.
+        assert config.client.heap_capacity == UNCONSTRAINED_HEAP
+
+    def test_offload_fractions_cover_cpu_workloads(self):
+        assert set(CPU_OFFLOAD_EVENT_FRACTION) == {
+            "voxel", "tracer", "biomer"
+        }
+        assert all(0 < f < 1 for f in CPU_OFFLOAD_EVENT_FRACTION.values())
+
+
+class TestWorkloadFactories:
+    def test_memory_scenario_is_the_600kb_editor(self):
+        app = javanote_memory()
+        assert app.document_bytes == 600 * 1024
+        assert app.fidelity == "coarse"
+
+    def test_monitoring_scenario_is_fine_grained(self):
+        app = javanote_monitoring()
+        assert app.fidelity == "fine"
+
+    def test_factories_return_fresh_instances(self):
+        assert javanote_memory() is not javanote_memory()
+
+
+class TestPaperReference:
+    def test_row_formatting(self):
+        ref = PaperReference("overhead", "4.8%", "3.7%")
+        row = ref.row()
+        assert "overhead" in row
+        assert row.endswith("3.7%")

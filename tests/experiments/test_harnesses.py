@@ -1,0 +1,112 @@
+"""Integration tests for the experiment harnesses.
+
+These exercise each harness's machinery on the cheapest workload (Dia)
+or with reduced sweeps; the full paper-scale regenerations — and their
+shape assertions — live in ``benchmarks/``.
+"""
+
+import pytest
+
+from repro.core.policy import OffloadPolicy, TriggerConfig
+from repro.experiments import (
+    cached_trace,
+    clear_trace_cache,
+    format_catalog,
+    format_memory_rescue,
+    format_native_shares,
+    format_overheads,
+    format_policy_sweeps,
+    run_catalog,
+    run_native_share,
+    run_overhead,
+    run_policy_sweep,
+)
+from repro.experiments.exp_overhead import MEMORY_WORKLOADS
+
+
+class TestCatalog:
+    def test_rows_and_formatting(self):
+        rows = run_catalog()
+        assert len(rows) == 5
+        rendered = format_catalog(rows)
+        assert "Table 1" in rendered
+        assert "javanote" in rendered
+
+
+class TestTraceCache:
+    def test_cache_returns_same_object(self):
+        first = cached_trace("dia", MEMORY_WORKLOADS["dia"])
+        second = cached_trace("dia", MEMORY_WORKLOADS["dia"])
+        assert first is second
+
+    def test_variants_are_distinct_keys(self):
+        base = cached_trace("dia", MEMORY_WORKLOADS["dia"])
+        other = cached_trace("dia", MEMORY_WORKLOADS["dia"],
+                             variant="again")
+        assert base is not other
+
+    def test_clear(self):
+        first = cached_trace("dia", MEMORY_WORKLOADS["dia"])
+        clear_trace_cache()
+        second = cached_trace("dia", MEMORY_WORKLOADS["dia"])
+        assert first is not second
+
+
+class TestOverheadHarness:
+    def test_dia_overhead_row(self):
+        row = run_overhead("dia")
+        assert row.completed
+        assert row.offloaded_seconds > row.original_seconds
+        assert row.overhead_fraction == pytest.approx(
+            (row.offloaded_seconds - row.original_seconds)
+            / row.original_seconds
+        )
+        rendered = format_overheads([row])
+        assert "dia" in rendered
+        assert "8.5%" in rendered  # the paper column
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(KeyError):
+            run_overhead("doom")
+
+
+class TestNativeHarness:
+    def test_dia_native_share(self):
+        row = run_native_share("dia")
+        assert 0 < row.remote_native_invocations <= row.total_remote_invocations
+        assert 0 < row.native_share_of_invocations < 1
+        rendered = format_native_shares([row])
+        assert "native share" in rendered
+
+
+class TestPolicyHarness:
+    def test_reduced_sweep(self):
+        policies = [
+            OffloadPolicy(TriggerConfig(0.05, 3), 0.20),
+            OffloadPolicy(TriggerConfig(0.50, 1), 0.10),
+        ]
+        row = run_policy_sweep("dia", policies=policies)
+        assert row.policies_swept == 2
+        assert row.policies_completed >= 1
+        assert row.best_seconds <= row.initial_seconds
+        rendered = format_policy_sweeps([row])
+        assert "dia best policy" in rendered
+
+
+class TestMemoryRescueFormatting:
+    def test_formatting_without_running(self):
+        from repro.experiments.exp_memory import MemoryRescueResult
+
+        result = MemoryRescueResult(
+            unmodified_failed=True, oom_message="boom", rescued=True,
+            elapsed=320.0, offload_count=1, freed_bytes=5_662_310,
+            freed_fraction=0.90, heap_capacity=6 * 1024 * 1024,
+            cut_bytes=12345, predicted_bandwidth=30_000.0,
+            partition_compute_seconds=0.0003, candidates_evaluated=11,
+            client_classes=85, offloaded_classes=11,
+            migrated_bytes=5_700_000,
+        )
+        rendered = format_memory_rescue(result)
+        assert "fails (OOM)" in rendered
+        assert "90.0%" in rendered
+        assert "~100KB/s" in rendered

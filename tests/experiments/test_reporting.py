@@ -1,0 +1,48 @@
+"""Unit tests for experiment report formatting."""
+
+from repro.experiments.reporting import (
+    comparison_block,
+    header,
+    pct,
+    secs,
+    size,
+    table,
+)
+
+
+class TestFormatters:
+    def test_pct(self):
+        assert pct(0.048) == "4.8%"
+        assert pct(0.0) == "0.0%"
+
+    def test_secs_and_size(self):
+        assert secs(31.59) == "31.59s"
+        assert size(6 * 1024 * 1024) == "6.0MB"
+
+    def test_header_contains_title(self):
+        block = header("Figure 6")
+        assert "Figure 6" in block
+        assert block.startswith("=")
+
+    def test_table_alignment(self):
+        rendered = table(["app", "time"], [["javanote", "315s"]],
+                         widths=[10, 8])
+        lines = rendered.splitlines()
+        assert lines[0].startswith("app")
+        assert lines[1].startswith("-" * 10)
+        assert "javanote" in lines[2]
+        assert lines[2].endswith("315s")
+
+    def test_table_auto_widths(self):
+        rendered = table(["a", "b"], [["x" * 12, "y"]])
+        assert "x" * 12 in rendered
+
+    def test_table_no_rows(self):
+        rendered = table(["col"], [])
+        assert "col" in rendered
+
+    def test_comparison_block(self):
+        block = comparison_block("T", [["q", "1", "2"]])
+        assert "T" in block
+        assert "paper" in block
+        assert "measured" in block

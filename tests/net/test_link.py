@@ -1,0 +1,57 @@
+"""Unit tests for the link model and profiles."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.link import LinkModel
+from repro.net.wavelan import (
+    ALL_PROFILES,
+    ETHERNET_100MBPS,
+    GPRS_50KBPS,
+    WAVELAN_11MBPS,
+)
+
+
+class TestLinkModel:
+    def test_wavelan_matches_paper_constants(self):
+        assert WAVELAN_11MBPS.bandwidth_bps == 11_000_000
+        assert WAVELAN_11MBPS.rtt == pytest.approx(2.4e-3)
+
+    def test_null_rpc_costs_one_round_trip(self):
+        assert WAVELAN_11MBPS.round_trip(0, 0) == pytest.approx(
+            WAVELAN_11MBPS.rtt
+        )
+
+    def test_one_way_includes_serialisation_time(self):
+        link = LinkModel("t", bandwidth_bps=8_000_000, latency_s=0.001)
+        # 1000 bytes at 8 Mbps = 1 ms on the wire + 1 ms latency.
+        assert link.one_way(1000) == pytest.approx(0.002)
+
+    def test_bulk_transfer_charges_single_latency(self):
+        link = LinkModel("t", bandwidth_bps=8_000_000, latency_s=0.001)
+        assert link.bulk_transfer(1_000_000) == pytest.approx(1.001)
+
+    def test_round_trip_asymmetric_payloads(self):
+        link = LinkModel("t", bandwidth_bps=8_000_000, latency_s=0.0)
+        assert link.round_trip(1000, 500) == pytest.approx(0.0015)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LinkModel("t", bandwidth_bps=0, latency_s=0.1)
+        with pytest.raises(ConfigurationError):
+            LinkModel("t", bandwidth_bps=1, latency_s=-0.1)
+        with pytest.raises(ConfigurationError):
+            WAVELAN_11MBPS.one_way(-1)
+
+    def test_profiles_ordering(self):
+        # Sanity: the wired LAN beats WaveLAN beats GPRS for any message.
+        for nbytes in (0, 100, 100_000):
+            assert (
+                ETHERNET_100MBPS.one_way(nbytes)
+                < WAVELAN_11MBPS.one_way(nbytes)
+                < GPRS_50KBPS.one_way(nbytes)
+            )
+
+    def test_all_profiles_listed(self):
+        assert WAVELAN_11MBPS in ALL_PROFILES
+        assert len({p.name for p in ALL_PROFILES}) == len(ALL_PROFILES)

@@ -1,0 +1,31 @@
+"""Unit tests for traffic accounting."""
+
+import pytest
+
+from repro.net.stats import TrafficStats
+
+
+class TestTrafficStats:
+    def test_record_accumulates(self):
+        stats = TrafficStats()
+        stats.record(100, "rpc")
+        stats.record(50, "rpc")
+        stats.record(1000, "migration")
+        assert stats.messages == 3
+        assert stats.bytes == 1150
+        assert stats.category("rpc").messages == 2
+        assert stats.category("rpc").bytes == 150
+        assert stats.category("migration").bytes == 1000
+
+    def test_unknown_category_is_empty(self):
+        stats = TrafficStats()
+        assert stats.category("nothing").messages == 0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            TrafficStats().record(-1)
+
+    def test_default_category_is_rpc(self):
+        stats = TrafficStats()
+        stats.record(10)
+        assert stats.category("rpc").bytes == 10

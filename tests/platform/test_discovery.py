@@ -1,0 +1,98 @@
+"""Unit tests for surrogate discovery and selection."""
+
+import pytest
+
+from repro.config import DeviceProfile
+from repro.errors import PlatformError, SurrogateUnavailableError
+from repro.net.wavelan import (
+    BLUETOOTH_1MBPS,
+    ETHERNET_100MBPS,
+    WAVELAN_11MBPS,
+)
+from repro.platform.discovery import SurrogateDirectory, SurrogateOffer
+from repro.units import MB
+
+
+def offer(name, speed=3.5, heap=64 * MB, link=WAVELAN_11MBPS, load=0.0):
+    return SurrogateOffer(
+        name=name,
+        device=DeviceProfile(name, cpu_speed=speed, heap_capacity=heap),
+        link=link,
+        load=load,
+    )
+
+
+class TestOffer:
+    def test_effective_speed_discounts_load(self):
+        assert offer("a", speed=4.0, load=0.5).effective_speed == 2.0
+
+    def test_invalid_load_rejected(self):
+        with pytest.raises(PlatformError):
+            offer("a", load=1.5)
+
+
+class TestDirectory:
+    def test_advertise_and_list(self):
+        directory = SurrogateDirectory()
+        directory.advertise(offer("b"))
+        directory.advertise(offer("a"))
+        assert [o.name for o in directory.offers()] == ["a", "b"]
+        assert len(directory) == 2
+
+    def test_latest_advertisement_wins(self):
+        directory = SurrogateDirectory()
+        directory.advertise(offer("a", load=0.0))
+        directory.advertise(offer("a", load=0.9))
+        assert directory.offers()[0].load == 0.9
+        assert len(directory) == 1
+
+    def test_withdraw(self):
+        directory = SurrogateDirectory()
+        directory.advertise(offer("a"))
+        directory.withdraw("a")
+        assert len(directory) == 0
+        with pytest.raises(PlatformError):
+            directory.withdraw("a")
+
+
+class TestSelection:
+    def test_lowest_rtt_wins(self):
+        directory = SurrogateDirectory()
+        directory.advertise(offer("wired", link=ETHERNET_100MBPS))
+        directory.advertise(offer("wireless", link=WAVELAN_11MBPS))
+        directory.advertise(offer("bt", link=BLUETOOTH_1MBPS))
+        assert directory.select().name == "wired"
+
+    def test_speed_breaks_rtt_ties(self):
+        directory = SurrogateDirectory()
+        directory.advertise(offer("slow", speed=1.0))
+        directory.advertise(offer("fast", speed=8.0))
+        assert directory.select().name == "fast"
+
+    def test_heap_requirement_filters(self):
+        directory = SurrogateDirectory()
+        directory.advertise(offer("small", heap=1 * MB, link=ETHERNET_100MBPS))
+        directory.advertise(offer("big", heap=64 * MB))
+        assert directory.select(min_free_heap=32 * MB).name == "big"
+
+    def test_rtt_bound_filters(self):
+        directory = SurrogateDirectory()
+        directory.advertise(offer("bt", link=BLUETOOTH_1MBPS))
+        with pytest.raises(SurrogateUnavailableError):
+            directory.select(max_rtt=5e-3)
+
+    def test_loaded_surrogate_filtered_by_speed_floor(self):
+        directory = SurrogateDirectory()
+        directory.advertise(offer("busy", speed=4.0, load=0.9))
+        with pytest.raises(SurrogateUnavailableError):
+            directory.select(min_effective_speed=1.0)
+
+    def test_empty_directory_raises(self):
+        with pytest.raises(SurrogateUnavailableError):
+            SurrogateDirectory().select()
+
+    def test_deterministic_name_tiebreak(self):
+        directory = SurrogateDirectory()
+        directory.advertise(offer("zeta"))
+        directory.advertise(offer("alpha"))
+        assert directory.select().name == "alpha"

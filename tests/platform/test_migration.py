@@ -1,0 +1,119 @@
+"""Unit tests for object migration."""
+
+import pytest
+
+from repro.config import EnhancementFlags
+from repro.core.graph import object_node_id
+from repro.errors import MigrationError
+from repro.units import KB
+
+from tests.helpers import define_worker_classes, make_platform
+
+
+@pytest.fixture
+def platform():
+    platform = make_platform()
+    define_worker_classes(platform.registry)
+    return platform
+
+
+def rooted_stores(platform, count=3):
+    stores = []
+    for index in range(count):
+        store = platform.ctx.new("data.Store")
+        platform.client.vm.set_root(f"store-{index}", store)
+        stores.append(store)
+    return stores
+
+
+class TestApplyPlacement:
+    def test_moves_all_objects_of_offloaded_class(self, platform):
+        stores = rooted_stores(platform)
+        outcome = platform.migrator.apply_placement(frozenset({"data.Store"}))
+        assert outcome.moved_objects == 3
+        for store in stores:
+            assert store.home == "surrogate"
+            assert platform.surrogate.vm.heap.contains(store)
+        assert outcome.moved_bytes > sum(s.size_bytes for s in stores)
+
+    def test_untouched_classes_stay_home(self, platform):
+        panel = platform.ctx.new("ui.Panel")
+        platform.client.vm.set_root("panel", panel)
+        rooted_stores(platform)
+        platform.migrator.apply_placement(frozenset({"data.Store"}))
+        assert panel.home == "client"
+
+    def test_migration_charges_link_time_and_traffic(self, platform):
+        rooted_stores(platform)
+        before = platform.clock.now
+        outcome = platform.migrator.apply_placement(frozenset({"data.Store"}))
+        assert platform.clock.now - before == pytest.approx(outcome.seconds)
+        migration = platform.traffic.category("migration")
+        assert migration.messages == 1
+        assert migration.bytes == outcome.moved_bytes
+
+    def test_reverse_migration_brings_objects_home(self, platform):
+        stores = rooted_stores(platform)
+        platform.migrator.apply_placement(frozenset({"data.Store"}))
+        outcome = platform.migrator.return_everything()
+        assert outcome.moved_objects == 3
+        for store in stores:
+            assert store.home == "client"
+
+    def test_placement_is_idempotent(self, platform):
+        rooted_stores(platform)
+        platform.migrator.apply_placement(frozenset({"data.Store"}))
+        outcome = platform.migrator.apply_placement(frozenset({"data.Store"}))
+        assert outcome.moved_objects == 0
+        assert outcome.moved_bytes == 0
+
+    def test_main_pseudo_node_cannot_move(self, platform):
+        with pytest.raises(MigrationError):
+            platform.migrator.apply_placement(frozenset({"<main>"}))
+
+    def test_client_memory_is_actually_freed(self, platform):
+        rooted_stores(platform, count=5)
+        used_before = platform.client.vm.heap.used
+        platform.migrator.apply_placement(frozenset({"data.Store"}))
+        assert platform.client.vm.heap.used < used_before
+
+
+class TestCapacity:
+    def test_migration_into_full_surrogate_fails_cleanly(self):
+        platform = make_platform(surrogate_heap=1 * KB)
+        define_worker_classes(platform.registry)
+        arr = platform.ctx.new_array("char", 2048)
+        platform.client.vm.set_root("arr", arr)
+        with pytest.raises(MigrationError):
+            platform.migrator.apply_placement(frozenset({"char[]"}))
+        # Residency is unchanged after the failure.
+        assert arr.home == "client"
+        assert platform.client.vm.heap.contains(arr)
+
+
+class TestObjectGranularity:
+    def test_individual_arrays_move_under_array_enhancement(self):
+        platform = make_platform(
+            flags=EnhancementFlags(arrays_object_granularity=True)
+        )
+        define_worker_classes(platform.registry)
+        ctx = platform.ctx
+        first = ctx.new_array("int", 100)
+        second = ctx.new_array("int", 100)
+        platform.client.vm.set_root("first", first)
+        platform.client.vm.set_root("second", second)
+        node = object_node_id("int[]", second.oid)
+        platform.migrator.apply_placement(frozenset({node}))
+        assert first.home == "client"
+        assert second.home == "surrogate"
+
+    def test_class_node_does_not_move_tracked_arrays(self):
+        platform = make_platform(
+            flags=EnhancementFlags(arrays_object_granularity=True)
+        )
+        define_worker_classes(platform.registry)
+        arr = platform.ctx.new_array("int", 100)
+        platform.client.vm.set_root("arr", arr)
+        # At object granularity the class name no longer matches arrays.
+        platform.migrator.apply_placement(frozenset({"int[]"}))
+        assert arr.home == "client"

@@ -1,0 +1,69 @@
+"""Property tests for migration: placements are convergent and lossless."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.helpers import define_worker_classes, make_platform
+
+CLASSES = ("data.Store", "data.Worker", "ui.Panel")
+
+
+@st.composite
+def populations_and_placements(draw):
+    population = {
+        name: draw(st.integers(min_value=0, max_value=5))
+        for name in CLASSES
+    }
+    offloadable = {"data.Store", "data.Worker"}
+    placements = draw(st.lists(
+        st.sets(st.sampled_from(sorted(offloadable))),
+        min_size=1, max_size=4,
+    ))
+    return population, [frozenset(p) for p in placements]
+
+
+class TestMigrationProperties:
+    @given(populations_and_placements())
+    @settings(max_examples=30, deadline=None)
+    def test_placements_are_lossless_and_convergent(self, scenario):
+        population, placements = scenario
+        platform = make_platform()
+        define_worker_classes(platform.registry)
+        objects = []
+        for class_name, count in population.items():
+            for index in range(count):
+                obj = platform.ctx.new(class_name)
+                platform.client.vm.set_root(
+                    f"{class_name}-{index}", obj
+                )
+                objects.append(obj)
+        total = len(objects)
+        for placement in placements:
+            platform.migrator.apply_placement(placement)
+            # No object is ever lost or duplicated.
+            live = (platform.client.vm.heap.live_count
+                    + platform.surrogate.vm.heap.live_count)
+            assert live == total
+            # Residency matches the placement exactly.
+            for obj in objects:
+                expected = ("surrogate" if obj.class_name in placement
+                            else "client")
+                assert obj.home == expected
+        # Re-applying the final placement moves nothing.
+        outcome = platform.migrator.apply_placement(placements[-1])
+        assert outcome.moved_objects == 0
+
+    @given(populations_and_placements())
+    @settings(max_examples=20, deadline=None)
+    def test_return_everything_always_converges_home(self, scenario):
+        population, placements = scenario
+        platform = make_platform()
+        define_worker_classes(platform.registry)
+        for class_name, count in population.items():
+            for index in range(count):
+                obj = platform.ctx.new(class_name)
+                platform.client.vm.set_root(f"{class_name}-{index}", obj)
+        for placement in placements:
+            platform.migrator.apply_placement(placement)
+        platform.migrator.return_everything()
+        assert platform.surrogate.vm.heap.live_count == 0

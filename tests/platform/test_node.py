@@ -1,0 +1,45 @@
+"""Unit tests for device nodes."""
+
+from repro.config import DeviceProfile, VMConfig
+from repro.platform.node import make_client_node, make_surrogate_node
+from repro.units import MB
+from repro.vm.classloader import ClassRegistry
+from repro.vm.clock import VirtualClock
+
+
+class TestNodes:
+    def make(self):
+        registry = ClassRegistry()
+        clock = VirtualClock()
+        client = make_client_node(
+            VMConfig(device=DeviceProfile("pda", 1.0, 6 * MB)),
+            registry, clock,
+        )
+        surrogate = make_surrogate_node(
+            VMConfig(device=DeviceProfile("pc", 3.5, 64 * MB)),
+            registry, clock,
+        )
+        return client, surrogate
+
+    def test_roles_and_names(self):
+        client, surrogate = self.make()
+        assert client.role == "client"
+        assert surrogate.role == "surrogate"
+        assert client.vm.name == "client"
+        assert surrogate.vm.name == "surrogate"
+
+    def test_shared_clock_and_registry(self):
+        client, surrogate = self.make()
+        assert client.vm.clock is surrogate.vm.clock
+        assert client.vm.registry is surrogate.vm.registry
+
+    def test_device_and_free_heap(self):
+        client, _ = self.make()
+        assert client.device.name == "pda"
+        assert client.free_heap == 6 * MB
+        obj = client.vm.new_array("int", 100)
+        assert client.free_heap == 6 * MB - obj.size_bytes
+
+    def test_repr(self):
+        client, _ = self.make()
+        assert "client" in repr(client)

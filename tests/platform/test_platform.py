@@ -1,0 +1,248 @@
+"""Integration tests: the full trigger → partition → migrate loop."""
+
+import pytest
+
+from repro.config import DeviceProfile, EnhancementFlags, GCConfig, VMConfig
+from repro.errors import OutOfMemoryError, PlatformError
+from repro.net.wavelan import ETHERNET_100MBPS, WAVELAN_11MBPS
+from repro.platform.discovery import SurrogateDirectory, SurrogateOffer
+from repro.platform.platform import DistributedPlatform
+from repro.units import KB, MB
+from repro.vm.session import LocalSession
+
+from tests.helpers import make_platform, quiet_gc
+
+
+class HoarderApp:
+    """Allocates segments into a rooted list until told to stop.
+
+    The display class has a stateful native, so it pins to the client;
+    the segments are pure data and can offload.
+    """
+
+    name = "hoarder"
+
+    def __init__(self, segments=60, segment_chars=2048, draw_every=4):
+        self.segments = segments
+        self.segment_chars = segment_chars
+        self.draw_every = draw_every
+
+    def install(self, registry):
+        if registry.has_class("hoard.Display"):
+            return
+        registry.define("hoard.Display") \
+            .native_method("draw", func=lambda ctx, s, n: ctx.work(1e-7),
+                           cpu_cost=1e-7) \
+            .register()
+
+        def append(ctx, self_obj, chars):
+            buf = ctx.new_array("char", chars)
+            # Fill the buffer: couples char[] to Document in the graph,
+            # as any real editor's access pattern would.
+            ctx.array_write(buf, chars)
+            holder = ctx.new("hoard.Segment", buffer=buf)
+            chain = ctx.get_field(self_obj, "head")
+            ctx.set_field(holder, "next", chain)
+            if chain is not None:
+                previous = ctx.get_field(chain, "buffer")
+                ctx.array_read(previous, 16)
+            ctx.set_field(self_obj, "head", holder)
+            count = ctx.get_field(self_obj, "count")
+            ctx.set_field(self_obj, "count", count + 1)
+            return count + 1
+
+        registry.define("hoard.Segment") \
+            .field("buffer") \
+            .field("next") \
+            .register()
+        registry.define("hoard.Document") \
+            .field("head") \
+            .field("count", "int", default=0) \
+            .method("append", func=append, cpu_cost=5e-6) \
+            .register()
+
+    def main(self, ctx):
+        doc = ctx.new("hoard.Document")
+        ctx.set_global("doc", doc)
+        display = ctx.new("hoard.Display")
+        ctx.set_global("display", display)
+        for index in range(self.segments):
+            ctx.invoke(doc, "append", self.segment_chars)
+            if index % self.draw_every == 0:
+                ctx.invoke(display, "draw", 64)
+
+
+def pressure_gc():
+    """GC config that reports frequently under pressure (Chai-like)."""
+    return GCConfig(space_pressure_fraction=0.10,
+                    allocations_per_cycle=50,
+                    bytes_per_cycle=64 * KB)
+
+
+class TestMemoryRescue:
+    def test_unmodified_vm_runs_out_of_memory(self):
+        config = VMConfig(
+            device=DeviceProfile("jornada", heap_capacity=128 * KB),
+            gc=pressure_gc(),
+            monitoring_event_cost=0.0,
+        )
+        session = LocalSession(config)
+        app = HoarderApp(segments=60)
+        app.install(session.registry)
+        with pytest.raises(OutOfMemoryError):
+            app.main(session.ctx)
+
+    def test_platform_rescues_the_same_run(self):
+        platform = make_platform(
+            client_heap=128 * KB, gc=pressure_gc(), tolerance=1,
+        )
+        report = platform.run(HoarderApp(segments=60))
+        assert report.offload_count >= 1
+        assert report.migrated_bytes > 0
+        # The offloaded segments really live on the surrogate now.
+        assert platform.surrogate.vm.heap.used > 0
+
+    def test_offload_decision_respects_min_free(self):
+        platform = make_platform(
+            client_heap=128 * KB, gc=pressure_gc(), tolerance=1, min_free=0.20,
+        )
+        platform.run(HoarderApp(segments=60))
+        event = platform.engine.performed_events[0]
+        assert event.decision.freed_bytes >= 0.20 * 128 * KB
+
+    def test_pinned_display_never_moves(self):
+        platform = make_platform(
+            client_heap=128 * KB, gc=pressure_gc(), tolerance=1,
+        )
+        platform.run(HoarderApp(segments=60))
+        display = platform.ctx.get_global("display")
+        assert display.home == "client"
+
+    def test_remote_interactions_counted_after_offload(self):
+        platform = make_platform(
+            client_heap=128 * KB, gc=pressure_gc(), tolerance=1,
+        )
+        report = platform.run(HoarderApp(segments=60))
+        # Post-offload appends touch remote segments/documents.
+        assert platform.monitor.remote.total_remote > 0
+        assert report.rpc_bytes > 0
+
+    def test_execution_graph_grows_during_run(self):
+        platform = make_platform(client_heap=512 * KB, gc=pressure_gc())
+        platform.run(HoarderApp(segments=10))
+        graph = platform.monitor.graph
+        assert graph.has_node("hoard.Document")
+        assert graph.edge("hoard.Document", "hoard.Segment") is not None
+
+
+class TestPlacementRouting:
+    def test_new_objects_created_on_current_site(self):
+        platform = make_platform(
+            client_heap=128 * KB, gc=pressure_gc(), tolerance=1,
+        )
+        platform.run(HoarderApp(segments=60))
+        doc = platform.ctx.get_global("doc")
+        if doc.home == "surrogate":
+            # append() executes on the surrogate; the new segment is
+            # created there ("created on the VM performing the creation").
+            before = platform.surrogate.vm.heap.live_count
+            platform.ctx.invoke(doc, "append", 16)
+            assert platform.surrogate.vm.heap.live_count > before
+
+    def test_native_methods_route_back_to_client(self):
+        platform = make_platform(client_heap=4 * MB)
+        platform.run(HoarderApp(segments=5))
+        doc = platform.ctx.get_global("doc")
+        platform.migrator.apply_placement(
+            frozenset({"hoard.Document", "hoard.Segment", "char[]"})
+        )
+        remote_natives_before = platform.monitor.remote.remote_native_invocations
+
+        def poke(ctx):
+            display = ctx.get_global("display")
+            ctx.invoke(doc, "append", 8)
+            ctx.invoke(display, "draw", 8)
+
+        poke(platform.ctx)
+        # draw() ran on the client even though called after remote work;
+        # calling it from surrogate-side code is what counts it remote,
+        # so here we just assert it never migrated.
+        display = platform.ctx.get_global("display")
+        assert display.home == "client"
+        assert (
+            platform.monitor.remote.remote_native_invocations
+            == remote_natives_before
+        )
+
+
+class TestLifecycle:
+    def test_from_discovery_uses_best_offer(self):
+        directory = SurrogateDirectory()
+        directory.advertise(SurrogateOffer(
+            "lan-server",
+            DeviceProfile("lan-server", cpu_speed=8.0, heap_capacity=64 * MB),
+            ETHERNET_100MBPS,
+        ))
+        directory.advertise(SurrogateOffer(
+            "wifi-box",
+            DeviceProfile("wifi-box", cpu_speed=2.0, heap_capacity=16 * MB),
+            WAVELAN_11MBPS,
+        ))
+        platform = DistributedPlatform.from_discovery(directory)
+        assert platform.surrogate.device.name == "lan-server"
+        assert platform.link is ETHERNET_100MBPS
+
+    def test_teardown_returns_state_and_blocks_reuse(self):
+        platform = make_platform(
+            client_heap=128 * KB, gc=pressure_gc(), tolerance=1,
+        )
+        platform.run(HoarderApp(segments=22))
+        if platform.engine.offload_count:
+            assert platform.surrogate.vm.heap.used > 0
+        platform.teardown()
+        assert platform.surrogate.vm.heap.used == 0
+        with pytest.raises(PlatformError):
+            platform.run(HoarderApp(segments=1))
+
+    def test_teardown_fails_when_state_outgrew_the_client(self):
+        from repro.errors import MigrationError
+
+        platform = make_platform(
+            client_heap=128 * KB, gc=pressure_gc(), tolerance=1,
+        )
+        # The application's live data has grown past the client's heap;
+        # the ad-hoc platform cannot be dissolved without losing state.
+        platform.run(HoarderApp(segments=60))
+        with pytest.raises(MigrationError):
+            platform.teardown()
+
+    def test_report_fields(self):
+        platform = make_platform(client_heap=1 * MB)
+        report = platform.run(HoarderApp(segments=5))
+        assert report.app_name == "hoarder"
+        assert report.elapsed > 0
+        assert report.offload_count == 0
+        assert report.client_heap_used > 0
+
+
+class TestEnhancedPlacement:
+    def test_array_enhancement_tracks_int_arrays_per_object(self):
+        platform = make_platform(
+            flags=EnhancementFlags(arrays_object_granularity=True),
+        )
+
+        class ArrayApp:
+            name = "arrays"
+
+            def install(self, registry):
+                pass
+
+            def main(self, ctx):
+                holder = ctx.new_array("int", 64)
+                ctx.set_global("a", holder)
+                ctx.array_write(holder, 64)
+
+        platform.run(ArrayApp())
+        arr = platform.ctx.get_global("a")
+        node = f"int[]#{arr.oid}"
+        assert platform.monitor.graph.has_node(node)

@@ -1,0 +1,74 @@
+"""End-to-end tests for hint-driven and profile-warmed platforms."""
+
+import pytest
+
+from repro.core.hints import PlacementHints, interaction_profile
+from repro.units import KB
+
+from tests.helpers import make_platform
+from tests.platform.test_platform import HoarderApp, pressure_gc
+
+
+def run_platform(**kwargs):
+    from repro.config import DeviceProfile, VMConfig
+    from repro.core.policy import OffloadPolicy, TriggerConfig
+    from repro.platform.platform import DistributedPlatform
+    from repro.units import MB
+
+    platform = DistributedPlatform(
+        client_config=VMConfig(
+            device=DeviceProfile("jornada", 1.0, 128 * KB),
+            gc=pressure_gc(), monitoring_event_cost=0.0),
+        surrogate_config=VMConfig(
+            device=DeviceProfile("pc", 1.0, 64 * MB),
+            gc=pressure_gc(), monitoring_event_cost=0.0),
+        offload_policy=OffloadPolicy(TriggerConfig(0.05, 1), 0.20),
+        **kwargs,
+    )
+    platform.run(HoarderApp(segments=60))
+    return platform
+
+
+class TestHintedPlatform:
+    def test_pin_local_hint_is_respected_end_to_end(self):
+        platform = run_platform(
+            hints=PlacementHints(pin_local=frozenset({"hoard.Document"}))
+        )
+        assert platform.engine.offload_count == 1
+        doc = platform.ctx.get_global("doc")
+        assert doc.home == "client"
+        decision = platform.engine.performed_events[0].decision
+        assert "hoard.Document" not in decision.offload_nodes
+
+    def test_keep_together_hint_is_respected_end_to_end(self):
+        platform = run_platform(
+            hints=PlacementHints(
+                keep_together=(
+                    frozenset({"hoard.Document", "hoard.Segment"}),
+                ),
+            )
+        )
+        decision = platform.engine.performed_events[0].decision
+        pair = {"hoard.Document", "hoard.Segment"}
+        assert (pair <= set(decision.offload_nodes)
+                or pair <= set(decision.client_nodes))
+
+
+class TestProfileReuse:
+    def test_profile_from_one_run_warm_starts_the_next(self):
+        first = run_platform()
+        profile = interaction_profile(first.monitor.graph)
+        second = run_platform(profile=profile)
+        # The warm-started monitor began with the prior history...
+        assert second.monitor.graph.edge_bytes(
+            "hoard.Document", "hoard.Segment"
+        ) > first.monitor.graph.edge_bytes(
+            "hoard.Document", "hoard.Segment"
+        ) / 2
+        # ...and the run still completes with one offload.
+        assert second.engine.offload_count == 1
+
+    def test_profile_does_not_leak_memory_annotations(self):
+        first = run_platform()
+        profile = interaction_profile(first.monitor.graph)
+        assert profile.total_memory() == 0

@@ -1,0 +1,138 @@
+"""Focused tests of the context's remote routing rules on a live platform.
+
+Each of the paper's section 3.2 rules, exercised directly with manually
+placed objects: instance methods follow the receiver, static Java
+methods run at the caller's site, natives and static data go to the
+client, and every crossing is charged to the link exactly once per
+direction.
+"""
+
+import pytest
+
+from repro.rpc.marshal import message_size
+from repro.vm.objectmodel import MethodKind
+
+from tests.helpers import define_worker_classes, make_platform
+
+
+@pytest.fixture
+def platform():
+    platform = make_platform()
+    define_worker_classes(platform.registry)
+    return platform
+
+
+def offload(platform, *class_names, roots=()):
+    for index, obj in enumerate(roots):
+        platform.client.vm.set_root(f"r{index}", obj)
+    platform.migrator.apply_placement(frozenset(class_names))
+
+
+class TestInvocationRouting:
+    def test_instance_method_follows_receiver(self, platform):
+        store = platform.ctx.new("data.Store")
+        offload(platform, "data.Store", roots=[store])
+        before = platform.clock.now
+        platform.ctx.invoke(store, "put", 10)
+        elapsed = platform.clock.now - before
+        # One request + one response round trip, at minimum.
+        assert elapsed >= platform.link.rtt
+        assert platform.monitor.remote.remote_invocations == 1
+
+    def test_remote_invocation_charges_exact_message_costs(self, platform):
+        platform.registry.define("r.Echo") \
+            .method("echo", func=lambda ctx, s, x: x) \
+            .register()
+        echo = platform.ctx.new("r.Echo")
+        offload(platform, "r.Echo", roots=[echo])
+        before = platform.clock.now
+        platform.ctx.invoke(echo, "echo", 7)
+        elapsed = platform.clock.now - before
+        expected = (platform.link.one_way(message_size(8))
+                    + platform.link.one_way(message_size(8)))
+        assert elapsed == pytest.approx(expected)
+
+    def test_nested_remote_work_executes_on_surrogate(self, platform):
+        store = platform.ctx.new("data.Store")
+        worker = platform.ctx.new("data.Worker", store=store)
+        offload(platform, "data.Store", "data.Worker",
+                roots=[store, worker])
+        # process() runs on the surrogate; its nested store access is
+        # surrogate-local, so exactly ONE remote invocation results.
+        platform.ctx.invoke(worker, "process", 5)
+        assert platform.monitor.remote.remote_invocations == 1
+        assert platform.monitor.remote.remote_accesses == 0
+
+    def test_static_method_runs_at_caller_site(self, platform):
+        calls = []
+
+        def where(ctx, _none):
+            calls.append(ctx.current_site)
+
+        platform.registry.define("r.Util") \
+            .static_method("where", func=where) \
+            .register()
+
+        def run_remote(ctx, self_obj):
+            ctx.invoke_static("r.Util", "where")
+
+        platform.registry.define("r.Runner") \
+            .method("go", func=run_remote) \
+            .register()
+        runner = platform.ctx.new("r.Runner")
+        offload(platform, "r.Runner", roots=[runner])
+        platform.ctx.invoke_static("r.Util", "where")
+        platform.ctx.invoke(runner, "go")
+        assert calls == ["client", "surrogate"]
+
+
+class TestDataRouting:
+    def test_remote_field_read_and_write_are_counted(self, platform):
+        store = platform.ctx.new("data.Store", total=3)
+        offload(platform, "data.Store", roots=[store])
+        assert platform.ctx.get_field(store, "total") == 3
+        platform.ctx.set_field(store, "total", 9)
+        assert platform.monitor.remote.remote_accesses == 2
+
+    def test_static_data_access_goes_to_client(self, platform):
+        platform.registry.define("r.Conf") \
+            .field("limit", "int", static=True, default=5) \
+            .register()
+
+        def read_conf(ctx, self_obj):
+            return ctx.get_static("r.Conf", "limit")
+
+        platform.registry.define("r.Reader") \
+            .method("read", func=read_conf) \
+            .register()
+        reader = platform.ctx.new("r.Reader")
+        offload(platform, "r.Reader", roots=[reader])
+        before = platform.monitor.remote.remote_accesses
+        assert platform.ctx.invoke(reader, "read") == 5
+        # The static read crossed from the surrogate back to the client.
+        assert platform.monitor.remote.remote_accesses == before + 1
+
+    def test_remote_array_access(self, platform):
+        arr = platform.ctx.new_array("char", 512)
+        platform.client.vm.set_root("arr", arr)
+        platform.migrator.apply_placement(frozenset({"char[]"}))
+        before = platform.clock.now
+        platform.ctx.array_read(arr, 256)
+        assert platform.clock.now - before >= platform.link.rtt
+        assert platform.monitor.remote.remote_accesses == 1
+
+
+class TestCreationRouting:
+    def test_objects_created_where_the_method_runs(self, platform):
+        def spawn(ctx, self_obj):
+            return ctx.new("data.Store")
+
+        platform.registry.define("r.Factory") \
+            .method("spawn", func=spawn) \
+            .register()
+        factory = platform.ctx.new("r.Factory")
+        offload(platform, "r.Factory", roots=[factory])
+        spawned = platform.ctx.invoke(factory, "spawn")
+        assert spawned.home == "surrogate"
+        local = platform.ctx.new("data.Store")
+        assert local.home == "client"

@@ -1,0 +1,91 @@
+"""Nested RPC scenarios: callbacks across the channel and pool occupancy."""
+
+import pytest
+
+from tests.helpers import define_worker_classes, make_platform
+
+
+@pytest.fixture
+def platform():
+    platform = make_platform()
+    define_worker_classes(platform.registry)
+    return platform
+
+
+def install_callback_classes(platform):
+    """client-side Logger <- surrogate-side Processor call chain."""
+
+    def log(ctx, self_obj, nbytes):
+        count = ctx.get_field(self_obj, "count")
+        ctx.set_field(self_obj, "count", count + 1)
+        return count + 1
+
+    platform.registry.define("n.Logger") \
+        .field("count", "int", default=0) \
+        .method("log", func=log) \
+        .register()
+
+    def process(ctx, self_obj, amount):
+        logger = ctx.get_field(self_obj, "logger")
+        ctx.work(1e-5)
+        # Call BACK to the client mid-request: the client's pool serves
+        # a nested RPC while the surrogate's pool is still occupied.
+        return ctx.invoke(logger, "log", amount)
+
+    platform.registry.define("n.Processor") \
+        .field("logger") \
+        .method("process", func=process) \
+        .register()
+
+
+class TestNestedCallbacks:
+    def test_callback_to_client_works(self, platform):
+        install_callback_classes(platform)
+        logger = platform.ctx.new("n.Logger")
+        processor = platform.ctx.new("n.Processor", logger=logger)
+        platform.client.vm.set_root("l", logger)
+        platform.client.vm.set_root("p", processor)
+        platform.migrator.apply_placement(frozenset({"n.Processor"}))
+        assert platform.ctx.invoke(processor, "process", 10) == 1
+        assert platform.ctx.invoke(processor, "process", 10) == 2
+        # Two crossings per call: main->processor and processor->logger.
+        assert platform.monitor.remote.remote_invocations == 4
+
+    def test_nested_rpc_occupies_both_pools(self, platform):
+        install_callback_classes(platform)
+        logger = platform.ctx.new("n.Logger")
+        processor = platform.ctx.new("n.Processor", logger=logger)
+        platform.client.vm.set_root("l", logger)
+        platform.client.vm.set_root("p", processor)
+        platform.migrator.apply_placement(frozenset({"n.Processor"}))
+
+        surrogate_pool = platform.channel.pools["surrogate"]
+        client_pool = platform.channel.pools["client"]
+        observed = {}
+
+        # Route the nested callback through the channel too, so both
+        # pools are visibly engaged at once.
+        logger_stub = platform.channel.stub_for(logger)
+
+        def process_via_channel(ctx, self_obj, amount):
+            observed["surrogate_in_flight"] = surrogate_pool.in_flight
+            result = platform.channel.call(logger_stub, "log", amount)
+            return result
+
+        platform.registry.define("n.ChannelProcessor") \
+            .field("logger") \
+            .method("process", func=process_via_channel) \
+            .register()
+        channel_processor = platform.ctx.new("n.ChannelProcessor",
+                                             logger=logger)
+        platform.client.vm.set_root("cp", channel_processor)
+        platform.migrator.apply_placement(
+            frozenset({"n.Processor", "n.ChannelProcessor"})
+        )
+        stub = platform.channel.stub_for(channel_processor)
+        assert platform.channel.call(stub, "process", 5) >= 1
+        assert observed["surrogate_in_flight"] == 1
+        assert surrogate_pool.served >= 1
+        assert client_pool.served >= 1
+        assert surrogate_pool.in_flight == 0
+        assert client_pool.in_flight == 0

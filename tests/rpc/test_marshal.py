@@ -1,0 +1,109 @@
+"""Unit tests for marshalling and byte accounting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import RemoteInvocationError
+from repro.rpc.marshal import (
+    MESSAGE_HEADER_BYTES,
+    REFERENCE_BYTES,
+    args_size,
+    decode_value,
+    deep_size,
+    encode_value,
+    message_size,
+)
+from repro.vm.objectmodel import ClassBuilder, JObject
+
+
+def make_obj():
+    return JObject(ClassBuilder("t.A").build(), home="client")
+
+
+class TestDeepSize:
+    def test_scalar_sizes(self):
+        assert deep_size(1) == 8
+        assert deep_size(1.5) == 8
+        assert deep_size(True) == 1
+        assert deep_size(None) == 8
+
+    def test_string_size(self):
+        assert deep_size("") == 24
+        assert deep_size("abc") == 30
+
+    def test_object_is_reference_sized(self):
+        assert deep_size(make_obj()) == REFERENCE_BYTES
+
+    def test_containers(self):
+        assert deep_size((1, 2)) == 16 + 16
+        assert deep_size([1, "a"]) == 16 + 8 + 26
+        assert deep_size({"k": 1}) == 16 + 26 + 8
+
+    def test_unmarshallable_type_rejected(self):
+        with pytest.raises(RemoteInvocationError):
+            deep_size(object())
+
+    def test_args_size_sums(self):
+        assert args_size((1, 2.0, make_obj())) == 24
+
+    def test_message_size_adds_header(self):
+        assert message_size(100) == MESSAGE_HEADER_BYTES + 100
+        with pytest.raises(RemoteInvocationError):
+            message_size(-1)
+
+    @given(st.recursive(
+        st.one_of(st.none(), st.booleans(), st.integers(),
+                  st.floats(allow_nan=False), st.text(max_size=20)),
+        lambda children: st.lists(children, max_size=4),
+        max_leaves=10,
+    ))
+    @settings(max_examples=80, deadline=None)
+    def test_deep_size_positive_and_deterministic(self, value):
+        assert deep_size(value) > 0
+        assert deep_size(value) == deep_size(value)
+
+
+class TestWireCodec:
+    def _roundtrip(self, value):
+        exported = {}
+
+        def export_ref(obj):
+            exported[obj.oid] = obj
+            return obj.oid
+
+        def resolve_ref(token):
+            return exported[token]
+
+        return decode_value(encode_value(value, export_ref), resolve_ref)
+
+    def test_scalars_roundtrip(self):
+        for value in (None, True, 42, 2.5, "text"):
+            assert self._roundtrip(value) == value
+
+    def test_objects_travel_by_reference(self):
+        obj = make_obj()
+        assert self._roundtrip(obj) is obj
+
+    def test_nested_structures(self):
+        obj = make_obj()
+        value = [1, {"k": obj}, (2, obj)]
+        decoded = self._roundtrip(value)
+        assert decoded[0] == 1
+        assert decoded[1]["k"] is obj
+        assert decoded[2][1] is obj
+
+    def test_tuple_decodes_as_list(self):
+        assert self._roundtrip((1, 2)) == [1, 2]
+
+    def test_non_string_dict_keys_rejected(self):
+        with pytest.raises(RemoteInvocationError):
+            encode_value({1: "x"}, lambda o: 0)
+
+    def test_dollar_keys_rejected(self):
+        with pytest.raises(RemoteInvocationError):
+            encode_value({"$ref": 1}, lambda o: 0)
+
+    def test_unencodable_value_rejected(self):
+        with pytest.raises(RemoteInvocationError):
+            encode_value(object(), lambda o: 0)

@@ -1,0 +1,88 @@
+"""Unit tests for the cross-VM reference map."""
+
+import pytest
+
+from repro.errors import ReferenceMappingError
+from repro.rpc.refmap import ReferenceMap
+from repro.vm.objectmodel import ClassBuilder, JObject
+
+
+def make_obj():
+    return JObject(ClassBuilder("t.A").build(), home="client")
+
+
+class TestReferenceMap:
+    def test_export_resolve_roundtrip(self):
+        refmap = ReferenceMap("client")
+        obj = make_obj()
+        handle = refmap.export(obj)
+        assert refmap.resolve(handle) is obj
+
+    def test_export_is_idempotent(self):
+        refmap = ReferenceMap("client")
+        obj = make_obj()
+        assert refmap.export(obj) == refmap.export(obj)
+        assert len(refmap) == 1
+
+    def test_handles_are_private_small_integers(self):
+        refmap = ReferenceMap("client")
+        handles = [refmap.export(make_obj()) for _ in range(3)]
+        assert handles == [1, 2, 3]
+
+    def test_unknown_handle_rejected(self):
+        with pytest.raises(ReferenceMappingError):
+            ReferenceMap("client").resolve(99)
+
+    def test_dead_object_cannot_be_exported_or_resolved(self):
+        refmap = ReferenceMap("client")
+        obj = make_obj()
+        handle = refmap.export(obj)
+        obj.alive = False
+        with pytest.raises(ReferenceMappingError):
+            refmap.resolve(handle)
+        with pytest.raises(ReferenceMappingError):
+            refmap.export(make_dead())
+
+    def test_null_export_rejected(self):
+        with pytest.raises(ReferenceMappingError):
+            ReferenceMap("client").export(None)
+
+    def test_forget(self):
+        refmap = ReferenceMap("client")
+        obj = make_obj()
+        handle = refmap.export(obj)
+        refmap.forget(handle)
+        assert not refmap.is_exported(obj)
+        with pytest.raises(ReferenceMappingError):
+            refmap.resolve(handle)
+        with pytest.raises(ReferenceMappingError):
+            refmap.forget(handle)
+
+    def test_handle_for(self):
+        refmap = ReferenceMap("client")
+        obj = make_obj()
+        handle = refmap.export(obj)
+        assert refmap.handle_for(obj) == handle
+        with pytest.raises(ReferenceMappingError):
+            refmap.handle_for(make_obj())
+
+    def test_prune_dead(self):
+        refmap = ReferenceMap("client")
+        alive, dying = make_obj(), make_obj()
+        refmap.export(alive)
+        refmap.export(dying)
+        dying.alive = False
+        assert refmap.prune_dead() == 1
+        assert len(refmap) == 1
+        assert refmap.exported_objects() == [alive]
+
+    def test_iteration_yields_handles(self):
+        refmap = ReferenceMap("client")
+        refmap.export(make_obj())
+        assert list(refmap) == [1]
+
+
+def make_dead():
+    obj = make_obj()
+    obj.alive = False
+    return obj

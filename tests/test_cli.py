@@ -1,0 +1,81 @@
+"""Tests for the ``python -m repro`` command line."""
+
+import pytest
+
+from repro.__main__ import DESCRIPTIONS, EXPERIMENTS, build_parser, main
+
+
+class TestCli:
+    def test_every_experiment_is_described(self):
+        assert set(EXPERIMENTS) == set(DESCRIPTIONS)
+
+    def test_list_output(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+        assert "all" in out
+
+    def test_explicit_list(self, capsys):
+        assert main(["list"]) == 0
+        assert "available experiments" in capsys.readouterr().out
+
+    def test_unknown_target_fails(self, capsys):
+        assert main(["fig99"]) == 2
+        err = capsys.readouterr().err
+        assert "fig99" in err
+
+    def test_table1_runs(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "regenerated in" in out
+
+    def test_parser_help_mentions_paper(self):
+        parser = build_parser()
+        assert "ICDCS" in parser.description
+
+
+class TestRecordReplayCli:
+    def test_record_then_replay(self, tmp_path, capsys):
+        path = str(tmp_path / "dia.trace")
+        assert main(["record", "dia", path]) == 0
+        out = capsys.readouterr().out
+        assert "recorded" in out
+        assert main(["replay", path]) == 0
+        out = capsys.readouterr().out
+        assert "completed: True" in out
+        assert "offloads: 1" in out
+
+    def test_replay_without_offload(self, tmp_path, capsys):
+        path = str(tmp_path / "dia.trace")
+        main(["record", "dia", path])
+        capsys.readouterr()
+        assert main(["replay", path, "--no-offload"]) == 0
+        out = capsys.readouterr().out
+        assert "offload=off" in out
+        assert "offloads: 0" in out
+
+    def test_record_unknown_app(self, capsys):
+        assert main(["record", "doom", "/tmp/x.trace"]) == 2
+        assert "unknown application" in capsys.readouterr().err
+
+    def test_record_usage_error(self, capsys):
+        assert main(["record", "dia"]) == 2
+        assert "usage" in capsys.readouterr().err
+
+    def test_replay_usage_error(self, capsys):
+        assert main(["replay"]) == 2
+        assert "usage" in capsys.readouterr().err
+
+
+class TestJsonExport:
+    def test_json_payload_written(self, tmp_path, capsys):
+        import json
+
+        path = str(tmp_path / "out.json")
+        assert main(["table1", "--json", path]) == 0
+        payloads = json.loads((tmp_path / "out.json").read_text())
+        assert payloads[0]["experiment"] == "table1"
+        assert "Table 1" in payloads[0]["report"]
+        assert payloads[0]["elapsed_host_seconds"] >= 0

@@ -1,0 +1,88 @@
+"""Unit tests for configuration objects."""
+
+import pytest
+
+from repro.config import (
+    DeviceProfile,
+    EnhancementFlags,
+    GCConfig,
+    JORNADA,
+    PC_CLIENT,
+    PC_SURROGATE,
+    VMConfig,
+)
+from repro.errors import ConfigurationError
+from repro.units import MB
+
+
+class TestGCConfig:
+    def test_defaults_valid(self):
+        config = GCConfig()
+        assert 0 < config.space_pressure_fraction < 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            GCConfig(space_pressure_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            GCConfig(space_pressure_fraction=1.0)
+        with pytest.raises(ConfigurationError):
+            GCConfig(allocations_per_cycle=0)
+        with pytest.raises(ConfigurationError):
+            GCConfig(bytes_per_cycle=-1)
+
+
+class TestDeviceProfile:
+    def test_paper_profiles(self):
+        assert JORNADA.heap_capacity == 6 * MB
+        assert PC_SURROGATE.cpu_speed / JORNADA.cpu_speed == pytest.approx(3.5)
+        assert PC_CLIENT.heap_capacity == 8 * MB
+
+    def test_scaled_time(self):
+        device = DeviceProfile("x", cpu_speed=2.0)
+        assert device.scaled(1.0) == 0.5
+        with pytest.raises(ConfigurationError):
+            device.scaled(-1.0)
+
+    def test_with_heap_copies(self):
+        bigger = JORNADA.with_heap(8 * MB)
+        assert bigger.heap_capacity == 8 * MB
+        assert bigger.name == JORNADA.name
+        assert JORNADA.heap_capacity == 6 * MB
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DeviceProfile("")
+        with pytest.raises(ConfigurationError):
+            DeviceProfile("x", cpu_speed=0)
+        with pytest.raises(ConfigurationError):
+            DeviceProfile("x", heap_capacity=0)
+
+
+class TestVMConfig:
+    def test_defaults(self):
+        config = VMConfig()
+        assert config.monitoring_enabled
+        assert config.monitoring_event_cost > 0
+
+    def test_with_helpers(self):
+        config = VMConfig().with_monitoring(False)
+        assert not config.monitoring_enabled
+        moved = config.with_device(PC_SURROGATE)
+        assert moved.device is PC_SURROGATE
+        assert not moved.monitoring_enabled
+
+    def test_negative_event_cost_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VMConfig(monitoring_event_cost=-1e-6)
+
+
+class TestEnhancementFlags:
+    def test_factories(self):
+        assert EnhancementFlags.none() == EnhancementFlags(False, False)
+        assert EnhancementFlags.combined() == EnhancementFlags(True, True)
+
+    def test_labels_match_figure_10(self):
+        assert EnhancementFlags(False, False).label() == "Initial"
+        assert EnhancementFlags(True, False).label() == "Native"
+        assert EnhancementFlags(False, True).label() == "Array"
+        assert EnhancementFlags(True, True).label() == "Combined"

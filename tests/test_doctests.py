@@ -1,0 +1,29 @@
+"""Run the library's doctest examples as part of the suite."""
+
+import doctest
+
+import pytest
+
+import repro.apps.textgen
+import repro.core.graph
+import repro.experiments.reporting
+import repro.rpc.marshal
+import repro.units
+import repro.vm.objectmodel
+
+MODULES = [
+    repro.apps.textgen,
+    repro.core.graph,
+    repro.experiments.reporting,
+    repro.rpc.marshal,
+    repro.units,
+    repro.vm.objectmodel,
+]
+
+
+@pytest.mark.parametrize("module", MODULES,
+                         ids=lambda m: m.__name__)
+def test_doctests(module):
+    results = doctest.testmod(module)
+    assert results.attempted > 0, f"{module.__name__} has no doctests"
+    assert results.failed == 0, f"{module.__name__} doctests failed"

@@ -1,0 +1,47 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_everything_derives_from_aide_error(self):
+        for name in dir(errors):
+            attr = getattr(errors, name)
+            if isinstance(attr, type) and issubclass(attr, Exception):
+                assert issubclass(attr, errors.AideError), name
+
+    def test_guest_errors_are_separable(self):
+        assert issubclass(errors.OutOfMemoryError, errors.GuestError)
+        assert issubclass(errors.NullReferenceError, errors.GuestError)
+        assert not issubclass(errors.MigrationError, errors.GuestError)
+
+    def test_refusal_is_a_partitioning_error(self):
+        assert issubclass(errors.NoBeneficialPartitionError,
+                          errors.PartitioningError)
+
+    def test_rpc_hierarchy(self):
+        assert issubclass(errors.ReferenceMappingError,
+                          errors.RemoteInvocationError)
+
+    def test_platform_hierarchy(self):
+        assert issubclass(errors.SurrogateUnavailableError,
+                          errors.PlatformError)
+
+    def test_trace_hierarchy(self):
+        assert issubclass(errors.TraceFormatError, errors.TraceError)
+
+
+class TestOutOfMemoryError:
+    def test_carries_heap_state(self):
+        oom = errors.OutOfMemoryError(requested=4096, free=128,
+                                      capacity=6 * 1024 * 1024)
+        assert oom.requested == 4096
+        assert oom.free == 128
+        assert oom.capacity == 6 * 1024 * 1024
+        assert "4096" in str(oom)
+
+    def test_catchable_as_guest_error(self):
+        with pytest.raises(errors.GuestError):
+            raise errors.OutOfMemoryError(1, 0, 10)

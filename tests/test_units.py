@@ -1,0 +1,71 @@
+"""Unit tests for byte/time helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.units import (
+    GB,
+    KB,
+    MB,
+    MBIT,
+    bytes_to_human,
+    fraction,
+    seconds_to_human,
+    transfer_seconds,
+)
+
+
+class TestBytesToHuman:
+    def test_scales(self):
+        assert bytes_to_human(500) == "500B"
+        assert bytes_to_human(600 * KB) == "600.0KB"
+        assert bytes_to_human(6 * MB) == "6.0MB"
+        assert bytes_to_human(2 * GB) == "2.0GB"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bytes_to_human(-1)
+
+    @given(st.integers(min_value=0, max_value=10**14))
+    def test_always_renders(self, size):
+        rendered = bytes_to_human(size)
+        assert rendered[-1] in "B" or rendered.endswith(("KB", "MB", "GB"))
+
+
+class TestSecondsToHuman:
+    def test_scales(self):
+        assert seconds_to_human(31.59) == "31.59s"
+        assert seconds_to_human(0.0024) == "2.4ms"
+        assert seconds_to_human(5e-6) == "5.0us"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            seconds_to_human(-0.1)
+
+
+class TestTransferSeconds:
+    def test_matches_bandwidth(self):
+        assert transfer_seconds(11 * MBIT // 8, 11 * MBIT) == pytest.approx(1.0)
+        assert transfer_seconds(0, MBIT) == 0.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            transfer_seconds(10, 0)
+        with pytest.raises(ValueError):
+            transfer_seconds(-1, MBIT)
+
+    @given(st.integers(min_value=0, max_value=10**9),
+           st.floats(min_value=1.0, max_value=1e10))
+    def test_non_negative_and_monotone(self, nbytes, bandwidth):
+        duration = transfer_seconds(nbytes, bandwidth)
+        assert duration >= 0
+        assert transfer_seconds(nbytes + 1, bandwidth) >= duration
+
+
+class TestFraction:
+    def test_normal(self):
+        assert fraction(1, 4) == 0.25
+
+    def test_zero_denominator(self):
+        assert fraction(5, 0) == 0.0

@@ -1,0 +1,80 @@
+"""Unit tests for the shared class registry."""
+
+import pytest
+
+from repro.errors import ConfigurationError, NoSuchClassError
+from repro.vm.classloader import ClassRegistry
+from repro.vm.objectmodel import ClassBuilder, SLOT_SIZES
+
+
+class TestRegistration:
+    def test_register_and_lookup(self):
+        registry = ClassRegistry()
+        cls = ClassBuilder("a.B").build()
+        registry.register(cls)
+        assert registry.lookup("a.B") is cls
+        assert registry.has_class("a.B")
+
+    def test_duplicate_registration_rejected(self):
+        registry = ClassRegistry()
+        registry.register(ClassBuilder("a.B").build())
+        with pytest.raises(ConfigurationError):
+            registry.register(ClassBuilder("a.B").build())
+
+    def test_missing_class_raises(self):
+        with pytest.raises(NoSuchClassError):
+            ClassRegistry().lookup("no.Such")
+
+    def test_fluent_define_registers(self):
+        registry = ClassRegistry()
+        cls = registry.define("a.B").field("x", "int").register()
+        assert registry.lookup("a.B") is cls
+
+    def test_register_all(self):
+        registry = ClassRegistry()
+        classes = [ClassBuilder(f"a.C{i}").build() for i in range(3)]
+        registry.register_all(classes)
+        assert all(registry.has_class(f"a.C{i}") for i in range(3))
+
+
+class TestArrayClasses:
+    def test_all_primitive_array_classes_preregistered(self):
+        registry = ClassRegistry()
+        for element_type in SLOT_SIZES:
+            cls = registry.array_class(element_type)
+            assert cls.is_array_class
+            assert cls.name == f"{element_type}[]"
+
+    def test_array_classes_excluded_from_app_classes(self):
+        registry = ClassRegistry()
+        registry.register(ClassBuilder("a.B").build())
+        names = [c.name for c in registry.app_classes()]
+        assert names == ["a.B"]
+
+
+class TestPinnedClassNames:
+    def _registry(self):
+        registry = ClassRegistry()
+        registry.register(
+            ClassBuilder("ui.Screen").native_method("draw").build()
+        )
+        registry.register(
+            ClassBuilder("util.FastMath")
+            .native_method("sin", stateless=True)
+            .build()
+        )
+        registry.register(ClassBuilder("app.Model").build())
+        return registry
+
+    def test_initial_policy_pins_all_native_classes(self):
+        pinned = self._registry().pinned_class_names()
+        assert set(pinned) == {"ui.Screen", "util.FastMath"}
+
+    def test_stateless_enhancement_releases_stateless_classes(self):
+        pinned = self._registry().pinned_class_names(stateless_natives_ok=True)
+        assert pinned == ["ui.Screen"]
+
+    def test_len_and_iter(self):
+        registry = self._registry()
+        assert len(registry) == len(SLOT_SIZES) + 3
+        assert any(cls.name == "app.Model" for cls in registry)

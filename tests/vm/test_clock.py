@@ -1,0 +1,55 @@
+"""Unit tests for virtual time."""
+
+import pytest
+
+from repro.errors import AideError
+from repro.vm.clock import Stopwatch, VirtualClock
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now == 0.0
+
+    def test_advance_accumulates(self):
+        clock = VirtualClock()
+        clock.advance(1.5)
+        clock.advance(0.5)
+        assert clock.now == 2.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(AideError):
+            VirtualClock().advance(-0.1)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(AideError):
+            VirtualClock(start=-1.0)
+
+    def test_zero_advance_is_noop_for_listeners(self):
+        clock = VirtualClock()
+        events = []
+        clock.subscribe(lambda old, new: events.append((old, new)))
+        clock.advance(0.0)
+        assert events == []
+
+    def test_listeners_see_old_and_new_time(self):
+        clock = VirtualClock(start=1.0)
+        events = []
+        clock.subscribe(lambda old, new: events.append((old, new)))
+        clock.advance(2.0)
+        assert events == [(1.0, 3.0)]
+
+
+class TestStopwatch:
+    def test_elapsed_tracks_clock(self):
+        clock = VirtualClock()
+        watch = Stopwatch(clock)
+        clock.advance(4.0)
+        assert watch.elapsed == 4.0
+
+    def test_restart_returns_and_resets(self):
+        clock = VirtualClock()
+        watch = Stopwatch(clock)
+        clock.advance(3.0)
+        assert watch.restart() == 3.0
+        clock.advance(1.0)
+        assert watch.elapsed == 1.0

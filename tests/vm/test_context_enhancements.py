@@ -1,0 +1,81 @@
+"""Context routing under the section 5.2 enhancement flags."""
+
+import pytest
+
+from repro.config import EnhancementFlags
+
+from tests.helpers import make_platform
+
+
+def define_mathy_worker(platform):
+    def crunch(ctx, self_obj, x):
+        return ctx.invoke_static("java.lang.Math", "sqrt", x)
+
+    platform.registry.define("e.Cruncher") \
+        .method("crunch", func=crunch) \
+        .register()
+    cruncher = platform.ctx.new("e.Cruncher")
+    platform.client.vm.set_root("c", cruncher)
+    return cruncher
+
+
+class TestStatelessNativeFlag:
+    def test_without_flag_native_bounces(self):
+        platform = make_platform()
+        cruncher = define_mathy_worker(platform)
+        platform.migrator.apply_placement(frozenset({"e.Cruncher"}))
+        assert platform.ctx.invoke(cruncher, "crunch", 9.0) == 3.0
+        assert platform.monitor.remote.remote_native_invocations == 1
+
+    def test_with_flag_native_stays_put(self):
+        platform = make_platform(
+            flags=EnhancementFlags(stateless_natives_local=True)
+        )
+        cruncher = define_mathy_worker(platform)
+        platform.migrator.apply_placement(frozenset({"e.Cruncher"}))
+        assert platform.ctx.invoke(cruncher, "crunch", 9.0) == 3.0
+        assert platform.monitor.remote.remote_native_invocations == 0
+
+    def test_flag_never_moves_stateful_natives(self):
+        platform = make_platform(
+            flags=EnhancementFlags(stateless_natives_local=True)
+        )
+
+        def paint(ctx, self_obj):
+            screen = ctx.get_field(self_obj, "screen")
+            ctx.invoke(screen, "draw", 64)
+
+        platform.registry.define("e.Painter") \
+            .field("screen") \
+            .method("paint", func=paint) \
+            .register()
+        screen = platform.ctx.new("ui.Framebuffer", width=64, height=64)
+        painter = platform.ctx.new("e.Painter", screen=screen)
+        platform.client.vm.set_root("p", painter)
+        platform.client.vm.set_root("s", screen)
+        platform.migrator.apply_placement(frozenset({"e.Painter"}))
+        platform.ctx.invoke(painter, "paint")
+        # draw() is stateful: it executed on the client, remotely from
+        # the painter's point of view.
+        assert platform.monitor.remote.remote_native_invocations == 1
+
+    def test_stateless_native_from_main_is_local_either_way(self):
+        for flags in (EnhancementFlags(),
+                      EnhancementFlags(stateless_natives_local=True)):
+            platform = make_platform(flags=flags)
+            platform.ctx.invoke_static("java.lang.Math", "sqrt", 4.0)
+            assert platform.monitor.remote.remote_native_invocations == 0
+
+
+class TestArrayFlagPinning:
+    def test_stateless_enhancement_unpins_math_for_partitioning(self):
+        platform = make_platform(
+            flags=EnhancementFlags(stateless_natives_local=True)
+        )
+        pinned = platform.pinned_nodes()
+        assert "java.lang.Math" not in pinned
+        assert "ui.Framebuffer" in pinned
+
+    def test_without_enhancement_math_is_pinned(self):
+        platform = make_platform()
+        assert "java.lang.Math" in platform.pinned_nodes()

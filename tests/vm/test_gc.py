@@ -1,0 +1,192 @@
+"""Unit tests for the mark-and-sweep collector."""
+
+import pytest
+
+from repro.config import GCConfig
+from repro.vm.gc import GCReport, MarkSweepCollector, default_pause_model
+from repro.vm.heap import Heap
+from repro.vm.objectmodel import ClassBuilder, ClassDef, JArray, JObject
+
+
+LINKED = (
+    ClassBuilder("t.Linked").field("next").field("payload", "int").build()
+)
+
+
+def make_collector(capacity=64 * 1024, config=None, roots=None):
+    heap = Heap(capacity)
+    root_list = roots if roots is not None else []
+    collector = MarkSweepCollector(
+        heap, config or GCConfig(), root_provider=lambda: list(root_list)
+    )
+    return heap, collector, root_list
+
+
+def alloc(heap):
+    obj = JObject(LINKED, home="client")
+    heap.allocate(obj)
+    return obj
+
+
+class TestMarkSweep:
+    def test_unreachable_objects_are_swept(self):
+        heap, collector, roots = make_collector()
+        kept = alloc(heap)
+        roots.append(kept)
+        garbage = alloc(heap)
+        report = collector.collect()
+        assert heap.contains(kept)
+        assert not heap.contains(garbage)
+        assert not garbage.alive
+        assert report.freed_objects == 1
+        assert report.freed_bytes == garbage.size_bytes
+
+    def test_reachability_is_transitive(self):
+        heap, collector, roots = make_collector()
+        a, b, c = alloc(heap), alloc(heap), alloc(heap)
+        a.values["next"] = b
+        b.values["next"] = c
+        roots.append(a)
+        collector.collect()
+        assert heap.live_count == 3
+
+    def test_cycles_are_collected_when_unrooted(self):
+        heap, collector, roots = make_collector()
+        a, b = alloc(heap), alloc(heap)
+        a.values["next"] = b
+        b.values["next"] = a
+        collector.collect()
+        assert heap.live_count == 0
+
+    def test_cycles_survive_when_rooted(self):
+        heap, collector, roots = make_collector()
+        a, b = alloc(heap), alloc(heap)
+        a.values["next"] = b
+        b.values["next"] = a
+        roots.append(a)
+        collector.collect()
+        assert heap.live_count == 2
+
+    def test_pinned_objects_survive_without_roots(self):
+        heap, collector, roots = make_collector()
+        exported = alloc(heap)
+        exported.pinned = True
+        collector.collect()
+        assert heap.contains(exported)
+
+    def test_reference_arrays_trace_contents(self):
+        heap, collector, roots = make_collector()
+        child = alloc(heap)
+        arr_cls = ClassDef("ref[]", is_array_class=True)
+        arr = JArray(arr_cls, "client", "ref", 1, data=[child])
+        heap.allocate(arr)
+        roots.append(arr)
+        collector.collect()
+        assert heap.contains(child)
+
+    def test_objects_on_other_heaps_not_traced(self):
+        heap, collector, roots = make_collector()
+        local = alloc(heap)
+        foreign = JObject(LINKED, home="surrogate")
+        local.values["next"] = foreign
+        roots.append(local)
+        report = collector.collect()
+        assert heap.contains(local)
+        assert report.freed_objects == 0
+
+
+class TestTriggers:
+    def test_space_pressure_trigger(self):
+        config = GCConfig(space_pressure_fraction=0.5,
+                          allocations_per_cycle=10_000,
+                          bytes_per_cycle=10**9)
+        heap, collector, roots = make_collector(capacity=1000, config=config)
+        while heap.free_fraction >= 0.5:
+            alloc(heap)
+        assert collector.should_collect() == "space-pressure"
+
+    def test_allocation_count_trigger(self):
+        config = GCConfig(allocations_per_cycle=3, bytes_per_cycle=10**9)
+        heap, collector, roots = make_collector(config=config)
+        for _ in range(3):
+            collector.note_allocation(10)
+        assert collector.should_collect() == "allocation-count"
+
+    def test_allocation_bytes_trigger(self):
+        config = GCConfig(allocations_per_cycle=10**6, bytes_per_cycle=100)
+        heap, collector, roots = make_collector(config=config)
+        collector.note_allocation(120)
+        assert collector.should_collect() == "allocation-bytes"
+
+    def test_no_trigger_when_quiet(self):
+        heap, collector, roots = make_collector()
+        assert collector.should_collect() is None
+        assert collector.maybe_collect() is None
+
+    def test_counters_reset_after_cycle(self):
+        config = GCConfig(allocations_per_cycle=2, bytes_per_cycle=10**9)
+        heap, collector, roots = make_collector(config=config)
+        collector.note_allocation(10)
+        collector.note_allocation(10)
+        report = collector.maybe_collect()
+        assert isinstance(report, GCReport)
+        assert collector.should_collect() is None
+
+
+class TestReporting:
+    def test_report_fields_consistent_with_heap(self):
+        heap, collector, roots = make_collector()
+        kept = alloc(heap)
+        roots.append(kept)
+        alloc(heap)
+        report = collector.collect("unit-test")
+        assert report.reason == "unit-test"
+        assert report.live_objects == 1
+        assert report.used_bytes == heap.used
+        assert report.free_bytes == heap.free
+        assert report.capacity == heap.capacity
+        assert 0 < report.free_fraction <= 1
+
+    def test_listeners_receive_every_report(self):
+        heap, collector, roots = make_collector()
+        reports = []
+        collector.subscribe(reports.append)
+        collector.collect()
+        collector.collect()
+        assert [r.cycle for r in reports] == [1, 2]
+
+    def test_free_listeners_see_swept_objects(self):
+        heap, collector, roots = make_collector()
+        garbage = alloc(heap)
+        swept = []
+        collector.subscribe_free(swept.append)
+        collector.collect()
+        assert swept == [garbage]
+
+    def test_zero_freed_cycle_reports_zero(self):
+        heap, collector, roots = make_collector()
+        kept = alloc(heap)
+        roots.append(kept)
+        report = collector.collect()
+        assert report.freed_bytes == 0
+        assert report.freed_objects == 0
+
+    def test_pause_charged_through_callback(self):
+        heap = Heap(4096)
+        charged = []
+        collector = MarkSweepCollector(
+            heap, GCConfig(), root_provider=list, charge_pause=charged.append
+        )
+        collector.collect()
+        assert len(charged) == 1
+        assert charged[0] == pytest.approx(default_pause_model(0, 0))
+
+    def test_stats_accumulate(self):
+        heap, collector, roots = make_collector()
+        alloc(heap)
+        alloc(heap)
+        collector.collect()
+        collector.collect()
+        assert collector.stats.cycles == 2
+        assert collector.stats.objects_collected == 2
+        assert collector.stats.total_pause_seconds > 0

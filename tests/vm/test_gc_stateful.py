@@ -1,0 +1,136 @@
+"""Stateful property tests: heap/GC invariants under random workloads.
+
+A hypothesis state machine drives a VM through random allocations,
+root mutations, reference rewiring, and collections, checking after
+every step that the byte accounting, liveness, and reachability
+invariants hold.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.config import DeviceProfile, GCConfig, VMConfig
+from repro.errors import OutOfMemoryError
+from repro.units import KB
+from repro.vm.classloader import ClassRegistry
+from repro.vm.vm import VirtualMachine
+
+
+class HeapMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        registry = ClassRegistry()
+        registry.define("s.Node").field("next").field("payload", "int") \
+            .register()
+        config = VMConfig(
+            device=DeviceProfile("s", cpu_speed=1.0,
+                                 heap_capacity=32 * KB),
+            gc=GCConfig(allocations_per_cycle=10**6, bytes_per_cycle=10**9),
+            monitoring_event_cost=0.0,
+        )
+        self.vm = VirtualMachine("client", config, registry)
+        self.node_cls = registry.lookup("s.Node")
+        self.objects = []      # every object we ever allocated
+        self.rooted = {}       # name -> object
+
+    # -- actions ------------------------------------------------------------
+
+    @rule(root=st.booleans())
+    def allocate(self, root):
+        try:
+            obj = self.vm.new_instance(self.node_cls)
+        except OutOfMemoryError:
+            # Legal under pressure when everything live is rooted.
+            return
+        self.objects.append(obj)
+        if root:
+            name = f"r{len(self.rooted)}"
+            self.vm.set_root(name, obj)
+            self.rooted[name] = obj
+
+    @rule(data=st.data())
+    def link(self, data):
+        live = [o for o in self.objects if o.alive]
+        if len(live) < 2:
+            return
+        source = data.draw(st.sampled_from(live))
+        target = data.draw(st.sampled_from(live))
+        source.values["next"] = target
+
+    @rule(data=st.data())
+    def unlink(self, data):
+        live = [o for o in self.objects if o.alive]
+        if not live:
+            return
+        data.draw(st.sampled_from(live)).values["next"] = None
+
+    @rule(data=st.data())
+    def drop_root(self, data):
+        if not self.rooted:
+            return
+        name = data.draw(st.sampled_from(sorted(self.rooted)))
+        self.vm.set_root(name, None)
+        del self.rooted[name]
+
+    @rule()
+    def collect(self):
+        self.vm.collect_garbage()
+
+    # -- invariants ------------------------------------------------------------
+
+    @invariant()
+    def heap_usage_matches_live_objects(self):
+        expected = sum(
+            o.size_bytes for o in self.objects
+            if o.alive and self.vm.heap.contains(o)
+        )
+        assert self.vm.heap.used == expected
+
+    @invariant()
+    def usage_never_exceeds_capacity(self):
+        assert 0 <= self.vm.heap.used <= self.vm.heap.capacity
+
+    @invariant()
+    def dead_objects_are_off_heap(self):
+        for obj in self.objects:
+            if not obj.alive:
+                assert not self.vm.heap.contains(obj)
+
+    @invariant()
+    def rooted_objects_stay_alive(self):
+        for obj in self.rooted.values():
+            assert obj.alive
+
+    def roots_reach(self):
+        reached = set()
+        stack = list(self.rooted.values())
+        while stack:
+            obj = stack.pop()
+            if obj.oid in reached or not obj.alive:
+                continue
+            reached.add(obj.oid)
+            stack.extend(obj.references())
+        return reached
+
+    @rule()
+    def collect_and_check_reachability(self):
+        """After a collection, exactly the root-reachable set survives."""
+        self.vm.collect_garbage()
+        reachable = self.roots_reach()
+        survivors = {
+            o.oid for o in self.objects
+            if o.alive and self.vm.heap.contains(o)
+        }
+        assert survivors == reachable
+
+
+HeapMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)
+TestHeapMachine = HeapMachine.TestCase

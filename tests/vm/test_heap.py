@@ -1,0 +1,108 @@
+"""Unit tests for the byte-accounted heap."""
+
+import pytest
+
+from repro.errors import AideError, StaleObjectError
+from repro.vm.heap import Heap, HeapSpaceExhausted
+from repro.vm.objectmodel import ClassBuilder, JObject
+
+
+def make_obj(size_slots=1):
+    builder = ClassBuilder(f"t.Obj{size_slots}")
+    for i in range(size_slots):
+        builder.field(f"f{i}", "int")
+    return JObject(builder.build(), home="client")
+
+
+class TestHeapAccounting:
+    def test_allocate_charges_bytes(self):
+        heap = Heap(1024)
+        obj = make_obj()
+        heap.allocate(obj)
+        assert heap.used == obj.size_bytes
+        assert heap.free == 1024 - obj.size_bytes
+        assert heap.contains(obj)
+
+    def test_release_refunds_bytes(self):
+        heap = Heap(1024)
+        obj = make_obj()
+        heap.allocate(obj)
+        freed = heap.release(obj)
+        assert freed == obj.size_bytes
+        assert heap.used == 0
+        assert not heap.contains(obj)
+
+    def test_free_fraction(self):
+        heap = Heap(100)
+        assert heap.free_fraction == 1.0
+
+    def test_exhaustion_signals_rather_than_allocating(self):
+        heap = Heap(20)
+        with pytest.raises(HeapSpaceExhausted) as excinfo:
+            heap.allocate(make_obj())
+        assert excinfo.value.free == 20
+        assert heap.used == 0
+
+    def test_double_allocate_rejected(self):
+        heap = Heap(1024)
+        obj = make_obj()
+        heap.allocate(obj)
+        with pytest.raises(AideError):
+            heap.allocate(obj)
+
+    def test_release_unknown_object_rejected(self):
+        heap = Heap(1024)
+        with pytest.raises(StaleObjectError):
+            heap.release(make_obj())
+
+    def test_get_by_oid(self):
+        heap = Heap(1024)
+        obj = make_obj()
+        heap.allocate(obj)
+        assert heap.get(obj.oid) is obj
+        with pytest.raises(StaleObjectError):
+            heap.get(obj.oid + 999)
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(AideError):
+            Heap(0)
+
+
+class TestHeapStats:
+    def test_cumulative_counters(self):
+        heap = Heap(4096)
+        objs = [make_obj() for _ in range(3)]
+        for obj in objs:
+            heap.allocate(obj)
+        heap.release(objs[0])
+        stats = heap.stats
+        assert stats.allocations == 3
+        assert stats.frees == 1
+        assert stats.bytes_allocated == sum(o.size_bytes for o in objs)
+        assert stats.bytes_freed == objs[0].size_bytes
+
+    def test_peak_tracks_high_water_mark(self):
+        heap = Heap(4096)
+        first, second = make_obj(), make_obj()
+        heap.allocate(first)
+        heap.allocate(second)
+        peak = heap.used
+        heap.release(first)
+        assert heap.stats.peak_used == peak
+
+    def test_objects_iterator_is_snapshot(self):
+        heap = Heap(4096)
+        objs = [make_obj() for _ in range(5)]
+        for obj in objs:
+            heap.allocate(obj)
+        seen = []
+        for obj in heap.objects():
+            heap.release(obj)
+            seen.append(obj)
+        assert len(seen) == 5
+        assert heap.live_count == 0
+
+    def test_fits(self):
+        heap = Heap(100)
+        assert heap.fits(100)
+        assert not heap.fits(101)

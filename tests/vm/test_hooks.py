@@ -1,0 +1,102 @@
+"""Unit tests for the hook fanout."""
+
+from repro.vm.gc import GCReport
+from repro.vm.hooks import (
+    AccessRecord,
+    ExecutionListener,
+    HookFanout,
+    InvokeRecord,
+)
+from repro.vm.objectmodel import ClassBuilder, JObject, MethodDef
+
+
+class Recorder(ExecutionListener):
+    def __init__(self):
+        self.calls = []
+
+    def on_alloc(self, obj, site):
+        self.calls.append(("alloc", obj.oid, site))
+
+    def on_free(self, obj):
+        self.calls.append(("free", obj.oid))
+
+    def on_invoke(self, record):
+        self.calls.append(("invoke", record.method))
+
+    def on_invoke_enter(self, callee_class, method, site):
+        self.calls.append(("enter", callee_class))
+
+    def on_access(self, record):
+        self.calls.append(("access", record.field))
+
+    def on_cpu(self, class_name, site, seconds):
+        self.calls.append(("cpu", class_name, seconds))
+
+    def on_gc_report(self, report, site):
+        self.calls.append(("gc", report.cycle))
+
+    def on_offload(self, class_names, nbytes, site_from, site_to):
+        self.calls.append(("offload", tuple(class_names), site_from, site_to))
+
+
+def sample_invoke():
+    return InvokeRecord(
+        caller_class="a", caller_oid=None, callee_class="b",
+        callee_oid=None, method="m", kind="instance",
+        native_stateless=False, arg_bytes=0, ret_bytes=0,
+        cpu_seconds=0.0, caller_site="client", exec_site="client",
+        remote=False,
+    )
+
+
+def sample_access():
+    return AccessRecord(
+        accessor_class="a", accessor_oid=None, owner_class="b",
+        owner_oid=None, field="f", value_bytes=8, is_write=False,
+        is_static=False, accessor_site="client", exec_site="client",
+        remote=False,
+    )
+
+
+class TestHookFanout:
+    def test_broadcast_order_and_coverage(self):
+        fanout = HookFanout()
+        first, second = Recorder(), Recorder()
+        fanout.add(first)
+        fanout.add(second)
+        obj = JObject(ClassBuilder("t.A").build(), "client")
+        fanout.on_alloc(obj, "client")
+        fanout.on_free(obj)
+        fanout.on_invoke(sample_invoke())
+        fanout.on_invoke_enter("b", MethodDef("m"), "client")
+        fanout.on_access(sample_access())
+        fanout.on_cpu("t.A", "client", 0.5)
+        fanout.on_gc_report(
+            GCReport(cycle=1, reason="t", live_objects=0,
+                     freed_objects=0, freed_bytes=0, used_bytes=0,
+                     free_bytes=1, capacity=1), "client")
+        fanout.on_offload(["t.A"], 100, "client", "surrogate")
+        assert first.calls == second.calls
+        assert [c[0] for c in first.calls] == [
+            "alloc", "free", "invoke", "enter", "access", "cpu", "gc",
+            "offload",
+        ]
+
+    def test_remove_stops_delivery(self):
+        fanout = HookFanout()
+        listener = Recorder()
+        fanout.add(listener)
+        fanout.remove(listener)
+        fanout.on_cpu("t.A", "client", 1.0)
+        assert listener.calls == []
+
+    def test_base_listener_methods_are_noops(self):
+        listener = ExecutionListener()
+        listener.on_cpu("x", "client", 1.0)
+        listener.on_invoke(sample_invoke())
+        listener.on_access(sample_access())
+        listener.on_offload([], 0, "a", "b")
+
+    def test_invoke_record_native_flag(self):
+        record = sample_invoke()
+        assert not record.is_native

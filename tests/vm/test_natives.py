@@ -1,0 +1,113 @@
+"""Unit tests for the standard guest library."""
+
+import math
+
+import pytest
+
+from repro.config import DeviceProfile, GCConfig, VMConfig
+from repro.vm.natives import (
+    CONSOLE_CLASS,
+    FILE_CLASS,
+    FRAMEBUFFER_CLASS,
+    INTEGER_CLASS,
+    MATH_CLASS,
+    STRING_CLASS,
+    SYSTEM_CLASS,
+    new_integer,
+    new_string,
+)
+from repro.vm.session import LocalSession
+
+
+@pytest.fixture
+def session():
+    config = VMConfig(
+        device=DeviceProfile("pc", heap_capacity=512 * 1024),
+        gc=GCConfig(allocations_per_cycle=10**6, bytes_per_cycle=10**9),
+        monitoring_event_cost=0.0,
+    )
+    return LocalSession(config)
+
+
+class TestMath:
+    def test_sin_cos_sqrt(self, session):
+        ctx = session.ctx
+        assert ctx.invoke_static(MATH_CLASS, "sin", 0.0) == 0.0
+        assert ctx.invoke_static(MATH_CLASS, "cos", 0.0) == 1.0
+        assert ctx.invoke_static(MATH_CLASS, "sqrt", 9.0) == 3.0
+
+    def test_sqrt_of_negative_is_zero(self, session):
+        assert session.ctx.invoke_static(MATH_CLASS, "sqrt", -4.0) == 0.0
+
+    def test_pow_overflow_is_zero(self, session):
+        assert session.ctx.invoke_static(MATH_CLASS, "pow", 10.0, 10000.0) == 0.0
+
+    def test_atan2_and_floor(self, session):
+        assert session.ctx.invoke_static(MATH_CLASS, "atan2", 0.0, 1.0) == 0.0
+        assert session.ctx.invoke_static(MATH_CLASS, "floor", 2.7) == 2.0
+
+    def test_math_methods_are_stateless_natives(self, session):
+        cls = session.registry.lookup(MATH_CLASS)
+        assert all(m.is_native and m.stateless for m in cls.methods())
+
+    def test_math_class_unpinned_only_under_enhancement(self, session):
+        cls = session.registry.lookup(MATH_CLASS)
+        assert cls.has_native_methods
+        assert not cls.has_stateful_natives
+
+
+class TestSystem:
+    def test_get_property(self, session):
+        value = session.ctx.invoke_static(SYSTEM_CLASS, "getProperty", "os.name")
+        assert value == "guest-ce"
+        assert session.ctx.invoke_static(SYSTEM_CLASS, "getProperty", "nope") is None
+
+    def test_current_millis_follows_virtual_clock(self, session):
+        session.clock.advance(1.25)
+        millis = session.ctx.invoke_static(SYSTEM_CLASS, "currentTimeMillis")
+        assert millis >= 1250
+
+    def test_arraycopy_accounts_both_arrays(self, session):
+        src = session.ctx.new_array("int", 100)
+        dst = session.ctx.new_array("int", 100)
+        session.ctx.invoke_static(SYSTEM_CLASS, "arraycopy", src, dst, 50)
+
+
+class TestStringsAndBoxes:
+    def test_new_string_size_and_fields(self, session):
+        s = new_string(session.ctx, "hello")
+        assert s.values["length"] == 5
+        assert s.values["value"] == "hello"
+
+    def test_string_copy_is_new_object(self, session):
+        s = new_string(session.ctx, "abc")
+        copy = session.ctx.invoke(s, "copy")
+        assert copy is not s
+        assert copy.values["value"] == "abc"
+
+    def test_length_of(self, session):
+        s = new_string(session.ctx, "abcd")
+        assert session.ctx.invoke(s, "lengthOf") == 4
+
+    def test_integer_box_roundtrip(self, session):
+        box = new_integer(session.ctx, 17)
+        assert session.ctx.invoke(box, "intValue") == 17
+
+
+class TestDeviceBoundNatives:
+    def test_file_read_write_return_sizes(self, session):
+        f = session.ctx.new(FILE_CLASS, path="doc.txt")
+        assert session.ctx.invoke(f, "read", 1024) == 1024
+        assert session.ctx.invoke(f, "write", 64) == 64
+
+    def test_framebuffer_is_pinned(self, session):
+        cls = session.registry.lookup(FRAMEBUFFER_CLASS)
+        assert cls.has_stateful_natives
+        fb = session.ctx.new(FRAMEBUFFER_CLASS, width=320, height=240)
+        before = session.clock.now
+        session.ctx.invoke(fb, "draw", 320 * 240)
+        session.ctx.invoke(fb, "flush")
+        assert session.clock.now > before
+
+    def test_console_print(self, session):
+        session.ctx.invoke_static(CONSOLE_CLASS, "print", "hello world")

@@ -1,0 +1,54 @@
+"""Unit tests for the single-VM session."""
+
+import pytest
+
+from repro.config import DeviceProfile, GCConfig, VMConfig
+from repro.vm.classloader import ClassRegistry
+from repro.vm.hooks import ExecutionListener
+from repro.vm.natives import MATH_CLASS
+from repro.vm.session import CLIENT_SITE, LocalSession
+from repro.units import KB
+
+
+class TestLocalSession:
+    def test_defaults_install_stdlib(self):
+        session = LocalSession()
+        assert session.registry.has_class(MATH_CLASS)
+        assert session.vm.name == CLIENT_SITE
+
+    def test_stdlib_can_be_skipped(self):
+        session = LocalSession(install_stdlib=False)
+        assert not session.registry.has_class(MATH_CLASS)
+
+    def test_external_registry_used_verbatim(self):
+        registry = ClassRegistry()
+        registry.define("mine.Thing").register()
+        session = LocalSession(registry=registry)
+        assert session.registry is registry
+        assert not session.registry.has_class(MATH_CLASS)
+
+    def test_gc_reports_reach_listeners(self):
+        session = LocalSession()
+        reports = []
+
+        class Listener(ExecutionListener):
+            def on_gc_report(self, report, site):
+                reports.append((report, site))
+
+        session.add_listener(Listener())
+        session.vm.collect_garbage()
+        assert reports
+        assert reports[0][1] == CLIENT_SITE
+
+    def test_elapsed_tracks_clock(self):
+        session = LocalSession()
+        session.clock.advance(2.5)
+        assert session.elapsed == 2.5
+
+    def test_config_controls_heap(self):
+        config = VMConfig(
+            device=DeviceProfile("tiny", heap_capacity=64 * KB),
+            gc=GCConfig(),
+        )
+        session = LocalSession(config)
+        assert session.vm.heap.capacity == 64 * KB

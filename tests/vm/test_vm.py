@@ -1,0 +1,150 @@
+"""Unit tests for the VirtualMachine facade."""
+
+import pytest
+
+from repro.config import DeviceProfile, GCConfig, VMConfig
+from repro.errors import OutOfMemoryError, StaleObjectError
+from repro.vm.classloader import ClassRegistry
+from repro.vm.vm import VirtualMachine
+
+
+def make_vm(heap_capacity=16 * 1024, cpu_speed=1.0, registry=None):
+    registry = registry or ClassRegistry()
+    if not registry.has_class("t.Node"):
+        registry.define("t.Node").field("next").field("weight", "int").register()
+    config = VMConfig(
+        device=DeviceProfile("test-device", cpu_speed=cpu_speed,
+                             heap_capacity=heap_capacity),
+        gc=GCConfig(allocations_per_cycle=10**6, bytes_per_cycle=10**9),
+    )
+    return VirtualMachine("client", config, registry)
+
+
+class TestAllocation:
+    def test_new_instance_lands_on_heap(self):
+        vm = make_vm()
+        obj = vm.new_instance(vm.registry.lookup("t.Node"))
+        assert vm.heap.contains(obj)
+        assert obj.home == "client"
+
+    def test_new_array(self):
+        vm = make_vm()
+        arr = vm.new_array("char", 100)
+        assert arr.length == 100
+        assert vm.heap.contains(arr)
+
+    def test_allocation_collects_then_succeeds(self):
+        vm = make_vm(heap_capacity=200)
+        # Fill the heap with garbage (never rooted), then allocate again:
+        # the collection triggered by exhaustion must rescue the request.
+        node_cls = vm.registry.lookup("t.Node")
+        for _ in range(200 // node_cls.instance_size):
+            vm.new_instance(node_cls)
+        survivor = vm.new_instance(node_cls)
+        assert vm.heap.contains(survivor)
+
+    def test_out_of_memory_when_rooted_objects_fill_heap(self):
+        vm = make_vm(heap_capacity=200)
+        node_cls = vm.registry.lookup("t.Node")
+        count = 0
+        with pytest.raises(OutOfMemoryError) as excinfo:
+            while True:
+                obj = vm.new_instance(node_cls)
+                vm.set_root(f"keep-{count}", obj)
+                count += 1
+        assert excinfo.value.capacity == 200
+        assert count == 200 // node_cls.instance_size
+
+    def test_oom_reports_requested_and_free(self):
+        vm = make_vm(heap_capacity=100)
+        big = vm.registry.array_class("int")
+        with pytest.raises(OutOfMemoryError) as excinfo:
+            vm.new_array("int", 1000)
+        assert excinfo.value.requested > 100
+        assert excinfo.value.free == 100
+
+
+class TestRoots:
+    def test_named_roots_protect_objects(self):
+        vm = make_vm()
+        obj = vm.new_instance(vm.registry.lookup("t.Node"))
+        vm.set_root("app", obj)
+        vm.collect_garbage()
+        assert vm.heap.contains(obj)
+        assert vm.get_root("app") is obj
+
+    def test_removing_root_exposes_object(self):
+        vm = make_vm()
+        obj = vm.new_instance(vm.registry.lookup("t.Node"))
+        vm.set_root("app", obj)
+        vm.set_root("app", None)
+        vm.collect_garbage()
+        assert not vm.heap.contains(obj)
+
+    def test_root_sources_are_consulted(self):
+        vm = make_vm()
+        obj = vm.new_instance(vm.registry.lookup("t.Node"))
+        vm.add_root_source(lambda: [obj])
+        vm.collect_garbage()
+        assert vm.heap.contains(obj)
+
+    def test_static_reference_fields_are_roots(self):
+        registry = ClassRegistry()
+        registry.define("t.Holder").field("shared", static=True).register()
+        vm = make_vm(registry=registry)
+        obj = vm.new_instance(vm.registry.lookup("t.Node"))
+        vm.set_static("t.Holder", "shared", obj)
+        vm.collect_garbage()
+        assert vm.heap.contains(obj)
+
+
+class TestMigrationSupport:
+    def test_evict_then_adopt_moves_object(self):
+        registry = ClassRegistry()
+        vm_a = make_vm(registry=registry)
+        config_b = VMConfig(device=DeviceProfile("b", heap_capacity=16 * 1024))
+        vm_b = VirtualMachine("surrogate", config_b, registry, clock=vm_a.clock)
+        obj = vm_a.new_instance(registry.lookup("t.Node"))
+        vm_a.evict(obj)
+        vm_b.adopt(obj)
+        assert obj.home == "surrogate"
+        assert vm_b.heap.contains(obj)
+        assert not vm_a.heap.contains(obj)
+
+    def test_evict_refuses_foreign_object(self):
+        registry = ClassRegistry()
+        vm_a = make_vm(registry=registry)
+        obj = vm_a.new_instance(registry.lookup("t.Node"))
+        obj.home = "elsewhere"
+        with pytest.raises(StaleObjectError):
+            vm_a.evict(obj)
+
+
+class TestCpuAccounting:
+    def test_charge_cpu_scales_with_device_speed(self):
+        vm = make_vm(cpu_speed=3.5)
+        wall = vm.charge_cpu(3.5)
+        assert wall == pytest.approx(1.0)
+        assert vm.clock.now == pytest.approx(1.0)
+
+    def test_gc_pause_advances_clock(self):
+        vm = make_vm()
+        before = vm.clock.now
+        vm.collect_garbage()
+        assert vm.clock.now > before
+
+
+class TestStatics:
+    def test_get_set_static(self):
+        registry = ClassRegistry()
+        registry.define("t.Conf").field("limit", "int", static=True,
+                                        default=10).register()
+        vm = make_vm(registry=registry)
+        assert vm.get_static("t.Conf", "limit") == 10
+        vm.set_static("t.Conf", "limit", 20)
+        assert vm.get_static("t.Conf", "limit") == 20
+
+    def test_non_static_field_rejected(self):
+        vm = make_vm()
+        with pytest.raises(StaleObjectError):
+            vm.get_static("t.Node", "weight")
