@@ -1,0 +1,17 @@
+"""Benchmark suite package.
+
+Making ``benchmarks`` a package allows ``python -m benchmarks.report``
+to run the hot-path perf suite without pytest.  When the library is not
+installed, the repo's ``src/`` layout is put on ``sys.path`` so the
+benchmarks resolve ``repro`` exactly as the tier-1 suite does.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    try:
+        import repro  # noqa: F401
+    except ImportError:
+        sys.path.insert(0, str(_SRC))

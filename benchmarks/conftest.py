@@ -9,6 +9,17 @@ cache, so the suite measures replay/experiment cost, not recording.
 import pytest
 
 
+def pytest_collection_modifyitems(items):
+    """Every benchmark is a perf test: tag them all with the marker.
+
+    Tier-1 (`pytest -x -q`) never collects this directory (pyproject's
+    ``testpaths`` points at ``tests/``); the marker additionally lets a
+    combined run deselect the perf suite with ``-m "not perf"``.
+    """
+    for item in items:
+        item.add_marker(pytest.mark.perf)
+
+
 def run_once(benchmark, func):
     """Run an experiment exactly once under the benchmark timer."""
     return benchmark.pedantic(func, rounds=1, iterations=1,

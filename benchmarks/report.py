@@ -1,0 +1,121 @@
+"""Hot-path benchmark report: ``python -m benchmarks.report``.
+
+Times the two library hot paths the perf suite guards — the
+partitioning heuristic at increasing graph sizes and the emulator's
+replay throughput — and writes the results to ``BENCH_hotpath.json`` in
+the repository root.  The checked-in file is the start of the bench
+trajectory: re-run after touching a hot path and commit the delta.
+
+The timings here mirror ``benchmarks/test_perf_components.py`` (same
+synthetic graphs, same trace) but run standalone so CI or a developer
+can refresh the numbers without pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import time
+from pathlib import Path
+
+from benchmarks.test_perf_components import synthetic_graph
+
+from repro.core.mincut import generate_candidates
+from repro.core.partitioner import Partitioner
+from repro.core.policy import EvaluationContext, MemoryPartitionPolicy
+from repro.emulator import Emulator
+from repro.experiments import cached_trace, memory_emulator_config
+from repro.experiments.exp_overhead import MEMORY_WORKLOADS
+
+REPORT_NAME = "BENCH_hotpath.json"
+PARTITIONER_SIZES = (134, 500, 1000, 5000)
+
+
+def _time(func, rounds: int) -> dict:
+    durations = []
+    for _ in range(rounds):
+        started = time.perf_counter()
+        func()
+        durations.append(time.perf_counter() - started)
+    return {
+        "rounds": rounds,
+        "mean_s": statistics.fmean(durations),
+        "min_s": min(durations),
+        "max_s": max(durations),
+    }
+
+
+def bench_partitioner(rounds: int) -> dict:
+    results = {}
+    for node_count in PARTITIONER_SIZES:
+        graph = synthetic_graph(node_count)
+        pinned = [f"c{i:04d}" for i in range(0, node_count, 10)]
+        partitioner = Partitioner(MemoryPartitionPolicy(0.20))
+        ctx = EvaluationContext(heap_capacity=graph.total_memory())
+        # Fewer rounds for the big graphs; enough for a stable mean.
+        effective_rounds = max(3, rounds // (node_count // 134))
+        stats = _time(
+            lambda: partitioner.partition(graph, pinned, ctx),
+            effective_rounds,
+        )
+        stats["nodes"] = node_count
+        stats["links"] = graph.link_count
+        stats["candidates"] = len(generate_candidates(graph, pinned))
+        results[str(node_count)] = stats
+    return results
+
+
+def bench_replay(rounds: int) -> dict:
+    trace = cached_trace("dia", MEMORY_WORKLOADS["dia"])
+    emulator = Emulator(trace)
+    config = memory_emulator_config()
+    stats = _time(lambda: emulator.replay(config), rounds)
+    stats["trace"] = "dia"
+    stats["events"] = len(trace)
+    stats["events_per_second"] = len(trace) / stats["mean_s"]
+    return stats
+
+
+def build_report(rounds: int) -> dict:
+    return {
+        "report": "hotpath",
+        "units": "seconds",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "partitioner_latency": bench_partitioner(rounds),
+        "replay": bench_replay(rounds),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m benchmarks.report",
+        description="Measure hot paths and write BENCH_hotpath.json",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=10,
+        help="timing rounds per measurement (default: 10)",
+    )
+    parser.add_argument(
+        "--output", type=Path,
+        default=Path(__file__).resolve().parent.parent / REPORT_NAME,
+        help=f"output path (default: <repo>/{REPORT_NAME})",
+    )
+    args = parser.parse_args(argv)
+    report = build_report(max(1, args.rounds))
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    for size, stats in report["partitioner_latency"].items():
+        print(f"partitioner {size:>5} nodes: {stats['mean_s'] * 1e3:8.2f} ms "
+              f"mean over {stats['rounds']} rounds "
+              f"({stats['candidates']} candidates)")
+    replay = report["replay"]
+    print(f"replay {replay['trace']}: {replay['events_per_second']:,.0f} "
+          f"events/s over {replay['events']} events")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -35,7 +35,7 @@ def synthetic_graph(node_count: int, edges_per_node: int = 6,
     return graph
 
 
-@pytest.mark.parametrize("node_count", [134, 500, 1000])
+@pytest.mark.parametrize("node_count", [134, 500, 1000, 5000])
 def test_perf_partitioner_scales(benchmark, node_count):
     graph = synthetic_graph(node_count)
     pinned = [f"c{i:04d}" for i in range(0, node_count, 10)]
@@ -44,8 +44,8 @@ def test_perf_partitioner_scales(benchmark, node_count):
 
     decision = benchmark(partitioner.partition, graph, pinned, ctx)
     # The paper: the heuristic evaluates fewer candidates than classes
-    # and runs in ~0.1s on 2001 hardware; a modern host should stay
-    # well under that even at ~7x the paper's graph size.
+    # and runs in ~0.1s on 2001 hardware; the heap-based generator keeps
+    # even a 5000-node graph (~37x the paper's) under a second.
     assert decision.candidates_evaluated < node_count
     assert decision.compute_seconds < 1.0
 
@@ -69,4 +69,4 @@ def test_perf_replay_throughput(benchmark):
     events_per_second = len(trace) / benchmark.stats["mean"]
     print(f"\nreplay throughput: {events_per_second:,.0f} events/s "
           f"over {len(trace)} events")
-    assert events_per_second > 50_000
+    assert events_per_second > 100_000

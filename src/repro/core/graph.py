@@ -15,8 +15,17 @@ become their own nodes with ids like ``int[]#1042`` (see
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import (
+    AbstractSet,
+    Dict,
+    FrozenSet,
+    Iterable,
+    ItemsView,
+    Iterator,
+    Optional,
+    Tuple,
+)
 
 from ..errors import PartitioningError
 
@@ -60,13 +69,21 @@ def edge_key(a: str, b: str) -> Tuple[str, str]:
     return (a, b) if a <= b else (b, a)
 
 
+#: Shared empty mapping backing the views returned for unknown nodes.
+_EMPTY_ADJACENCY: Dict[str, EdgeStats] = {}
+
+
 class ExecutionGraph:
     """Weighted interaction graph over classes (or objects)."""
 
     def __init__(self) -> None:
         self._nodes: Dict[str, NodeStats] = {}
         self._edges: Dict[Tuple[str, str], EdgeStats] = {}
-        self._adjacency: Dict[str, Set[str]] = {}
+        # Per-vertex adjacency: neighbor id -> the shared EdgeStats for
+        # that pair.  Keeping the stats in the adjacency map lets the
+        # partitioner walk (neighbor, edge) pairs without re-hashing
+        # sorted edge keys on the hot path.
+        self._adjacency: Dict[str, Dict[str, EdgeStats]] = {}
 
     # -- construction -----------------------------------------------------------
 
@@ -75,7 +92,7 @@ class ExecutionGraph:
         if stats is None:
             stats = NodeStats()
             self._nodes[node_id] = stats
-            self._adjacency[node_id] = set()
+            self._adjacency[node_id] = {}
         return stats
 
     def add_memory(self, node_id: str, delta: int) -> None:
@@ -108,15 +125,15 @@ class ExecutionGraph:
         """
         if a == b:
             return
-        self.ensure_node(a)
-        self.ensure_node(b)
-        key = edge_key(a, b)
+        key = (a, b) if a <= b else (b, a)
         edge = self._edges.get(key)
         if edge is None:
+            self.ensure_node(a)
+            self.ensure_node(b)
             edge = EdgeStats()
             self._edges[key] = edge
-            self._adjacency[a].add(b)
-            self._adjacency[b].add(a)
+            self._adjacency[a][b] = edge
+            self._adjacency[b][a] = edge
         edge.count += count
         edge.bytes += nbytes
 
@@ -143,8 +160,29 @@ class ExecutionGraph:
     def has_node(self, node_id: str) -> bool:
         return node_id in self._nodes
 
-    def neighbors(self, node_id: str) -> Set[str]:
-        return self._adjacency.get(node_id, set())
+    def neighbors(self, node_id: str) -> AbstractSet[str]:
+        """Read-only, set-like view of a node's neighbors.
+
+        The view is live (it reflects later graph mutations) but cannot
+        itself be mutated, so callers can never corrupt the adjacency
+        structure.
+        """
+        adjacency = self._adjacency.get(node_id)
+        if adjacency is None:
+            return _EMPTY_ADJACENCY.keys()
+        return adjacency.keys()
+
+    def adjacent_edges(self, node_id: str) -> ItemsView[str, EdgeStats]:
+        """Read-only view of ``(neighbor, EdgeStats)`` pairs for a node.
+
+        This is the hot-path companion to :meth:`neighbors`: one dict
+        walk yields both the neighbor id and the shared edge statistics,
+        with no per-edge key construction or extra hashing.
+        """
+        adjacency = self._adjacency.get(node_id)
+        if adjacency is None:
+            return _EMPTY_ADJACENCY.items()
+        return adjacency.items()
 
     def edge(self, a: str, b: str) -> Optional[EdgeStats]:
         return self._edges.get(edge_key(a, b))
@@ -189,12 +227,14 @@ class ExecutionGraph:
                 nbytes += edge.bytes
         return count, nbytes
 
-    def connectivity(self, node_id: str, group: Set[str]) -> int:
+    def connectivity(self, node_id: str, group: AbstractSet[str]) -> int:
         """Total edge bytes between ``node_id`` and the nodes in ``group``."""
         total = 0
-        for neighbor in self._adjacency.get(node_id, ()):
-            if neighbor in group:
-                total += self._edges[edge_key(node_id, neighbor)].bytes
+        adjacency = self._adjacency.get(node_id)
+        if adjacency:
+            for neighbor, edge in adjacency.items():
+                if neighbor in group:
+                    total += edge.bytes
         return total
 
     # -- serialisation -----------------------------------------------------------
@@ -232,7 +272,33 @@ class ExecutionGraph:
         return graph
 
     def copy(self) -> "ExecutionGraph":
-        return ExecutionGraph.from_dict(self.to_dict())
+        """Deep structural copy, without a serialisation round trip.
+
+        The monitor snapshots the graph on every partitioning decision,
+        so this copies node stats, edge stats, and adjacency directly
+        instead of going through ``to_dict``/``from_dict``.
+        """
+        clone = ExecutionGraph.__new__(ExecutionGraph)
+        clone._nodes = {
+            node_id: NodeStats(
+                memory_bytes=stats.memory_bytes,
+                cpu_seconds=stats.cpu_seconds,
+                live_objects=stats.live_objects,
+                created_objects=stats.created_objects,
+            )
+            for node_id, stats in self._nodes.items()
+        }
+        clone._edges = {}
+        adjacency: Dict[str, Dict[str, EdgeStats]] = {
+            node_id: {} for node_id in self._nodes
+        }
+        for (a, b), edge in self._edges.items():
+            copied = EdgeStats(count=edge.count, bytes=edge.bytes)
+            clone._edges[(a, b)] = copied
+            adjacency[a][b] = copied
+            adjacency[b][a] = copied
+        clone._adjacency = adjacency
+        return clone
 
     def to_dot(self, partition: Optional[FrozenSet[str]] = None,
                min_edge_bytes: int = 0) -> str:

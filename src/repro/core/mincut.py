@@ -13,37 +13,180 @@ The classic Stoer–Wagner global minimum cut is also implemented, both as
 the ancestry of the heuristic and as an ablation baseline (it can return
 a cut that frees almost nothing, which is precisely the paper's argument
 for the modification).
+
+Both algorithms select their next vertex through a lazy-deletion heap
+rather than a linear scan, so one candidate chain costs
+O((V + E) log V) instead of O(V^2 + E); connectivities only ever grow
+while a vertex is selectable, so the freshest heap entry for a vertex is
+always the largest and stale entries can simply be skipped on pop.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import heapq
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from ..errors import PartitioningError
-from .graph import ExecutionGraph, edge_key
+from .graph import ExecutionGraph
 
 
-@dataclass(frozen=True)
+class _MaxOrderStr:
+    """Reverses string ordering so heapq's min-heap pops the max id.
+
+    The heuristic breaks connectivity ties towards the *largest* node
+    id (the historical ``max()`` scan compared ``(bytes, count, node)``
+    tuples); wrapping the id keeps that exact tie-break under heapq.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: str) -> None:
+        self.value = value
+
+    def __lt__(self, other: "_MaxOrderStr") -> bool:
+        return self.value > other.value
+
+
+class _MoveLog:
+    """Shared move history behind one chain of lazy candidates.
+
+    ``seed`` is the initial client partition; ``order`` lists every
+    initially-surrogate node in the order it was moved to the client,
+    with the never-moved remainder appended at the end.  Candidate ``i``
+    of the chain is then ``client = seed | order[:i]``,
+    ``surrogate = order[i:]`` — O(V) storage for the whole chain instead
+    of O(V^2) worth of per-candidate frozensets.
+    """
+
+    __slots__ = ("seed", "order")
+
+    def __init__(self, seed: FrozenSet[str]) -> None:
+        self.seed = seed
+        self.order: List[str] = []
+
+
 class CandidatePartition:
     """One intermediate partitioning produced by the heuristic.
 
     ``client_nodes`` stay on the device; ``surrogate_nodes`` would be
     offloaded.  The cut statistics are the historical interactions that
     would become remote under this placement.
+
+    Node sets coming out of :func:`generate_candidates` are
+    materialised lazily on first access (most candidates are only ever
+    judged by their scalar cut statistics); explicitly constructed
+    instances behave like the plain record they always were.
     """
 
-    client_nodes: FrozenSet[str]
-    surrogate_nodes: FrozenSet[str]
-    cut_count: int
-    cut_bytes: int
-    surrogate_memory: int
-    surrogate_cpu: float
-    client_cpu: float
+    __slots__ = (
+        "cut_count",
+        "cut_bytes",
+        "surrogate_memory",
+        "surrogate_cpu",
+        "client_cpu",
+        "_client_nodes",
+        "_surrogate_nodes",
+        "_log",
+        "_moves_applied",
+    )
+
+    def __init__(
+        self,
+        client_nodes: Iterable[str],
+        surrogate_nodes: Iterable[str],
+        cut_count: int,
+        cut_bytes: int,
+        surrogate_memory: int,
+        surrogate_cpu: float,
+        client_cpu: float,
+    ) -> None:
+        self._client_nodes: Optional[FrozenSet[str]] = frozenset(client_nodes)
+        self._surrogate_nodes: Optional[FrozenSet[str]] = frozenset(
+            surrogate_nodes
+        )
+        self._log: Optional[_MoveLog] = None
+        self._moves_applied = 0
+        self.cut_count = cut_count
+        self.cut_bytes = cut_bytes
+        self.surrogate_memory = surrogate_memory
+        self.surrogate_cpu = surrogate_cpu
+        self.client_cpu = client_cpu
+
+    @classmethod
+    def _deferred(
+        cls,
+        log: _MoveLog,
+        moves_applied: int,
+        cut_count: int,
+        cut_bytes: int,
+        surrogate_memory: int,
+        surrogate_cpu: float,
+        client_cpu: float,
+    ) -> "CandidatePartition":
+        self = cls.__new__(cls)
+        self._client_nodes = None
+        self._surrogate_nodes = None
+        self._log = log
+        self._moves_applied = moves_applied
+        self.cut_count = cut_count
+        self.cut_bytes = cut_bytes
+        self.surrogate_memory = surrogate_memory
+        self.surrogate_cpu = surrogate_cpu
+        self.client_cpu = client_cpu
+        return self
+
+    @property
+    def client_nodes(self) -> FrozenSet[str]:
+        nodes = self._client_nodes
+        if nodes is None:
+            log = self._log
+            nodes = log.seed.union(log.order[: self._moves_applied])
+            self._client_nodes = nodes
+        return nodes
+
+    @property
+    def surrogate_nodes(self) -> FrozenSet[str]:
+        nodes = self._surrogate_nodes
+        if nodes is None:
+            nodes = frozenset(self._log.order[self._moves_applied:])
+            self._surrogate_nodes = nodes
+        return nodes
 
     @property
     def offloads_anything(self) -> bool:
-        return bool(self.surrogate_nodes)
+        if self._surrogate_nodes is not None:
+            return bool(self._surrogate_nodes)
+        return len(self._log.order) > self._moves_applied
+
+    def _fields(self) -> tuple:
+        return (
+            self.client_nodes,
+            self.surrogate_nodes,
+            self.cut_count,
+            self.cut_bytes,
+            self.surrogate_memory,
+            self.surrogate_cpu,
+            self.client_cpu,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CandidatePartition):
+            return NotImplemented
+        return self._fields() == other._fields()
+
+    def __hash__(self) -> int:
+        return hash(self._fields())
+
+    def __repr__(self) -> str:
+        return (
+            "CandidatePartition("
+            f"client_nodes={set(self.client_nodes)!r}, "
+            f"surrogate_nodes={set(self.surrogate_nodes)!r}, "
+            f"cut_count={self.cut_count}, cut_bytes={self.cut_bytes}, "
+            f"surrogate_memory={self.surrogate_memory}, "
+            f"surrogate_cpu={self.surrogate_cpu}, "
+            f"client_cpu={self.client_cpu})"
+        )
 
 
 def _seed_nodes(graph: ExecutionGraph, pinned: Iterable[str]) -> Set[str]:
@@ -75,6 +218,11 @@ def generate_candidates(
     not pinned) down to offloading a single node.  The number of
     candidates is strictly smaller than the number of nodes, as the
     paper notes.
+
+    The most-connected surrogate node is drawn from a lazy-deletion
+    heap keyed on ``(conn_bytes, conn_count, node)``: connectivity to
+    the client only grows, so each relaxation pushes a fresh entry and
+    pops discard entries that no longer match the live connectivity.
     """
     client: Set[str] = _seed_nodes(graph, pinned)
     surrogate: Set[str] = set(graph.nodes()) - client
@@ -91,24 +239,30 @@ def generate_candidates(
     conn_count: Dict[str, int] = {}
     for node in surrogate:
         nbytes = ncount = 0
-        for neighbor in graph.neighbors(node):
+        for neighbor, edge in graph.adjacent_edges(node):
             if neighbor in client:
-                edge = graph.edge(node, neighbor)
                 nbytes += edge.bytes
                 ncount += edge.count
         conn_bytes[node] = nbytes
         conn_count[node] = ncount
 
+    heap: List[Tuple[int, int, _MaxOrderStr]] = [
+        (-conn_bytes[node], -conn_count[node], _MaxOrderStr(node))
+        for node in surrogate
+    ]
+    heapq.heapify(heap)
+
     client_memory = graph.total_memory(client)
     client_cpu = graph.total_cpu(client)
 
+    log = _MoveLog(frozenset(client))
     candidates: List[CandidatePartition] = []
 
     def record() -> None:
         candidates.append(
-            CandidatePartition(
-                client_nodes=frozenset(client),
-                surrogate_nodes=frozenset(surrogate),
+            CandidatePartition._deferred(
+                log=log,
+                moves_applied=len(log.order),
                 cut_count=cut_count,
                 cut_bytes=cut_bytes,
                 surrogate_memory=total_memory - client_memory,
@@ -118,29 +272,49 @@ def generate_candidates(
         )
 
     record()
-    while len(surrogate) > 1:
+    remaining = len(surrogate)
+    while remaining > 1:
         # Most tightly coupled to the client partition; deterministic
-        # tie-break on (count, node id).
-        moved = max(
-            surrogate,
-            key=lambda n: (conn_bytes[n], conn_count[n], n),
-        )
-        surrogate.discard(moved)
-        client.add(moved)
-        client_memory += graph.node(moved).memory_bytes
-        client_cpu += graph.node(moved).cpu_seconds
+        # tie-break on (count, node id).  Stale heap entries (pushed
+        # before a later relaxation raised the node's connectivity, or
+        # for already-moved nodes) are skipped.
+        while True:
+            neg_bytes, neg_count, wrapped = heapq.heappop(heap)
+            moved = wrapped.value
+            current = conn_bytes.get(moved)
+            if (
+                current is not None
+                and current == -neg_bytes
+                and conn_count[moved] == -neg_count
+            ):
+                break
+        remaining -= 1
+        stats = graph.node(moved)
+        client_memory += stats.memory_bytes
+        client_cpu += stats.cpu_seconds
         # The moved node's client-side edges leave the cut; its edges to
         # the remaining surrogate nodes join the cut.
         cut_bytes -= conn_bytes.pop(moved)
         cut_count -= conn_count.pop(moved)
-        for neighbor in graph.neighbors(moved):
-            if neighbor in surrogate:
-                edge = graph.edge(moved, neighbor)
-                cut_bytes += edge.bytes
-                cut_count += edge.count
-                conn_bytes[neighbor] += edge.bytes
-                conn_count[neighbor] += edge.count
+        for neighbor, edge in graph.adjacent_edges(moved):
+            neighbor_bytes = conn_bytes.get(neighbor)
+            if neighbor_bytes is None:
+                continue
+            cut_bytes += edge.bytes
+            cut_count += edge.count
+            neighbor_bytes += edge.bytes
+            neighbor_count = conn_count[neighbor] + edge.count
+            conn_bytes[neighbor] = neighbor_bytes
+            conn_count[neighbor] = neighbor_count
+            heapq.heappush(
+                heap,
+                (-neighbor_bytes, -neighbor_count, _MaxOrderStr(neighbor)),
+            )
+        log.order.append(moved)
         record()
+    # The never-moved remainder closes the move order so lazy candidates
+    # can slice their surrogate side out of it.
+    log.order.extend(conn_bytes)
     return candidates
 
 
@@ -160,55 +334,67 @@ def stoer_wagner(graph: ExecutionGraph) -> Tuple[int, FrozenSet[str]]:
     the minimum cut.  Used as an ablation baseline: the unmodified
     algorithm is free to return a cut that isolates a single node and
     frees almost no memory.
+
+    Contractions are carried out on per-vertex adjacency maps, so each
+    maximum-adjacency phase walks only real edges (heap-ordered) and a
+    merge touches only the merged vertex's neighbors instead of every
+    active vertex pair.
     """
     nodes = list(graph.nodes())
     if len(nodes) < 2:
         raise PartitioningError("minimum cut requires at least two nodes")
 
-    # Work on a contractible copy of the weights.
-    weights: Dict[Tuple[str, str], int] = {
-        key: edge.bytes for key, edge in graph.edges()
-    }
+    # Contractible per-vertex weight maps (vertex -> neighbor -> bytes).
+    adjacency: Dict[str, Dict[str, int]] = {n: {} for n in nodes}
+    for (a, b), edge in graph.edges():
+        adjacency[a][b] = edge.bytes
+        adjacency[b][a] = edge.bytes
+
     groups: Dict[str, Set[str]] = {n: {n} for n in nodes}
     active = set(nodes)
-
-    def weight(a: str, b: str) -> int:
-        return weights.get(edge_key(a, b), 0)
 
     best_cut = None
     best_partition: FrozenSet[str] = frozenset()
 
     while len(active) > 1:
-        # Minimum cut phase (maximum adjacency ordering).
+        # Minimum cut phase (maximum adjacency ordering), drawn from a
+        # lazy-deletion heap with the historical (conn, node) tie-break.
         order = []
-        in_a: Set[str] = set()
         conn: Dict[str, int] = {n: 0 for n in active}
         remaining = set(active)
+        heap = [(0, _MaxOrderStr(n)) for n in active]
+        heapq.heapify(heap)
         while remaining:
-            nxt = max(remaining, key=lambda n: (conn[n], n))
+            while True:
+                neg_conn, wrapped = heapq.heappop(heap)
+                nxt = wrapped.value
+                if nxt in remaining and conn[nxt] == -neg_conn:
+                    break
             remaining.discard(nxt)
             order.append(nxt)
-            in_a.add(nxt)
-            for other in remaining:
-                other_weight = weight(nxt, other)
-                if other_weight:
-                    conn[other] += other_weight
+            for other, other_weight in adjacency[nxt].items():
+                if other_weight and other in remaining:
+                    connected = conn[other] + other_weight
+                    conn[other] = connected
+                    heapq.heappush(heap, (-connected, _MaxOrderStr(other)))
         last = order[-1]
         cut_of_phase = conn[last]
         if best_cut is None or cut_of_phase < best_cut:
             best_cut = cut_of_phase
             best_partition = frozenset(groups[last])
         # Merge the last two vertices of the ordering.
-        if len(order) >= 2:
-            merged_into = order[-2]
-            groups[merged_into] |= groups[last]
-            for other in list(active):
-                if other in (last, merged_into):
-                    continue
-                joining_weight = weight(last, other)
-                if joining_weight:
-                    key = edge_key(merged_into, other)
-                    weights[key] = weights.get(key, 0) + joining_weight
-            active.discard(last)
+        merged_into = order[-2]
+        groups[merged_into] |= groups[last]
+        merged_adjacency = adjacency[merged_into]
+        merged_adjacency.pop(last, None)
+        for other, joining_weight in adjacency.pop(last).items():
+            if other == merged_into:
+                continue
+            adjacency[other].pop(last, None)
+            if joining_weight:
+                combined = merged_adjacency.get(other, 0) + joining_weight
+                merged_adjacency[other] = combined
+                adjacency[other][merged_into] = combined
+        active.discard(last)
     assert best_cut is not None
     return best_cut, best_partition

@@ -127,12 +127,15 @@ class ExecutionMonitor(ExecutionListener):
 
     def on_free(self, obj: JObject) -> None:
         node = self.node_for(obj.class_name, obj.oid)
-        if not self.graph.has_node(node):
-            return
-        self.graph.add_memory(node, -obj.size_bytes)
-        self.graph.note_object_freed(node)
+        # A missing node (e.g. a warm-start profile that never saw this
+        # class allocate) only skips the graph update; the aggregate
+        # counters must stay consistent with the event stream.
+        if self.graph.has_node(node):
+            self.graph.add_memory(node, -obj.size_bytes)
+            self.graph.note_object_freed(node)
         self.counters.objects_freed += 1
-        self._live_objects -= 1
+        if self._live_objects > 0:
+            self._live_objects -= 1
         remaining = self._live_classes.get(obj.class_name, 0) - 1
         if remaining <= 0:
             self._live_classes.pop(obj.class_name, None)

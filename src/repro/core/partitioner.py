@@ -14,6 +14,7 @@ from typing import FrozenSet, Iterable, List, Optional
 
 from ..errors import NoBeneficialPartitionError
 from .graph import ExecutionGraph
+from .hints import contract_graph, expand_nodes
 from .mincut import CandidatePartition, generate_candidates
 from .policy import EvaluationContext, PartitionPolicy, PolicyDecision
 
@@ -80,8 +81,6 @@ class Partitioner:
         ctx: EvaluationContext,
     ) -> PartitionDecision:
         """Attempt a partitioning; never raises on policy refusal."""
-        from .hints import contract_graph, expand_nodes
-
         started = time.perf_counter()
         pinned = list(pinned)
         expansion = {}

@@ -173,6 +173,14 @@ class TraceReplayer:
         )
         granular = config.flags.arrays_object_granularity
         self._granular_classes: Set[str] = {INT_ARRAY} if granular else set()
+        # Run-length buffer for graph edge updates: consecutive
+        # interactions over the same node pair (tight guest loops are
+        # full of them) collapse into one batched
+        # ``record_interaction(..., count=N)`` call.  Flushed before any
+        # partitioning decision reads the graph.
+        self._pending_edge: Optional[Tuple[str, str]] = None
+        self._pending_edge_bytes = 0
+        self._pending_edge_count = 0
         # The entry point is always a (pinned) graph node, even before
         # any interaction references it.
         self.graph.ensure_node(MAIN)
@@ -200,6 +208,32 @@ class TraceReplayer:
             if site is not None:
                 return site
         return self._class_site(class_name)
+
+    # -- batched graph updates ---------------------------------------------------
+
+    def _record_interaction(self, a: str, b: str, nbytes: int) -> None:
+        if a == b:
+            return
+        pair = (a, b) if a <= b else (b, a)
+        if pair == self._pending_edge:
+            self._pending_edge_bytes += nbytes
+            self._pending_edge_count += 1
+            return
+        self._flush_interactions()
+        self._pending_edge = pair
+        self._pending_edge_bytes = nbytes
+        self._pending_edge_count = 1
+
+    def _flush_interactions(self) -> None:
+        pair = self._pending_edge
+        if pair is not None:
+            self.graph.record_interaction(
+                pair[0], pair[1], self._pending_edge_bytes,
+                count=self._pending_edge_count,
+            )
+            self._pending_edge = None
+            self._pending_edge_bytes = 0
+            self._pending_edge_count = 0
 
     # -- time ------------------------------------------------------------
 
@@ -248,6 +282,7 @@ class TraceReplayer:
                 self._attempt_offload()
             if self.result.oom:
                 break
+        self._flush_interactions()
         self.result.completed = not self.result.oom
         self.result.total_time = self._now
         self.result.final_offload_nodes = self._offloaded
@@ -375,6 +410,7 @@ class TraceReplayer:
         )
 
     def _attempt_offload(self) -> None:
+        self._flush_interactions()
         if self.config.forced_offload_nodes is not None:
             moved_bytes, moved_objects = self._apply_placement(
                 self.config.forced_offload_nodes
@@ -482,7 +518,7 @@ class TraceReplayer:
                 self.result.remote_native_invocations += 1
         caller_node = self._node_for(event.caller_class, event.caller_oid)
         callee_node = self._node_for(event.callee_class, event.callee_oid)
-        self.graph.record_interaction(caller_node, callee_node, nbytes)
+        self._record_interaction(caller_node, callee_node, nbytes)
         self._charge_monitoring(exec_site)
 
     def _replay_access(self, event: AccessEvent) -> None:
@@ -502,8 +538,7 @@ class TraceReplayer:
         accessor_node = self._node_for(event.accessor_class,
                                        event.accessor_oid)
         owner_node = self._node_for(event.owner_class, event.owner_oid)
-        self.graph.record_interaction(accessor_node, owner_node,
-                                      event.nbytes)
+        self._record_interaction(accessor_node, owner_node, event.nbytes)
         self._charge_monitoring(owner_site)
 
     def _replay_work(self, event: WorkEvent) -> None:

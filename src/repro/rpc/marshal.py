@@ -40,9 +40,20 @@ _SCALAR_SIZES = {
     type(None): 8,
 }
 
+#: Memoised sizes for short strings (method names, field names, class
+#: names recur on every interaction); bounded so a pathological guest
+#: cannot grow it without limit.
+_SMALL_STRING_MAX_LEN = 64
+_SMALL_STRING_CACHE_CAP = 4096
+_small_string_sizes: Dict[str, int] = {}
+
 
 def deep_size(value: Any) -> int:
     """Measure the marshalled size of one guest value in bytes.
+
+    Scalars and strings — the overwhelming majority of marshalled
+    values — resolve through an exact-type fast path before any
+    ``isinstance`` dispatch; short strings are memoised.
 
     >>> deep_size(42)
     8
@@ -51,11 +62,23 @@ def deep_size(value: Any) -> int:
     >>> deep_size((1, 2.0, None))
     40
     """
+    value_type = type(value)
+    size = _SCALAR_SIZES.get(value_type)
+    if size is not None:
+        return size
+    if value_type is str:
+        size = _small_string_sizes.get(value)
+        if size is not None:
+            return size
+        size = STRING_HEADER_BYTES + CHAR_BYTES * len(value)
+        if (
+            len(value) <= _SMALL_STRING_MAX_LEN
+            and len(_small_string_sizes) < _SMALL_STRING_CACHE_CAP
+        ):
+            _small_string_sizes[value] = size
+        return size
     if isinstance(value, JObject):
         return REFERENCE_BYTES
-    value_type = type(value)
-    if value_type in _SCALAR_SIZES:
-        return _SCALAR_SIZES[value_type]
     if isinstance(value, str):
         return STRING_HEADER_BYTES + CHAR_BYTES * len(value)
     if isinstance(value, (tuple, list)):

@@ -118,6 +118,29 @@ class TestQueries:
         assert graph.neighbors("a") == {"b", "c"}
         assert graph.neighbors("ghost") == set()
 
+    def test_neighbors_view_is_read_only(self):
+        graph = make_triangle()
+        view = graph.neighbors("a")
+        with pytest.raises(AttributeError):
+            view.add("z")
+        with pytest.raises(AttributeError):
+            view.discard("b")
+        assert graph.neighbors("a") == {"b", "c"}
+
+    def test_neighbors_view_is_live(self):
+        graph = make_triangle()
+        view = graph.neighbors("a")
+        graph.record_interaction("a", "d", 1)
+        assert "d" in view
+
+    def test_adjacent_edges_pairs_neighbors_with_stats(self):
+        graph = make_triangle()
+        pairs = dict(graph.adjacent_edges("a"))
+        assert set(pairs) == {"b", "c"}
+        assert pairs["b"].bytes == 1000
+        assert pairs["c"].count == 2
+        assert dict(graph.adjacent_edges("ghost")) == {}
+
 
 class TestSerialisation:
     def test_roundtrip_preserves_everything(self):
@@ -137,6 +160,66 @@ class TestSerialisation:
         clone = graph.copy()
         clone.add_memory("a", 100)
         assert graph.node("a").memory_bytes == 500
+
+
+class TestCopy:
+    def make_source(self):
+        graph = make_triangle()
+        graph.add_cpu("a", 1.5)
+        graph.note_object_created("a")
+        graph.note_object_created("b")
+        graph.note_object_freed("b")
+        # Object-granularity node ids survive copying too.
+        arr = object_node_id("int[]", 42)
+        graph.add_memory(arr, 400)
+        graph.record_interaction("a", arr, 64, count=4)
+        return graph
+
+    def test_copy_is_structurally_equal(self):
+        graph = self.make_source()
+        clone = graph.copy()
+        assert clone.to_dict() == graph.to_dict()
+        assert clone.node_count == graph.node_count
+        assert clone.link_count == graph.link_count
+        assert sorted(clone.nodes()) == sorted(graph.nodes())
+        for node_id in graph.nodes():
+            assert clone.neighbors(node_id) == graph.neighbors(node_id)
+
+    def test_copy_preserves_object_granularity_nodes(self):
+        graph = self.make_source()
+        clone = graph.copy()
+        arr = object_node_id("int[]", 42)
+        assert clone.has_node(arr)
+        assert clone.node(arr).memory_bytes == 400
+        assert clone.edge("a", arr).count == 4
+
+    def test_mutating_copy_never_leaks_back(self):
+        graph = self.make_source()
+        clone = graph.copy()
+        clone.add_memory("a", 111)
+        clone.add_cpu("a", 9.0)
+        clone.note_object_created("a")
+        clone.record_interaction("a", "b", 5, count=1)
+        clone.record_interaction("new1", "new2", 10)
+        assert graph.node("a").memory_bytes == 500
+        assert graph.node("a").cpu_seconds == pytest.approx(1.5)
+        assert graph.node("a").created_objects == 1
+        assert graph.edge("a", "b").bytes == 1000
+        assert graph.edge("a", "b").count == 10
+        assert not graph.has_node("new1")
+        assert "new2" not in graph.neighbors("new1")
+
+    def test_mutating_source_never_reaches_copy(self):
+        graph = self.make_source()
+        clone = graph.copy()
+        graph.add_memory("b", 77)
+        graph.record_interaction("b", "c", 990, count=9)
+        graph.record_interaction("only-source", "c", 1)
+        assert clone.node("b").memory_bytes == 300
+        assert clone.edge("b", "c").bytes == 10
+        assert clone.edge("b", "c").count == 1
+        assert not clone.has_node("only-source")
+        assert "only-source" not in clone.neighbors("c")
 
 
 @st.composite

@@ -58,6 +58,36 @@ class TestGraphBuilding:
         monitor.on_free(make_obj("t.Ghost"))
         assert not monitor.graph.has_node("t.Ghost")
 
+    def test_free_without_graph_node_still_counts(self):
+        """Warm-start desync: counters must not skip with the graph.
+
+        When the graph node is absent (e.g. the object predates the
+        profile the monitor warm-started from), the graph update is
+        skipped but ``objects_freed`` and the live populations must
+        stay consistent with the event stream.
+        """
+        monitor = ExecutionMonitor()
+        monitor.on_alloc(make_obj("t.A"), "client")
+        monitor.on_free(make_obj("t.Ghost"))
+        assert not monitor.graph.has_node("t.Ghost")
+        assert monitor.counters.objects_freed == 1
+        # The ghost free cannot drive live populations negative...
+        assert monitor.live_objects == 0
+        assert "t.Ghost" not in monitor._live_classes
+        # ...and the tracked class is unaffected.
+        assert monitor.live_classes == 1
+
+    def test_free_with_node_keeps_counters_and_graph_in_step(self):
+        monitor = ExecutionMonitor()
+        obj = make_obj("t.A")
+        monitor.on_alloc(obj, "client")
+        monitor.on_free(obj)
+        assert monitor.counters.objects_created == 1
+        assert monitor.counters.objects_freed == 1
+        assert monitor.live_objects == 0
+        assert monitor.live_classes == 0
+        assert monitor.graph.node("t.A").live_objects == 0
+
     def test_invocation_builds_weighted_edge(self):
         monitor = ExecutionMonitor()
         monitor.on_invoke(invoke_record(arg_bytes=10, ret_bytes=6))

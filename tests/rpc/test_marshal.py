@@ -44,6 +44,22 @@ class TestDeepSize:
         with pytest.raises(RemoteInvocationError):
             deep_size(object())
 
+    def test_memoised_string_size_matches_formula(self):
+        # Small strings hit the memo cache; the size must not drift
+        # between the first (computed) and second (cached) call, and
+        # strings past the memo threshold still size correctly.
+        small = "x" * 8
+        assert deep_size(small) == 24 + 2 * len(small)
+        assert deep_size(small) == 24 + 2 * len(small)
+        large = "y" * 500
+        assert deep_size(large) == 24 + 2 * len(large)
+
+    def test_str_subclass_sizes_like_str(self):
+        class Name(str):
+            pass
+
+        assert deep_size(Name("abc")) == deep_size("abc")
+
     def test_args_size_sums(self):
         assert args_size((1, 2.0, make_obj())) == 24
 

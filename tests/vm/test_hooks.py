@@ -100,3 +100,42 @@ class TestHookFanout:
     def test_invoke_record_native_flag(self):
         record = sample_invoke()
         assert not record.is_native
+
+    def test_single_listener_fast_path(self):
+        fanout = HookFanout()
+        listener = Recorder()
+        fanout.add(listener)
+        fanout.on_invoke(sample_invoke())
+        fanout.on_cpu("t.A", "client", 0.5)
+        fanout.on_access(sample_access())
+        assert [c[0] for c in listener.calls] == ["invoke", "cpu", "access"]
+
+    def test_fast_path_tracks_add_and_remove(self):
+        fanout = HookFanout()
+        first, second = Recorder(), Recorder()
+        fanout.add(first)
+        fanout.add(second)  # two listeners: broadcast path
+        fanout.on_cpu("t.A", "client", 1.0)
+        fanout.remove(first)  # back to one: fast path again
+        fanout.on_cpu("t.B", "client", 2.0)
+        fanout.remove(second)  # zero listeners: nothing delivered
+        fanout.on_cpu("t.C", "client", 3.0)
+        assert first.calls == [("cpu", "t.A", 1.0)]
+        assert second.calls == [("cpu", "t.A", 1.0), ("cpu", "t.B", 2.0)]
+
+
+class TestSlottedRecords:
+    def test_records_have_no_instance_dict(self):
+        assert not hasattr(sample_invoke(), "__dict__")
+        assert not hasattr(sample_access(), "__dict__")
+
+    def test_records_compare_by_value(self):
+        assert sample_invoke() == sample_invoke()
+        assert sample_access() == sample_access()
+        assert hash(sample_invoke()) == hash(sample_invoke())
+        assert sample_invoke() != sample_access()
+
+    def test_record_repr_names_fields(self):
+        text = repr(sample_invoke())
+        assert text.startswith("InvokeRecord(")
+        assert "method='m'" in text
