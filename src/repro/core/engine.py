@@ -16,7 +16,12 @@ from ..errors import MigrationError
 from ..vm.gc import GCReport
 from ..vm.hooks import ExecutionListener
 from .monitor import ExecutionMonitor
-from .partitioner import PartitionDecision, Partitioner
+from .partitioner import (
+    IncrementalPartitioner,
+    PartitionDecision,
+    Partitioner,
+    ReevalStats,
+)
 from .policy import EvaluationContext, MemoryTrigger
 
 
@@ -63,8 +68,13 @@ class OffloadingEngine(ExecutionListener):
         client_site: str = "client",
         single_shot: bool = True,
         reevaluate_every: Optional[float] = None,
+        warm_threshold: float = 0.25,
+        force_cold: bool = False,
     ) -> None:
         self.monitor = monitor
+        self._warm_threshold = warm_threshold
+        self._force_cold = force_cold
+        # The ``partitioner`` setter builds the incremental session.
         self.partitioner = partitioner
         self.trigger = trigger
         self._pinned_provider = pinned_provider
@@ -84,6 +94,24 @@ class OffloadingEngine(ExecutionListener):
         self.offload_count = 0
         self.refusal_count = 0
         self._attempting = False
+
+    @property
+    def partitioner(self) -> Partitioner:
+        return self.session.base
+
+    @partitioner.setter
+    def partitioner(self, partitioner: Partitioner) -> None:
+        #: Incremental re-evaluation session: carries warm-start state,
+        #: the previous candidate list, and the policy-evaluation memo
+        #: across attempts.  ``force_cold=True`` is the escape hatch
+        #: that makes every attempt a full cold run.  Replacing the
+        #: partitioner starts a fresh session — stale warm state must
+        #: not leak across policies.
+        self.session = IncrementalPartitioner(
+            partitioner,
+            warm_threshold=self._warm_threshold,
+            force_cold=self._force_cold,
+        )
 
     # -- hook ------------------------------------------------------------
 
@@ -121,10 +149,14 @@ class OffloadingEngine(ExecutionListener):
         """
         self._attempting = True
         try:
-            decision = self.partitioner.partition(
-                self.monitor.graph,
+            # The copy-on-write snapshot drains the graph's dirty sets
+            # and leaves the delta on the monitor for the session.
+            snapshot = self.monitor.snapshot()
+            decision = self.session.partition(
+                snapshot,
                 self._pinned_provider(),
                 self._context_provider(),
+                delta=self.monitor.last_snapshot_delta,
             )
             migrated_bytes = 0
             migration_seconds = 0.0
@@ -158,6 +190,11 @@ class OffloadingEngine(ExecutionListener):
             self._attempting = False
 
     # -- reporting ------------------------------------------------------------
+
+    @property
+    def reeval_stats(self) -> ReevalStats:
+        """Epoch counters for the incremental re-evaluation session."""
+        return self.session.stats
 
     @property
     def last_event(self) -> Optional[OffloadEvent]:

@@ -24,6 +24,7 @@ from typing import (
     ItemsView,
     Iterator,
     Optional,
+    Set,
     Tuple,
 )
 
@@ -73,8 +74,40 @@ def edge_key(a: str, b: str) -> Tuple[str, str]:
 _EMPTY_ADJACENCY: Dict[str, EdgeStats] = {}
 
 
+@dataclass(frozen=True)
+class GraphDelta:
+    """The set of nodes and edges dirtied since the last drain.
+
+    ``version`` is the graph's monotonic mutation counter at drain time;
+    ``nodes`` holds node ids whose :class:`NodeStats` changed (or that
+    were created), ``edges`` holds canonical edge keys whose
+    :class:`EdgeStats` changed (or that were created).  Nodes and edges
+    are never removed from an :class:`ExecutionGraph`, so a delta plus
+    the previous values fully describes the change.
+    """
+
+    nodes: FrozenSet[str]
+    edges: FrozenSet[Tuple[str, str]]
+    version: int
+
+    @property
+    def empty(self) -> bool:
+        return not self.nodes and not self.edges
+
+    def size(self) -> int:
+        return len(self.nodes) + len(self.edges)
+
+
 class ExecutionGraph:
-    """Weighted interaction graph over classes (or objects)."""
+    """Weighted interaction graph over classes (or objects).
+
+    Every mutation entry point bumps a monotonic ``version`` counter and
+    records the touched node/edge in a dirty set, so consumers that
+    repeatedly re-read the graph (copy-on-write snapshots, warm-started
+    partitioning) can do work proportional to the *change* since their
+    last visit.  Mutations must go through these entry points — writing
+    to a ``NodeStats``/``EdgeStats`` object directly bypasses tracking.
+    """
 
     def __init__(self) -> None:
         self._nodes: Dict[str, NodeStats] = {}
@@ -84,6 +117,33 @@ class ExecutionGraph:
         # partitioner walk (neighbor, edge) pairs without re-hashing
         # sorted edge keys on the hot path.
         self._adjacency: Dict[str, Dict[str, EdgeStats]] = {}
+        self._version = 0
+        self._dirty_nodes: Set[str] = set()
+        self._dirty_edges: Set[Tuple[str, str]] = set()
+
+    # -- change tracking ---------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter (bumped by every entry point)."""
+        return self._version
+
+    def drain_dirty(self) -> GraphDelta:
+        """Return and clear the accumulated dirty sets.
+
+        Intended for a single standing consumer per graph (the monitor's
+        snapshot, or an incremental partitioning session working on the
+        live graph); that consumer passes the delta on to anyone further
+        downstream.
+        """
+        delta = GraphDelta(
+            nodes=frozenset(self._dirty_nodes),
+            edges=frozenset(self._dirty_edges),
+            version=self._version,
+        )
+        self._dirty_nodes.clear()
+        self._dirty_edges.clear()
+        return delta
 
     # -- construction -----------------------------------------------------------
 
@@ -93,11 +153,15 @@ class ExecutionGraph:
             stats = NodeStats()
             self._nodes[node_id] = stats
             self._adjacency[node_id] = {}
+            self._version += 1
+            self._dirty_nodes.add(node_id)
         return stats
 
     def add_memory(self, node_id: str, delta: int) -> None:
         stats = self.ensure_node(node_id)
         stats.memory_bytes += delta
+        self._version += 1
+        self._dirty_nodes.add(node_id)
         if stats.memory_bytes < 0:
             raise PartitioningError(
                 f"node {node_id!r} memory went negative ({stats.memory_bytes})"
@@ -107,15 +171,21 @@ class ExecutionGraph:
         stats = self.ensure_node(node_id)
         stats.live_objects += 1
         stats.created_objects += 1
+        self._version += 1
+        self._dirty_nodes.add(node_id)
 
     def note_object_freed(self, node_id: str) -> None:
         stats = self.ensure_node(node_id)
         stats.live_objects -= 1
+        self._version += 1
+        self._dirty_nodes.add(node_id)
 
     def add_cpu(self, node_id: str, seconds: float) -> None:
         if seconds < 0:
             raise PartitioningError("cpu seconds cannot be negative")
         self.ensure_node(node_id).cpu_seconds += seconds
+        self._version += 1
+        self._dirty_nodes.add(node_id)
 
     def record_interaction(self, a: str, b: str, nbytes: int, count: int = 1) -> None:
         """Record ``count`` interactions moving ``nbytes`` between a and b.
@@ -136,6 +206,8 @@ class ExecutionGraph:
             self._adjacency[b][a] = edge
         edge.count += count
         edge.bytes += nbytes
+        self._version += 1
+        self._dirty_edges.add(key)
 
     # -- queries ------------------------------------------------------------
 
@@ -298,6 +370,61 @@ class ExecutionGraph:
             adjacency[a][b] = copied
             adjacency[b][a] = copied
         clone._adjacency = adjacency
+        # The clone starts as its own clean baseline: same version (so
+        # snapshot lineage checks line up) but nothing dirty.
+        clone._version = self._version
+        clone._dirty_nodes = set()
+        clone._dirty_edges = set()
+        return clone
+
+    def copy_reusing(self, base: "ExecutionGraph",
+                     delta: GraphDelta) -> "ExecutionGraph":
+        """Copy-on-write copy against a previous snapshot of this graph.
+
+        ``base`` must be an earlier copy of *this* graph and ``delta``
+        the exact set of nodes/edges dirtied here since ``base`` was
+        taken.  Unchanged ``NodeStats``/``EdgeStats`` objects and whole
+        adjacency rows are shared with ``base`` (snapshots are read-only
+        by contract), so the cost is proportional to the dirty region —
+        O(V) pointer-copies for the top-level dicts plus O(deg) work per
+        dirty row — instead of a structural copy of every edge.
+        """
+        clone = ExecutionGraph.__new__(ExecutionGraph)
+        nodes = base._nodes.copy()
+        for node_id in delta.nodes:
+            stats = self._nodes[node_id]
+            nodes[node_id] = NodeStats(
+                memory_bytes=stats.memory_bytes,
+                cpu_seconds=stats.cpu_seconds,
+                live_objects=stats.live_objects,
+                created_objects=stats.created_objects,
+            )
+        edges = base._edges.copy()
+        # Rows that must be rebuilt: endpoints of changed edges (their
+        # rows must point at the fresh EdgeStats copies) and brand-new
+        # nodes (absent from the base adjacency altogether).
+        stale_rows: Set[str] = set()
+        for key in delta.edges:
+            edges[key] = EdgeStats(
+                count=self._edges[key].count, bytes=self._edges[key].bytes
+            )
+            stale_rows.add(key[0])
+            stale_rows.add(key[1])
+        adjacency = base._adjacency.copy()
+        for node_id in delta.nodes:
+            if node_id not in adjacency:
+                stale_rows.add(node_id)
+        for node_id in stale_rows:
+            row: Dict[str, EdgeStats] = {}
+            for neighbor in self._adjacency[node_id]:
+                row[neighbor] = edges[edge_key(node_id, neighbor)]
+            adjacency[node_id] = row
+        clone._nodes = nodes
+        clone._edges = edges
+        clone._adjacency = adjacency
+        clone._version = self._version
+        clone._dirty_nodes = set()
+        clone._dirty_edges = set()
         return clone
 
     def to_dot(self, partition: Optional[FrozenSet[str]] = None,

@@ -19,7 +19,7 @@ from typing import Dict, Optional, Set
 from ..vm.gc import GCReport
 from ..vm.hooks import AccessRecord, ExecutionListener, InvokeRecord
 from ..vm.objectmodel import JObject
-from .graph import ExecutionGraph, object_node_id
+from .graph import ExecutionGraph, GraphDelta, object_node_id
 
 #: Approximate in-memory cost of one graph node / edge, used for the
 #: "graph occupies a small amount of storage" measurement.
@@ -104,6 +104,13 @@ class ExecutionMonitor(ExecutionListener):
         self.objects_series = SampledSeries()
         self.links_series = SampledSeries()
         self.last_gc_report: Optional[GCReport] = None
+        # Copy-on-write snapshot state: the last snapshot taken, the
+        # graph version it reflects, and the delta that separated it
+        # from the snapshot before (consumed by incremental
+        # partitioning sessions).
+        self._snapshot: Optional[ExecutionGraph] = None
+        self._snapshot_version: int = -1
+        self.last_snapshot_delta: Optional[GraphDelta] = None
 
     # -- node naming -----------------------------------------------------------
 
@@ -190,8 +197,41 @@ class ExecutionMonitor(ExecutionListener):
         )
 
     def snapshot(self) -> ExecutionGraph:
-        """Copy of the execution graph for a partitioning decision."""
-        return self.graph.copy()
+        """Copy of the execution graph for a partitioning decision.
+
+        Snapshots are copy-on-write: the first call structurally copies
+        the graph, later calls reuse the unchanged node stats, edge
+        stats, and whole adjacency rows of the previous snapshot and
+        copy only the rows the graph dirtied in between.  When nothing
+        changed at all the same snapshot object is returned again.
+        Snapshots are read-only by contract; the delta between the two
+        most recent snapshots is left in :attr:`last_snapshot_delta`
+        for incremental partitioning sessions.
+
+        The monitor is the graph's single dirty-set consumer: code that
+        drains ``monitor.graph`` directly must not also use
+        :meth:`snapshot`.
+        """
+        graph = self.graph
+        delta = graph.drain_dirty()
+        if self._snapshot is not None and delta.empty:
+            self.last_snapshot_delta = delta
+            return self._snapshot
+        if self._snapshot is None:
+            snap = graph.copy()
+            # The baseline snapshot covers the whole graph; report the
+            # delta as such so a session cold-starts from it.
+            delta = GraphDelta(
+                nodes=frozenset(graph.nodes()),
+                edges=frozenset(key for key, _ in graph.edges()),
+                version=graph.version,
+            )
+        else:
+            snap = graph.copy_reusing(self._snapshot, delta)
+        self._snapshot = snap
+        self._snapshot_version = graph.version
+        self.last_snapshot_delta = delta
+        return snap
 
 
 class ResourceMonitor(ExecutionListener):

@@ -9,14 +9,20 @@ Pentium for JavaNote's 134-class graph).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, replace
-from typing import FrozenSet, Iterable, List, Optional
+from dataclasses import dataclass, field, replace
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from ..errors import NoBeneficialPartitionError
-from .graph import ExecutionGraph
+from .graph import ExecutionGraph, GraphDelta
 from .hints import contract_graph, expand_nodes
-from .mincut import CandidatePartition, generate_candidates
-from .policy import EvaluationContext, PartitionPolicy, PolicyDecision
+from .mincut import CandidatePartition, WarmStartState, generate_candidates
+from .policy import (
+    EvaluationContext,
+    PartitionPolicy,
+    PolicyDecision,
+    PolicyEvaluationCache,
+    evaluate_with_cache,
+)
 
 
 @dataclass(frozen=True)
@@ -25,6 +31,9 @@ class PartitionDecision:
 
     ``beneficial`` is False when the policy refused every candidate (the
     platform then continues running locally — the paper's Biomer case).
+    ``warm_start`` and ``policy_cache_hit`` record whether an
+    incremental session served this attempt from its warm-started
+    candidate generator and its policy-evaluation memo respectively.
     """
 
     beneficial: bool
@@ -40,6 +49,8 @@ class PartitionDecision:
     predicted_time: Optional[float] = None
     original_time: Optional[float] = None
     refusal_reason: Optional[str] = None
+    warm_start: bool = False
+    policy_cache_hit: bool = False
 
     @classmethod
     def refusal(
@@ -74,18 +85,13 @@ class Partitioner:
         self.policy = policy
         self.hints = hints
 
-    def partition(
-        self,
-        graph: ExecutionGraph,
-        pinned: Iterable[str],
-        ctx: EvaluationContext,
-    ) -> PartitionDecision:
-        """Attempt a partitioning; never raises on policy refusal."""
-        started = time.perf_counter()
-        pinned = list(pinned)
-        expansion = {}
+    def _prepare(
+        self, graph: ExecutionGraph, pinned: List[str]
+    ) -> Tuple[ExecutionGraph, List[str], Dict[str, FrozenSet[str]]]:
+        """Apply hints: extend the pinned set, contract hint groups."""
+        expansion: Dict[str, FrozenSet[str]] = {}
         if self.hints is not None:
-            pinned.extend(self.hints.pin_local)
+            pinned = pinned + list(self.hints.pin_local)
             if self.hints.has_groups:
                 graph, expansion = contract_graph(
                     graph, self.hints.keep_together
@@ -97,6 +103,17 @@ class Partitioner:
                           if node in members), node)
                     for node in pinned
                 ]
+        return graph, pinned, expansion
+
+    def partition(
+        self,
+        graph: ExecutionGraph,
+        pinned: Iterable[str],
+        ctx: EvaluationContext,
+    ) -> PartitionDecision:
+        """Attempt a partitioning; never raises on policy refusal."""
+        started = time.perf_counter()
+        graph, pinned, expansion = self._prepare(graph, list(pinned))
         candidates = generate_candidates(graph, pinned)
         try:
             decision = self.policy.evaluate(candidates, ctx)
@@ -139,3 +156,191 @@ class Partitioner:
             predicted_time=decision.predicted_time,
             original_time=decision.original_time,
         )
+
+
+@dataclass
+class ReevalStats:
+    """Counters for one incremental re-evaluation session.
+
+    ``reuse_hits`` counts epochs where the graph was untouched since the
+    previous attempt and the prior candidate list was reused outright;
+    ``warm_hits`` counts epochs served by the warm-started generator;
+    ``cold_runs`` counts full cold candidate generations.
+    """
+
+    epochs: int = 0
+    cold_runs: int = 0
+    warm_hits: int = 0
+    reuse_hits: int = 0
+    cache_hits: int = 0
+    contraction_reuses: int = 0
+    last_dirty_fraction: float = 0.0
+    last_epoch_seconds: float = 0.0
+    total_epoch_seconds: float = 0.0
+
+
+class IncrementalPartitioner:
+    """A partitioning session that exploits work from previous epochs.
+
+    Wraps a :class:`Partitioner` and keeps three pieces of state between
+    ``partition()`` calls:
+
+    * a :class:`~repro.core.mincut.WarmStartState` so candidate
+      generation can be re-seeded from the previous run when the graph
+      delta is small (dirty fraction at most ``warm_threshold``),
+    * the previous candidate list, reused outright when the graph,
+      pinned set, and hints are all unchanged,
+    * a :class:`~repro.core.policy.PolicyEvaluationCache` memoising the
+      policy's *selection* across epochs.
+
+    The caller supplies the :class:`~repro.core.graph.GraphDelta`
+    separating this epoch's graph from the previous one (e.g. the
+    monitor's ``last_snapshot_delta``); passing ``delta=None`` makes the
+    session drain the graph's dirty sets itself, which is only valid
+    when no other consumer (such as a copy-on-write snapshotter) drains
+    the same graph.
+    """
+
+    def __init__(
+        self,
+        partitioner: Partitioner,
+        *,
+        warm_threshold: float = 0.25,
+        cache_size: int = 256,
+        force_cold: bool = False,
+    ) -> None:
+        self.base = partitioner
+        self.warm_threshold = warm_threshold
+        self.force_cold = force_cold
+        self.stats = ReevalStats()
+        self._warm = WarmStartState()
+        self._cache = PolicyEvaluationCache(maxsize=cache_size)
+        self._last_graph: Optional[ExecutionGraph] = None
+        self._last_version: int = -1
+        self._last_pinned_key: Optional[FrozenSet[str]] = None
+        self._last_candidates: Optional[List[CandidatePartition]] = None
+        self._last_expansion: Dict[str, FrozenSet[str]] = {}
+
+    @property
+    def policy(self) -> PartitionPolicy:
+        return self.base.policy
+
+    def _generate(
+        self,
+        graph: ExecutionGraph,
+        pinned: List[str],
+        delta: GraphDelta,
+    ) -> Tuple[List[CandidatePartition], Dict[str, FrozenSet[str]], bool]:
+        """Produce candidates, via reuse, warm start, or a cold run."""
+        pinned_key = frozenset(pinned)
+        unchanged = (
+            graph is self._last_graph
+            and graph.version == self._last_version
+            and delta.empty
+            and pinned_key == self._last_pinned_key
+            and self._last_candidates is not None
+        )
+        hints = self.base.hints
+        contracted = hints is not None and hints.has_groups
+        if unchanged:
+            self.stats.reuse_hits += 1
+            if contracted:
+                self.stats.contraction_reuses += 1
+            return self._last_candidates, self._last_expansion, False
+        work_graph, eff_pinned, expansion = self.base._prepare(graph, pinned)
+        warm_used = False
+        if contracted:
+            # Contraction rebuilds the graph wholesale; warm-start
+            # bookkeeping does not survive it.
+            candidates = generate_candidates(work_graph, eff_pinned)
+            self.stats.cold_runs += 1
+        else:
+            denominator = graph.node_count + graph.link_count
+            dirty_fraction = (
+                delta.size() / denominator if denominator else 1.0
+            )
+            self.stats.last_dirty_fraction = dirty_fraction
+            use_warm = (
+                self._warm.ready
+                and not delta.empty
+                and dirty_fraction <= self.warm_threshold
+                and pinned_key == self._last_pinned_key
+            )
+            candidates = generate_candidates(
+                work_graph,
+                eff_pinned,
+                warm=self._warm,
+                delta=delta if use_warm else None,
+            )
+            warm_used = self._warm.last_run_warm
+            if warm_used:
+                self.stats.warm_hits += 1
+            else:
+                self.stats.cold_runs += 1
+        self._last_graph = graph
+        self._last_version = graph.version
+        self._last_pinned_key = pinned_key
+        self._last_candidates = candidates
+        self._last_expansion = expansion
+        return candidates, expansion, warm_used
+
+    def partition(
+        self,
+        graph: ExecutionGraph,
+        pinned: Iterable[str],
+        ctx: EvaluationContext,
+        delta: Optional[GraphDelta] = None,
+    ) -> PartitionDecision:
+        """One re-evaluation epoch; never raises on policy refusal."""
+        started = time.perf_counter()
+        self.stats.epochs += 1
+        if delta is None:
+            delta = graph.drain_dirty()
+        if self.force_cold:
+            decision = self.base.partition(graph, pinned, ctx)
+            self.stats.cold_runs += 1
+            self._record_epoch(started)
+            return decision
+        candidates, expansion, warm_used = self._generate(
+            graph, list(pinned), delta
+        )
+        hits_before = self._cache.hits
+        try:
+            policy_decision, cache_hit = evaluate_with_cache(
+                self.base.policy, candidates, ctx, self._cache
+            )
+        except NoBeneficialPartitionError as refusal:
+            cache_hit = self._cache.hits > hits_before
+            if cache_hit:
+                self.stats.cache_hits += 1
+            self._record_epoch(started)
+            return replace(
+                PartitionDecision.refusal(
+                    reason=str(refusal),
+                    candidates_evaluated=len(candidates),
+                    compute_seconds=time.perf_counter() - started,
+                    policy_name=self.base.policy.name,
+                ),
+                warm_start=warm_used,
+                policy_cache_hit=cache_hit,
+            )
+        if cache_hit:
+            self.stats.cache_hits += 1
+        accepted = self.base._accept(policy_decision, candidates, started)
+        if expansion:
+            accepted = replace(
+                accepted,
+                offload_nodes=expand_nodes(accepted.offload_nodes,
+                                           expansion),
+                client_nodes=expand_nodes(accepted.client_nodes,
+                                          expansion),
+            )
+        self._record_epoch(started)
+        return replace(
+            accepted, warm_start=warm_used, policy_cache_hit=cache_hit
+        )
+
+    def _record_epoch(self, started: float) -> None:
+        elapsed = time.perf_counter() - started
+        self.stats.last_epoch_seconds = elapsed
+        self.stats.total_epoch_seconds += elapsed

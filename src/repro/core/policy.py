@@ -17,8 +17,9 @@ Two policy families drive offloading:
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Hashable, List, Optional, Tuple
 
 from ..errors import ConfigurationError, NoBeneficialPartitionError
 from ..net.link import LinkModel
@@ -165,6 +166,141 @@ class PartitionPolicy:
     ) -> PolicyDecision:
         raise NotImplementedError
 
+    def decision_for(
+        self, candidate: CandidatePartition, ctx: EvaluationContext
+    ) -> PolicyDecision:
+        """Rebuild the full decision for an already-selected winner.
+
+        Used by the evaluation memo: the *selection* (which candidate
+        wins, or that every candidate is refused) is a pure function of
+        the candidates' scalar statistics and the cached context
+        fields, so it can be replayed from the cache — but the derived
+        predictions (bandwidth, completion times) are recomputed fresh
+        against the current context so a cache hit is indistinguishable
+        from a full evaluation.
+        """
+        raise NotImplementedError
+
+
+# --------------------------------------------------------------------------
+# Policy-evaluation memoisation
+# --------------------------------------------------------------------------
+
+
+#: Cache sentinel distinguishing a memoised refusal from a winner index.
+_REFUSED = "refused"
+
+
+class PolicyEvaluationCache:
+    """Bounded LRU memo of policy selections.
+
+    Keys combine the policy instance, a fingerprint of the candidate
+    chain, and the context fields the selection depends on; values are
+    either the winning candidate's index or a memoised refusal reason.
+    Storing the *index* (rather than the decision) keeps candidate node
+    sets lazy and lets a hit rebuild its decision against the current
+    candidate list, so a collision between two graphs with identical
+    scalar statistics is still answered correctly — every policy
+    selects purely on those scalars.
+    """
+
+    def __init__(self, maxsize: int = 256) -> None:
+        if maxsize < 1:
+            raise ConfigurationError("cache maxsize must be at least 1")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[Hashable, Tuple[str, object]]" = (
+            OrderedDict()
+        )
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Hashable):
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+        else:
+            self.misses += 1
+        return entry
+
+    def put(self, key: Hashable, value: Tuple[str, object]) -> None:
+        entries = self._entries
+        if key in entries:
+            entries.move_to_end(key)
+        entries[key] = value
+        while len(entries) > self.maxsize:
+            entries.popitem(last=False)
+
+
+def candidates_fingerprint(
+    candidates: List[CandidatePartition],
+) -> Tuple[Tuple[int, int, int, float, float], ...]:
+    """Hashable fingerprint of a candidate chain's scalar statistics.
+
+    Node sets are deliberately excluded: materialising them would cost
+    O(V) per candidate (defeating the generator's lazy chain), and no
+    policy consults them during selection.
+    """
+    return tuple(
+        (c.cut_count, c.cut_bytes, c.surrogate_memory,
+         c.surrogate_cpu, c.client_cpu)
+        for c in candidates
+    )
+
+
+def context_key(ctx: EvaluationContext) -> Tuple:
+    """The context fields a policy selection can depend on.
+
+    ``elapsed`` is excluded — it only scales the predicted bandwidth,
+    which is recomputed fresh on every cache hit.  ``total_cpu`` is
+    rounded (it is a float accumulation) so equivalent histories key
+    identically.
+    """
+    return (
+        ctx.heap_capacity,
+        ctx.client_speed,
+        ctx.surrogate_speed,
+        ctx.link,
+        round(ctx.total_cpu, 9),
+    )
+
+
+def evaluate_with_cache(
+    policy: PartitionPolicy,
+    candidates: List[CandidatePartition],
+    ctx: EvaluationContext,
+    cache: PolicyEvaluationCache,
+) -> Tuple[PolicyDecision, bool]:
+    """Evaluate through the memo; returns ``(decision, was_cache_hit)``.
+
+    Raises :class:`NoBeneficialPartitionError` exactly as
+    ``policy.evaluate`` would — refusals are memoised too (with their
+    reason), since a refused epoch is the steady state of the
+    re-evaluation loop.
+    """
+    key = (id(policy), candidates_fingerprint(candidates),
+           context_key(ctx))
+    entry = cache.get(key)
+    if entry is not None:
+        kind, payload = entry
+        if kind == _REFUSED:
+            raise NoBeneficialPartitionError(payload)
+        return policy.decision_for(candidates[payload], ctx), True
+    try:
+        decision = policy.evaluate(candidates, ctx)
+    except NoBeneficialPartitionError as refusal:
+        cache.put(key, (_REFUSED, str(refusal)))
+        raise
+    winner = decision.candidate
+    index = next(
+        i for i, candidate in enumerate(candidates) if candidate is winner
+    )
+    cache.put(key, ("selected", index))
+    return decision, False
+
 
 class MemoryPartitionPolicy(PartitionPolicy):
     """Free enough memory at minimum network bandwidth (section 5.1).
@@ -198,9 +334,16 @@ class MemoryPartitionPolicy(PartitionPolicy):
                 f"no candidate frees the required {required:.0f} bytes"
             )
         best = min(eligible, key=lambda c: (c.cut_bytes, -c.surrogate_memory))
-        bandwidth = best.cut_bytes / ctx.elapsed if ctx.elapsed > 0 else 0.0
+        return self.decision_for(best, ctx)
+
+    def decision_for(
+        self, candidate: CandidatePartition, ctx: EvaluationContext
+    ) -> PolicyDecision:
+        bandwidth = (
+            candidate.cut_bytes / ctx.elapsed if ctx.elapsed > 0 else 0.0
+        )
         return PolicyDecision(
-            candidate=best,
+            candidate=candidate,
             policy_name=self.name,
             predicted_bandwidth=bandwidth,
         )
@@ -265,13 +408,21 @@ class CpuPartitionPolicy(PartitionPolicy):
                 f"best candidate predicts {predicted:.1f}s vs "
                 f"{original_time:.1f}s locally"
             )
-        bandwidth = best.cut_bytes / ctx.elapsed if ctx.elapsed > 0 else 0.0
+        return self.decision_for(best, ctx)
+
+    def decision_for(
+        self, candidate: CandidatePartition, ctx: EvaluationContext
+    ) -> PolicyDecision:
+        predicted = predict_completion_time(candidate, ctx)
+        bandwidth = (
+            candidate.cut_bytes / ctx.elapsed if ctx.elapsed > 0 else 0.0
+        )
         return PolicyDecision(
-            candidate=best,
+            candidate=candidate,
             policy_name=self.name,
             predicted_bandwidth=bandwidth,
             predicted_time=predicted,
-            original_time=original_time,
+            original_time=ctx.total_cpu / ctx.client_speed,
         )
 
 
@@ -325,15 +476,7 @@ class BestEffortCpuPolicy(CpuPartitionPolicy):
             c for c in offloading if c.surrogate_cpu >= 0.95 * max_cpu
         ]
         best = min(eligible, key=lambda c: (c.cut_bytes, c.cut_count))
-        predicted = predict_completion_time(best, ctx)
-        bandwidth = best.cut_bytes / ctx.elapsed if ctx.elapsed > 0 else 0.0
-        return PolicyDecision(
-            candidate=best,
-            policy_name=self.name,
-            predicted_bandwidth=bandwidth,
-            predicted_time=predicted,
-            original_time=ctx.total_cpu / ctx.client_speed,
-        )
+        return self.decision_for(best, ctx)
 
 
 class CombinedPartitionPolicy(PartitionPolicy):
@@ -366,15 +509,20 @@ class CombinedPartitionPolicy(PartitionPolicy):
                 f"no candidate frees the required {required:.0f} bytes"
             )
         best = min(eligible, key=lambda c: predict_completion_time(c, ctx))
-        predicted = predict_completion_time(best, ctx)
-        original_time = ctx.total_cpu / ctx.client_speed
-        bandwidth = best.cut_bytes / ctx.elapsed if ctx.elapsed > 0 else 0.0
+        return self.decision_for(best, ctx)
+
+    def decision_for(
+        self, candidate: CandidatePartition, ctx: EvaluationContext
+    ) -> PolicyDecision:
+        bandwidth = (
+            candidate.cut_bytes / ctx.elapsed if ctx.elapsed > 0 else 0.0
+        )
         return PolicyDecision(
-            candidate=best,
+            candidate=candidate,
             policy_name=self.name,
             predicted_bandwidth=bandwidth,
-            predicted_time=predicted,
-            original_time=original_time,
+            predicted_time=predict_completion_time(candidate, ctx),
+            original_time=ctx.total_cpu / ctx.client_speed,
         )
 
 

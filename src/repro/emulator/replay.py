@@ -20,7 +20,12 @@ from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from ..config import DeviceProfile, EnhancementFlags, GCConfig, JORNADA, PC_SURROGATE
 from ..core.graph import ExecutionGraph, object_node_id
-from ..core.partitioner import PartitionDecision, Partitioner
+from ..core.partitioner import (
+    IncrementalPartitioner,
+    PartitionDecision,
+    Partitioner,
+    ReevalStats,
+)
 from ..core.policy import (
     EvaluationContext,
     MemoryTrigger,
@@ -80,6 +85,15 @@ class EmulatorConfig:
     #: measure the *realised* cost of every candidate the heuristic
     #: produced (the paper's "partitioning the application manually").
     forced_offload_nodes: Optional[FrozenSet[str]] = None
+    #: Global-placement mode: after the first offload, re-evaluate the
+    #: partitioning every this many seconds of virtual time, applying
+    #: the whole placement (including reverse migration).  Requires
+    #: ``single_shot=False`` to be meaningful.
+    reevaluate_every: Optional[float] = None
+    #: Escape hatch: run every partitioning attempt cold, bypassing the
+    #: warm-started candidate generator and the policy-evaluation memo.
+    #: Used by parity tests to prove the incremental path is exact.
+    force_cold: bool = False
 
     def with_heap(self, capacity: int) -> "EmulatorConfig":
         from dataclasses import replace
@@ -122,6 +136,9 @@ class EmulationResult:
     refusals: int = 0
     final_offload_nodes: FrozenSet[str] = frozenset()
     peak_client_bytes: int = 0
+    #: Counters of the incremental partitioning session (epochs run,
+    #: warm-start hits, cache hits, per-epoch latency).
+    reeval: Optional[ReevalStats] = None
 
     @property
     def offload_count(self) -> int:
@@ -171,6 +188,14 @@ class TraceReplayer:
             if config.partition_policy is not None
             else config.policy.make_partition_policy()
         )
+        # The incremental session drains the live graph's dirty sets
+        # itself (there is no monitor snapshotting in the emulator, so
+        # the replayer is the graph's single dirty-set consumer).
+        self._session = IncrementalPartitioner(
+            self._partitioner, force_cold=config.force_cold
+        )
+        self._pinned_cache: Optional[List[str]] = None
+        self._last_reevaluation = 0.0
         granular = config.flags.arrays_object_granularity
         self._granular_classes: Set[str] = {INT_ARRAY} if granular else set()
         # Run-length buffer for graph edge updates: consecutive
@@ -271,6 +296,7 @@ class TraceReplayer:
             WorkEvent: self._replay_work,
         }
         offload_at = self.config.offload_at_event
+        reevaluate_every = self.config.reevaluate_every
         for event in self.trace.events:
             handlers[type(event)](event)
             self.result.events_processed += 1
@@ -280,12 +306,25 @@ class TraceReplayer:
                 and self.config.offload_enabled
             ):
                 self._attempt_offload()
+            if (
+                reevaluate_every is not None
+                and self.config.offload_enabled
+                and self.result.offload_count > 0
+                and self._now - self._last_reevaluation >= reevaluate_every
+            ):
+                # Clock-driven re-evaluation (global-placement mode):
+                # checked against virtual time on every event, because
+                # after an offload the client may stop allocating (and
+                # hence stop collecting) entirely.
+                self._last_reevaluation = self._now
+                self._attempt_offload(reevaluation=True)
             if self.result.oom:
                 break
         self._flush_interactions()
         self.result.completed = not self.result.oom
         self.result.total_time = self._now
         self.result.final_offload_nodes = self._offloaded
+        self.result.reeval = self._session.stats
         return self.result
 
     # -- allocation and the emulated collector -------------------------------------
@@ -385,19 +424,33 @@ class TraceReplayer:
         )
         if not self.config.offload_enabled:
             return
+        if (
+            self.result.offload_count > 0
+            and self.config.reevaluate_every is not None
+        ):
+            # In global-placement mode the replay loop's clock check
+            # owns every attempt after the first offload; the memory
+            # trigger stays out of it.
+            return
         if self.config.single_shot and self.result.offload_count > 0:
             return
         if self._trigger.observe(report):
+            self._last_reevaluation = self._now
             self._attempt_offload()
 
     # -- partitioning and migration -----------------------------------------------
 
     def _pinned_nodes(self) -> List[str]:
-        pinned = [MAIN]
-        pinned.extend(self.trace.pinned_classes(
-            stateless_natives_ok=self.config.flags.stateless_natives_local
-        ))
-        return pinned
+        # The pinned set depends only on the trace's class traits and a
+        # static enhancement flag, so it is computed once and reused
+        # across re-evaluation epochs.
+        if self._pinned_cache is None:
+            pinned = [MAIN]
+            pinned.extend(self.trace.pinned_classes(
+                stateless_natives_ok=self.config.flags.stateless_natives_local
+            ))
+            self._pinned_cache = pinned
+        return self._pinned_cache
 
     def _evaluation_context(self) -> EvaluationContext:
         return EvaluationContext(
@@ -409,7 +462,7 @@ class TraceReplayer:
             elapsed=self._now,
         )
 
-    def _attempt_offload(self) -> None:
+    def _attempt_offload(self, reevaluation: bool = False) -> None:
         self._flush_interactions()
         if self.config.forced_offload_nodes is not None:
             moved_bytes, moved_objects = self._apply_placement(
@@ -432,13 +485,21 @@ class TraceReplayer:
                 migrated_objects=moved_objects,
             ))
             return
-        decision = self._partitioner.partition(
+        decision = self._session.partition(
             self.graph, self._pinned_nodes(), self._evaluation_context()
         )
         offload = ReplayOffload(time=self._now, decision=decision)
         if not decision.beneficial:
             self.result.refusals += 1
             self._trigger.reset()
+            if reevaluation:
+                # No partitioning is currently beneficial: revert to
+                # the all-local placement (reverse migration).
+                moved_bytes, moved_objects = self._apply_placement(
+                    frozenset()
+                )
+                offload.migrated_bytes = moved_bytes
+                offload.migrated_objects = moved_objects
             self.result.offloads.append(offload)
             return
         moved_bytes, moved_objects = self._apply_placement(

@@ -71,10 +71,12 @@ def deep_size(value: Any) -> int:
         if size is not None:
             return size
         size = STRING_HEADER_BYTES + CHAR_BYTES * len(value)
-        if (
-            len(value) <= _SMALL_STRING_MAX_LEN
-            and len(_small_string_sizes) < _SMALL_STRING_CACHE_CAP
-        ):
+        if len(value) <= _SMALL_STRING_MAX_LEN:
+            if len(_small_string_sizes) >= _SMALL_STRING_CACHE_CAP:
+                # Evict the oldest entry (insertion order) so hot names
+                # seen after the cap still get memoised, instead of the
+                # cache freezing at whatever filled it first.
+                _small_string_sizes.pop(next(iter(_small_string_sizes)))
             _small_string_sizes[value] = size
         return size
     if isinstance(value, JObject):

@@ -136,3 +136,36 @@ class TestEngineFlow:
         engine, _ = make_engine(min_free=0.99)
         engine.on_gc_report(low_report(), "client")
         assert engine.performed_events == []
+
+
+class TestIncrementalSession:
+    def test_attempts_run_through_the_session_and_expose_stats(self):
+        engine, _ = make_engine(single_shot=False)
+        engine.on_gc_report(low_report(1), "client")
+        engine.on_gc_report(low_report(2), "client")
+        stats = engine.reeval_stats
+        assert stats.epochs == 2
+        assert stats.epochs == len(engine.events)
+        assert stats.last_epoch_seconds > 0
+        # Nothing changed between the two attempts: the second reuses
+        # the candidate list and hits the policy memo.
+        assert stats.reuse_hits == 1
+        assert engine.events[-1].decision.policy_cache_hit
+
+    def test_replacing_the_partitioner_resets_the_session(self):
+        engine, _ = make_engine(single_shot=False)
+        engine.on_gc_report(low_report(1), "client")
+        old_stats = engine.reeval_stats
+        engine.partitioner = Partitioner(MemoryPartitionPolicy(0.20))
+        assert engine.reeval_stats is not old_stats
+        assert engine.reeval_stats.epochs == 0
+
+    def test_force_cold_engine_never_reuses(self):
+        engine, _ = make_engine(single_shot=False)
+        engine._force_cold = True
+        engine.partitioner = Partitioner(MemoryPartitionPolicy(0.20))
+        engine.on_gc_report(low_report(1), "client")
+        engine.on_gc_report(low_report(2), "client")
+        stats = engine.reeval_stats
+        assert stats.cold_runs == stats.epochs == 2
+        assert stats.reuse_hits == 0

@@ -1,0 +1,156 @@
+"""The incremental re-evaluation session around the partitioner."""
+
+import pytest
+
+from repro.core.graph import ExecutionGraph
+from repro.core.hints import PlacementHints
+from repro.core.partitioner import IncrementalPartitioner, Partitioner
+from repro.core.policy import EvaluationContext, MemoryPartitionPolicy
+
+
+def build_graph(node_count=40, seed_edges=True):
+    graph = ExecutionGraph()
+    nodes = [f"n{i:02d}" for i in range(node_count)]
+    for i, node in enumerate(nodes):
+        graph.add_memory(node, 100 + 37 * i)
+    if seed_edges:
+        for i in range(node_count - 1):
+            graph.record_interaction(nodes[i], nodes[i + 1],
+                                     10 + 13 * i)
+        for i in range(0, node_count - 5, 3):
+            graph.record_interaction(nodes[i], nodes[i + 5], 5 + i)
+    return graph, nodes
+
+
+def make_session(**kwargs):
+    return IncrementalPartitioner(
+        Partitioner(MemoryPartitionPolicy(0.20)), **kwargs
+    )
+
+
+def ctx_for(graph):
+    return EvaluationContext(heap_capacity=graph.total_memory(),
+                             elapsed=10.0)
+
+
+class TestSessionPaths:
+    def test_first_epoch_is_cold(self):
+        graph, nodes = build_graph()
+        session = make_session()
+        decision = session.partition(graph, nodes[:3], ctx_for(graph))
+        assert decision.beneficial
+        assert not decision.warm_start
+        assert session.stats.epochs == 1
+        assert session.stats.cold_runs == 1
+
+    def test_unchanged_graph_reuses_candidates_and_hits_the_cache(self):
+        graph, nodes = build_graph()
+        session = make_session()
+        ctx = ctx_for(graph)
+        first = session.partition(graph, nodes[:3], ctx)
+        second = session.partition(graph, nodes[:3], ctx)
+        assert session.stats.reuse_hits == 1
+        assert second.policy_cache_hit
+        assert second.offload_nodes == first.offload_nodes
+
+    def test_small_delta_is_served_warm_and_matches_cold(self):
+        graph, nodes = build_graph()
+        ctx = ctx_for(graph)
+        session = make_session()
+        cold_session = make_session(force_cold=True)
+        session.partition(graph, nodes[:3], ctx)
+        graph.record_interaction(nodes[0], nodes[1], 1)
+        warm_decision = session.partition(graph, nodes[:3], ctx)
+        cold_decision = cold_session.partition(graph.copy(), nodes[:3], ctx)
+        assert session.stats.warm_hits == 1
+        assert warm_decision.warm_start
+        assert warm_decision.offload_nodes == cold_decision.offload_nodes
+        assert warm_decision.cut_bytes == cold_decision.cut_bytes
+
+    def test_large_delta_exceeding_threshold_runs_cold(self):
+        graph, nodes = build_graph()
+        ctx = ctx_for(graph)
+        session = make_session(warm_threshold=0.01)
+        session.partition(graph, nodes[:3], ctx)
+        for i in range(10):
+            graph.record_interaction(nodes[i], nodes[i + 20], 50)
+        decision = session.partition(graph, nodes[:3], ctx)
+        assert not decision.warm_start
+        assert session.stats.cold_runs == 2
+        assert session.stats.last_dirty_fraction > 0.01
+
+    def test_force_cold_never_warms(self):
+        graph, nodes = build_graph()
+        ctx = ctx_for(graph)
+        session = make_session(force_cold=True)
+        session.partition(graph, nodes[:3], ctx)
+        graph.record_interaction(nodes[0], nodes[1], 1)
+        decision = session.partition(graph, nodes[:3], ctx)
+        assert not decision.warm_start
+        assert not decision.policy_cache_hit
+        assert session.stats.cold_runs == 2
+        assert session.stats.warm_hits == 0
+
+    def test_changed_pinned_set_does_not_reuse(self):
+        graph, nodes = build_graph()
+        ctx = ctx_for(graph)
+        session = make_session()
+        session.partition(graph, nodes[:3], ctx)
+        decision = session.partition(graph, nodes[:4], ctx)
+        assert session.stats.reuse_hits == 0
+        assert not decision.warm_start
+
+    def test_refusal_is_tracked_and_flagged(self):
+        graph, nodes = build_graph()
+        session = IncrementalPartitioner(
+            Partitioner(MemoryPartitionPolicy(0.99))
+        )
+        ctx = ctx_for(graph)
+        first = session.partition(graph, nodes[:3], ctx)
+        second = session.partition(graph, nodes[:3], ctx)
+        assert not first.beneficial and not second.beneficial
+        assert first.refusal_reason
+        assert second.policy_cache_hit
+        assert session.stats.epochs == 2
+
+    def test_epoch_latency_is_recorded(self):
+        graph, nodes = build_graph()
+        session = make_session()
+        session.partition(graph, nodes[:3], ctx_for(graph))
+        assert session.stats.last_epoch_seconds > 0
+        assert session.stats.total_epoch_seconds >= \
+            session.stats.last_epoch_seconds
+
+
+class TestHints:
+    def test_contraction_skips_warm_but_reuses_when_unchanged(self):
+        graph, nodes = build_graph()
+        hints = PlacementHints(keep_together=(frozenset(nodes[5:8]),))
+        session = IncrementalPartitioner(
+            Partitioner(MemoryPartitionPolicy(0.20), hints=hints)
+        )
+        ctx = ctx_for(graph)
+        first = session.partition(graph, nodes[:3], ctx)
+        second = session.partition(graph, nodes[:3], ctx)
+        assert session.stats.cold_runs == 1
+        assert session.stats.reuse_hits == 1
+        assert session.stats.contraction_reuses == 1
+        assert first.offload_nodes == second.offload_nodes
+        # The contracted groups expand back to their real members.
+        group = set(nodes[5:8])
+        offloaded = set(first.offload_nodes)
+        assert group <= offloaded or not (group & offloaded)
+
+    def test_hints_decision_matches_plain_partitioner(self):
+        graph, nodes = build_graph()
+        hints = PlacementHints(pin_local=(nodes[10],),
+                               keep_together=(frozenset(nodes[5:8]),))
+        ctx = ctx_for(graph)
+        base = Partitioner(MemoryPartitionPolicy(0.20), hints=hints)
+        session = IncrementalPartitioner(
+            Partitioner(MemoryPartitionPolicy(0.20), hints=hints)
+        )
+        expected = base.partition(graph.copy(), nodes[:3], ctx)
+        actual = session.partition(graph.copy(), nodes[:3], ctx)
+        assert actual.offload_nodes == expected.offload_nodes
+        assert actual.cut_bytes == expected.cut_bytes

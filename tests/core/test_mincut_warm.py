@@ -1,0 +1,143 @@
+"""Parity: warm-started candidate generation vs a cold run.
+
+The warm path must be a pure optimisation.  After every mutation burst
+the warm-started generator either produces the *same* candidate chain a
+cold run would (integer cut/memory statistics exactly, CPU floats up to
+addition order) or falls back to the cold run — and the best candidate
+selected by the policy must be identical either way.
+"""
+
+import random
+
+import pytest
+
+from repro.core.graph import ExecutionGraph
+from repro.core.mincut import WarmStartState, generate_candidates
+from repro.core.policy import EvaluationContext, MemoryPartitionPolicy
+from repro.errors import NoBeneficialPartitionError
+
+
+def random_graph(rng, node_count, edge_factor=2.0):
+    graph = ExecutionGraph()
+    nodes = [f"n{i:03d}" for i in range(node_count)]
+    for node in nodes:
+        graph.add_memory(node, rng.randrange(16, 10_000))
+        graph.add_cpu(node, rng.random())
+    for _ in range(int(node_count * edge_factor)):
+        a, b = rng.sample(nodes, 2)
+        graph.record_interaction(
+            a, b, rng.randrange(1, 5_000), count=rng.randrange(1, 10)
+        )
+    return graph, nodes
+
+
+def mutate(rng, graph, nodes, rounds):
+    """A small burst of growth-only mutations through the entry points."""
+    for _ in range(rounds):
+        kind = rng.randrange(3)
+        if kind == 0:
+            a, b = rng.sample(nodes, 2)
+            graph.record_interaction(a, b, rng.randrange(1, 64))
+        elif kind == 1:
+            graph.add_memory(rng.choice(nodes), rng.randrange(1, 512))
+        else:
+            graph.add_cpu(rng.choice(nodes), rng.random() * 0.1)
+
+
+def assert_candidate_chains_match(warm_chain, cold_chain):
+    assert len(warm_chain) == len(cold_chain)
+    for ours, theirs in zip(warm_chain, cold_chain):
+        assert ours.cut_bytes == theirs.cut_bytes
+        assert ours.cut_count == theirs.cut_count
+        assert ours.surrogate_memory == theirs.surrogate_memory
+        assert ours.surrogate_cpu == pytest.approx(theirs.surrogate_cpu)
+        assert ours.client_cpu == pytest.approx(theirs.client_cpu)
+        assert ours.client_nodes == theirs.client_nodes
+        assert ours.surrogate_nodes == theirs.surrogate_nodes
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_randomized_mutation_sequences_keep_parity(seed):
+    rng = random.Random(seed)
+    node_count = rng.choice((12, 20, 30, 50))
+    graph, nodes = random_graph(rng, node_count)
+    pinned = [nodes[i] for i in range(0, node_count, 7)]
+    policy = MemoryPartitionPolicy(0.20)
+    ctx = EvaluationContext(heap_capacity=graph.total_memory(), elapsed=10.0)
+
+    warm = WarmStartState()
+    graph.drain_dirty()
+    generate_candidates(graph, pinned, warm=warm)
+
+    warm_served = 0
+    for _ in range(15):
+        mutate(rng, graph, nodes, rounds=rng.randrange(1, 5))
+        delta = graph.drain_dirty()
+        warm_chain = generate_candidates(graph, pinned, warm=warm,
+                                         delta=delta)
+        if warm.last_run_warm:
+            warm_served += 1
+        cold_chain = generate_candidates(graph, pinned)
+        assert_candidate_chains_match(warm_chain, cold_chain)
+        try:
+            warm_best = policy.evaluate(warm_chain, ctx).candidate
+        except NoBeneficialPartitionError:
+            with pytest.raises(NoBeneficialPartitionError):
+                policy.evaluate(cold_chain, ctx)
+            continue
+        cold_best = policy.evaluate(cold_chain, ctx).candidate
+        assert warm_best.surrogate_nodes == cold_best.surrogate_nodes
+    # The point of the exercise: most small deltas must be served warm.
+    assert warm_served > 0
+
+
+def test_new_node_falls_back_to_cold():
+    rng = random.Random(99)
+    graph, nodes = random_graph(rng, 20)
+    pinned = nodes[:2]
+    warm = WarmStartState()
+    graph.drain_dirty()
+    generate_candidates(graph, pinned, warm=warm)
+    graph.record_interaction(nodes[0], "brand-new-node", 100)
+    delta = graph.drain_dirty()
+    chain = generate_candidates(graph, pinned, warm=warm, delta=delta)
+    assert not warm.last_run_warm
+    cold = generate_candidates(graph, pinned)
+    assert_candidate_chains_match(chain, cold)
+
+
+def test_changed_pinned_seed_falls_back_to_cold():
+    rng = random.Random(7)
+    graph, nodes = random_graph(rng, 20)
+    warm = WarmStartState()
+    graph.drain_dirty()
+    generate_candidates(graph, nodes[:2], warm=warm)
+    graph.record_interaction(nodes[3], nodes[4], 10)
+    delta = graph.drain_dirty()
+    chain = generate_candidates(graph, nodes[:3], warm=warm, delta=delta)
+    assert not warm.last_run_warm
+    assert_candidate_chains_match(
+        chain, generate_candidates(graph, nodes[:3])
+    )
+
+
+def test_warm_state_recovers_after_fallback():
+    """A cold fallback re-records, so the next small delta is warm again."""
+    rng = random.Random(21)
+    graph, nodes = random_graph(rng, 30)
+    pinned = nodes[:3]
+    warm = WarmStartState()
+    graph.drain_dirty()
+    generate_candidates(graph, pinned, warm=warm)
+    # Force a fallback via a brand-new node...
+    graph.record_interaction(nodes[0], "newcomer", 50)
+    generate_candidates(graph, pinned, warm=warm,
+                        delta=graph.drain_dirty())
+    assert not warm.last_run_warm
+    # ...then a tiny growth delta on an existing edge must go warm.
+    key, _ = next(graph.edges())
+    graph.record_interaction(key[0], key[1], 1)
+    chain = generate_candidates(graph, pinned, warm=warm,
+                                delta=graph.drain_dirty())
+    assert warm.last_run_warm
+    assert_candidate_chains_match(chain, generate_candidates(graph, pinned))

@@ -1,0 +1,128 @@
+"""The policy-evaluation memo: LRU behaviour and hit/miss parity."""
+
+import pytest
+
+from repro.core.mincut import CandidatePartition
+from repro.core.policy import (
+    CpuPartitionPolicy,
+    EvaluationContext,
+    MemoryPartitionPolicy,
+    PolicyEvaluationCache,
+    candidates_fingerprint,
+    context_key,
+    evaluate_with_cache,
+)
+from repro.errors import ConfigurationError, NoBeneficialPartitionError
+
+
+def candidate(cut_bytes, memory, cut_count=1, surrogate_cpu=1.0,
+              client_cpu=1.0, offload=("x",)):
+    return CandidatePartition(
+        client_nodes=frozenset({"main"}),
+        surrogate_nodes=frozenset(offload),
+        cut_count=cut_count,
+        cut_bytes=cut_bytes,
+        surrogate_memory=memory,
+        surrogate_cpu=surrogate_cpu,
+        client_cpu=client_cpu,
+    )
+
+
+def chain():
+    return [
+        candidate(500, 900, offload=("x", "y")),
+        candidate(100, 600, offload=("y",)),
+        candidate(300, 400, offload=("x",)),
+    ]
+
+
+CTX = EvaluationContext(heap_capacity=1000, elapsed=10.0)
+
+
+class TestCacheMechanics:
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ConfigurationError):
+            PolicyEvaluationCache(maxsize=0)
+
+    def test_lru_eviction_order(self):
+        cache = PolicyEvaluationCache(maxsize=2)
+        cache.put("a", ("selected", 0))
+        cache.put("b", ("selected", 1))
+        assert cache.get("a") is not None  # refresh "a"
+        cache.put("c", ("selected", 2))   # evicts "b", the LRU entry
+        assert cache.get("b") is None
+        assert cache.get("a") is not None
+        assert cache.get("c") is not None
+        assert len(cache) == 2
+
+    def test_counts_hits_and_misses(self):
+        cache = PolicyEvaluationCache()
+        cache.get("missing")
+        cache.put("k", ("selected", 0))
+        cache.get("k")
+        assert cache.misses == 1
+        assert cache.hits == 1
+
+
+class TestKeying:
+    def test_fingerprint_covers_only_scalar_statistics(self):
+        fp1 = candidates_fingerprint(chain())
+        fp2 = candidates_fingerprint(chain())
+        assert fp1 == fp2
+        bumped = chain()
+        bumped[1] = candidate(101, 600, offload=("y",))
+        assert candidates_fingerprint(bumped) != fp1
+
+    def test_context_key_ignores_elapsed(self):
+        base = EvaluationContext(heap_capacity=1000, elapsed=10.0)
+        later = EvaluationContext(heap_capacity=1000, elapsed=99.0)
+        assert context_key(base) == context_key(later)
+        bigger = EvaluationContext(heap_capacity=2000, elapsed=10.0)
+        assert context_key(base) != context_key(bigger)
+
+
+class TestEvaluateWithCache:
+    def test_hit_returns_byte_identical_decision(self):
+        policy = MemoryPartitionPolicy(0.20)
+        cache = PolicyEvaluationCache()
+        cold = policy.evaluate(chain(), CTX)
+        first, hit1 = evaluate_with_cache(policy, chain(), CTX, cache)
+        second, hit2 = evaluate_with_cache(policy, chain(), CTX, cache)
+        assert (hit1, hit2) == (False, True)
+        for decision in (first, second):
+            assert decision.candidate.surrogate_nodes == \
+                cold.candidate.surrogate_nodes
+            assert decision.predicted_bandwidth == cold.predicted_bandwidth
+            assert decision.policy_name == cold.policy_name
+
+    def test_hit_recomputes_bandwidth_against_current_context(self):
+        policy = MemoryPartitionPolicy(0.20)
+        cache = PolicyEvaluationCache()
+        evaluate_with_cache(policy, chain(), CTX, cache)
+        later = EvaluationContext(heap_capacity=1000, elapsed=20.0)
+        decision, hit = evaluate_with_cache(policy, chain(), later, cache)
+        assert hit
+        assert decision.predicted_bandwidth == pytest.approx(
+            decision.candidate.cut_bytes / 20.0
+        )
+
+    def test_refusals_are_memoised_with_their_reason(self):
+        policy = MemoryPartitionPolicy(0.99)  # nothing frees 99%
+        cache = PolicyEvaluationCache()
+        with pytest.raises(NoBeneficialPartitionError) as cold:
+            evaluate_with_cache(policy, chain(), CTX, cache)
+        with pytest.raises(NoBeneficialPartitionError) as warm:
+            evaluate_with_cache(policy, chain(), CTX, cache)
+        assert str(warm.value) == str(cold.value)
+        assert cache.hits == 1
+
+    def test_different_policies_do_not_collide(self):
+        cache = PolicyEvaluationCache()
+        memory = MemoryPartitionPolicy(0.20)
+        cpu = CpuPartitionPolicy()
+        ctx = EvaluationContext(heap_capacity=1000, total_cpu=10.0,
+                                elapsed=10.0, surrogate_speed=10.0)
+        evaluate_with_cache(memory, chain(), ctx, cache)
+        decision, hit = evaluate_with_cache(cpu, chain(), ctx, cache)
+        assert not hit
+        assert decision.policy_name == cpu.name

@@ -21,6 +21,43 @@ def make_obj():
     return JObject(ClassBuilder("t.A").build(), home="client")
 
 
+class TestSmallStringCache:
+    @pytest.fixture(autouse=True)
+    def isolated_cache(self):
+        from repro.rpc import marshal
+        saved = dict(marshal._small_string_sizes)
+        marshal._small_string_sizes.clear()
+        yield marshal
+        marshal._small_string_sizes.clear()
+        marshal._small_string_sizes.update(saved)
+
+    def test_short_strings_are_memoised(self, isolated_cache):
+        deep_size("hot-name")
+        assert "hot-name" in isolated_cache._small_string_sizes
+
+    def test_long_strings_are_not_cached(self, isolated_cache):
+        deep_size("x" * (isolated_cache._SMALL_STRING_MAX_LEN + 1))
+        assert not isolated_cache._small_string_sizes
+
+    def test_cache_at_cap_evicts_instead_of_freezing(self, isolated_cache):
+        cap = isolated_cache._SMALL_STRING_CACHE_CAP
+        for i in range(cap):
+            deep_size(f"s{i}")
+        assert len(isolated_cache._small_string_sizes) == cap
+        # The cap is reached; a fresh short string must still be cached
+        # (evicting the oldest entry), not silently skipped forever.
+        size = deep_size("late-arrival")
+        assert len(isolated_cache._small_string_sizes) == cap
+        assert isolated_cache._small_string_sizes["late-arrival"] == size
+        assert "s0" not in isolated_cache._small_string_sizes
+        assert "s1" in isolated_cache._small_string_sizes
+
+    def test_cached_size_matches_uncached_formula(self, isolated_cache):
+        first = deep_size("recurring.method")
+        second = deep_size("recurring.method")
+        assert first == second == 24 + 2 * len("recurring.method")
+
+
 class TestDeepSize:
     def test_scalar_sizes(self):
         assert deep_size(1) == 8

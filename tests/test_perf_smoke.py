@@ -1,0 +1,33 @@
+"""Perf smoke: the hot-path budgets CI guards on every run.
+
+Runs the ``benchmarks/report.py`` measurement logic in-process at a
+single graph size, with generous ceilings — the goal is to catch an
+accidental complexity regression (a hot path going quadratic), not to
+benchmark precisely.  Marked ``perf`` so the tier can be deselected
+with ``-m "not perf"`` on noisy machines.
+"""
+
+import pytest
+
+from benchmarks.report import bench_partitioner, bench_reeval_size
+
+pytestmark = pytest.mark.perf
+
+
+def test_partitioner_latency_budget_at_1000_nodes():
+    stats = bench_partitioner(rounds=1, sizes=(1000,))["1000"]
+    assert stats["mean_s"] < 0.100, (
+        f"partitioner at 1000 nodes took {stats['mean_s'] * 1e3:.1f} ms "
+        f"mean — hot-path regression?"
+    )
+
+
+def test_warm_reeval_epoch_beats_cold_at_1000_nodes():
+    stats = bench_reeval_size(1000, epochs=10)
+    assert stats["warm_hits"] > 0, "no epoch was served by the warm path"
+    ratio = stats["warm_epoch_mean_s"] / stats["cold_epoch_s"]
+    assert ratio < 0.25, (
+        f"warm re-evaluation epoch is {ratio:.0%} of a cold epoch "
+        f"({stats['warm_epoch_mean_s'] * 1e3:.2f} ms vs "
+        f"{stats['cold_epoch_s'] * 1e3:.2f} ms) — expected under 25%"
+    )
