@@ -139,6 +139,47 @@ def bench_reeval(sizes=REEVAL_SIZES) -> dict:
     return {str(size): bench_reeval_size(size) for size in sizes}
 
 
+def bench_cold_start() -> dict:
+    """Static-analysis cold-start seeding on Dia's early-trigger scenario.
+
+    Replays the Dia trace under the Figure 7 sweep's best (early, 50%)
+    trigger twice — once with an empty first graph, once seeded with the
+    analyzer's predicted interaction profile — and reports both totals.
+    The seeded first partition must match or beat the unseeded one; the
+    guard here is the same one ``tests/analysis`` enforces.
+    """
+    from dataclasses import replace as dc_replace
+
+    from repro.analysis import analyze_app
+    from repro.core.policy import OffloadPolicy, TriggerConfig
+
+    trace = cached_trace("dia", MEMORY_WORKLOADS["dia"])
+    seed = analyze_app("dia").analysis.seed
+    early = OffloadPolicy(TriggerConfig(free_threshold=0.50, tolerance=1),
+                          0.20)
+    config = memory_emulator_config(policy=early)
+    results = {}
+    for label, cfg in (
+        ("unseeded", config),
+        ("seeded", dc_replace(config, cold_start=seed)),
+    ):
+        result = Emulator(trace).replay(cfg)
+        results[label] = {
+            "total_time_s": result.total_time,
+            "comm_time_s": result.comm_time,
+            "offloads": result.offload_count,
+            "refusals": result.refusals,
+            "completed": result.completed,
+        }
+    results["seed_profile_nodes"] = seed.profile.node_count
+    results["seed_profile_edges"] = seed.profile.link_count
+    results["seeded_matches_or_beats"] = (
+        results["seeded"]["total_time_s"]
+        <= results["unseeded"]["total_time_s"] * 1.0001
+    )
+    return results
+
+
 def bench_replay(rounds: int) -> dict:
     trace = cached_trace("dia", MEMORY_WORKLOADS["dia"])
     emulator = Emulator(trace)
@@ -159,6 +200,7 @@ def build_report(rounds: int) -> dict:
         "partitioner_latency": bench_partitioner(rounds),
         "reeval": bench_reeval(),
         "replay": bench_replay(rounds),
+        "cold_start": bench_cold_start(),
     }
 
 
@@ -191,6 +233,11 @@ def main(argv=None) -> int:
     replay = report["replay"]
     print(f"replay {replay['trace']}: {replay['events_per_second']:,.0f} "
           f"events/s over {replay['events']} events")
+    cold = report["cold_start"]
+    print(f"cold-start dia (early trigger): "
+          f"unseeded {cold['unseeded']['total_time_s']:.1f}s vs "
+          f"seeded {cold['seeded']['total_time_s']:.1f}s "
+          f"({'ok' if cold['seeded_matches_or_beats'] else 'REGRESSION'})")
     print(f"wrote {args.output}")
     return 0
 

@@ -119,6 +119,25 @@ def _replay(path: str, heap_mb: float, offload: bool) -> int:
     return 0 if result.completed else 1
 
 
+def _analyze(app_name: str, json_path) -> int:
+    from .analysis import analyze_app
+
+    try:
+        report = analyze_app(app_name)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    if json_path is None:
+        print(report.to_text())
+    elif json_path == "-":
+        print(report.to_json())
+    else:
+        with open(json_path, "w") as stream:
+            stream.write(report.to_json() + "\n")
+        print(f"wrote analysis of {app_name!r} to {json_path}")
+    return 1 if report.has_errors else 0
+
+
 def _result_payload(name: str, output: str, elapsed: float) -> dict:
     return {"experiment": name, "elapsed_host_seconds": round(elapsed, 3),
             "report": output}
@@ -133,12 +152,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "targets", nargs="*",
         help="experiment names (see 'list'), 'all', "
-             "'record <app> <path>', or 'replay <path>'",
+             "'record <app> <path>', 'replay <path>', or "
+             "'analyze <app>'",
     )
     parser.add_argument("--heap-mb", type=float, default=6.0,
                         help="client heap for 'replay' (default 6)")
-    parser.add_argument("--json", metavar="PATH",
-                        help="also write experiment reports to a JSON file")
+    parser.add_argument("--json", metavar="PATH", nargs="?", const="-",
+                        help="write reports as JSON: to PATH, or to stdout "
+                             "when PATH is omitted")
     parser.add_argument("--no-offload", action="store_true",
                         help="disable offloading for 'replay'")
     return parser
@@ -159,6 +180,12 @@ def main(argv=None) -> int:
                   "[--no-offload]", file=sys.stderr)
             return 2
         return _replay(targets[1], args.heap_mb, not args.no_offload)
+    if targets[0] == "analyze":
+        if len(targets) != 2:
+            print("usage: python -m repro analyze <app> [--json [PATH]]",
+                  file=sys.stderr)
+            return 2
+        return _analyze(targets[1], args.json)
     if targets == ["list"]:
         print("available experiments:")
         for name, description in DESCRIPTIONS.items():
@@ -167,6 +194,8 @@ def main(argv=None) -> int:
         print("other commands:")
         print("  record <app> <path>   record a workload trace")
         print("  replay <path>         replay a recorded trace")
+        print("  analyze <app>         static placement analysis "
+              "(AIDE-Lint)")
         return 0
     if "all" in targets:
         targets = list(EXPERIMENTS)

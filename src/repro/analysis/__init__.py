@@ -1,0 +1,50 @@
+"""Static placement analysis (AIDE-Lint).
+
+Ahead-of-time analysis of guest applications: AST fact extraction,
+program-wide reference resolution, a predicted interaction graph with
+cold-start placement seeding, a static pinning closure, and the
+AIDE-Lint diagnostic rules.  Entry point: :func:`analyze_app` (the
+``python -m repro analyze`` subcommand).
+"""
+
+from .extractor import extract_main, extract_method, extract_program
+from .facts import MAIN_CLASS, MethodFacts, NameTables, ProgramFacts
+from .lint import Diagnostic, has_errors, lint_program
+from .pinning import PinningClosure, compute_pinning
+from .report import (
+    SCHEMA,
+    AnalysisReport,
+    analyze_app,
+    analyze_registry,
+    application_factories,
+)
+from .staticgraph import (
+    Resolver,
+    StaticAnalysis,
+    analyze_program,
+    predict_graph,
+)
+
+__all__ = [
+    "MAIN_CLASS",
+    "AnalysisReport",
+    "Diagnostic",
+    "MethodFacts",
+    "NameTables",
+    "PinningClosure",
+    "ProgramFacts",
+    "Resolver",
+    "SCHEMA",
+    "StaticAnalysis",
+    "analyze_app",
+    "analyze_program",
+    "analyze_registry",
+    "application_factories",
+    "compute_pinning",
+    "extract_main",
+    "extract_method",
+    "extract_program",
+    "has_errors",
+    "lint_program",
+    "predict_graph",
+]

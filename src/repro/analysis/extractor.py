@@ -1,0 +1,770 @@
+"""AST extraction of guest-method facts.
+
+Every guest method body is an ordinary Python callable registered in a
+:class:`~repro.vm.objectmodel.MethodDef`, written against the narrow
+``ctx`` API.  This module locates each callable's AST (including
+lambdas, via the method's source metadata), walks it, and emits the
+facts defined in :mod:`repro.analysis.facts`.
+
+Key mechanics:
+
+* **Host resolution** — names resolve through the callable's closure
+  cells and module globals, so class-name constants (``TILE``),
+  captured workload parameters (``work``), and live helper objects
+  (:class:`~repro.apps.base.ClassFamily`) are all visible.  A call to
+  ``family.name_for(i)`` resolves to the family's full name set.
+* **Helper inlining** — a call to a host function that receives the
+  ``ctx`` value (module-level helpers wrapped by registration lambdas,
+  or ``self._phase(ctx)`` methods of the application object) is
+  analyzed inline with the caller's argument bindings, attributed to
+  the calling class.  Depth- and cycle-guarded.
+* **Loop weighting** — facts inside loops carry a multiplicative
+  weight so the predicted graph emphasises hot edges.
+* **Branch merging** — ``if``/``else`` bind variables to the union of
+  both branches, never to one arm only, preserving the superset
+  property of downstream resolution.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..apps.base import ClassFamily, GuestApplication
+from ..vm.classloader import ClassRegistry
+from ..vm.objectmodel import MethodKind
+from .facts import (
+    MAIN_CLASS,
+    AllocFact,
+    ArrayAccessFact,
+    ArrayAllocFact,
+    ArrayData,
+    CallFact,
+    Classes,
+    CtxRef,
+    ElemOf,
+    ElemStoreFact,
+    FieldAccessFact,
+    FieldOf,
+    GlobalOf,
+    GlobalWriteFact,
+    HostRef,
+    MethodFacts,
+    NameTables,
+    NumConst,
+    ProgramFacts,
+    ReturnFact,
+    ReturnOf,
+    Scalar,
+    StaticAccessFact,
+    StrChoice,
+    StrConst,
+    Unknown,
+    ValueRef,
+    WorkFact,
+    union_of,
+)
+
+#: Weight multiplier applied per loop nesting level.
+LOOP_WEIGHT = 8
+#: Cap on the accumulated loop weight of a single fact.
+MAX_WEIGHT = 4096
+#: Maximum host-helper inlining depth.
+MAX_INLINE_DEPTH = 8
+
+_UNKNOWN = Unknown()
+_CTX = CtxRef()
+_NONE = Scalar("none")
+
+# -- AST location of callables ----------------------------------------------
+
+_module_cache: Dict[str, Dict[int, List[ast.AST]]] = {}
+
+
+def _module_index(filename: str) -> Dict[int, List[ast.AST]]:
+    """Index every function/lambda node of a source file by line."""
+    index = _module_cache.get(filename)
+    if index is not None:
+        return index
+    index = {}
+    try:
+        with open(filename, "r") as handle:
+            tree = ast.parse(handle.read(), filename=filename)
+    except (OSError, SyntaxError, ValueError):
+        _module_cache[filename] = index
+        return index
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            index.setdefault(node.lineno, []).append(node)
+    _module_cache[filename] = index
+    return index
+
+
+def function_node(func) -> Optional[ast.AST]:
+    """Locate the AST node (def or lambda) backing a callable."""
+    code = getattr(func, "__code__", None)
+    if code is None:
+        return None
+    candidates = _module_index(code.co_filename).get(code.co_firstlineno, [])
+    if not candidates:
+        return None
+    argnames = tuple(code.co_varnames[: code.co_argcount])
+    for node in candidates:
+        args = node.args
+        names = tuple(
+            a.arg for a in list(getattr(args, "posonlyargs", [])) + args.args
+        )
+        if names == argnames:
+            return node
+    return candidates[0]
+
+
+def _param_names(node: ast.AST) -> List[str]:
+    args = node.args
+    return [a.arg for a in list(getattr(args, "posonlyargs", [])) + args.args]
+
+
+def _host_bindings(func) -> Dict[str, Any]:
+    """Closure cells + module globals visible to a callable."""
+    bindings: Dict[str, Any] = dict(getattr(func, "__globals__", {}) or {})
+    code = getattr(func, "__code__", None)
+    closure = getattr(func, "__closure__", None)
+    if code is not None and closure:
+        for name, cell in zip(code.co_freevars, closure):
+            try:
+                bindings[name] = cell.cell_contents
+            except ValueError:
+                pass
+    return bindings
+
+
+def _wrap_host(value: Any) -> ValueRef:
+    """Describe a live host value as a symbolic reference."""
+    if value is None:
+        return _NONE
+    if isinstance(value, bool):
+        return Scalar("bool")
+    if isinstance(value, (int, float)):
+        return NumConst(value)
+    if isinstance(value, str):
+        return StrConst(value)
+    return HostRef(value)
+
+
+# -- the walker --------------------------------------------------------------
+
+
+class _FunctionWalker:
+    """Walks one callable's AST, emitting facts into a shared sink."""
+
+    def __init__(
+        self,
+        sink: MethodFacts,
+        owner_class: str,
+        env: Dict[str, ValueRef],
+        host: Dict[str, Any],
+        weight: int = 1,
+        depth: int = 0,
+        stack: Tuple[Any, ...] = (),
+        collect_returns: bool = True,
+    ) -> None:
+        self.sink = sink
+        self.owner = owner_class
+        self.env = env
+        self.host = host
+        self.weight = weight
+        self.depth = depth
+        self.stack = stack
+        self.collect_returns = collect_returns
+        self.returned: List[ValueRef] = []
+
+    # -- statements ---------------------------------------------------------
+
+    def run(self, node: ast.AST) -> List[ValueRef]:
+        if isinstance(node, ast.Lambda):
+            value = self.eval(node.body)
+            self._record_return(value, node.lineno)
+        else:
+            self.walk_body(node.body)
+        return self.returned
+
+    def walk_body(self, body: List[ast.stmt]) -> None:
+        for stmt in body:
+            self.walk_stmt(stmt)
+
+    def walk_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Expr):
+            self.eval(stmt.value)
+        elif isinstance(stmt, ast.Assign):
+            value = self.eval(stmt.value)
+            for target in stmt.targets:
+                self._assign(target, value)
+        elif isinstance(stmt, ast.AnnAssign):
+            value = self.eval(stmt.value) if stmt.value is not None else _UNKNOWN
+            self._assign(stmt.target, value)
+        elif isinstance(stmt, ast.AugAssign):
+            self.eval(stmt.value)
+            if isinstance(stmt.target, ast.Name):
+                previous = self.env.get(stmt.target.id, _UNKNOWN)
+                self.env[stmt.target.id] = union_of(previous, Scalar("int"))
+        elif isinstance(stmt, ast.Return):
+            value = self.eval(stmt.value) if stmt.value is not None else _NONE
+            self._record_return(value, stmt.lineno)
+        elif isinstance(stmt, ast.If):
+            self.eval(stmt.test)
+            self._branch((stmt.body, stmt.orelse))
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self.eval(stmt.iter)
+            self._bind_loop_target(stmt.target, stmt.iter)
+            saved = self.weight
+            self.weight = min(self.weight * LOOP_WEIGHT, MAX_WEIGHT)
+            try:
+                self.walk_body(stmt.body)
+            finally:
+                self.weight = saved
+            self.walk_body(stmt.orelse)
+        elif isinstance(stmt, ast.While):
+            self.eval(stmt.test)
+            saved = self.weight
+            self.weight = min(self.weight * LOOP_WEIGHT, MAX_WEIGHT)
+            try:
+                self.walk_body(stmt.body)
+            finally:
+                self.weight = saved
+            self.walk_body(stmt.orelse)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self.eval(item.context_expr)
+            self.walk_body(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self.walk_body(stmt.body)
+            for handler in stmt.handlers:
+                self.walk_body(handler.body)
+            self.walk_body(stmt.orelse)
+            self.walk_body(stmt.finalbody)
+        elif isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self.eval(stmt.exc)
+        elif isinstance(stmt, ast.Assert):
+            self.eval(stmt.test)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            self.env[stmt.name] = _UNKNOWN
+        # Pass/Break/Continue/Import/Global/Nonlocal: nothing to extract.
+
+    def _record_return(self, value: ValueRef, line: int) -> None:
+        if self.collect_returns:
+            self.sink.facts.append(ReturnFact(value=value, line=line))
+            self.sink.returns.append(value)
+        self.returned.append(value)
+
+    def _branch(self, arms: Tuple[List[ast.stmt], ...]) -> None:
+        """Walk each arm on a copy of the env, then merge bindings."""
+        base = dict(self.env)
+        merged: Dict[str, List[ValueRef]] = {}
+        for body in arms:
+            self.env = dict(base)
+            self.walk_body(body)
+            for name, value in self.env.items():
+                if base.get(name) is not value:
+                    merged.setdefault(name, []).append(value)
+        self.env = base
+        for name, values in merged.items():
+            alternatives = list(values)
+            if name in base:
+                alternatives.append(base[name])
+            else:
+                alternatives.append(_UNKNOWN)
+            self.env[name] = union_of(*alternatives)
+
+    def _assign(self, target: ast.expr, value: ValueRef) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = value
+        elif isinstance(target, ast.Subscript):
+            base = self.eval(target.value)
+            self.eval(target.slice)
+            if isinstance(base, ArrayData):
+                self.sink.facts.append(
+                    ElemStoreFact(
+                        container=base.container, value=value,
+                        weight=self.weight, line=target.lineno,
+                    )
+                )
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._assign(element, _UNKNOWN)
+        # Attribute targets are host-object mutation; nothing to extract.
+
+    def _bind_loop_target(self, target: ast.expr, iterable: ast.expr) -> None:
+        scalar_iter = (
+            isinstance(iterable, ast.Call)
+            and isinstance(iterable.func, ast.Name)
+            and iterable.func.id in ("range", "enumerate")
+        )
+        if isinstance(target, ast.Name):
+            self.env[target.id] = Scalar("int") if scalar_iter else _UNKNOWN
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._assign(element, _UNKNOWN)
+
+    # -- expressions --------------------------------------------------------
+
+    def eval(self, node: Optional[ast.expr]) -> ValueRef:
+        if node is None:
+            return _NONE
+        if isinstance(node, ast.Constant):
+            return self._eval_constant(node.value)
+        if isinstance(node, ast.Name):
+            return self._eval_name(node.id)
+        if isinstance(node, ast.Attribute):
+            return self._eval_attribute(node)
+        if isinstance(node, ast.Subscript):
+            return self._eval_subscript(node)
+        if isinstance(node, ast.Call):
+            return self._eval_call(node)
+        if isinstance(node, ast.BinOp):
+            return self._eval_binop(node)
+        if isinstance(node, ast.UnaryOp):
+            operand = self.eval(node.operand)
+            if isinstance(operand, NumConst) and isinstance(node.op, ast.USub):
+                return NumConst(-operand.value)
+            return operand if isinstance(operand, (NumConst, Scalar)) else _UNKNOWN
+        if isinstance(node, ast.BoolOp):
+            return union_of(*[self.eval(value) for value in node.values])
+        if isinstance(node, ast.Compare):
+            self.eval(node.left)
+            for comparator in node.comparators:
+                self.eval(comparator)
+            return Scalar("bool")
+        if isinstance(node, ast.IfExp):
+            self.eval(node.test)
+            return union_of(self.eval(node.body), self.eval(node.orelse))
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            for element in node.elts:
+                self.eval(element)
+            return _UNKNOWN
+        if isinstance(node, ast.Dict):
+            for key in node.keys:
+                if key is not None:
+                    self.eval(key)
+            for value in node.values:
+                self.eval(value)
+            return _UNKNOWN
+        if isinstance(node, ast.JoinedStr):
+            for value in node.values:
+                if isinstance(value, ast.FormattedValue):
+                    self.eval(value.value)
+            return Scalar("str")
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            self._eval_comprehension(node.generators, [node.elt])
+            return _UNKNOWN
+        if isinstance(node, ast.DictComp):
+            self._eval_comprehension(node.generators, [node.key, node.value])
+            return _UNKNOWN
+        if isinstance(node, ast.Starred):
+            return self.eval(node.value)
+        if isinstance(node, ast.Lambda):
+            return _UNKNOWN
+        if isinstance(node, ast.Slice):
+            for part in (node.lower, node.upper, node.step):
+                if part is not None:
+                    self.eval(part)
+            return _UNKNOWN
+        return _UNKNOWN
+
+    def _eval_comprehension(self, generators, expressions) -> None:
+        saved = self.weight
+        self.weight = min(self.weight * LOOP_WEIGHT, MAX_WEIGHT)
+        try:
+            for generator in generators:
+                self.eval(generator.iter)
+                self._assign(generator.target, _UNKNOWN)
+                for condition in generator.ifs:
+                    self.eval(condition)
+            for expression in expressions:
+                self.eval(expression)
+        finally:
+            self.weight = saved
+
+    @staticmethod
+    def _eval_constant(value: Any) -> ValueRef:
+        if value is None:
+            return _NONE
+        if isinstance(value, bool):
+            return Scalar("bool")
+        if isinstance(value, (int, float)):
+            return NumConst(value)
+        if isinstance(value, str):
+            return StrConst(value)
+        return _UNKNOWN
+
+    def _eval_name(self, name: str) -> ValueRef:
+        if name in self.env:
+            return self.env[name]
+        if name in self.host:
+            return _wrap_host(self.host[name])
+        builtins_ns = self.host.get("__builtins__")
+        if builtins_ns is not None:
+            if isinstance(builtins_ns, dict):
+                if name in builtins_ns:
+                    return HostRef(builtins_ns[name])
+            elif hasattr(builtins_ns, name):
+                return HostRef(getattr(builtins_ns, name))
+        return _UNKNOWN
+
+    def _eval_attribute(self, node: ast.Attribute) -> ValueRef:
+        base = self.eval(node.value)
+        if isinstance(base, HostRef):
+            try:
+                return _wrap_host(getattr(base.obj, node.attr))
+            except Exception:
+                return _UNKNOWN
+        if node.attr == "data":
+            return ArrayData(base)
+        if node.attr == "length":
+            return Scalar("int")
+        return _UNKNOWN
+
+    def _eval_subscript(self, node: ast.Subscript) -> ValueRef:
+        base = self.eval(node.value)
+        self.eval(node.slice)
+        if isinstance(base, ArrayData):
+            return ElemOf(base.container)
+        return _UNKNOWN
+
+    def _eval_binop(self, node: ast.BinOp) -> ValueRef:
+        left = self.eval(node.left)
+        right = self.eval(node.right)
+        if isinstance(left, NumConst) and isinstance(right, NumConst):
+            folded = _fold_binop(node.op, left.value, right.value)
+            if folded is not None:
+                return NumConst(folded)
+        if isinstance(left, (StrConst, Scalar)) and getattr(left, "kind", "str") == "str":
+            return Scalar("str")
+        return Scalar("int")
+
+    # -- calls --------------------------------------------------------------
+
+    def _eval_call(self, node: ast.Call) -> ValueRef:
+        # Guest API calls: ctx.<api>(...)
+        if isinstance(node.func, ast.Attribute):
+            base = self.eval(node.func.value)
+            if isinstance(base, CtxRef):
+                return self._eval_ctx_call(node, node.func.attr)
+            callee = self._attribute_callable(base, node.func.attr)
+        else:
+            callee = self.eval(node.func)
+
+        args = [self.eval(arg) for arg in node.args]
+        for keyword in node.keywords:
+            self.eval(keyword.value)
+
+        if isinstance(callee, HostRef):
+            return self._eval_host_call(callee.obj, args)
+        return _UNKNOWN
+
+    def _attribute_callable(self, base: ValueRef, attr: str) -> ValueRef:
+        if isinstance(base, HostRef):
+            try:
+                return _wrap_host(getattr(base.obj, attr))
+            except Exception:
+                return _UNKNOWN
+        return _UNKNOWN
+
+    def _eval_host_call(self, obj: Any, args: List[ValueRef]) -> ValueRef:
+        bound_self = getattr(obj, "__self__", None)
+        # family.name_for(i): one of the family's class names.
+        if isinstance(bound_self, ClassFamily) and getattr(obj, "__name__", "") == "name_for":
+            return StrChoice(frozenset(bound_self.names))
+        # Host helpers that receive ctx are analyzed inline.
+        if any(isinstance(arg, CtxRef) for arg in args):
+            func = obj
+            if bound_self is not None:
+                func = obj.__func__
+                args = [_wrap_host(bound_self)] + args
+            if inspect.isfunction(func):
+                return self._inline(func, args)
+        return _UNKNOWN
+
+    def _inline(self, func, args: List[ValueRef]) -> ValueRef:
+        code = getattr(func, "__code__", None)
+        if code is None or code in self.stack or self.depth >= MAX_INLINE_DEPTH:
+            return _UNKNOWN
+        node = function_node(func)
+        if node is None:
+            return _UNKNOWN
+        params = _param_names(node)
+        env: Dict[str, ValueRef] = {}
+        for index, name in enumerate(params):
+            env[name] = args[index] if index < len(args) else _UNKNOWN
+        walker = _FunctionWalker(
+            sink=self.sink,
+            owner_class=self.owner,
+            env=env,
+            host=_host_bindings(func),
+            weight=self.weight,
+            depth=self.depth + 1,
+            stack=self.stack + (code,),
+            collect_returns=False,
+        )
+        returned = walker.run(node)
+        return union_of(*returned) if returned else _NONE
+
+    # -- the guest ctx API --------------------------------------------------
+
+    def _eval_ctx_call(self, node: ast.Call, api: str) -> ValueRef:
+        line = node.lineno
+        if api == "new":
+            class_ref = self.eval(node.args[0]) if node.args else _UNKNOWN
+            names = _class_names(class_ref)
+            field_values = {}
+            for keyword in node.keywords:
+                if keyword.arg is not None:
+                    field_values[keyword.arg] = self.eval(keyword.value)
+            self.sink.facts.append(
+                AllocFact(class_names=names, field_values=field_values,
+                          weight=self.weight, line=line)
+            )
+            return Classes(names) if names else _UNKNOWN
+        if api == "new_array":
+            element_ref = self.eval(node.args[0]) if node.args else _UNKNOWN
+            length_ref = self.eval(node.args[1]) if len(node.args) > 1 else _UNKNOWN
+            for keyword in node.keywords:
+                self.eval(keyword.value)
+            element = element_ref.text if isinstance(element_ref, StrConst) else None
+            length = (
+                int(length_ref.value) if isinstance(length_ref, NumConst) else None
+            )
+            self.sink.facts.append(
+                ArrayAllocFact(element_type=element, length=length,
+                               weight=self.weight, line=line)
+            )
+            if element is not None:
+                return Classes(frozenset((f"{element}[]",)))
+            return _UNKNOWN
+        if api == "invoke":
+            receiver = self.eval(node.args[0]) if node.args else _UNKNOWN
+            method_ref = self.eval(node.args[1]) if len(node.args) > 1 else _UNKNOWN
+            rest = [self.eval(arg) for arg in node.args[2:]]
+            del rest
+            if not isinstance(method_ref, StrConst):
+                return _UNKNOWN
+            self.sink.facts.append(
+                CallFact(receiver=receiver, method=method_ref.text,
+                         is_static=False, nargs=len(node.args) - 2,
+                         weight=self.weight, line=line)
+            )
+            return ReturnOf(receiver, method_ref.text)
+        if api == "invoke_static":
+            class_ref = self.eval(node.args[0]) if node.args else _UNKNOWN
+            method_ref = self.eval(node.args[1]) if len(node.args) > 1 else _UNKNOWN
+            for arg in node.args[2:]:
+                self.eval(arg)
+            if not isinstance(method_ref, StrConst):
+                return _UNKNOWN
+            names = _class_names(class_ref)
+            receiver: ValueRef = Classes(names) if names else _UNKNOWN
+            const_name = class_ref.text if isinstance(class_ref, StrConst) else None
+            self.sink.facts.append(
+                CallFact(receiver=receiver, method=method_ref.text,
+                         is_static=True, class_name=const_name,
+                         nargs=len(node.args) - 2,
+                         weight=self.weight, line=line)
+            )
+            return ReturnOf(receiver, method_ref.text)
+        if api in ("get_field", "set_field"):
+            receiver = self.eval(node.args[0]) if node.args else _UNKNOWN
+            field_ref = self.eval(node.args[1]) if len(node.args) > 1 else _UNKNOWN
+            value = self.eval(node.args[2]) if len(node.args) > 2 else None
+            if not isinstance(field_ref, StrConst):
+                return _UNKNOWN
+            is_write = api == "set_field"
+            self.sink.facts.append(
+                FieldAccessFact(receiver=receiver, field=field_ref.text,
+                                is_write=is_write, value=value,
+                                weight=self.weight, line=line)
+            )
+            if is_write:
+                return _NONE
+            return FieldOf(receiver, field_ref.text)
+        if api in ("get_static", "set_static"):
+            class_ref = self.eval(node.args[0]) if node.args else _UNKNOWN
+            field_ref = self.eval(node.args[1]) if len(node.args) > 1 else _UNKNOWN
+            value = self.eval(node.args[2]) if len(node.args) > 2 else None
+            if not isinstance(field_ref, StrConst):
+                return _UNKNOWN
+            const_name = class_ref.text if isinstance(class_ref, StrConst) else None
+            is_write = api == "set_static"
+            self.sink.facts.append(
+                StaticAccessFact(class_name=const_name, field=field_ref.text,
+                                 is_write=is_write, value=value,
+                                 weight=self.weight, line=line)
+            )
+            if is_write:
+                return _NONE
+            owner: ValueRef = (
+                Classes(frozenset((const_name,))) if const_name else _UNKNOWN
+            )
+            return FieldOf(owner, field_ref.text)
+        if api in ("array_read", "array_write"):
+            array = self.eval(node.args[0]) if node.args else _UNKNOWN
+            count_ref = self.eval(node.args[1]) if len(node.args) > 1 else None
+            count = (
+                int(count_ref.value) if isinstance(count_ref, NumConst) else None
+            )
+            self.sink.facts.append(
+                ArrayAccessFact(array=array, is_write=api == "array_write",
+                                count=count, weight=self.weight, line=line)
+            )
+            return _NONE
+        if api == "work":
+            seconds_ref = self.eval(node.args[0]) if node.args else None
+            seconds = (
+                float(seconds_ref.value)
+                if isinstance(seconds_ref, NumConst) else None
+            )
+            self.sink.facts.append(
+                WorkFact(seconds=seconds, weight=self.weight, line=line)
+            )
+            return _NONE
+        if api == "set_global":
+            name_ref = self.eval(node.args[0]) if node.args else _UNKNOWN
+            value = self.eval(node.args[1]) if len(node.args) > 1 else _UNKNOWN
+            if isinstance(name_ref, StrConst):
+                self.sink.facts.append(
+                    GlobalWriteFact(name=name_ref.text, value=value,
+                                    weight=self.weight, line=line)
+                )
+            return _NONE
+        if api == "get_global":
+            name_ref = self.eval(node.args[0]) if node.args else _UNKNOWN
+            if isinstance(name_ref, StrConst):
+                return GlobalOf(name_ref.text)
+            return _UNKNOWN
+        if api == "retain":
+            return self.eval(node.args[0]) if node.args else _UNKNOWN
+        # Unknown ctx API: evaluate arguments for nested facts.
+        for arg in node.args:
+            self.eval(arg)
+        for keyword in node.keywords:
+            self.eval(keyword.value)
+        return _UNKNOWN
+
+
+def _class_names(ref: ValueRef):
+    if isinstance(ref, StrConst):
+        return frozenset((ref.text,))
+    if isinstance(ref, StrChoice):
+        return ref.options
+    return None
+
+
+def _fold_binop(op: ast.operator, left: float, right: float) -> Optional[float]:
+    try:
+        if isinstance(op, ast.Add):
+            return left + right
+        if isinstance(op, ast.Sub):
+            return left - right
+        if isinstance(op, ast.Mult):
+            return left * right
+        if isinstance(op, ast.Div):
+            return left / right
+        if isinstance(op, ast.FloorDiv):
+            return left // right
+        if isinstance(op, ast.Mod):
+            return left % right
+        if isinstance(op, ast.Pow):
+            return left ** right
+    except (ZeroDivisionError, OverflowError, ValueError):
+        return None
+    return None
+
+
+# -- program extraction ------------------------------------------------------
+
+
+def extract_method(class_def, mdef) -> MethodFacts:
+    """Extract facts from one registered method body."""
+    sink = MethodFacts(
+        class_name=class_def.name,
+        method_name=mdef.name,
+        kind=mdef.kind.value,
+    )
+    func = mdef.func
+    if func is None:
+        return sink
+    node = function_node(func)
+    if node is None:
+        return sink
+    code = func.__code__
+    sink.source_file = code.co_filename
+    sink.source_line = code.co_firstlineno
+    params = _param_names(node)
+    env: Dict[str, ValueRef] = {}
+    for index, name in enumerate(params):
+        if index == 0:
+            env[name] = _CTX
+        elif index == 1:
+            if mdef.kind is MethodKind.STATIC:
+                env[name] = _NONE
+            else:
+                env[name] = Classes(frozenset((class_def.name,)))
+        else:
+            env[name] = _UNKNOWN
+    walker = _FunctionWalker(
+        sink=sink, owner_class=class_def.name, env=env,
+        host=_host_bindings(func), stack=(code,),
+    )
+    walker.run(node)
+    sink.analyzed = True
+    return sink
+
+
+def extract_main(app: GuestApplication) -> MethodFacts:
+    """Extract facts from the application entry point as ``<main>``."""
+    sink = MethodFacts(class_name=MAIN_CLASS, method_name="main", kind="main")
+    func = type(app).main
+    node = function_node(func)
+    if node is None:
+        return sink
+    code = func.__code__
+    sink.source_file = code.co_filename
+    sink.source_line = code.co_firstlineno
+    params = _param_names(node)
+    env: Dict[str, ValueRef] = {}
+    for index, name in enumerate(params):
+        if index == 0:
+            env[name] = HostRef(app)
+        elif index == 1:
+            env[name] = _CTX
+        else:
+            env[name] = _UNKNOWN
+    walker = _FunctionWalker(
+        sink=sink, owner_class=MAIN_CLASS, env=env,
+        host=_host_bindings(func), stack=(code,),
+    )
+    walker.run(node)
+    sink.analyzed = True
+    return sink
+
+
+def extract_program(
+    registry: ClassRegistry,
+    app: Optional[GuestApplication] = None,
+    app_name: Optional[str] = None,
+) -> ProgramFacts:
+    """Extract facts for every registered class (plus the app's main)."""
+    name = app_name or (app.name if app is not None else "<registry>")
+    program = ProgramFacts(
+        app_name=name,
+        registry=registry,
+        name_tables=NameTables.from_registry(registry),
+    )
+    for class_def in registry.app_classes():
+        for mdef in class_def.methods():
+            program.methods[(class_def.name, mdef.name)] = extract_method(
+                class_def, mdef
+            )
+    if app is not None:
+        program.methods[(MAIN_CLASS, "main")] = extract_main(app)
+    return program

@@ -1,0 +1,133 @@
+"""The static pinning closure.
+
+AIDE's runtime pins a class to the client when its metadata says it
+holds native methods (plus the ``<main>`` entry point).  The analyzer
+reproduces that decision *before any code runs* and extends it with two
+advisory tiers derived from the extracted facts:
+
+* **must** — classes the runtime will definitely pin: native holders
+  under the session's stateless-natives rule, plus the entry point.
+  The parity tests assert the runtime pinned seed (``Trace
+  .pinned_classes`` / ``ClassRegistry.pinned_class_names``) is always a
+  subset of this tier.
+* **advisory** — offloadable classes that write static fields.  Statics
+  live on the client, so every remote write round-trips the link; the
+  closure recommends (but does not force) keeping such classes local.
+* **reaches_native** — classes with a statically possible call path to
+  a stateful-native holder.  Offloading these is legal but every native
+  bounce pays a wire crossing (the paper's Figure 8 effect); the tier
+  is informational and feeds the AL203 lint rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Set
+
+from .facts import MAIN_CLASS, CallFact, ProgramFacts, StaticAccessFact
+from .staticgraph import Resolver
+
+
+@dataclass(frozen=True)
+class PinningClosure:
+    """The three-tier static pinning result for one application."""
+
+    must: FrozenSet[str]
+    advisory: FrozenSet[str]
+    reaches_native: FrozenSet[str]
+    #: Human-readable reason per class (first reason wins).
+    reasons: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def all_pinned(self) -> FrozenSet[str]:
+        return self.must | self.advisory
+
+    def covers(self, runtime_pinned: Iterable[str]) -> bool:
+        """True when the closure contains the runtime pinned seed."""
+        return not self.missing(runtime_pinned)
+
+    def missing(self, runtime_pinned: Iterable[str]) -> FrozenSet[str]:
+        """Runtime-pinned classes the static closure failed to predict."""
+        return frozenset(runtime_pinned) - self.must
+
+
+def call_edges(
+    program: ProgramFacts, resolver: Resolver
+) -> Dict[str, Set[str]]:
+    """Static call graph: class -> classes it may invoke."""
+    edges: Dict[str, Set[str]] = {}
+    for mf, fact in program.iter_facts(CallFact):
+        callees = resolver.invoke_candidates(fact.receiver, fact.method)
+        edges.setdefault(mf.class_name, set()).update(
+            callee for callee in callees if callee != mf.class_name
+        )
+    return edges
+
+
+def _reaching(
+    edges: Dict[str, Set[str]], targets: FrozenSet[str]
+) -> FrozenSet[str]:
+    """Classes with a path (of length >= 1) into ``targets``."""
+    reverse: Dict[str, Set[str]] = {}
+    for caller, callees in edges.items():
+        for callee in callees:
+            reverse.setdefault(callee, set()).add(caller)
+    reached: Set[str] = set()
+    frontier: List[str] = list(targets)
+    while frontier:
+        node = frontier.pop()
+        for caller in reverse.get(node, ()):
+            if caller not in reached:
+                reached.add(caller)
+                frontier.append(caller)
+    return frozenset(reached)
+
+
+def compute_pinning(
+    program: ProgramFacts,
+    resolver: Resolver,
+    stateless_natives_ok: bool = False,
+) -> PinningClosure:
+    """Derive the pinning closure from metadata plus extracted facts."""
+    reasons: Dict[str, str] = {}
+
+    must: Set[str] = set(
+        program.native_method_classes(stateless_ok=stateless_natives_ok)
+    )
+    for name in must:
+        kind = ("stateful native" if stateless_natives_ok else "native")
+        reasons[name] = f"declares {kind} methods"
+    must.add(MAIN_CLASS)
+    reasons.setdefault(MAIN_CLASS, "entry point")
+
+    advisory: Set[str] = set()
+    for mf, fact in program.iter_facts(StaticAccessFact):
+        if not fact.is_write:
+            continue
+        cls = mf.class_name
+        if cls in must or cls == MAIN_CLASS:
+            continue
+        owners = resolver.static_candidates(fact.class_name, fact.field)
+        if owners:
+            advisory.add(cls)
+            reasons.setdefault(
+                cls,
+                f"writes client-resident static "
+                f"{sorted(owners)[0]}.{fact.field}",
+            )
+
+    stateful = frozenset(
+        cls for (cls, _method), is_stateful
+        in program.stateful_native_sites().items() if is_stateful
+    )
+    reaches = _reaching(call_edges(program, resolver), stateful)
+    reaches = frozenset(reaches - must - {MAIN_CLASS})
+    for cls in reaches:
+        reasons.setdefault(cls, "may transitively call a stateful native")
+
+    return PinningClosure(
+        must=frozenset(must),
+        advisory=frozenset(advisory),
+        reaches_native=reaches,
+        reasons=reasons,
+    )

@@ -1,0 +1,178 @@
+"""Analysis driver and report rendering for ``python -m repro analyze``.
+
+:func:`analyze_app` runs the full pipeline for one bundled application —
+extraction, resolution, graph prediction, pinning closure, lint — and
+returns an :class:`AnalysisReport` that renders either as human-readable
+text or as schema-stable JSON (``"schema": "aide-lint/1"``).  The JSON
+shape is covered by tests; extend it by *adding* keys, never renaming.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..vm.classloader import ClassRegistry
+from ..vm.natives import install_standard_library
+from .extractor import extract_program
+from .facts import ProgramFacts
+from .lint import Diagnostic, has_errors, lint_program
+from .pinning import PinningClosure, compute_pinning
+from .staticgraph import StaticAnalysis, analyze_program
+
+SCHEMA = "aide-lint/1"
+
+_SEVERITY_TAGS = {"error": "E", "warning": "W", "info": "I"}
+
+
+def application_factories() -> Dict[str, type]:
+    """Name -> application class for everything the analyzer can target."""
+    from ..apps import ALL_APPLICATIONS, MixedSession
+
+    factories = {cls().name: cls for cls in ALL_APPLICATIONS}
+    factories[MixedSession().name] = MixedSession
+    return factories
+
+
+@dataclass
+class AnalysisReport:
+    """Everything one ``analyze`` run produced."""
+
+    app_name: str
+    program: ProgramFacts
+    analysis: StaticAnalysis
+    closure: PinningClosure
+    diagnostics: List[Diagnostic]
+
+    @property
+    def has_errors(self) -> bool:
+        return has_errors(self.diagnostics)
+
+    # -- JSON ------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        graph = self.analysis.graph
+        counts = {"error": 0, "warning": 0, "info": 0}
+        for diag in self.diagnostics:
+            counts[diag.severity] += 1
+        return {
+            "schema": SCHEMA,
+            "app": self.app_name,
+            "summary": {
+                "classes": len(self.program.registry.app_classes()),
+                "methods": len(self.program.methods),
+                "facts": self.program.fact_count,
+                "graph_nodes": graph.node_count,
+                "graph_edges": graph.link_count,
+                "resolver_rounds": self.analysis.resolver.rounds,
+            },
+            "pinning": {
+                "must": sorted(self.closure.must),
+                "advisory": sorted(self.closure.advisory),
+                "reaches_native": sorted(self.closure.reaches_native),
+                "reasons": {
+                    name: self.closure.reasons[name]
+                    for name in sorted(self.closure.reasons)
+                },
+            },
+            "hints": {
+                "pin_local": sorted(self.analysis.hints.pin_local),
+                "keep_together": [
+                    sorted(group)
+                    for group in sorted(self.analysis.hints.keep_together,
+                                        key=min)
+                ],
+                "shared_classes": sorted(self.analysis.shared_classes),
+            },
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "counts": counts,
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    # -- human-readable ---------------------------------------------------
+
+    def to_text(self) -> str:
+        lines: List[str] = []
+        payload = self.to_dict()
+        summary = payload["summary"]
+        lines.append(f"AIDE-Lint · {self.app_name}")
+        lines.append(
+            f"  {summary['classes']} classes, {summary['methods']} method "
+            f"bodies, {summary['facts']} facts; predicted graph "
+            f"{summary['graph_nodes']} nodes / {summary['graph_edges']} "
+            f"edges (resolved in {summary['resolver_rounds']} rounds)"
+        )
+        lines.append("")
+        lines.append("pinning closure:")
+        lines.append(f"  must stay on client : "
+                     f"{', '.join(sorted(self.closure.must))}")
+        if self.closure.advisory:
+            lines.append(f"  advisory (statics)  : "
+                         f"{', '.join(sorted(self.closure.advisory))}")
+        if self.closure.reaches_native:
+            lines.append(f"  reaches a native    : "
+                         f"{', '.join(sorted(self.closure.reaches_native))}")
+        hints = payload["hints"]
+        if hints["pin_local"] or hints["keep_together"]:
+            lines.append("placement hints:")
+            if hints["pin_local"]:
+                lines.append(f"  pin_local     : "
+                             f"{', '.join(hints['pin_local'])}")
+            for group in hints["keep_together"]:
+                lines.append(f"  keep_together : {', '.join(group)}")
+        if hints["shared_classes"]:
+            lines.append(f"shared-class pathology: "
+                         f"{', '.join(hints['shared_classes'])}")
+        lines.append("")
+        if not self.diagnostics:
+            lines.append("no diagnostics")
+        else:
+            counts = payload["counts"]
+            lines.append(
+                f"{len(self.diagnostics)} diagnostic(s): "
+                f"{counts['error']} error, {counts['warning']} warning, "
+                f"{counts['info']} info"
+            )
+            for diag in self.diagnostics:
+                tag = _SEVERITY_TAGS[diag.severity]
+                location = diag.class_name
+                if diag.method_name not in ("<class>",):
+                    location += f".{diag.method_name}"
+                if diag.line:
+                    location += f":{diag.line}"
+                lines.append(f"  [{tag}] {diag.rule} {location}")
+                lines.append(f"        {diag.message}")
+        return "\n".join(lines)
+
+
+def analyze_registry(
+    registry: ClassRegistry, app=None, app_name: Optional[str] = None
+) -> AnalysisReport:
+    """Run the pipeline over an already-populated registry."""
+    program = extract_program(registry, app, app_name=app_name)
+    analysis = analyze_program(program)
+    closure = compute_pinning(program, analysis.resolver)
+    diagnostics = lint_program(analysis)
+    return AnalysisReport(
+        app_name=program.app_name,
+        program=program,
+        analysis=analysis,
+        closure=closure,
+        diagnostics=diagnostics,
+    )
+
+
+def analyze_app(name: str) -> AnalysisReport:
+    """Run the full static-analysis pipeline for one bundled app."""
+    factories = application_factories()
+    if name not in factories:
+        known = ", ".join(sorted(factories))
+        raise KeyError(f"unknown application {name!r}; one of {known}")
+    app = factories[name]()
+    registry = ClassRegistry()
+    install_standard_library(registry)
+    app.install(registry)
+    return analyze_registry(registry, app)

@@ -22,7 +22,7 @@ Conventions every application follows:
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from ..errors import ConfigurationError
 from ..vm.classloader import ClassRegistry

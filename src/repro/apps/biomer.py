@@ -80,7 +80,7 @@ def _molecule_add_residue(ctx, self_obj, element_family, kind):
         atom = ctx.new(ATOM, element=kind, charge=0.0, residue=slot)
         atoms.data[slot] = atom
     ctx.array_write(atoms, 24)
-    element = ctx.new(element_family.name_for(kind))
+    element = ctx.new(element_family.name_for(kind), valence=kind % 8 + 1)
     ctx.set_field(residue, "element", element)
     residues = ctx.get_field(self_obj, "residues")
     count = ctx.get_field(self_obj, "residue_count")

@@ -281,7 +281,8 @@ class Dia(GuestApplication):
                                     data=[None] * self.widgets)
         ctx.set_global("widgets", widget_refs)
         for index in range(self.widgets):
-            widget = ctx.new(self._widget_family.name_for(index))
+            widget = ctx.new(self._widget_family.name_for(index),
+                             state=index)
             widget_refs.data[index] = widget
         tile_grid = image_tiles(self.width, self.height, TILE_EDGE)
         tiles = ctx.new_array("ref", len(tile_grid),
@@ -310,6 +311,10 @@ class Dia(GuestApplication):
         ctx.set_global("pipeline", pipeline)
         preview = ctx.new(PREVIEW, screen=screen)
         ctx.set_global("preview", preview)
+        colors = ctx.new_array("int", 16)
+        ctx.array_write(colors, 16)
+        palette = ctx.new(PALETTE, colors=colors)
+        ctx.set_global("palette", palette)
         image_file = ctx.new("java.io.File", path="photo.dia")
         ctx.set_global("file", image_file)
         loader = ctx.new(LOADER, file=image_file)

@@ -30,7 +30,7 @@ events for the monitoring-overhead experiment.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
 from ..errors import ConfigurationError
 from ..units import KB
@@ -406,6 +406,12 @@ class JavaNote(GuestApplication):
         view = ctx.new(VIEW, document=document, highlighter=highlighter,
                        screen=screen, fine=self.fidelity == "fine")
         ctx.set_global("view", view)
+        cursor = ctx.new(CURSOR, position=0)
+        ctx.set_global("cursor", cursor)
+        clipboard = ctx.new(CLIPBOARD, content=None)
+        ctx.set_global("clipboard", clipboard)
+        status = ctx.new(STATUS, dirty=False)
+        ctx.set_global("status", status)
         ctx.work(0.5)
 
     def _load_document(self, ctx: ExecutionContext) -> None:

@@ -15,15 +15,12 @@ session's focus shifts.
 
 from __future__ import annotations
 
-from typing import List, Tuple
-
-from ..errors import ConfigurationError
 from ..units import KB
 from ..vm.classloader import ClassRegistry
 from ..vm.context import ExecutionContext
 from .base import GuestApplication, require_positive
 from .dia import Dia
-from .javanote import JavaNote
+from .javanote import SEARCH, JavaNote
 
 
 class MixedSession(GuestApplication):
@@ -78,6 +75,8 @@ class MixedSession(GuestApplication):
         self.editor._load_document(ctx)
         self.painter._startup(ctx)
         self.painter._load_image(ctx)
+        search = ctx.new(SEARCH)
+        ctx.set_global("search", search)
 
         document = ctx.get_global("document")
         image = ctx.get_global("image")
@@ -91,6 +90,8 @@ class MixedSession(GuestApplication):
             for _ in range(self.edits_per_burst):
                 op, chunk_index, length = next(edit_ops)
                 ctx.invoke(document, "edit", op, chunk_index, length)
+            # The user finds their place again before switching focus.
+            ctx.invoke(search, "find", document, 8)
             # Image burst.
             for _ in range(self.passes_per_burst):
                 ctx.invoke(pipeline, "runPass", image, pass_index)

@@ -193,6 +193,8 @@ class Voxel(GuestApplication):
         ctx.set_global("renderer", renderer)
         camera = ctx.new(CAMERA)
         ctx.set_global("camera", camera)
+        erosion = ctx.new(EROSION, rate=0.02)
+        ctx.set_global("erosion", erosion)
         # The renderer prepares its persistent row cache up front (the
         # preview window's backing store), before any generation runs.
         ctx.invoke(renderer, "warmCache", self.cache_rows)

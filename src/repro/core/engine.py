@@ -9,12 +9,13 @@ Execution then continues and monitoring resumes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, FrozenSet, List, Optional
 
 from ..errors import MigrationError
 from ..vm.gc import GCReport
 from ..vm.hooks import ExecutionListener
+from .hints import ColdStartSeed
 from .monitor import ExecutionMonitor
 from .partitioner import (
     IncrementalPartitioner,
@@ -112,6 +113,30 @@ class OffloadingEngine(ExecutionListener):
             warm_threshold=self._warm_threshold,
             force_cold=self._force_cold,
         )
+
+    # -- cold start ------------------------------------------------------------
+
+    def apply_cold_start(self, seed: Optional[ColdStartSeed]) -> None:
+        """Install ahead-of-time placement knowledge before execution.
+
+        The static analyzer (``repro.analysis``) predicts the
+        interaction graph and placement hints without running any code;
+        this folds both into the engine so the *first* partitioning
+        attempt works from predicted structure instead of an empty
+        graph.  Explicitly configured partitioner hints take precedence
+        over the seed's — a developer's ``pin_local`` should not be
+        silently replaced by inferred ones.
+        """
+        if seed is None or seed.empty:
+            return
+        if seed.profile is not None:
+            self.monitor.merge_profile(seed.profile)
+        if seed.hints is not None and self.partitioner.hints is None:
+            base = self.partitioner
+            base.hints = seed.hints
+            # Reassigning rebuilds the incremental session, so no warm
+            # state predating the hints survives.
+            self.partitioner = base
 
     # -- hook ------------------------------------------------------------
 

@@ -19,8 +19,8 @@ components like JavaBeans".  Two mechanisms implement that here:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from ..errors import ConfigurationError
 from .graph import ExecutionGraph
@@ -52,6 +52,30 @@ class PlacementHints:
     @property
     def has_groups(self) -> bool:
         return bool(self.keep_together)
+
+
+@dataclass(frozen=True)
+class ColdStartSeed:
+    """Ahead-of-time placement knowledge for a first partitioning.
+
+    Produced by the static analyzer
+    (:func:`repro.analysis.staticgraph.analyze_program`) — or assembled
+    by hand from a previous run's profile — and consumed by
+    :meth:`repro.core.engine.OffloadingEngine.apply_cold_start` and the
+    emulator's ``EmulatorConfig.cold_start``.  The ``profile`` seeds the
+    monitor's execution graph with predicted interaction structure so
+    the very first MINCUT does not run on an empty graph; the ``hints``
+    carry advisory pins and co-location groups into the partitioner.
+    """
+
+    hints: Optional[PlacementHints] = None
+    profile: Optional[ExecutionGraph] = None
+    #: Provenance marker, e.g. ``"static-analysis:dia"``.
+    source: str = "static-analysis"
+
+    @property
+    def empty(self) -> bool:
+        return self.hints is None and self.profile is None
 
 
 def group_node_id(index: int, members: FrozenSet[str]) -> str:

@@ -13,7 +13,7 @@ time *minus* the time spent in nested calls to other classes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Set
 
 from ..vm.gc import GCReport
@@ -111,6 +111,27 @@ class ExecutionMonitor(ExecutionListener):
         self._snapshot: Optional[ExecutionGraph] = None
         self._snapshot_version: int = -1
         self.last_snapshot_delta: Optional[GraphDelta] = None
+
+    def merge_profile(self, profile: ExecutionGraph) -> None:
+        """Fold a predicted or prior interaction profile into the graph.
+
+        The cold-start path (:meth:`repro.core.engine.OffloadingEngine
+        .apply_cold_start`) uses this to seed an already-constructed
+        monitor: edge traffic and CPU totals are added, live-memory
+        annotations in the profile are ignored (callers should pass
+        :func:`repro.core.hints.interaction_profile` output, where they
+        are zero).  Every touched node and edge lands in the graph's
+        dirty sets, so the next snapshot carries the seed into the
+        partitioning session.
+        """
+        for node_id in profile.nodes():
+            stats = profile.node(node_id)
+            self.graph.ensure_node(node_id)
+            if stats.cpu_seconds:
+                self.graph.add_cpu(node_id, stats.cpu_seconds)
+        for (a, b), edge in profile.edges():
+            self.graph.record_interaction(a, b, edge.bytes,
+                                          count=edge.count)
 
     # -- node naming -----------------------------------------------------------
 

@@ -9,7 +9,7 @@ Pentium for JavaNote's 134-class graph).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from ..errors import NoBeneficialPartitionError

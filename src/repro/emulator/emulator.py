@@ -12,7 +12,6 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Iterable, List, Optional, Tuple
 
-from ..config import DeviceProfile
 from ..core.policy import OffloadPolicy
 from ..errors import ConfigurationError
 from ..units import MB

@@ -22,7 +22,7 @@ Event kinds:
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Union
+from typing import Optional, Union
 
 from ..errors import TraceFormatError
 

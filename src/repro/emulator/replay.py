@@ -20,6 +20,7 @@ from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from ..config import DeviceProfile, EnhancementFlags, GCConfig, JORNADA, PC_SURROGATE
 from ..core.graph import ExecutionGraph, object_node_id
+from ..core.hints import ColdStartSeed
 from ..core.partitioner import (
     IncrementalPartitioner,
     PartitionDecision,
@@ -94,6 +95,13 @@ class EmulatorConfig:
     #: warm-started candidate generator and the policy-evaluation memo.
     #: Used by parity tests to prove the incremental path is exact.
     force_cold: bool = False
+    #: Ahead-of-time placement knowledge (a
+    #: :class:`repro.core.hints.ColdStartSeed`, usually from the static
+    #: analyzer): its interaction profile pre-populates the replayer's
+    #: execution graph and its hints reach the partitioner, so the first
+    #: partitioning attempt sees predicted structure instead of only
+    #: the history accumulated since startup.
+    cold_start: Optional["ColdStartSeed"] = None
 
     def with_heap(self, capacity: int) -> "EmulatorConfig":
         from dataclasses import replace
@@ -188,6 +196,9 @@ class TraceReplayer:
             if config.partition_policy is not None
             else config.policy.make_partition_policy()
         )
+        seed = config.cold_start
+        if seed is not None and seed.hints is not None:
+            self._partitioner.hints = seed.hints
         # The incremental session drains the live graph's dirty sets
         # itself (there is no monitor snapshotting in the emulator, so
         # the replayer is the graph's single dirty-set consumer).
@@ -209,6 +220,18 @@ class TraceReplayer:
         # The entry point is always a (pinned) graph node, even before
         # any interaction references it.
         self.graph.ensure_node(MAIN)
+        if seed is not None and seed.profile is not None:
+            # Seed the graph with the predicted interaction structure
+            # (edge traffic and CPU only — a profile carries no live
+            # memory), so the first MINCUT runs on real shape.
+            for node_id in seed.profile.nodes():
+                stats = seed.profile.node(node_id)
+                self.graph.ensure_node(node_id)
+                if stats.cpu_seconds:
+                    self.graph.add_cpu(node_id, stats.cpu_seconds)
+            for (a, b), edge in seed.profile.edges():
+                self.graph.record_interaction(a, b, edge.bytes,
+                                              count=edge.count)
         # Clock and result.
         self._now = 0.0
         self.result = EmulationResult(

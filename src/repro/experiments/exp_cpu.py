@@ -35,7 +35,7 @@ from .common import (
     tracer_cpu,
     voxel_cpu,
 )
-from .reporting import comparison_block, pct, secs
+from .reporting import comparison_block, secs
 
 CPU_WORKLOADS: Dict[str, Callable] = {
     "voxel": voxel_cpu,

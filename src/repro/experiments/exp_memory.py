@@ -16,7 +16,6 @@ trigger/partition/migrate loop.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from ..config import VMConfig
 from ..core.policy import OffloadPolicy

@@ -10,7 +10,7 @@ compute) is the part the platform depends on and is implemented fully.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..config import DeviceProfile

@@ -38,7 +38,7 @@ from ..vm.natives import install_standard_library
 from ..vm.vm import VirtualMachine
 from .discovery import SurrogateDirectory, SurrogateOffer
 from .migration import Migrator
-from .node import Node, make_client_node, make_surrogate_node
+from .node import make_client_node, make_surrogate_node
 
 #: Graph-node name for primitive integer arrays, the class the paper's
 #: "Array" enhancement tracks at object granularity.
@@ -119,6 +119,7 @@ class DistributedPlatform:
         reevaluate_every: Optional[float] = None,
         hints=None,
         profile=None,
+        cold_start=None,
         registry: Optional[ClassRegistry] = None,
         install_stdlib: bool = True,
     ) -> None:
@@ -180,6 +181,10 @@ class DistributedPlatform:
             single_shot=single_shot,
             reevaluate_every=reevaluate_every,
         )
+        # Static-analysis cold start (a ColdStartSeed): seeds the
+        # monitor's graph with the predicted interaction structure and
+        # installs inferred hints unless explicit ``hints`` were given.
+        self.engine.apply_cold_start(cold_start)
         self.hooks.add(self.engine)
 
         self.channel = RpcChannel(

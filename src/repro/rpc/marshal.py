@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Tuple, Union
 
-from ..errors import ReferenceMappingError, RemoteInvocationError
+from ..errors import RemoteInvocationError
 from ..vm.objectmodel import JObject
 
 #: Wire overhead charged per RPC message (headers, opcode, request id).

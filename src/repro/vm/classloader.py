@@ -12,7 +12,13 @@ from __future__ import annotations
 from typing import Dict, Iterable, Iterator, List
 
 from ..errors import ConfigurationError, NoSuchClassError
-from .objectmodel import ClassBuilder, ClassDef, SLOT_SIZES, array_class_name
+from .objectmodel import (
+    ClassBuilder,
+    ClassDef,
+    SLOT_SIZES,
+    array_class_name,
+    suggest_name,
+)
 
 
 class ClassRegistry:
@@ -62,13 +68,18 @@ class ClassRegistry:
         try:
             return self._classes[name]
         except KeyError:
-            raise NoSuchClassError(name) from None
+            hint = suggest_name(name, self._classes)
+            raise NoSuchClassError(f"{name}{hint}") from None
 
     def has_class(self, name: str) -> bool:
         return name in self._classes
 
     def array_class(self, element_type: str) -> ClassDef:
         return self.lookup(array_class_name(element_type))
+
+    def class_names(self) -> List[str]:
+        """All registered class names, in registration order."""
+        return list(self._classes)
 
     def app_classes(self) -> List[ClassDef]:
         """Every non-array class, in registration order."""

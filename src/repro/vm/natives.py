@@ -14,7 +14,7 @@ import math
 from typing import Any, Optional
 
 from .classloader import ClassRegistry
-from .objectmodel import ClassBuilder, JObject, MethodKind
+from .objectmodel import ClassBuilder, JObject
 
 MATH_CLASS = "java.lang.Math"
 SYSTEM_CLASS = "java.lang.System"

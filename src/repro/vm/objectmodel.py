@@ -10,12 +10,26 @@ realistic memory picture.
 
 from __future__ import annotations
 
+import difflib
 import enum
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from ..errors import ConfigurationError, NoSuchFieldError, NoSuchMethodError
+
+
+def suggest_name(name: str, candidates: Iterable[str]) -> str:
+    """A ``did you mean …?`` suffix for a failed member lookup.
+
+    Shared by the runtime's :class:`NoSuchFieldError` /
+    :class:`NoSuchMethodError` messages and the static analyzer, which
+    consults the same name tables, so a typo reads the same whether the
+    code ran or was only linted.  Empty when nothing is close.
+    """
+    matches = difflib.get_close_matches(name, list(candidates), n=1,
+                                        cutoff=0.6)
+    return f" (did you mean {matches[0]!r}?)" if matches else ""
 
 #: Size in bytes of one field slot, by declared field type.  These mirror
 #: typical JVM sizes (references are 8 bytes on a 64-bit heap).
@@ -127,6 +141,22 @@ class MethodDef:
     def is_static(self) -> bool:
         return self.kind is MethodKind.STATIC
 
+    def source_location(self) -> Optional[Tuple[str, int]]:
+        """``(filename, first line)`` of the method body, if it has one.
+
+        Unwraps the registration lambdas guest apps commonly use, so
+        the static analyzer and diagnostics point at real source.
+        Returns ``None`` for declaration-only methods and bodies
+        without Python code objects (builtins, C functions).
+        """
+        func = self.func
+        if func is None:
+            return None
+        code = getattr(func, "__code__", None)
+        if code is None:
+            return None
+        return code.co_filename, code.co_firstlineno
+
 
 class ClassDef:
     """A guest class: field layout, method table, and placement traits."""
@@ -170,13 +200,15 @@ class ClassDef:
         try:
             return self._fields[name]
         except KeyError:
-            raise NoSuchFieldError(f"{self.name}.{name}") from None
+            hint = suggest_name(name, self._fields)
+            raise NoSuchFieldError(f"{self.name}.{name}{hint}") from None
 
     def method(self, name: str) -> MethodDef:
         try:
             return self._methods[name]
         except KeyError:
-            raise NoSuchMethodError(f"{self.name}.{name}") from None
+            hint = suggest_name(name, self._methods)
+            raise NoSuchMethodError(f"{self.name}.{name}{hint}") from None
 
     def has_field(self, name: str) -> bool:
         return name in self._fields
@@ -189,6 +221,14 @@ class ClassDef:
 
     def methods(self) -> Iterator[MethodDef]:
         return iter(self._methods.values())
+
+    def field_names(self) -> List[str]:
+        """Declared field names, in declaration order."""
+        return list(self._fields)
+
+    def method_names(self) -> List[str]:
+        """Declared method names, in declaration order."""
+        return list(self._methods)
 
     # -- placement traits --------------------------------------------------
 

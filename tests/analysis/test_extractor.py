@@ -1,0 +1,165 @@
+"""Unit tests for the AST fact extractor.
+
+Each test registers one small guest method and asserts the exact facts
+the extractor derives from its body — including how it degrades when a
+name is not a compile-time constant.
+"""
+
+from repro.analysis.extractor import extract_program
+from repro.analysis.facts import (
+    AllocFact,
+    ArrayAllocFact,
+    CallFact,
+    Classes,
+    FieldAccessFact,
+    NameTables,
+    NumConst,
+    StaticAccessFact,
+)
+from repro.vm.classloader import ClassRegistry
+
+
+def facts_for(body, *, extra_defs=()):
+    """Register one class whose ``main`` is ``body``; return its facts."""
+    registry = ClassRegistry()
+    for define in extra_defs:
+        define(registry)
+    registry.define("t.Main").method("main", body).register()
+    program = extract_program(registry, app_name="test")
+    return program.methods[("t.Main", "main")]
+
+
+class TestAllocExtraction:
+    def test_constant_alloc_with_keywords(self):
+        def body(ctx, self_obj):
+            ctx.new("t.Widget", state=3)
+
+        mf = facts_for(body)
+        allocs = list(mf.iter_facts(AllocFact))
+        assert len(allocs) == 1
+        assert allocs[0].class_names == frozenset({"t.Widget"})
+        assert allocs[0].field_values == {"state": NumConst(3)}
+        assert allocs[0].line > 0
+
+    def test_class_family_alloc_tracks_every_member(self):
+        # family.name_for(i) is how the bundled apps stamp out widget
+        # populations; the extractor resolves it to the full name set.
+        from repro.apps.base import ClassFamily
+
+        registry = ClassRegistry()
+        family = ClassFamily(registry, "t.Kind", 3)
+        family.define_each(lambda builder, index:
+                           builder.field("state", "int"))
+
+        def body(ctx, self_obj):
+            for index in range(3):
+                ctx.new(family.name_for(index), state=index)
+
+        registry.define("t.Main").method("main", body).register()
+        program = extract_program(registry, app_name="test")
+        mf = program.methods[("t.Main", "main")]
+        allocs = list(mf.iter_facts(AllocFact))
+        assert len(allocs) == 1
+        assert allocs[0].class_names == frozenset(family.names)
+
+    def test_dynamic_name_degrades_to_unknown_classes(self):
+        def body(ctx, self_obj):
+            ctx.new("t.Widget" + str(ctx.get_field(self_obj, "n")))
+
+        mf = facts_for(body)
+        allocs = list(mf.iter_facts(AllocFact))
+        # The site is still counted (one allocation happens) but the
+        # class set is unknown — downstream this surfaces as AL303.
+        assert len(allocs) == 1
+        assert allocs[0].class_names is None
+
+    def test_array_alloc(self):
+        def body(ctx, self_obj):
+            ctx.new_array("int", 64)
+
+        mf = facts_for(body)
+        arrays = list(mf.iter_facts(ArrayAllocFact))
+        assert len(arrays) == 1
+        assert arrays[0].element_type == "int"
+        assert arrays[0].length == 64
+
+
+class TestCallExtraction:
+    def test_instance_invoke_on_fresh_alloc(self):
+        def body(ctx, self_obj):
+            widget = ctx.new("t.Widget")
+            ctx.invoke(widget, "render", 2)
+
+        mf = facts_for(body)
+        calls = [f for f in mf.iter_facts(CallFact) if not f.is_static]
+        assert len(calls) == 1
+        assert calls[0].method == "render"
+        assert calls[0].receiver == Classes(frozenset({"t.Widget"}))
+        assert calls[0].nargs == 1
+
+    def test_static_invoke_records_class_name(self):
+        def body(ctx, self_obj):
+            ctx.invoke_static("java.lang.Math", "sqrt", 2.0)
+
+        mf = facts_for(body)
+        calls = [f for f in mf.iter_facts(CallFact) if f.is_static]
+        assert len(calls) == 1
+        assert calls[0].class_name == "java.lang.Math"
+        assert calls[0].method == "sqrt"
+
+
+class TestAccessExtraction:
+    def test_field_read_and_write(self):
+        def body(ctx, self_obj):
+            count = ctx.get_field(self_obj, "count")
+            ctx.set_field(self_obj, "count", count + 1)
+
+        mf = facts_for(body)
+        accesses = list(mf.iter_facts(FieldAccessFact))
+        assert [a.field for a in accesses] == ["count", "count"]
+        assert [a.is_write for a in accesses] == [False, True]
+
+    def test_static_access_keeps_constant_class(self):
+        def body(ctx, self_obj):
+            ctx.set_static("t.Conf", "limit", 9)
+
+        mf = facts_for(body)
+        statics = list(mf.iter_facts(StaticAccessFact))
+        assert len(statics) == 1
+        assert statics[0].class_name == "t.Conf"
+        assert statics[0].field == "limit"
+        assert statics[0].is_write
+
+
+class TestMethodMetadata:
+    def test_source_location_recorded(self):
+        def body(ctx, self_obj):
+            ctx.work(0.1)
+
+        mf = facts_for(body)
+        assert mf.analyzed
+        assert mf.source_file and mf.source_file.endswith(".py")
+        assert mf.source_line and mf.source_line > 0
+
+    def test_unanalyzable_native_is_marked(self):
+        registry = ClassRegistry()
+        registry.define("t.Dev") \
+            .native_method("poke", func=None) \
+            .register()
+        program = extract_program(registry, app_name="test")
+        mf = program.methods[("t.Dev", "poke")]
+        assert not mf.analyzed
+        assert not mf.facts
+
+
+class TestNameTables:
+    def test_tables_map_members_to_owners(self):
+        registry = ClassRegistry()
+        registry.define("t.A").field("x", "int") \
+            .method("go", lambda ctx, s: None).register()
+        registry.define("t.B").field("x", "int") \
+            .field("LIM", "int", static=True).register()
+        tables = NameTables.from_registry(registry)
+        assert tables.field_owners["x"] == frozenset({"t.A", "t.B"})
+        assert tables.method_owners["go"] == frozenset({"t.A"})
+        assert tables.static_field_owners["LIM"] == frozenset({"t.B"})

@@ -1,0 +1,245 @@
+"""Each AL rule fired deliberately by a synthetic guest application.
+
+The bundled apps are lint-clean (zero errors, zero infos), so these
+tests register intentionally broken classes and assert the exact rule,
+severity, and — for the unknown-name errors — the "did you mean …?"
+suggestion drawn from the shared name tables.
+"""
+
+import pytest
+
+from repro.analysis import analyze_registry
+from repro.vm.classloader import ClassRegistry
+from repro.vm.natives import install_standard_library
+
+
+def build_registry():
+    registry = ClassRegistry()
+    install_standard_library(registry)
+    return registry
+
+
+def analyze(registry, app_name="synthetic"):
+    return analyze_registry(registry, app_name=app_name)
+
+
+def rules_of(report):
+    return {d.rule for d in report.diagnostics}
+
+
+def diag(report, rule):
+    matches = [d for d in report.diagnostics if d.rule == rule]
+    assert matches, f"{rule} did not fire; got {rules_of(report)}"
+    return matches[0]
+
+
+class TestUnknownNameErrors:
+    def test_al101_unknown_alloc_class_with_suggestion(self):
+        def main(ctx, self_obj):
+            ctx.new("t.Wigdet")
+
+        registry = build_registry()
+        registry.define("t.Widget").method("main", main).register()
+        report = analyze(registry)
+        d = diag(report, "AL101")
+        assert d.severity == "error"
+        assert "t.Wigdet" in d.message
+        assert "did you mean 't.Widget'?" in d.message
+
+    def test_al102_unknown_method_with_suggestion(self):
+        def main(ctx, self_obj):
+            obj = ctx.new("t.Widget")
+            ctx.invoke(obj, "procss")
+
+        def process(ctx, self_obj):
+            return None
+
+        registry = build_registry()
+        registry.define("t.Widget") \
+            .method("process", process) \
+            .method("main", main) \
+            .register()
+        report = analyze(registry)
+        d = diag(report, "AL102")
+        assert d.severity == "error"
+        assert "did you mean 'process'?" in d.message
+
+    def test_al103_alloc_keyword_with_suggestion(self):
+        def main(ctx, self_obj):
+            ctx.new("t.Widget", stat=1)
+
+        registry = build_registry()
+        registry.define("t.Widget") \
+            .field("state", "int") \
+            .method("main", main) \
+            .register()
+        report = analyze(registry)
+        d = diag(report, "AL103")
+        assert d.severity == "error"
+        assert "did you mean 'state'?" in d.message
+
+    def test_al103_unknown_static_field_with_suggestion(self):
+        def main(ctx, self_obj):
+            ctx.get_static("t.Widget", "LIMTI")
+
+        registry = build_registry()
+        registry.define("t.Widget") \
+            .field("LIMIT", "int", static=True, default=1) \
+            .method("main", main) \
+            .register()
+        report = analyze(registry)
+        d = diag(report, "AL103")
+        assert d.severity == "error"
+        assert "did you mean 'LIMIT'?" in d.message
+
+    def test_al104_invoke_static_of_instance_method(self):
+        def main(ctx, self_obj):
+            ctx.invoke_static("t.Widget", "process")
+
+        def process(ctx, self_obj):
+            return None
+
+        registry = build_registry()
+        registry.define("t.Widget") \
+            .method("process", process) \
+            .method("main", main) \
+            .register()
+        report = analyze(registry)
+        d = diag(report, "AL104")
+        assert d.severity == "error"
+
+
+class TestPlacementWarnings:
+    def test_al202_static_write_from_offloadable_class(self):
+        def write(ctx, self_obj):
+            ctx.set_static("t.Conf", "limit", 2)
+
+        def main(ctx, self_obj):
+            writer = ctx.new("t.Writer")
+            ctx.invoke(writer, "write")
+
+        registry = build_registry()
+        registry.define("t.Conf") \
+            .field("limit", "int", static=True, default=1) \
+            .register()
+        registry.define("t.Writer").method("write", write).register()
+        registry.define("t.Main").method("main", main).register()
+        report = analyze(registry)
+        d = diag(report, "AL202")
+        assert d.severity == "warning"
+        assert d.class_name == "t.Writer"
+
+    def test_al203_stateful_native_bounce(self):
+        def use_file(ctx, self_obj):
+            handle = ctx.get_field(self_obj, "handle")
+            ctx.invoke(handle, "read", 128)
+
+        def main(ctx, self_obj):
+            loader = ctx.new("t.Loader", handle=ctx.new("java.io.File"))
+            ctx.invoke(loader, "load")
+
+        registry = build_registry()
+        registry.define("t.Loader") \
+            .field("handle", "ref") \
+            .method("load", use_file) \
+            .register()
+        registry.define("t.Main").method("main", main).register()
+        report = analyze(registry)
+        d = diag(report, "AL203")
+        assert d.severity == "warning"
+        assert "java.io.File.read" in d.message
+
+
+class TestTypeAndSharedWarnings:
+    def test_al201_object_into_primitive_field(self):
+        def main(ctx, self_obj):
+            other = ctx.new("t.Other")
+            widget = ctx.new("t.Widget")
+            ctx.set_field(widget, "count", other)
+
+        registry = build_registry()
+        registry.define("t.Other").register()
+        registry.define("t.Widget") \
+            .field("count", "int") \
+            .method("main", main) \
+            .register()
+        report = analyze(registry)
+        d = diag(report, "AL201")
+        assert d.severity == "warning"
+        assert "count" in d.message
+
+    def test_al204_fires_on_biomer_shared_classes(self):
+        # Biomer's shared helper classes are the paper's §5.2 pathology;
+        # the analyzer predicts it without running the app.
+        from repro.analysis import analyze_app
+
+        report = analyze_app("biomer")
+        d = diag(report, "AL204")
+        assert d.severity == "warning"
+
+
+class TestHygieneInfos:
+    def test_al301_unused_field(self):
+        def main(ctx, self_obj):
+            ctx.new("t.Widget")
+
+        registry = build_registry()
+        registry.define("t.Widget") \
+            .field("never_touched", "int") \
+            .method("main", main) \
+            .register()
+        report = analyze(registry)
+        d = diag(report, "AL301")
+        assert d.severity == "info"
+        assert "never_touched" in d.message
+
+    def test_al301_not_fired_for_alloc_keyword_init(self):
+        def main(ctx, self_obj):
+            ctx.new("t.Widget", state=3)
+
+        registry = build_registry()
+        registry.define("t.Widget") \
+            .field("state", "int") \
+            .method("main", main) \
+            .register()
+        report = analyze(registry)
+        assert "AL301" not in rules_of(report)
+
+    def test_al302_unused_class(self):
+        def main(ctx, self_obj):
+            ctx.work(0.1)
+
+        registry = build_registry()
+        registry.define("t.Orphan").field("x", "int").register()
+        registry.define("t.Main").method("main", main).register()
+        report = analyze(registry)
+        orphans = [d for d in report.diagnostics
+                   if d.rule == "AL302" and d.class_name == "t.Orphan"]
+        assert orphans and orphans[0].severity == "info"
+
+    def test_al303_dynamic_class_name(self):
+        def main(ctx, self_obj):
+            name = "t.Widget" + str(ctx.get_field(self_obj, "suffix"))
+            ctx.new(name)
+
+        registry = build_registry()
+        registry.define("t.Main") \
+            .field("suffix", "int") \
+            .method("main", main) \
+            .register()
+        report = analyze(registry)
+        d = diag(report, "AL303")
+        assert d.severity == "info"
+
+
+class TestBundledAppsClean:
+    @pytest.mark.parametrize("name", ["biomer", "dia", "javanote",
+                                      "mixed-session", "tracer", "voxel"])
+    def test_no_errors_or_infos(self, name):
+        from repro.analysis import analyze_app
+
+        report = analyze_app(name)
+        severities = [d.severity for d in report.diagnostics]
+        assert "error" not in severities
+        assert "info" not in severities
+        assert not report.has_errors

@@ -1,0 +1,103 @@
+"""Static predictions vs runtime observations, per bundled app.
+
+The analyzer's whole value rests on two containment properties: the
+static pinning closure must cover everything the runtime actually pins,
+and the predicted interaction graph must cover every node and edge the
+runtime monitor observes.  These tests execute each application on a
+scaled-down configuration and check both directions of the contract.
+"""
+
+import pytest
+
+from repro.analysis import analyze_registry
+from repro.apps import Biomer, Dia, JavaNote, MixedSession, Tracer, Voxel
+from repro.config import DeviceProfile, GCConfig, VMConfig
+from repro.core.monitor import ExecutionMonitor
+from repro.units import KB, MB
+from repro.vm.context import MAIN_CLASS
+from repro.vm.session import LocalSession
+
+
+def small_apps():
+    return [
+        JavaNote(document_bytes=64 * 1024, edits=30, scrolls=20,
+                 widgets=10, token_kinds=5),
+        Dia(width=256, height=192, passes=3, render_start_pass=1,
+            renders_per_pass=1, filter_kinds=4, widgets=6,
+            filter_work=0.01),
+        Biomer(residues=8, iterations=10, element_kinds=4),
+        Voxel(regions=64, tiles=8, frame_every=8, region_work=0.01,
+              render_work=0.05, math_calls=2, cache_rows=8,
+              first_frame_fraction=0.3),
+        Tracer(batches=40, frame_every=20, batch_work=0.01,
+               frame_work=0.5, math_calls=4, spheres=8),
+        MixedSession(bursts=2, edits_per_burst=20, passes_per_burst=1,
+                     document_bytes=32 * KB, image_width=64,
+                     image_height=48),
+    ]
+
+
+@pytest.fixture(params=small_apps(), ids=lambda a: a.name, scope="module")
+def executed(request):
+    """One runtime execution + one static analysis per app."""
+    app = request.param
+    config = VMConfig(
+        device=DeviceProfile("pc", cpu_speed=1.0, heap_capacity=64 * MB),
+        gc=GCConfig(),
+        monitoring_event_cost=0.0,
+    )
+    session = LocalSession(config)
+    monitor = ExecutionMonitor()
+    session.add_listener(monitor)
+    app.install(session.registry)
+    app.main(session.ctx)
+    report = analyze_registry(session.registry, app)
+    return session, monitor, report
+
+
+class TestPinningParity:
+    def test_static_must_covers_runtime_pinned(self, executed):
+        session, _monitor, report = executed
+        runtime_pinned = set(session.registry.pinned_class_names())
+        missing = runtime_pinned - report.closure.must
+        assert not missing, (
+            f"runtime pins {sorted(missing)} but the static closure "
+            f"does not"
+        )
+
+    def test_every_must_member_has_a_reason(self, executed):
+        _session, _monitor, report = executed
+        for name in report.closure.must:
+            assert report.closure.reasons.get(name), name
+
+
+class TestGraphSuperset:
+    def test_static_nodes_cover_runtime_nodes(self, executed):
+        _session, monitor, report = executed
+        static_nodes = set(report.analysis.graph.nodes())
+        runtime_nodes = set(monitor.graph.nodes())
+        missing = runtime_nodes - static_nodes
+        assert not missing, f"unpredicted nodes: {sorted(missing)}"
+
+    def test_static_edges_cover_runtime_edges(self, executed):
+        _session, monitor, report = executed
+        static_edges = {frozenset(key) for key, _ in
+                        report.analysis.graph.edges()}
+        runtime_edges = {frozenset(key) for key, _ in
+                         monitor.graph.edges()}
+        missing = runtime_edges - static_edges
+        assert not missing, (
+            f"unpredicted edges: "
+            f"{sorted(tuple(sorted(e)) for e in missing)}"
+        )
+
+    def test_predicted_graph_contains_main(self, executed):
+        _session, _monitor, report = executed
+        assert MAIN_CLASS in set(report.analysis.graph.nodes())
+
+    def test_seed_profile_carries_no_memory(self, executed):
+        # Allocation sizes are runtime facts; the cold-start seed
+        # deliberately ships structure (edges, CPU), never heap
+        # occupancy, so seeded first partitions never see stale memory.
+        _session, _monitor, report = executed
+        assert report.analysis.seed.profile.total_memory() == 0

@@ -1,0 +1,81 @@
+"""`python -m repro analyze` CLI behaviour and JSON schema stability.
+
+The JSON shape is a public contract (`"schema": "aide-lint/1"`): CI
+and external tooling parse it, so keys may be added but never renamed.
+"""
+
+import json
+
+from repro.__main__ import main
+from repro.analysis import analyze_app
+
+TOP_KEYS = {"schema", "app", "summary", "pinning", "hints",
+            "diagnostics", "counts"}
+SUMMARY_KEYS = {"classes", "methods", "facts", "graph_nodes",
+                "graph_edges", "resolver_rounds"}
+PINNING_KEYS = {"must", "advisory", "reaches_native", "reasons"}
+HINTS_KEYS = {"pin_local", "keep_together", "shared_classes"}
+DIAGNOSTIC_KEYS = {"rule", "severity", "message", "class", "method",
+                   "line", "file"}
+
+
+class TestJsonSchema:
+    def test_top_level_shape(self):
+        payload = analyze_app("dia").to_dict()
+        assert payload["schema"] == "aide-lint/1"
+        assert payload["app"] == "dia"
+        assert TOP_KEYS <= set(payload)
+        assert SUMMARY_KEYS <= set(payload["summary"])
+        assert PINNING_KEYS <= set(payload["pinning"])
+        assert HINTS_KEYS <= set(payload["hints"])
+        assert set(payload["counts"]) == {"error", "warning", "info"}
+
+    def test_diagnostics_shape_and_order(self):
+        payload = analyze_app("javanote").to_dict()
+        assert payload["diagnostics"], "javanote carries warnings"
+        for entry in payload["diagnostics"]:
+            assert DIAGNOSTIC_KEYS <= set(entry)
+            assert entry["severity"] in ("error", "warning", "info")
+        severities = [e["severity"] for e in payload["diagnostics"]]
+        rank = {"error": 0, "warning": 1, "info": 2}
+        assert severities == sorted(severities, key=rank.__getitem__)
+
+    def test_json_round_trips(self):
+        report = analyze_app("voxel")
+        assert json.loads(report.to_json()) == report.to_dict()
+
+    def test_counts_match_diagnostics(self):
+        payload = analyze_app("biomer").to_dict()
+        for severity, count in payload["counts"].items():
+            actual = sum(1 for e in payload["diagnostics"]
+                         if e["severity"] == severity)
+            assert actual == count
+
+
+class TestAnalyzeCli:
+    def test_text_output_and_clean_exit(self, capsys):
+        assert main(["analyze", "dia"]) == 0
+        out = capsys.readouterr().out
+        assert "AIDE-Lint · dia" in out
+        assert "pinning closure:" in out
+
+    def test_json_to_stdout(self, capsys):
+        assert main(["analyze", "dia", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "aide-lint/1"
+        assert payload["app"] == "dia"
+
+    def test_json_to_file(self, tmp_path, capsys):
+        target = tmp_path / "dia.json"
+        assert main(["analyze", "dia", "--json", str(target)]) == 0
+        capsys.readouterr()
+        payload = json.loads(target.read_text())
+        assert payload["schema"] == "aide-lint/1"
+
+    def test_unknown_app_exits_2(self, capsys):
+        assert main(["analyze", "doom"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown application" in err
+
+    def test_missing_app_argument_exits_2(self, capsys):
+        assert main(["analyze"]) == 2

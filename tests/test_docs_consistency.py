@@ -57,4 +57,5 @@ class TestReadmeClaims:
 
         readme = read("README.md")
         for name in re.findall(r"aide-repro (\w+)", readme):
-            assert name in set(EXPERIMENTS) | {"record", "replay", "list"}
+            assert name in set(EXPERIMENTS) | {"record", "replay", "list",
+                                               "analyze"}

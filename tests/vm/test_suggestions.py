@@ -1,0 +1,82 @@
+"""Near-miss suggestions and introspection added for AIDE-Lint.
+
+`suggest_name` powers "did you mean …?" hints in three runtime errors
+(`NoSuchClassError`, `NoSuchMethodError`, `NoSuchFieldError`) and in
+the static analyzer's diagnostics; the name/source introspection
+methods are what the analyzer builds its tables from.
+"""
+
+import pytest
+
+from repro.errors import NoSuchClassError, NoSuchFieldError, NoSuchMethodError
+from repro.vm.classloader import ClassRegistry
+from repro.vm.objectmodel import suggest_name
+
+
+def make_widget_registry():
+    registry = ClassRegistry()
+    registry.define("t.Widget") \
+        .field("state", "int") \
+        .field("label", "ref") \
+        .method("render", func=lambda ctx, s: None) \
+        .method("resize", func=lambda ctx, s, w: None) \
+        .register()
+    return registry
+
+
+class TestSuggestName:
+    def test_close_match_formats_hint(self):
+        hint = suggest_name("stat", ["state", "label"])
+        assert hint == " (did you mean 'state'?)"
+
+    def test_no_close_match_is_empty(self):
+        assert suggest_name("zzz", ["state", "label"]) == ""
+
+    def test_no_candidates_is_empty(self):
+        assert suggest_name("state", []) == ""
+
+
+class TestRuntimeErrorsCarrySuggestions:
+    def test_no_such_class(self):
+        registry = make_widget_registry()
+        with pytest.raises(NoSuchClassError, match="did you mean 't.Widget'"):
+            registry.lookup("t.Wigdet")
+
+    def test_no_such_method(self):
+        cls = make_widget_registry().lookup("t.Widget")
+        with pytest.raises(NoSuchMethodError, match="did you mean 'render'"):
+            cls.method("rendr")
+
+    def test_no_such_field(self):
+        cls = make_widget_registry().lookup("t.Widget")
+        with pytest.raises(NoSuchFieldError, match="did you mean 'state'"):
+            cls.field("stae")
+
+    def test_far_misses_stay_plain(self):
+        cls = make_widget_registry().lookup("t.Widget")
+        with pytest.raises(NoSuchFieldError) as excinfo:
+            cls.field("zzzzzz")
+        assert "did you mean" not in str(excinfo.value)
+
+
+class TestIntrospection:
+    def test_name_listings(self):
+        registry = make_widget_registry()
+        cls = registry.lookup("t.Widget")
+        assert cls.field_names() == ["state", "label"]
+        assert cls.method_names() == ["render", "resize"]
+        assert "t.Widget" in registry.class_names()
+        assert "int[]" in registry.class_names()
+
+    def test_source_location_of_python_backed_method(self):
+        cls = make_widget_registry().lookup("t.Widget")
+        location = cls.method("render").source_location()
+        assert location is not None
+        filename, line = location
+        assert filename.endswith("test_suggestions.py")
+        assert line > 0
+
+    def test_source_location_of_bodyless_method(self):
+        registry = ClassRegistry()
+        registry.define("t.Dev").native_method("poke", func=None).register()
+        assert registry.lookup("t.Dev").method("poke").source_location() is None
