@@ -33,6 +33,23 @@ from repro.experiments.exp_overhead import MEMORY_WORKLOADS
 REPORT_NAME = "BENCH_hotpath.json"
 PARTITIONER_SIZES = (134, 500, 1000, 5000)
 REEVAL_SIZES = (134, 1000, 5000)
+QUICK_PARTITIONER_SIZES = (134,)
+QUICK_REEVAL_SIZES = (134,)
+
+#: Sections (and the keys inside them) every hot-path report must carry.
+#: The CI smoke job runs ``--quick`` and fails when a regenerated or
+#: checked-in report no longer matches this schema.
+REQUIRED_SECTIONS = {
+    "partitioner_latency": (),
+    "reeval": (),
+    "replay": ("mean_s", "events_per_second"),
+    "cold_start": ("unseeded", "seeded", "seeded_matches_or_beats"),
+    "rpc": ("chatty", "dia_early_trigger", "replay_events_per_second"),
+}
+
+#: Minimum speedup the coalescing+caching data plane must show on the
+#: chatty remote-heavy scenario.
+RPC_MIN_SPEEDUP = 2.0
 
 
 def _time(func, rounds: int) -> dict:
@@ -180,6 +197,150 @@ def bench_cold_start() -> dict:
     return results
 
 
+def chatty_trace(widgets: int = 40, sweeps: int = 60):
+    """A chatty remote-heavy trace: dia's early-trigger pattern distilled.
+
+    A UI driver repeatedly walks an offloaded widget tree — one dispatch
+    and a handful of small geometry reads per widget per sweep, with an
+    occasional dirty-widget update — and per-event CPU is negligible,
+    so completion time is dominated by cross-site interaction cost (the
+    regime the paper measures after a partition is chosen).
+    """
+    from repro.emulator.events import (
+        AccessEvent, AllocEvent, InvokeEvent, WorkEvent,
+    )
+    from repro.emulator.traces import Trace
+
+    main = "<main>"
+    trace = Trace(app_name="chatty-ui",
+                  class_traits={"gui.Widget": {}, "gui.Style": {}})
+    oid = 1
+    widget_oids = []
+    for _ in range(widgets):
+        trace.append(AllocEvent(oid, "gui.Widget", 256, main, None))
+        widget_oids.append(oid)
+        oid += 1
+    style_oid = oid
+    trace.append(AllocEvent(style_oid, "gui.Style", 512, main, None))
+    for sweep in range(sweeps):
+        dirty = widget_oids[sweep % len(widget_oids)]
+        trace.append(AccessEvent(main, None, "gui.Widget", dirty,
+                                 16, True, False))
+        for w in widget_oids:
+            trace.append(InvokeEvent(main, None, "gui.Widget", w, "paint",
+                                     "instance", False, 16, 8))
+            trace.append(WorkEvent("gui.Widget", w, 2e-5))
+            for _ in range(3):
+                trace.append(AccessEvent(main, None, "gui.Widget", w,
+                                         24, False, False))
+            trace.append(AccessEvent(main, None, "gui.Style", style_oid,
+                                     32, False, False))
+    return trace
+
+
+def _replay_summary(result) -> dict:
+    summary = {
+        "total_time_s": result.total_time,
+        "comm_time_s": result.comm_time,
+        "remote_accesses": result.remote_accesses,
+        "remote_invocations": result.remote_invocations,
+        "completed": result.completed,
+    }
+    if result.data_plane is not None:
+        stats = result.data_plane.as_dict()
+        summary["rtts_saved"] = stats["rtts_saved"]
+        summary["bytes_saved"] = stats["bytes_saved"]
+        summary["cache_hit_rate"] = stats["cache_hit_rate"]
+        summary["coalesced_batches"] = stats["batches"]
+    return summary
+
+
+def bench_rpc(rounds: int) -> dict:
+    """Cross-site data-plane benchmark: coalescing + remote-read caching.
+
+    Two scenarios, both replayed naive and optimised:
+
+    * ``chatty`` — the synthetic chatty remote-heavy trace above, with
+      the widget classes force-offloaded early.  Completion time here
+      *is* data-plane time, so the ``completion_ratio`` guard (>= 2x)
+      measures the optimisations directly.
+    * ``dia_early_trigger`` — the real Dia trace under the Figure 7
+      early trigger, reporting end-to-end totals and savings (CPU
+      dominates this trace, so the ratio is small by construction).
+    """
+    from dataclasses import replace as dc_replace
+
+    from repro.core.policy import OffloadPolicy, TriggerConfig
+    from repro.emulator.replay import EmulatorConfig
+    from repro.rpc.batch import DataPlaneConfig
+
+    optimised = DataPlaneConfig(coalescing=True, read_cache=True)
+
+    trace = chatty_trace()
+    chatty_config = EmulatorConfig(
+        offload_at_event=len(trace.events) // 120,
+        forced_offload_nodes=frozenset({"gui.Widget", "gui.Style"}),
+    )
+    emulator = Emulator(trace)
+    naive = emulator.replay(chatty_config)
+    opt = emulator.replay(dc_replace(chatty_config, data_plane=optimised))
+    ratio = naive.total_time / opt.total_time if opt.total_time else 0.0
+    chatty = {
+        "events": len(trace),
+        "naive": _replay_summary(naive),
+        "optimized": _replay_summary(opt),
+        "completion_ratio": ratio,
+        "speedup_ok": ratio >= RPC_MIN_SPEEDUP,
+    }
+
+    dia = cached_trace("dia", MEMORY_WORKLOADS["dia"])
+    early = OffloadPolicy(TriggerConfig(free_threshold=0.50, tolerance=1),
+                          0.20)
+    dia_config = memory_emulator_config(policy=early)
+    dia_emulator = Emulator(dia)
+    dia_naive = dia_emulator.replay(dia_config)
+    dia_opt_config = dc_replace(dia_config, data_plane=optimised)
+    dia_opt = dia_emulator.replay(dia_opt_config)
+    dia_section = {
+        "events": len(dia),
+        "naive": _replay_summary(dia_naive),
+        "optimized": _replay_summary(dia_opt),
+        "comm_ratio": (dia_naive.comm_time / dia_opt.comm_time
+                       if dia_opt.comm_time else 0.0),
+    }
+
+    throughput = _time(lambda: dia_emulator.replay(dia_opt_config), rounds)
+    return {
+        "chatty": chatty,
+        "dia_early_trigger": dia_section,
+        "replay_events_per_second": len(dia) / throughput["mean_s"],
+    }
+
+
+def validate_report(report: dict) -> list:
+    """Schema check: every required section and key, plus the guards."""
+    problems = []
+    for section, keys in REQUIRED_SECTIONS.items():
+        body = report.get(section)
+        if not isinstance(body, dict):
+            problems.append(f"missing section {section!r}")
+            continue
+        for key in keys:
+            if key not in body:
+                problems.append(f"section {section!r} lacks key {key!r}")
+    chatty = report.get("rpc", {}).get("chatty")
+    if isinstance(chatty, dict) and not chatty.get("speedup_ok"):
+        problems.append(
+            f"rpc.chatty completion ratio "
+            f"{chatty.get('completion_ratio', 0.0):.2f} is below "
+            f"{RPC_MIN_SPEEDUP}x"
+        )
+    cold = report.get("cold_start")
+    if isinstance(cold, dict) and not cold.get("seeded_matches_or_beats"):
+        problems.append("cold-start seeding regressed the dia scenario")
+    return problems
+
+
 def bench_replay(rounds: int) -> dict:
     trace = cached_trace("dia", MEMORY_WORKLOADS["dia"])
     emulator = Emulator(trace)
@@ -191,16 +352,21 @@ def bench_replay(rounds: int) -> dict:
     return stats
 
 
-def build_report(rounds: int) -> dict:
+def build_report(rounds: int, quick: bool = False) -> dict:
     return {
         "report": "hotpath",
         "units": "seconds",
         "python": platform.python_version(),
         "machine": platform.machine(),
-        "partitioner_latency": bench_partitioner(rounds),
-        "reeval": bench_reeval(),
+        "partitioner_latency": bench_partitioner(
+            rounds, sizes=QUICK_PARTITIONER_SIZES if quick else PARTITIONER_SIZES
+        ),
+        "reeval": bench_reeval(
+            sizes=QUICK_REEVAL_SIZES if quick else REEVAL_SIZES
+        ),
         "replay": bench_replay(rounds),
         "cold_start": bench_cold_start(),
+        "rpc": bench_rpc(rounds),
     }
 
 
@@ -214,13 +380,38 @@ def main(argv=None) -> int:
         help="timing rounds per measurement (default: 10)",
     )
     parser.add_argument(
-        "--output", type=Path,
-        default=Path(__file__).resolve().parent.parent / REPORT_NAME,
-        help=f"output path (default: <repo>/{REPORT_NAME})",
+        "--quick", action="store_true",
+        help="CI smoke mode: fewest rounds and sizes, validate the "
+             "report schema (including the checked-in file) instead of "
+             "rewriting it; exit non-zero on schema regressions",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=None,
+        help=f"output path (default: <repo>/{REPORT_NAME}; "
+             "not written in --quick mode unless given explicitly)",
     )
     args = parser.parse_args(argv)
-    report = build_report(max(1, args.rounds))
-    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    default_output = Path(__file__).resolve().parent.parent / REPORT_NAME
+    rounds = 2 if args.quick else max(1, args.rounds)
+    report = build_report(rounds, quick=args.quick)
+
+    problems = validate_report(report)
+    if args.quick and default_output.exists():
+        checked_in = json.loads(default_output.read_text())
+        problems.extend(
+            f"checked-in {REPORT_NAME}: {problem}"
+            for problem in validate_report(checked_in)
+        )
+    if problems:
+        for problem in problems:
+            print(f"SCHEMA REGRESSION: {problem}")
+        return 1
+
+    output = args.output
+    if output is None and not args.quick:
+        output = default_output
+    if output is not None:
+        output.write_text(json.dumps(report, indent=2) + "\n")
     for size, stats in report["partitioner_latency"].items():
         print(f"partitioner {size:>5} nodes: {stats['mean_s'] * 1e3:8.2f} ms "
               f"mean over {stats['rounds']} rounds "
@@ -238,7 +429,22 @@ def main(argv=None) -> int:
           f"unseeded {cold['unseeded']['total_time_s']:.1f}s vs "
           f"seeded {cold['seeded']['total_time_s']:.1f}s "
           f"({'ok' if cold['seeded_matches_or_beats'] else 'REGRESSION'})")
-    print(f"wrote {args.output}")
+    rpc = report["rpc"]
+    chatty = rpc["chatty"]
+    print(f"rpc chatty remote-heavy: "
+          f"naive {chatty['naive']['total_time_s']:.2f}s vs "
+          f"optimized {chatty['optimized']['total_time_s']:.2f}s "
+          f"= {chatty['completion_ratio']:.2f}x "
+          f"({'ok' if chatty['speedup_ok'] else 'BELOW TARGET'})")
+    dia_rpc = rpc["dia_early_trigger"]
+    print(f"rpc dia early-trigger: comm "
+          f"{dia_rpc['naive']['comm_time_s']:.2f}s -> "
+          f"{dia_rpc['optimized']['comm_time_s']:.2f}s, "
+          f"{dia_rpc['optimized'].get('rtts_saved', 0)} round trips saved, "
+          f"cache hit rate "
+          f"{dia_rpc['optimized'].get('cache_hit_rate', 0.0):.2f}")
+    if output is not None:
+        print(f"wrote {output}")
     return 0
 
 

@@ -50,6 +50,11 @@ class RemoteCounters:
     remote_native_invocations: int = 0
     remote_accesses: int = 0
     remote_bytes: int = 0
+    #: Remote reads served from the accessor site's remote-read cache:
+    #: logically remote (they appear in the execution graph), but zero
+    #: bytes on the wire, so they are excluded from ``remote_accesses``
+    #: and ``remote_bytes``.
+    cached_reads: int = 0
 
     @property
     def total_remote(self) -> int:
@@ -188,8 +193,11 @@ class ExecutionMonitor(ExecutionListener):
         self.graph.record_interaction(accessor, owner, record.value_bytes)
         self.counters.access_events += 1
         if record.remote:
-            self.remote.remote_accesses += 1
-            self.remote.remote_bytes += record.value_bytes
+            if record.cached:
+                self.remote.cached_reads += 1
+            else:
+                self.remote.remote_accesses += 1
+                self.remote.remote_bytes += record.value_bytes
 
     def on_cpu(self, class_name: str, site: str, seconds: float) -> None:
         self.graph.add_cpu(class_name, seconds)

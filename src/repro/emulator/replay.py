@@ -36,6 +36,8 @@ from ..core.policy import (
 from ..errors import ConfigurationError
 from ..net.link import LinkModel
 from ..net.wavelan import WAVELAN_11MBPS
+from ..rpc.batch import DataPlaneConfig, DataPlaneStats, RpcCoalescer
+from ..rpc.cache import RemoteReadCache
 from ..vm.gc import GCReport, default_pause_model
 from .events import (
     AccessEvent,
@@ -47,6 +49,8 @@ from .events import (
 from .timemodel import (
     migration_cost,
     migration_payload,
+    pipelined_migration_cost,
+    pipelined_migration_payload,
     remote_access_cost,
     remote_invoke_cost,
 )
@@ -102,6 +106,10 @@ class EmulatorConfig:
     #: partitioning attempt sees predicted structure instead of only
     #: the history accumulated since startup.
     cold_start: Optional["ColdStartSeed"] = None
+    #: Cross-site data-plane optimisations (RPC coalescing, remote-read
+    #: caching, pipelined migration).  All off by default, which keeps
+    #: the byte and latency accounting bit-identical to the naive path.
+    data_plane: DataPlaneConfig = field(default_factory=DataPlaneConfig)
 
     def with_heap(self, capacity: int) -> "EmulatorConfig":
         from dataclasses import replace
@@ -147,6 +155,10 @@ class EmulationResult:
     #: Counters of the incremental partitioning session (epochs run,
     #: warm-start hits, cache hits, per-epoch latency).
     reeval: Optional[ReevalStats] = None
+    #: Accounting of the optimised data plane (batches, round trips and
+    #: bytes saved, cache hit rate); ``None`` when every optimisation
+    #: was off.
+    data_plane: Optional[DataPlaneStats] = None
 
     @property
     def offload_count(self) -> int:
@@ -207,6 +219,19 @@ class TraceReplayer:
         )
         self._pinned_cache: Optional[List[str]] = None
         self._last_reevaluation = 0.0
+        # Cross-site data plane: coalescer and remote-read cache are
+        # created only when enabled, so the naive path stays on the
+        # exact pre-optimisation code (bit-identical accounting).
+        dp = config.data_plane
+        self._dp_stats = DataPlaneStats() if dp.any_enabled else None
+        self._cache = RemoteReadCache() if dp.read_cache else None
+        if self._cache is not None:
+            self._dp_stats.cache = self._cache.stats
+        self._coalescer = (
+            RpcCoalescer(config.link, self._transfer_one_way,
+                         stats=self._dp_stats)
+            if dp.coalescing else None
+        )
         granular = config.flags.arrays_object_granularity
         self._granular_classes: Set[str] = {INT_ARRAY} if granular else set()
         # Run-length buffer for graph edge updates: consecutive
@@ -298,6 +323,23 @@ class TraceReplayer:
         self.result.comm_time += seconds
         self._now += seconds
 
+    def _transfer_one_way(self, from_site: str, to_site: str,
+                          nbytes: int) -> None:
+        """The coalescer's transfer hook: one batched message leg."""
+        self._charge_comm(self.config.link.one_way(nbytes))
+
+    def _cache_key(self, event: AccessEvent):
+        """Cache key for one access, or None when uncacheable.
+
+        Arrays are excluded (bulk element traffic is placement data,
+        not read-mostly state); statics cache at class granularity.
+        """
+        if event.is_static:
+            return RemoteReadCache.static_key(event.owner_class)
+        if event.owner_oid is None or event.owner_class.endswith("[]"):
+            return None
+        return event.owner_oid
+
     def _charge_monitoring(self, site: str) -> None:
         cost = self.config.monitoring_event_cost
         if not cost:
@@ -344,10 +386,13 @@ class TraceReplayer:
             if self.result.oom:
                 break
         self._flush_interactions()
+        if self._coalescer is not None:
+            self._coalescer.flush()
         self.result.completed = not self.result.oom
         self.result.total_time = self._now
         self.result.final_offload_nodes = self._offloaded
         self.result.reeval = self._session.stats
+        self.result.data_plane = self._dp_stats
         return self.result
 
     # -- allocation and the emulated collector -------------------------------------
@@ -396,6 +441,9 @@ class TraceReplayer:
         site = self._site.pop(oid, None)
         if site is None:
             return
+        if self._cache is not None:
+            # GC of the owner invalidates its cached remote copy.
+            self._cache.invalidate(oid)
         size = self._size.pop(oid)
         class_name = self._class.pop(oid)
         if site == CLIENT:
@@ -418,6 +466,9 @@ class TraceReplayer:
             self._gc_cycle("allocation-bytes")
 
     def _gc_cycle(self, reason: str) -> None:
+        if self._coalescer is not None:
+            # GC barrier: the pause must not overtake un-charged traffic.
+            self._coalescer.gc_barrier()
         freed_bytes = self._pending_garbage_bytes
         freed_objects = len(self._pending_garbage)
         for oid in self._pending_garbage:
@@ -487,6 +538,10 @@ class TraceReplayer:
 
     def _attempt_offload(self, reevaluation: bool = False) -> None:
         self._flush_interactions()
+        if self._coalescer is not None:
+            # Repartition barrier: decisions and migrations must not
+            # observe buffered, un-charged operations.
+            self._coalescer.migration_barrier()
         if self.config.forced_offload_nodes is not None:
             moved_bytes, moved_objects = self._apply_placement(
                 self.config.forced_offload_nodes
@@ -554,6 +609,8 @@ class TraceReplayer:
                 to_client.append(oid)
         moved_bytes = 0
         moved_objects = 0
+        pipelined = self.config.data_plane.pipelined_migration
+        batches: List[Tuple[int, int]] = []
         for oids, destination in ((to_surrogate, SURROGATE),
                                   (to_client, CLIENT)):
             if not oids:
@@ -567,14 +624,30 @@ class TraceReplayer:
             else:
                 self._client_live += batch_bytes
                 self._surrogate_live -= batch_bytes
-            wire = migration_payload(batch_bytes, len(oids))
-            duration = migration_cost(self.config.link, batch_bytes,
-                                      len(oids))
+            if pipelined:
+                # Both direction batches ride one streamed session,
+                # charged once below.
+                batches.append((batch_bytes, len(oids)))
+            else:
+                wire = migration_payload(batch_bytes, len(oids))
+                duration = migration_cost(self.config.link, batch_bytes,
+                                          len(oids))
+                self.result.migration_bytes += wire
+                self.result.migration_time += duration
+                self._now += duration
+                moved_bytes += wire
+            moved_objects += len(oids)
+        if pipelined and batches:
+            wire = pipelined_migration_payload(batches)
+            duration = pipelined_migration_cost(self.config.link, batches)
             self.result.migration_bytes += wire
             self.result.migration_time += duration
             self._now += duration
-            moved_bytes += wire
-            moved_objects += len(oids)
+            moved_bytes = wire
+        if self._cache is not None and (to_surrogate or to_client):
+            # Residency changed under the cache: drop everything rather
+            # than chase which owners moved.
+            self._cache.invalidate_all()
         return moved_bytes, moved_objects
 
     # -- interactions ------------------------------------------------------------
@@ -593,9 +666,15 @@ class TraceReplayer:
         remote = exec_site != caller_site
         nbytes = event.arg_bytes + event.ret_bytes
         if remote:
-            self._charge_comm(remote_invoke_cost(
-                self.config.link, event.arg_bytes, event.ret_bytes
-            ))
+            if self._coalescer is not None:
+                # Control transfers: the invoke closes its batch, and
+                # any buffered writes piggyback on its request leg.
+                self._coalescer.invoke(caller_site, exec_site,
+                                       event.arg_bytes, event.ret_bytes)
+            else:
+                self._charge_comm(remote_invoke_cost(
+                    self.config.link, event.arg_bytes, event.ret_bytes
+                ))
             self.result.remote_invocations += 1
             self.result.remote_bytes += nbytes
             if event.is_native:
@@ -613,12 +692,36 @@ class TraceReplayer:
         else:
             owner_site = self._site_for(event.owner_class, event.owner_oid)
         remote = owner_site != accessor_site
+        if self._cache is not None and event.is_write:
+            # Any write (local or remote) makes a cached copy on the
+            # other site stale.
+            key = self._cache_key(event)
+            if key is not None:
+                self._cache.invalidate(key)
         if remote:
-            self._charge_comm(remote_access_cost(
-                self.config.link, event.nbytes, event.is_write
-            ))
-            self.result.remote_accesses += 1
-            self.result.remote_bytes += event.nbytes
+            cached = False
+            if self._cache is not None and not event.is_write:
+                key = self._cache_key(event)
+                cached = key is not None and self._cache.note_read(key)
+            if cached:
+                # Served from the reading site's copy: no round trip,
+                # zero bytes on the wire — a local read, cost-wise.
+                pass
+            elif self._coalescer is not None:
+                if event.is_write:
+                    self._coalescer.write(accessor_site, owner_site,
+                                          event.nbytes)
+                else:
+                    self._coalescer.read(accessor_site, owner_site,
+                                         event.nbytes)
+                self.result.remote_accesses += 1
+                self.result.remote_bytes += event.nbytes
+            else:
+                self._charge_comm(remote_access_cost(
+                    self.config.link, event.nbytes, event.is_write
+                ))
+                self.result.remote_accesses += 1
+                self.result.remote_bytes += event.nbytes
         accessor_node = self._node_for(event.accessor_class,
                                        event.accessor_oid)
         owner_node = self._node_for(event.owner_class, event.owner_oid)

@@ -56,3 +56,20 @@ class LinkModel:
         if nbytes < 0:
             raise ConfigurationError("transfer size cannot be negative")
         return self.latency_s + (nbytes * 8) / self.bandwidth_bps
+
+    def pipelined_transfer(self, nbytes: int, chunks: int) -> float:
+        """Seconds to stream ``nbytes`` as ``chunks`` pipelined stages.
+
+        Models a migration session where serialisation of chunk *i+1*
+        overlaps transmission of chunk *i* and the chunks ride one
+        connection back to back: only the pipeline fill (one link
+        latency) is exposed, however many chunks the stream carries.
+        Sending the same chunks as separate transfers would cost
+        ``chunks`` latencies; the saving is ``(chunks - 1) *
+        latency_s``.
+        """
+        if nbytes < 0:
+            raise ConfigurationError("transfer size cannot be negative")
+        if chunks < 1:
+            raise ConfigurationError("a pipelined transfer needs >= 1 chunk")
+        return self.latency_s + (nbytes * 8) / self.bandwidth_bps

@@ -28,6 +28,7 @@ from ..errors import PlatformError
 from ..net.link import LinkModel
 from ..net.stats import TrafficStats
 from ..net.wavelan import WAVELAN_11MBPS
+from ..rpc.batch import DataPlane, DataPlaneConfig
 from ..rpc.channel import RpcChannel
 from ..rpc.distgc import CrossHeapRootScanner
 from ..vm.classloader import ClassRegistry
@@ -102,6 +103,12 @@ class PlatformReport:
     remote_native_invocations: int
     client_heap_used: int
     surrogate_heap_used: int
+    # Cross-site data-plane counters (all zero when the optimisations
+    # are off — the default — so older readers see familiar numbers).
+    cached_remote_reads: int = 0
+    rpc_rtts_saved: int = 0
+    rpc_bytes_saved: int = 0
+    pruned_handles: int = 0
 
 
 class DistributedPlatform:
@@ -122,6 +129,7 @@ class DistributedPlatform:
         cold_start=None,
         registry: Optional[ClassRegistry] = None,
         install_stdlib: bool = True,
+        data_plane: Optional[DataPlaneConfig] = None,
     ) -> None:
         self.client_config = client_config or VMConfig(device=JORNADA)
         self.surrogate_config = surrogate_config or VMConfig(device=PC_SURROGATE)
@@ -145,8 +153,14 @@ class DistributedPlatform:
         self.runtime = DistributedRuntime(
             self.client.vm, self.surrogate.vm, link, self.traffic
         )
+        dp_config = data_plane if data_plane is not None else DataPlaneConfig()
+        self.data_plane = (
+            DataPlane(dp_config, link, self.runtime.transfer)
+            if dp_config.any_enabled else None
+        )
         self.ctx = ExecutionContext(
-            self.runtime, registry, hooks=self.hooks, flags=flags
+            self.runtime, registry, hooks=self.hooks, flags=flags,
+            data_plane=self.data_plane,
         )
 
         granularity = {INT_ARRAY_CLASS} if flags.arrays_object_granularity else set()
@@ -198,10 +212,28 @@ class DistributedPlatform:
     # -- construction helpers ------------------------------------------------
 
     def _wire_gc(self, vm: VirtualMachine) -> None:
+        # The channel barrier runs first: export handles for collected
+        # objects are pruned (and pending data-plane traffic flushed)
+        # before the report reaches the offloading engine.
+        vm.collector.subscribe(
+            lambda report, site=vm.name: self._gc_barrier(site)
+        )
         vm.collector.subscribe(
             lambda report, site=vm.name: self.hooks.on_gc_report(report, site)
         )
         vm.collector.subscribe_free(self.hooks.on_free)
+        if self.data_plane is not None:
+            vm.collector.subscribe_free(
+                lambda obj: self.data_plane.note_free(obj.oid)
+            )
+
+    def _gc_barrier(self, site: str) -> None:
+        if self.data_plane is not None:
+            self.data_plane.gc_barrier()
+        # After a handoff the departed surrogate keeps collecting but is
+        # no longer a channel endpoint; only current endpoints prune.
+        if site in self.channel.exports:
+            self.channel.gc_barrier(site)
 
     def _install_distributed_gc(self) -> None:
         # Each scanner also consults the peer's *direct* roots (named
@@ -265,7 +297,14 @@ class DistributedPlatform:
         )
 
     def _migrate(self, offload_nodes) -> MigrationOutcome:
+        if self.data_plane is not None:
+            # Migration barrier: pending coalesced traffic must be
+            # charged before residency changes under it...
+            self.data_plane.migration_barrier()
         outcome = self.migrator.apply_placement(offload_nodes)
+        if self.data_plane is not None:
+            # ...and the read cache cannot outlive the old placement.
+            self.data_plane.note_migration()
         # A post-offload cycle refreshes the free-memory picture so the
         # trigger policy sees the relief immediately.
         self.client.vm.collect_garbage("post-offload")
@@ -282,7 +321,11 @@ class DistributedPlatform:
         return self.report(app.name)
 
     def report(self, app_name: str = "") -> PlatformReport:
+        if self.data_plane is not None:
+            # Charge whatever is still buffered before summarising.
+            self.data_plane.flush()
         rpc = self.traffic.category("rpc")
+        dp_stats = self.data_plane.stats if self.data_plane is not None else None
         return PlatformReport(
             app_name=app_name,
             elapsed=self.clock.now,
@@ -295,6 +338,10 @@ class DistributedPlatform:
             remote_native_invocations=self.monitor.remote.remote_native_invocations,
             client_heap_used=self.client.vm.heap.used,
             surrogate_heap_used=self.surrogate.vm.heap.used,
+            cached_remote_reads=self.monitor.remote.cached_reads,
+            rpc_rtts_saved=dp_stats.rtts_saved if dp_stats else 0,
+            rpc_bytes_saved=dp_stats.bytes_saved if dp_stats else 0,
+            pruned_handles=self.channel.pruned_handles,
         )
 
     @property
@@ -307,7 +354,11 @@ class DistributedPlatform:
 
     def teardown(self) -> MigrationOutcome:
         """Dissolve the ad-hoc platform, returning all state to the client."""
+        if self.data_plane is not None:
+            self.data_plane.migration_barrier()
         outcome = self.migrator.return_everything()
+        if self.data_plane is not None:
+            self.data_plane.note_migration()
         self._torn_down = True
         return outcome
 
@@ -333,6 +384,9 @@ class DistributedPlatform:
 
         if self._torn_down:
             raise PlatformError("platform has been torn down")
+        if self.data_plane is not None:
+            self.data_plane.migration_barrier()
+            self.data_plane.note_migration()
         backhaul = backhaul if backhaul is not None else ETHERNET_100MBPS
         old_surrogate = self.surrogate
         suffix = sum(1 for vm in self.runtime.vms()) - 1

@@ -1,27 +1,47 @@
 """Remote invocation: marshalling, reference maps, stubs, and channels."""
 
+from .batch import (
+    DataPlane,
+    DataPlaneConfig,
+    DataPlaneStats,
+    RpcCoalescer,
+)
+from .cache import CacheStats, RemoteReadCache
 from .channel import RpcChannel, WorkerPool
 from .distgc import CrossHeapRootScanner, peer_reachable_oids, reconcile_exports
 from .marshal import (
     MESSAGE_HEADER_BYTES,
     REFERENCE_BYTES,
+    WIRE_FORMAT_VERSION,
+    InternTable,
+    WireCodec,
     args_size,
     decode_value,
     deep_size,
     encode_value,
     message_size,
+    reset_size_cache,
 )
 from .proxy import RemoteProxy, RemoteStub
 from .refmap import ReferenceMap
 
 __all__ = [
+    "CacheStats",
     "CrossHeapRootScanner",
+    "DataPlane",
+    "DataPlaneConfig",
+    "DataPlaneStats",
+    "InternTable",
     "MESSAGE_HEADER_BYTES",
     "REFERENCE_BYTES",
     "ReferenceMap",
     "RemoteProxy",
+    "RemoteReadCache",
     "RemoteStub",
     "RpcChannel",
+    "RpcCoalescer",
+    "WIRE_FORMAT_VERSION",
+    "WireCodec",
     "WorkerPool",
     "args_size",
     "decode_value",
@@ -30,4 +50,5 @@ __all__ = [
     "message_size",
     "peer_reachable_oids",
     "reconcile_exports",
+    "reset_size_cache",
 ]

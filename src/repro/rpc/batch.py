@@ -1,0 +1,286 @@
+"""Coalescing RPC: one wire exchange for a run of remote operations.
+
+The naive cross-site data plane charges every remote operation its own
+request/response exchange — two message headers and a full WaveLAN
+round trip, even for a 4-byte field write.  Chatty traces (Dia's widget
+tree walking, JavaNote's buffer bookkeeping) are full of *runs* of
+same-direction operations, and a run can ride one wire exchange:
+
+* **writes** carry no result, so they buffer — their payload is charged
+  when the batch flushes, their round trip never happens;
+* **reads and invocations** need their response before the (serial)
+  guest can continue, so they close the batch *including themselves*:
+  the request leg carries every buffered payload plus the closing op,
+  the response leg carries the closing op's value plus the batched acks;
+* a **direction change** (the other site starts initiating, e.g. after
+  control transfers into a remote method) flushes, because the buffered
+  requests must reach the responder before it can proceed;
+* **GC and repartition barriers** flush, so collection pauses and
+  migration decisions never observe un-charged traffic.
+
+The result is serial-equivalent: every operation still happens at the
+same point in the execution order and every payload byte is eventually
+charged; only the per-operation headers and round trips collapse.  A
+batch of N operations costs one header per leg and one round trip
+instead of N of each.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from ..net.link import LinkModel
+from .cache import CacheStats, RemoteReadCache
+from .marshal import MESSAGE_HEADER_BYTES
+
+#: Flush reasons, kept as constants so stats and tests agree on names.
+FLUSH_DIRECTION = "direction-change"
+FLUSH_RESULT = "result-dependency"
+FLUSH_GC = "gc-barrier"
+FLUSH_MIGRATION = "migration-barrier"
+FLUSH_SHUTDOWN = "shutdown"
+
+
+@dataclass(frozen=True)
+class DataPlaneConfig:
+    """Which cross-site data-plane optimisations are active.
+
+    Everything defaults to *off*, which keeps the naive path's byte and
+    latency accounting bit-identical to the unoptimised platform — the
+    parity suite replays traces under both settings and asserts equal
+    execution graphs and migration decisions.
+    """
+
+    coalescing: bool = False
+    read_cache: bool = False
+    pipelined_migration: bool = False
+
+    @classmethod
+    def off(cls) -> "DataPlaneConfig":
+        return cls(False, False, False)
+
+    @classmethod
+    def enabled(cls) -> "DataPlaneConfig":
+        return cls(True, True, True)
+
+    @property
+    def any_enabled(self) -> bool:
+        return self.coalescing or self.read_cache or self.pipelined_migration
+
+    def label(self) -> str:
+        if not self.any_enabled:
+            return "naive"
+        parts = []
+        if self.coalescing:
+            parts.append("coalesce")
+        if self.read_cache:
+            parts.append("cache")
+        if self.pipelined_migration:
+            parts.append("pipeline")
+        return "+".join(parts)
+
+
+@dataclass
+class DataPlaneStats:
+    """Accounting for one run of the optimised data plane.
+
+    ``naive_*`` mirrors what the unbatched path would have charged for
+    the same operation stream, so reports can state savings without
+    replaying twice.
+    """
+
+    ops: int = 0
+    batches: int = 0
+    wire_messages: int = 0
+    wire_bytes: int = 0
+    naive_messages: int = 0
+    naive_bytes: int = 0
+    naive_seconds: float = 0.0
+    actual_seconds: float = 0.0
+    flushes: Dict[str, int] = field(default_factory=dict)
+    cache: CacheStats = field(default_factory=CacheStats)
+
+    @property
+    def rtts_saved(self) -> int:
+        """Round trips that never happened: coalescing plus cache hits."""
+        return (self.ops - self.batches) + self.cache.hits
+
+    @property
+    def bytes_saved(self) -> int:
+        return self.naive_bytes - self.wire_bytes
+
+    @property
+    def seconds_saved(self) -> float:
+        return self.naive_seconds - self.actual_seconds
+
+    def note_flush(self, reason: str) -> None:
+        self.flushes[reason] = self.flushes.get(reason, 0) + 1
+
+    def as_dict(self) -> dict:
+        """JSON-able summary (benchmark report, platform report)."""
+        return {
+            "ops": self.ops,
+            "batches": self.batches,
+            "rtts_saved": self.rtts_saved,
+            "wire_messages": self.wire_messages,
+            "wire_bytes": self.wire_bytes,
+            "naive_messages": self.naive_messages,
+            "naive_bytes": self.naive_bytes,
+            "bytes_saved": self.bytes_saved,
+            "seconds_saved": self.seconds_saved,
+            "flushes": dict(self.flushes),
+            "cache_hits": self.cache.hits,
+            "cache_misses": self.cache.misses,
+            "cache_hit_rate": self.cache.hit_rate,
+            "cache_invalidations": self.cache.invalidations,
+        }
+
+
+class RpcCoalescer:
+    """Aggregates same-direction remote operations into wire batches.
+
+    ``transfer(from_site, to_site, nbytes)`` performs the actual charge
+    (clock advance plus traffic recording) — the live platform passes
+    its runtime's transfer, the emulator a comm-time charger — so the
+    coalescer owns only the batching discipline and its accounting.
+    """
+
+    def __init__(
+        self,
+        link: LinkModel,
+        transfer: Callable[[str, str, int], None],
+        stats: Optional[DataPlaneStats] = None,
+    ) -> None:
+        self.link = link
+        self._transfer = transfer
+        self.stats = stats if stats is not None else DataPlaneStats()
+        self._direction: Optional[Tuple[str, str]] = None
+        self._pending_ops = 0
+        self._out_bytes = 0
+        self._back_bytes = 0
+
+    # -- the operation stream ---------------------------------------------
+
+    @property
+    def pending_ops(self) -> int:
+        return self._pending_ops
+
+    def write(self, initiator: str, responder: str, nbytes: int) -> None:
+        """A remote write: value out, ack back, no result — buffers."""
+        self._append(initiator, responder, out=nbytes, back=0)
+
+    def read(self, initiator: str, responder: str, nbytes: int) -> None:
+        """A remote read: empty request out, value back — closes."""
+        self._append(initiator, responder, out=0, back=nbytes)
+        self.flush(FLUSH_RESULT)
+
+    def invoke(self, initiator: str, responder: str, arg_bytes: int,
+               ret_bytes: int) -> None:
+        """A remote invocation: control transfers, so it closes."""
+        self._append(initiator, responder, out=arg_bytes, back=ret_bytes)
+        self.flush(FLUSH_RESULT)
+
+    def _append(self, initiator: str, responder: str, out: int,
+                back: int) -> None:
+        direction = (initiator, responder)
+        if self._pending_ops and direction != self._direction:
+            self.flush(FLUSH_DIRECTION)
+        self._direction = direction
+        self._pending_ops += 1
+        self._out_bytes += out
+        self._back_bytes += back
+        # What the unbatched path would have charged for this op: two
+        # headered messages and a full round trip.
+        stats = self.stats
+        stats.ops += 1
+        stats.naive_messages += 2
+        request = MESSAGE_HEADER_BYTES + out
+        response = MESSAGE_HEADER_BYTES + back
+        stats.naive_bytes += request + response
+        stats.naive_seconds += (
+            self.link.one_way(request) + self.link.one_way(response)
+        )
+
+    # -- flushing ----------------------------------------------------------
+
+    def flush(self, reason: str = FLUSH_SHUTDOWN) -> None:
+        """Charge the pending batch as one request/response exchange."""
+        if not self._pending_ops:
+            return
+        initiator, responder = self._direction
+        request = MESSAGE_HEADER_BYTES + self._out_bytes
+        response = MESSAGE_HEADER_BYTES + self._back_bytes
+        stats = self.stats
+        stats.batches += 1
+        stats.wire_messages += 2
+        stats.wire_bytes += request + response
+        stats.actual_seconds += (
+            self.link.one_way(request) + self.link.one_way(response)
+        )
+        stats.note_flush(reason)
+        self._pending_ops = 0
+        self._out_bytes = 0
+        self._back_bytes = 0
+        self._direction = None
+        self._transfer(initiator, responder, request)
+        self._transfer(responder, initiator, response)
+
+    def gc_barrier(self) -> None:
+        """Flush before a collection cycle's pause accounting."""
+        self.flush(FLUSH_GC)
+
+    def migration_barrier(self) -> None:
+        """Flush before a partitioning decision or placement change."""
+        self.flush(FLUSH_MIGRATION)
+
+
+class DataPlane:
+    """The live platform's bundle of data-plane optimisations.
+
+    One per :class:`~repro.platform.platform.DistributedPlatform` run:
+    the coalescer and cache share a single stats block, and the members
+    are ``None`` for whichever optimisations the config leaves off, so
+    callers can gate on attribute presence instead of re-reading flags.
+    """
+
+    def __init__(
+        self,
+        config: DataPlaneConfig,
+        link: LinkModel,
+        transfer: Callable[[str, str, int], None],
+    ) -> None:
+        self.config = config
+        self.stats = DataPlaneStats()
+        self.cache: Optional[RemoteReadCache] = (
+            RemoteReadCache() if config.read_cache else None
+        )
+        if self.cache is not None:
+            self.stats.cache = self.cache.stats
+        self.coalescer: Optional[RpcCoalescer] = (
+            RpcCoalescer(link, transfer, stats=self.stats)
+            if config.coalescing else None
+        )
+
+    def flush(self, reason: str = FLUSH_SHUTDOWN) -> None:
+        if self.coalescer is not None:
+            self.coalescer.flush(reason)
+
+    def gc_barrier(self) -> None:
+        if self.coalescer is not None:
+            self.coalescer.gc_barrier()
+
+    def migration_barrier(self) -> None:
+        """Flush pending traffic *before* a placement is applied."""
+        if self.coalescer is not None:
+            self.coalescer.migration_barrier()
+
+    def note_migration(self) -> None:
+        """A placement was applied: residency changed, drop the cache."""
+        if self.cache is not None:
+            self.cache.invalidate_all()
+
+    def note_free(self, oid: int) -> None:
+        """The owner of ``oid`` was collected: drop its cache entry."""
+        if self.cache is not None:
+            self.cache.invalidate(oid)

@@ -7,12 +7,15 @@ provides around that path:
 
 * per-VM export tables (:class:`~repro.rpc.refmap.ReferenceMap`) so each
   VM only ever sees its own handles for the peer's objects;
-* wire encode/decode of requests and responses through
-  :mod:`repro.rpc.marshal`;
+* a compact binary wire format (:class:`~repro.rpc.marshal.WireCodec`)
+  with per-direction interned name tables — requests and responses make
+  a genuine encode/decode round trip through real bytes;
 * a pool of worker threads on each VM that performs RPCs on behalf of
-  the other VM (modelled, with occupancy statistics — execution itself
-  is serial, as the paper's emulator assumes);
-* an explicit RMI-style call API (used with :class:`~repro.rpc.proxy.RemoteProxy`).
+  the other VM (modelled, with occupancy statistics and queueing delay —
+  execution itself is serial, as the paper's emulator assumes);
+* an explicit RMI-style call API (used with :class:`~repro.rpc.proxy.RemoteProxy`);
+* a GC barrier that prunes export-table entries whose objects the
+  collector reclaimed, so dead handles cannot pin table growth.
 
 Timing and traffic are charged exactly once, by the execution context's
 runtime, when the underlying invocation crosses sites.
@@ -21,35 +24,60 @@ runtime, when the underlying invocation crosses sites.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import TYPE_CHECKING, Any, Dict, Iterator
+from typing import TYPE_CHECKING, Any, Callable, Dict, Iterator, Optional, Tuple
 
 from ..errors import RemoteInvocationError
 from ..vm.objectmodel import JObject
 
 if TYPE_CHECKING:  # avoid a circular import with repro.vm.context
     from ..vm.context import ExecutionContext
-from .marshal import decode_value, encode_value
+from .marshal import WireCodec
 from .proxy import RemoteStub
 from .refmap import ReferenceMap
 
+#: Modelled service time of one backlogged RPC while every worker is
+#: busy: roughly a null WaveLAN one-way (protocol work plus dispatch).
+#: A request that arrives with all workers occupied waits for the
+#: backlog ahead of it to drain at this rate.
+QUEUE_SERVICE_SECONDS = 1.2e-3
+
 
 class WorkerPool:
-    """Occupancy model of one VM's RPC service threads."""
+    """Occupancy model of one VM's RPC service threads.
 
-    def __init__(self, size: int = 4) -> None:
+    A request that finds all ``size`` workers busy is *queued*, not
+    refused: real RPC runtimes park the request until a worker frees
+    up.  The modelled wait is the backlog depth times one service
+    quantum, charged to the caller through ``charge_wait`` (the channel
+    wires this to the shared virtual clock).
+    """
+
+    def __init__(
+        self,
+        size: int = 4,
+        charge_wait: Optional[Callable[[float], None]] = None,
+        service_estimate_s: float = QUEUE_SERVICE_SECONDS,
+    ) -> None:
         if size < 1:
             raise RemoteInvocationError("worker pool needs at least one thread")
         self.size = size
         self.in_flight = 0
         self.served = 0
         self.peak_in_flight = 0
+        self.queued = 0
+        self.queue_wait_s = 0.0
+        self.service_estimate_s = service_estimate_s
+        self._charge_wait = charge_wait
 
     @contextmanager
     def serve(self) -> Iterator[None]:
         if self.in_flight >= self.size:
-            raise RemoteInvocationError(
-                f"worker pool exhausted ({self.size} threads)"
-            )
+            backlog = self.in_flight - self.size + 1
+            wait = backlog * self.service_estimate_s
+            self.queued += 1
+            self.queue_wait_s += wait
+            if self._charge_wait is not None:
+                self._charge_wait(wait)
         self.in_flight += 1
         self.served += 1
         if self.in_flight > self.peak_in_flight:
@@ -76,9 +104,20 @@ class RpcChannel:
             site_b: ReferenceMap(site_b),
         }
         self.pools: Dict[str, WorkerPool] = {
-            site_a: WorkerPool(pool_size),
-            site_b: WorkerPool(pool_size),
+            site_a: WorkerPool(pool_size, charge_wait=self._charge_wait),
+            site_b: WorkerPool(pool_size, charge_wait=self._charge_wait),
         }
+        #: One codec per direction of travel, keyed by the sending site:
+        #: each direction's interned-name table grows independently,
+        #: exactly as two decoupled streams would on a real link.
+        self.codecs: Dict[str, WireCodec] = {
+            site_a: WireCodec(),
+            site_b: WireCodec(),
+        }
+        self.pruned_handles = 0
+
+    def _charge_wait(self, seconds: float) -> None:
+        self.ctx.clock.advance(seconds)
 
     # -- stubs ------------------------------------------------------------
 
@@ -89,6 +128,10 @@ class RpcChannel:
             raise RemoteInvocationError(
                 f"site {site!r} is not an endpoint of this channel"
             ) from None
+
+    def _peer_of(self, site: str) -> str:
+        site_a, site_b = self.sites
+        return site_b if site == site_a else site_a
 
     def stub_for(self, obj: JObject) -> RemoteStub:
         """Export ``obj`` from its home VM and return a peer-side stub."""
@@ -101,59 +144,97 @@ class RpcChannel:
 
     # -- wire helpers -----------------------------------------------------------
 
-    def _encode(self, value: Any) -> Any:
-        def export_ref(obj: JObject) -> Dict[str, Any]:
-            return {
-                "owner": obj.home,
-                "handle": self._map_for(obj.home).export(obj),
-            }
+    def _export_ref(self, obj: JObject) -> Tuple[str, int]:
+        return obj.home, self._map_for(obj.home).export(obj)
 
-        return encode_value(value, export_ref)
+    def _resolve_ref(self, owner: str, handle: int) -> JObject:
+        return self._map_for(owner).resolve(handle)
 
-    def _decode(self, encoded: Any) -> Any:
-        def resolve_ref(token: Any) -> JObject:
-            if (
-                not isinstance(token, dict)
-                or "owner" not in token
-                or "handle" not in token
-            ):
-                raise RemoteInvocationError(
-                    f"malformed reference token {token!r}"
-                )
-            return self._map_for(token["owner"]).resolve(token["handle"])
+    def _send(self, sender: str, payload: Any) -> bytes:
+        """Encode one message travelling out of ``sender``."""
+        return self.codecs[sender].encode(payload, self._export_ref)
 
-        return decode_value(encoded, resolve_ref)
+    def _receive(self, sender: str, data: bytes) -> Any:
+        """Decode one message that travelled out of ``sender``."""
+        return self.codecs[sender].decode(data, self._resolve_ref)
 
     # -- explicit RPC API ---------------------------------------------------------
 
     def call(self, stub: RemoteStub, method: str, *args: Any) -> Any:
         """Invoke a method on the remote object named by ``stub``.
 
-        The arguments make a genuine wire round trip: object references
-        are translated to handles in their owner's namespace, decoded on
-        the serving side, and the result travels back the same way.
+        The request makes a genuine wire round trip: it is encoded to
+        bytes (references become handles in their owner's namespace,
+        names intern into the direction's string table), decoded on the
+        serving side, and the result travels back the same way.
         """
         target = self.resolve(stub)
-        request = {
+        caller = self._peer_of(target.home)
+        wire_request = self._send(caller, {
             "op": "invoke",
             "handle": stub.handle,
             "method": method,
-            "args": [self._encode(arg) for arg in args],
-        }
+            "args": list(args),
+        })
+        request = self._receive(caller, wire_request)
+        serving = self._map_for(target.home).resolve(request["handle"])
         with self.pools[target.home].serve():
-            decoded_args = [self._decode(arg) for arg in request["args"]]
-            result = self.ctx.invoke(target, method, *decoded_args)
-        response = {"op": "result", "value": self._encode(result)}
-        return self._decode(response["value"])
+            result = self.ctx.invoke(serving, request["method"],
+                                     *request["args"])
+        wire_response = self._send(target.home,
+                                   {"op": "result", "value": result})
+        return self._receive(target.home, wire_response)["value"]
 
     def get_field(self, stub: RemoteStub, field_name: str) -> Any:
         target = self.resolve(stub)
         with self.pools[target.home].serve():
             value = self.ctx.get_field(target, field_name)
-        return self._decode(self._encode(value))
+        wire = self._send(target.home, {"op": "result", "value": value})
+        return self._receive(target.home, wire)["value"]
 
     def set_field(self, stub: RemoteStub, field_name: str, value: Any) -> None:
         target = self.resolve(stub)
-        encoded = self._encode(value)
+        caller = self._peer_of(target.home)
+        wire = self._send(caller, {
+            "op": "set", "handle": stub.handle,
+            "field": field_name, "value": value,
+        })
+        request = self._receive(caller, wire)
+        serving = self._map_for(target.home).resolve(request["handle"])
         with self.pools[target.home].serve():
-            self.ctx.set_field(target, field_name, self._decode(encoded))
+            self.ctx.set_field(serving, request["field"], request["value"])
+
+    # -- GC barrier and statistics -------------------------------------------------
+
+    def gc_barrier(self, site: str) -> int:
+        """A collection finished on ``site``: prune its dead exports.
+
+        Exported-but-collected objects would otherwise leave dangling
+        handles in the site's reference map forever (the map holds the
+        only cross-site name for an object, not a liveness root).
+        Returns the number of handles pruned.
+        """
+        pruned = self._map_for(site).prune_dead()
+        self.pruned_handles += pruned
+        return pruned
+
+    def stats(self) -> dict:
+        """Channel-level counters (exports, pools, wire, pruning)."""
+        return {
+            "exports": {site: len(m) for site, m in self.exports.items()},
+            "pruned_handles": self.pruned_handles,
+            "wire_messages": sum(
+                c.messages_encoded for c in self.codecs.values()
+            ),
+            "wire_bytes": sum(c.bytes_encoded for c in self.codecs.values()),
+            "interned_names": sum(len(c.names) for c in self.codecs.values()),
+            "pools": {
+                site: {
+                    "served": pool.served,
+                    "queued": pool.queued,
+                    "queue_wait_s": pool.queue_wait_s,
+                    "peak_in_flight": pool.peak_in_flight,
+                }
+                for site, pool in self.pools.items()
+            },
+        }

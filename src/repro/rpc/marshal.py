@@ -16,6 +16,7 @@ Two jobs live here:
 
 from __future__ import annotations
 
+import struct
 from typing import Any, Dict, List, Tuple, Union
 
 from ..errors import RemoteInvocationError
@@ -46,6 +47,18 @@ _SCALAR_SIZES = {
 _SMALL_STRING_MAX_LEN = 64
 _SMALL_STRING_CACHE_CAP = 4096
 _small_string_sizes: Dict[str, int] = {}
+
+
+def reset_size_cache() -> None:
+    """Clear the small-string size memo.
+
+    The memo is module-global so the hot path stays a single dict
+    lookup, which means it leaks state across tests and benchmark
+    rounds; fixtures call this between runs so no run observes another
+    run's cache occupancy (sizes themselves are pure, but eviction
+    order and capacity behaviour are not).
+    """
+    _small_string_sizes.clear()
 
 
 def deep_size(value: Any) -> int:
@@ -161,3 +174,292 @@ def message_size(payload_bytes: int) -> int:
     if payload_bytes < 0:
         raise RemoteInvocationError("payload size cannot be negative")
     return MESSAGE_HEADER_BYTES + payload_bytes
+
+
+# -- compact binary wire format ---------------------------------------------
+#
+# The RPC channel's original encoding was a JSON-shaped dict tree: every
+# method name, field name, and class name travelled as a full string on
+# every message.  The binary format below replaces it.  Values are
+# tag-prefixed; class/method/field names (and any other short string)
+# are *interned* per channel direction — the first use ships the string
+# once with a 2-byte id, every later use ships only the id.  Recurring
+# names are the bulk of RPC metadata, so steady-state messages shrink to
+# a few bytes of framing plus the actual argument payload.
+
+#: Format version, first byte of every encoded message.
+WIRE_FORMAT_VERSION = 1
+
+#: On-wire cost of an interned-name reference (tag + 2-byte id).
+INTERNED_NAME_BYTES = 3
+
+_TAG_NULL = 0x00
+_TAG_TRUE = 0x01
+_TAG_FALSE = 0x02
+_TAG_INT = 0x03
+_TAG_FLOAT = 0x04
+_TAG_STR_DEF = 0x05
+_TAG_STR_REF = 0x06
+_TAG_STR_RAW = 0x07
+_TAG_REF = 0x08
+_TAG_LIST = 0x09
+_TAG_DICT = 0x0A
+
+#: Strings longer than this are never interned (one-off payload text).
+INTERN_MAX_LEN = _SMALL_STRING_MAX_LEN
+
+#: A 2-byte id space per direction; beyond it, strings ship raw.
+INTERN_TABLE_CAP = 0xFFFF
+
+_pack_f64 = struct.Struct(">d").pack
+_unpack_f64 = struct.Struct(">d").unpack_from
+_pack_u16 = struct.Struct(">H").pack
+_unpack_u16 = struct.Struct(">H").unpack_from
+
+
+def _write_varint(out: bytearray, value: int) -> None:
+    """Unsigned LEB128."""
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _read_varint(data: bytes, pos: int) -> Tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        if pos >= len(data):
+            raise RemoteInvocationError("truncated varint on the wire")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+
+
+def _zigzag(value: int) -> int:
+    """Map signed to unsigned so small magnitudes stay small (any width)."""
+    return value * 2 if value >= 0 else -value * 2 - 1
+
+
+def _unzigzag(value: int) -> int:
+    return value // 2 if value % 2 == 0 else -(value + 1) // 2
+
+
+class InternTable:
+    """Per-direction string table: first use ships the string, later
+    uses ship a 2-byte id.
+
+    Sender and receiver state live in one object because the modelled
+    channel's two endpoints share the process; the encoder assigns ids
+    in first-use order and the decoder learns them from ``STR_DEF``
+    entries in the same stream, so the table can never desynchronise.
+    """
+
+    def __init__(self, capacity: int = INTERN_TABLE_CAP) -> None:
+        if capacity < 1:
+            raise RemoteInvocationError("intern table needs capacity >= 1")
+        self.capacity = capacity
+        self._ids: Dict[str, int] = {}
+        self._names: List[str] = []
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def intern(self, name: str) -> Tuple[int, bool]:
+        """Return ``(id, is_new)``; raises when the table is full."""
+        ident = self._ids.get(name)
+        if ident is not None:
+            return ident, False
+        if len(self._names) >= self.capacity:
+            raise RemoteInvocationError("intern table full")
+        ident = len(self._names)
+        self._ids[name] = ident
+        self._names.append(name)
+        return ident, True
+
+    def can_intern(self, name: str) -> bool:
+        return name in self._ids or len(self._names) < self.capacity
+
+    def lookup(self, ident: int) -> str:
+        if 0 <= ident < len(self._names):
+            return self._names[ident]
+        raise RemoteInvocationError(f"unknown interned-string id {ident}")
+
+    def learn(self, ident: int, name: str) -> None:
+        """Decoder side of a ``STR_DEF``: register an id seen on the wire."""
+        if ident != len(self._names):
+            raise RemoteInvocationError(
+                f"out-of-order intern definition {ident} "
+                f"(expected {len(self._names)})"
+            )
+        self._ids[name] = ident
+        self._names.append(name)
+
+
+class WireCodec:
+    """Binary encoder/decoder for one direction of one channel.
+
+    Encoding and decoding share the codec's intern table; a value
+    encoded by this codec must be decoded by the same codec (or its
+    mirrored peer) so interned ids resolve.  ``export_ref(obj)`` must
+    return ``(owner_site, handle)``; ``resolve_ref(owner_site, handle)``
+    is its inverse on the receiving side.
+    """
+
+    def __init__(self) -> None:
+        self.names = InternTable()
+        self.messages_encoded = 0
+        self.bytes_encoded = 0
+
+    # -- encoding ----------------------------------------------------------
+
+    def encode(self, value: Any, export_ref) -> bytes:
+        out = bytearray([WIRE_FORMAT_VERSION])
+        self._encode_value(out, value, export_ref)
+        self.messages_encoded += 1
+        self.bytes_encoded += len(out)
+        return bytes(out)
+
+    def _encode_str(self, out: bytearray, value: str) -> None:
+        if len(value) <= INTERN_MAX_LEN and self.names.can_intern(value):
+            ident, is_new = self.names.intern(value)
+            if is_new:
+                raw = value.encode("utf-8")
+                out.append(_TAG_STR_DEF)
+                out += _pack_u16(ident)
+                _write_varint(out, len(raw))
+                out += raw
+            else:
+                out.append(_TAG_STR_REF)
+                out += _pack_u16(ident)
+            return
+        raw = value.encode("utf-8")
+        out.append(_TAG_STR_RAW)
+        _write_varint(out, len(raw))
+        out += raw
+
+    def _encode_value(self, out: bytearray, value: Any, export_ref) -> None:
+        if isinstance(value, JObject):
+            owner, handle = export_ref(value)
+            out.append(_TAG_REF)
+            self._encode_str(out, owner)
+            _write_varint(out, handle)
+            return
+        if value is None:
+            out.append(_TAG_NULL)
+            return
+        if isinstance(value, bool):
+            out.append(_TAG_TRUE if value else _TAG_FALSE)
+            return
+        if isinstance(value, int):
+            out.append(_TAG_INT)
+            _write_varint(out, _zigzag(value))
+            return
+        if isinstance(value, float):
+            out.append(_TAG_FLOAT)
+            out += _pack_f64(value)
+            return
+        if isinstance(value, str):
+            self._encode_str(out, value)
+            return
+        if isinstance(value, (tuple, list)):
+            out.append(_TAG_LIST)
+            _write_varint(out, len(value))
+            for item in value:
+                self._encode_value(out, item, export_ref)
+            return
+        if isinstance(value, dict):
+            out.append(_TAG_DICT)
+            _write_varint(out, len(value))
+            for key, item in value.items():
+                if not isinstance(key, str):
+                    raise RemoteInvocationError(
+                        "dict keys on the wire must be str"
+                    )
+                self._encode_str(out, key)
+                self._encode_value(out, item, export_ref)
+            return
+        raise RemoteInvocationError(
+            f"value of type {type(value).__name__} cannot be encoded"
+        )
+
+    # -- decoding ----------------------------------------------------------
+
+    def decode(self, data: bytes, resolve_ref) -> Any:
+        if not data or data[0] != WIRE_FORMAT_VERSION:
+            raise RemoteInvocationError(
+                f"unsupported wire format {data[:1]!r}"
+            )
+        value, pos = self._decode_value(data, 1, resolve_ref)
+        if pos != len(data):
+            raise RemoteInvocationError(
+                f"{len(data) - pos} trailing bytes after wire value"
+            )
+        return value
+
+    def _decode_str(self, data: bytes, pos: int) -> Tuple[str, int]:
+        tag = data[pos]
+        pos += 1
+        if tag == _TAG_STR_REF:
+            (ident,) = _unpack_u16(data, pos)
+            return self.names.lookup(ident), pos + 2
+        if tag == _TAG_STR_DEF:
+            (ident,) = _unpack_u16(data, pos)
+            length, pos = _read_varint(data, pos + 2)
+            name = data[pos:pos + length].decode("utf-8")
+            if ident >= len(self.names):
+                # Fresh definition (decode of a peer-encoded message);
+                # re-decoding our own encoder output finds it present.
+                self.names.learn(ident, name)
+            return name, pos + length
+        if tag == _TAG_STR_RAW:
+            length, pos = _read_varint(data, pos)
+            return data[pos:pos + length].decode("utf-8"), pos + length
+        raise RemoteInvocationError(f"expected a string tag, got {tag:#x}")
+
+    def _decode_value(self, data: bytes, pos: int,
+                      resolve_ref) -> Tuple[Any, int]:
+        if pos >= len(data):
+            raise RemoteInvocationError("truncated wire value")
+        tag = data[pos]
+        if tag == _TAG_NULL:
+            return None, pos + 1
+        if tag == _TAG_TRUE:
+            return True, pos + 1
+        if tag == _TAG_FALSE:
+            return False, pos + 1
+        if tag == _TAG_INT:
+            raw, pos = _read_varint(data, pos + 1)
+            return _unzigzag(raw), pos
+        if tag == _TAG_FLOAT:
+            return _unpack_f64(data, pos + 1)[0], pos + 9
+        if tag in (_TAG_STR_DEF, _TAG_STR_REF, _TAG_STR_RAW):
+            return self._decode_str(data, pos)
+        if tag == _TAG_REF:
+            owner, pos = self._decode_str(data, pos + 1)
+            handle, pos = _read_varint(data, pos)
+            return resolve_ref(owner, handle), pos
+        if tag == _TAG_LIST:
+            count, pos = _read_varint(data, pos + 1)
+            items = []
+            for _ in range(count):
+                item, pos = self._decode_value(data, pos, resolve_ref)
+                items.append(item)
+            return items, pos
+        if tag == _TAG_DICT:
+            count, pos = _read_varint(data, pos + 1)
+            decoded = {}
+            for _ in range(count):
+                key, pos = self._decode_str(data, pos)
+                decoded[key], pos = self._decode_value(data, pos,
+                                                       resolve_ref)
+            return decoded, pos
+        raise RemoteInvocationError(f"unknown wire tag {tag:#x}")
+

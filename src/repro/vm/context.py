@@ -26,6 +26,7 @@ from ..errors import (
     NullReferenceError,
     StaleObjectError,
 )
+from ..rpc.cache import RemoteReadCache
 from ..rpc.marshal import args_size, deep_size, message_size
 from .classloader import ClassRegistry
 from .clock import VirtualClock
@@ -123,11 +124,18 @@ class ExecutionContext:
         registry: ClassRegistry,
         hooks: Optional[HookFanout] = None,
         flags: EnhancementFlags = EnhancementFlags(),
+        data_plane=None,
     ) -> None:
         self.runtime = runtime
         self.registry = registry
         self.hooks = hooks if hooks is not None else HookFanout()
         self.flags = flags
+        #: Optional :class:`repro.rpc.batch.DataPlane`: when present,
+        #: remote operations route through its coalescer and read cache
+        #: instead of charging one transfer pair per operation.  Absent
+        #: (the default), the per-operation accounting below is used —
+        #: byte-for-byte the unoptimised platform.
+        self.data_plane = data_plane
         self._frames: List[Frame] = []
         #: The most recent object handed to *top-level* code is a GC
         #: root: it models the register holding a freshly produced
@@ -247,6 +255,17 @@ class ExecutionContext:
         return arr
 
     def _run_gc_if_due(self, vm: VirtualMachine) -> None:
+        dp = self.data_plane
+        if (
+            dp is not None
+            and dp.coalescer is not None
+            and dp.coalescer.pending_ops
+            and vm.collector.should_collect() is not None
+        ):
+            # GC barrier: buffered cross-site writes must be charged
+            # before the cycle, so the pause and any offload decision it
+            # triggers never observe un-charged traffic.
+            dp.coalescer.gc_barrier()
         report = vm.maybe_collect()
         if report is not None:
             self.hooks.on_gc_report(report, vm.name)
@@ -286,7 +305,10 @@ class ExecutionContext:
         exec_site = self._exec_site(mdef, target)
         remote = exec_site != caller_site
         arg_bytes = args_size(args)
-        if remote:
+        coalescer = (
+            self.data_plane.coalescer if self.data_plane is not None else None
+        )
+        if remote and coalescer is None:
             self.runtime.transfer(caller_site, exec_site, message_size(arg_bytes))
 
         frame = Frame(exec_site, callee_class, target.oid if target else None)
@@ -305,7 +327,16 @@ class ExecutionContext:
 
         ret_bytes = deep_size(result) if result is not None else 0
         if remote:
-            self.runtime.transfer(exec_site, caller_site, message_size(ret_bytes))
+            if coalescer is not None:
+                # Both legs are charged here, once the return size is
+                # known: the invocation closes its batch (control
+                # transfers), so buffered writes, the request, and the
+                # response all ride one exchange.
+                coalescer.invoke(caller_site, exec_site, arg_bytes, ret_bytes)
+            else:
+                self.runtime.transfer(
+                    exec_site, caller_site, message_size(ret_bytes)
+                )
         if self.monitoring_enabled:
             record = InvokeRecord(
                 caller_class=caller_class,
@@ -379,13 +410,10 @@ class ExecutionContext:
         owner_site = target.home
         remote = owner_site != accessor_site
         nbytes = deep_size(value) if value is not None else SLOT_SIZES["ref"]
-        if remote:
-            if is_write:
-                self.runtime.transfer(accessor_site, owner_site, message_size(nbytes))
-                self.runtime.transfer(owner_site, accessor_site, message_size(0))
-            else:
-                self.runtime.transfer(accessor_site, owner_site, message_size(0))
-                self.runtime.transfer(owner_site, accessor_site, message_size(nbytes))
+        cached = self._remote_transfer(
+            accessor_site, owner_site, remote, nbytes, is_write,
+            cache_key=RemoteReadCache.object_key(target.oid),
+        )
         if self.monitoring_enabled:
             self.hooks.on_access(
                 AccessRecord(
@@ -400,9 +428,46 @@ class ExecutionContext:
                     accessor_site=accessor_site,
                     exec_site=owner_site,
                     remote=remote,
+                    cached=cached,
                 )
             )
             self._charge_monitoring_event(owner_site)
+
+    def _remote_transfer(
+        self,
+        accessor_site: str,
+        owner_site: str,
+        remote: bool,
+        nbytes: int,
+        is_write: bool,
+        cache_key=None,
+    ) -> bool:
+        """Charge one data access; True when served from the read cache.
+
+        Write invalidation runs even for *local* writes — the owner
+        mutating its own state makes the peer's cached copy stale.
+        """
+        dp = self.data_plane
+        cached = False
+        if dp is not None and dp.cache is not None and cache_key is not None:
+            if is_write:
+                dp.cache.invalidate(cache_key)
+            elif remote:
+                cached = dp.cache.note_read(cache_key)
+        if not remote or cached:
+            return cached
+        if dp is not None and dp.coalescer is not None:
+            if is_write:
+                dp.coalescer.write(accessor_site, owner_site, nbytes)
+            else:
+                dp.coalescer.read(accessor_site, owner_site, nbytes)
+        elif is_write:
+            self.runtime.transfer(accessor_site, owner_site, message_size(nbytes))
+            self.runtime.transfer(owner_site, accessor_site, message_size(0))
+        else:
+            self.runtime.transfer(accessor_site, owner_site, message_size(0))
+            self.runtime.transfer(owner_site, accessor_site, message_size(nbytes))
+        return False
 
     # -- static data (always on the client) ----------------------------------------
 
@@ -426,13 +491,10 @@ class ExecutionContext:
         client_site = self.runtime.client().name
         remote = accessor_site != client_site
         nbytes = deep_size(value) if value is not None else SLOT_SIZES["ref"]
-        if remote:
-            if is_write:
-                self.runtime.transfer(accessor_site, client_site, message_size(nbytes))
-                self.runtime.transfer(client_site, accessor_site, message_size(0))
-            else:
-                self.runtime.transfer(accessor_site, client_site, message_size(0))
-                self.runtime.transfer(client_site, accessor_site, message_size(nbytes))
+        cached = self._remote_transfer(
+            accessor_site, client_site, remote, nbytes, is_write,
+            cache_key=RemoteReadCache.static_key(class_name),
+        )
         if self.monitoring_enabled:
             self.hooks.on_access(
                 AccessRecord(
@@ -447,6 +509,7 @@ class ExecutionContext:
                     accessor_site=accessor_site,
                     exec_site=client_site,
                     remote=remote,
+                    cached=cached,
                 )
             )
             self._charge_monitoring_event(client_site)
@@ -474,11 +537,10 @@ class ExecutionContext:
         owner_site = arr.home
         remote = owner_site != accessor_site
         nbytes = count * SLOT_SIZES[arr.element_type]
-        if remote:
-            self.runtime.transfer(accessor_site, owner_site,
-                                  message_size(nbytes if is_write else 0))
-            self.runtime.transfer(owner_site, accessor_site,
-                                  message_size(0 if is_write else nbytes))
+        # cache_key=None: arrays are never cached (bulk element traffic
+        # is what migration places), but their transfers still coalesce.
+        self._remote_transfer(accessor_site, owner_site, remote, nbytes,
+                              is_write, cache_key=None)
         if self.monitoring_enabled:
             self.hooks.on_access(
                 AccessRecord(

@@ -105,6 +105,7 @@ class AccessRecord:
         "accessor_site",
         "exec_site",
         "remote",
+        "cached",
     )
 
     def __init__(
@@ -120,6 +121,7 @@ class AccessRecord:
         accessor_site: str,
         exec_site: str,
         remote: bool,
+        cached: bool = False,
     ) -> None:
         self.accessor_class = accessor_class
         self.accessor_oid = accessor_oid
@@ -132,6 +134,9 @@ class AccessRecord:
         self.accessor_site = accessor_site
         self.exec_site = exec_site
         self.remote = remote
+        #: True when a remote read was served from the accessor site's
+        #: remote-read cache: logically remote, zero bytes on the wire.
+        self.cached = cached
 
     def _fields(self) -> tuple:
         return tuple(getattr(self, name) for name in self.__slots__)

@@ -1,0 +1,19 @@
+"""Repo-wide fixtures."""
+
+import pytest
+
+from repro.rpc.marshal import reset_size_cache
+
+
+@pytest.fixture(autouse=True)
+def fresh_size_cache():
+    """Keep the module-global small-string size memo test-local.
+
+    The memo's sizes are pure, but its occupancy and eviction order are
+    not — a test that fills it to capacity would change the behaviour
+    another test observes.  Resetting around every test keeps them
+    independent.
+    """
+    reset_size_cache()
+    yield
+    reset_size_cache()

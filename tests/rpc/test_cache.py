@@ -1,0 +1,94 @@
+"""Unit tests for the remote-read cache and its coherence rules."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.rpc.cache import DEFAULT_CACHE_CAPACITY, RemoteReadCache
+
+
+@pytest.fixture
+def cache():
+    return RemoteReadCache()
+
+
+class TestReadPath:
+    def test_first_read_misses_and_installs(self, cache):
+        key = RemoteReadCache.object_key(7)
+        assert cache.note_read(key) is False
+        assert cache.holds(key)
+        assert cache.stats.misses == 1 and cache.stats.hits == 0
+
+    def test_repeat_reads_hit(self, cache):
+        key = RemoteReadCache.object_key(7)
+        cache.note_read(key)
+        assert cache.note_read(key) is True
+        assert cache.note_read(key) is True
+        assert cache.stats.hits == 2
+        assert cache.stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_holds_does_not_touch_counters(self, cache):
+        cache.holds(1)
+        assert cache.stats.lookups == 0
+
+
+class TestCoherence:
+    def test_write_invalidates(self, cache):
+        key = RemoteReadCache.object_key(7)
+        cache.note_read(key)
+        assert cache.invalidate(key) is True
+        # The copy is stale: the next read must pay the wire again.
+        assert cache.note_read(key) is False
+        assert cache.stats.invalidations == 1
+
+    def test_invalidating_an_uncached_key_is_harmless(self, cache):
+        assert cache.invalidate(99) is False
+        assert cache.stats.invalidations == 0
+
+    def test_migration_invalidates_everything(self, cache):
+        for oid in range(5):
+            cache.note_read(RemoteReadCache.object_key(oid))
+        assert cache.invalidate_all() == 5
+        assert len(cache) == 0
+        assert cache.stats.invalidations == 5
+
+    def test_gc_of_owner_invalidates_its_entry(self, cache):
+        # The platform wires collector free-callbacks to invalidate();
+        # this is the same path with the oid of the collected object.
+        key = RemoteReadCache.object_key(41)
+        cache.note_read(key)
+        cache.invalidate(key)
+        assert not cache.holds(key)
+
+
+class TestKeys:
+    def test_static_keys_never_collide_with_oids(self, cache):
+        static = RemoteReadCache.static_key("app.Config")
+        assert static != RemoteReadCache.object_key(1)
+        cache.note_read(static)
+        assert cache.holds(static)
+        assert not cache.holds(RemoteReadCache.object_key(1))
+
+    def test_static_entries_invalidate_like_objects(self, cache):
+        static = RemoteReadCache.static_key("app.Config")
+        cache.note_read(static)
+        cache.invalidate(static)
+        assert cache.note_read(static) is False
+
+
+class TestCapacity:
+    def test_fifo_eviction_at_capacity(self):
+        cache = RemoteReadCache(capacity=2)
+        cache.note_read(1)
+        cache.note_read(2)
+        cache.note_read(3)  # evicts 1, the oldest
+        assert not cache.holds(1)
+        assert cache.holds(2) and cache.holds(3)
+        assert cache.stats.evictions == 1
+        assert len(cache) == 2
+
+    def test_default_capacity(self, cache):
+        assert cache.capacity == DEFAULT_CACHE_CAPACITY
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            RemoteReadCache(capacity=0)

@@ -36,11 +36,25 @@ class TestWorkerPool:
         assert pool.served == 2
         assert pool.peak_in_flight == 2
 
-    def test_exhaustion_raises(self):
-        pool = WorkerPool(size=1)
+    def test_saturated_pool_queues_instead_of_refusing(self):
+        charged = []
+        pool = WorkerPool(size=1, charge_wait=charged.append)
         with pool.serve():
-            with pytest.raises(RemoteInvocationError):
-                pool.serve().__enter__()
+            with pool.serve():
+                assert pool.in_flight == 2
+        assert pool.queued == 1
+        # One request behind a full pool waits one service quantum.
+        assert charged == [pool.service_estimate_s]
+        assert pool.queue_wait_s == pool.service_estimate_s
+        assert pool.served == 2
+
+    def test_queue_wait_scales_with_backlog(self):
+        pool = WorkerPool(size=1)
+        with pool.serve(), pool.serve(), pool.serve():
+            assert pool.in_flight == 3
+        # Second arrival waits behind 1 request, third behind 2.
+        assert pool.queued == 2
+        assert pool.queue_wait_s == 3 * pool.service_estimate_s
 
     def test_minimum_size(self):
         with pytest.raises(RemoteInvocationError):

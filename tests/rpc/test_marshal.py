@@ -25,11 +25,9 @@ class TestSmallStringCache:
     @pytest.fixture(autouse=True)
     def isolated_cache(self):
         from repro.rpc import marshal
-        saved = dict(marshal._small_string_sizes)
-        marshal._small_string_sizes.clear()
+        marshal.reset_size_cache()
         yield marshal
-        marshal._small_string_sizes.clear()
-        marshal._small_string_sizes.update(saved)
+        marshal.reset_size_cache()
 
     def test_short_strings_are_memoised(self, isolated_cache):
         deep_size("hot-name")

@@ -1,0 +1,183 @@
+"""Golden-byte and round-trip tests for the binary wire format."""
+
+import pytest
+
+from repro.errors import RemoteInvocationError
+from repro.rpc.marshal import (
+    INTERN_TABLE_CAP,
+    WIRE_FORMAT_VERSION,
+    InternTable,
+    WireCodec,
+)
+from repro.vm.objectmodel import ClassBuilder, JObject
+
+
+def fresh_pair():
+    """An encoder codec and a decoder codec, as a channel direction has."""
+    return WireCodec(), WireCodec()
+
+
+def no_refs(_obj):
+    raise AssertionError("no references expected in this message")
+
+
+#: A representative RPC request, encoded by a fresh codec.  These bytes
+#: are the wire contract: any change to the format (tags, varints,
+#: interning) must be deliberate and bump WIRE_FORMAT_VERSION.
+GOLDEN_REQUEST = {
+    "op": "invoke",
+    "handle": 7,
+    "method": "put",
+    "args": [100, -3, 2.5, None, True, "total"],
+}
+GOLDEN_FIRST = (
+    b"\x01\n\x04\x05\x00\x00\x02op\x05\x00\x01\x06invoke"
+    b"\x05\x00\x02\x06handle\x03\x0e"
+    b"\x05\x00\x03\x06method\x05\x00\x04\x03put"
+    b"\x05\x00\x05\x04args\t\x06\x03\xc8\x01\x03\x05"
+    b"\x04@\x04\x00\x00\x00\x00\x00\x00\x00\x01\x05\x00\x06\x05total"
+)
+GOLDEN_SECOND = (
+    b"\x01\n\x04\x06\x00\x00\x06\x00\x01\x06\x00\x02\x03\x0e"
+    b"\x06\x00\x03\x06\x00\x04\x06\x00\x05\t\x06\x03\xc8\x01\x03\x05"
+    b"\x04@\x04\x00\x00\x00\x00\x00\x00\x00\x01\x06\x00\x06"
+)
+
+
+class TestGoldenBytes:
+    def test_first_encoding_is_stable(self):
+        codec, _ = fresh_pair()
+        assert codec.encode(GOLDEN_REQUEST, no_refs) == GOLDEN_FIRST
+
+    def test_steady_state_encoding_is_stable_and_smaller(self):
+        codec, _ = fresh_pair()
+        codec.encode(GOLDEN_REQUEST, no_refs)
+        second = codec.encode(GOLDEN_REQUEST, no_refs)
+        assert second == GOLDEN_SECOND
+        # Interning pays off: recurring names collapse to 2-byte ids.
+        assert len(GOLDEN_SECOND) < len(GOLDEN_FIRST)
+
+    def test_golden_bytes_decode(self):
+        _, decoder = fresh_pair()
+        assert decoder.decode(GOLDEN_FIRST, no_refs) == GOLDEN_REQUEST
+        # The decoder learned the names from the STR_DEFs, so the
+        # steady-state message decodes identically.
+        assert decoder.decode(GOLDEN_SECOND, no_refs) == GOLDEN_REQUEST
+
+    def test_version_byte_leads_every_message(self):
+        codec, _ = fresh_pair()
+        assert codec.encode(None, no_refs)[0] == WIRE_FORMAT_VERSION
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("value", [
+        None,
+        True,
+        False,
+        0,
+        -1,
+        2 ** 40,
+        -(2 ** 40),
+        2 ** 80,          # arbitrary-precision ints survive
+        3.25,
+        "",
+        "short",
+        "x" * 500,        # beyond INTERN_MAX_LEN: ships raw
+        [1, [2, [3, None]], "deep"],
+        {"a": 1, "b": {"c": [True, 2.5]}},
+    ])
+    def test_value_round_trip(self, value):
+        codec, decoder = fresh_pair()
+        data = codec.encode(value, no_refs)
+        assert decoder.decode(data, no_refs) == value
+
+    def test_tuple_encodes_as_list(self):
+        codec, decoder = fresh_pair()
+        assert decoder.decode(codec.encode((1, 2), no_refs), no_refs) == [1, 2]
+
+    def test_reference_round_trip(self):
+        obj = JObject(ClassBuilder("t.A").build(), home="surrogate")
+        exported = {}
+
+        def export_ref(o):
+            exported[(o.home, 5)] = o
+            return o.home, 5
+
+        def resolve_ref(owner, handle):
+            return exported[(owner, handle)]
+
+        codec, decoder = fresh_pair()
+        data = codec.encode({"value": obj}, export_ref)
+        assert decoder.decode(data, resolve_ref)["value"] is obj
+
+    def test_same_codec_can_redecode_its_own_stream(self):
+        # The channel model keeps one codec per direction, shared by
+        # both endpoints; decoding must tolerate names it already knows.
+        codec, _ = fresh_pair()
+        data = codec.encode({"name": "recurring"}, no_refs)
+        assert codec.decode(data, no_refs) == {"name": "recurring"}
+        assert codec.decode(codec.encode({"name": "recurring"}, no_refs),
+                            no_refs) == {"name": "recurring"}
+
+
+class TestErrors:
+    def test_unknown_version_rejected(self):
+        _, decoder = fresh_pair()
+        with pytest.raises(RemoteInvocationError):
+            decoder.decode(b"\x7f\x00", no_refs)
+
+    def test_trailing_bytes_rejected(self):
+        codec, decoder = fresh_pair()
+        data = codec.encode(1, no_refs) + b"\x00"
+        with pytest.raises(RemoteInvocationError):
+            decoder.decode(data, no_refs)
+
+    def test_unknown_tag_rejected(self):
+        _, decoder = fresh_pair()
+        with pytest.raises(RemoteInvocationError):
+            decoder.decode(bytes([WIRE_FORMAT_VERSION, 0x7E]), no_refs)
+
+    def test_unencodable_type_rejected(self):
+        codec, _ = fresh_pair()
+        with pytest.raises(RemoteInvocationError):
+            codec.encode(object(), no_refs)
+
+    def test_stale_interned_id_rejected(self):
+        codec, decoder = fresh_pair()
+        second = None
+        for _ in range(2):
+            second = codec.encode("name", no_refs)
+        # ``second`` is a bare STR_REF; a decoder that never saw the
+        # STR_DEF cannot resolve it.
+        with pytest.raises(RemoteInvocationError):
+            decoder.decode(second, no_refs)
+
+
+class TestInternTable:
+    def test_first_use_is_new_then_stable(self):
+        table = InternTable()
+        ident, is_new = table.intern("put")
+        assert is_new and ident == 0
+        assert table.intern("put") == (0, False)
+        assert table.lookup(0) == "put"
+
+    def test_capacity_stops_interning(self):
+        table = InternTable(capacity=1)
+        table.intern("a")
+        assert table.can_intern("a")
+        assert not table.can_intern("b")
+        with pytest.raises(RemoteInvocationError):
+            table.intern("b")
+        assert INTERN_TABLE_CAP == 0xFFFF
+
+    def test_out_of_order_learn_rejected(self):
+        table = InternTable()
+        with pytest.raises(RemoteInvocationError):
+            table.learn(3, "skipped-ahead")
+
+    def test_full_table_falls_back_to_raw_strings(self):
+        codec, decoder = fresh_pair()
+        codec.names = InternTable(capacity=1)
+        decoder.names = InternTable(capacity=1)
+        data = codec.encode(["first", "second"], no_refs)
+        assert decoder.decode(data, no_refs) == ["first", "second"]
