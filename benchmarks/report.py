@@ -45,11 +45,16 @@ REQUIRED_SECTIONS = {
     "replay": ("mean_s", "events_per_second"),
     "cold_start": ("unseeded", "seeded", "seeded_matches_or_beats"),
     "rpc": ("chatty", "dia_early_trigger", "replay_events_per_second"),
+    "faults": ("dia", "javanote"),
 }
 
 #: Minimum speedup the coalescing+caching data plane must show on the
 #: chatty remote-heavy scenario.
 RPC_MIN_SPEEDUP = 2.0
+
+#: Slack on the graceful-degradation inequality (pure float comparison
+#: of two long accumulations of link/cpu charges).
+FAULT_GUARD_TOLERANCE = 1.01
 
 
 def _time(func, rounds: int) -> dict:
@@ -317,6 +322,113 @@ def bench_rpc(rounds: int) -> dict:
     }
 
 
+def _offloadable_nodes(trace, top_n: int = 3) -> frozenset:
+    """The ``top_n`` unpinned classes by allocated bytes.
+
+    Forcing these onto the surrogate guarantees the fault scenarios
+    have real remote state to lose (the memory partitioning policy
+    refuses to offload these traces on a 64 MB client, where there is
+    no pressure to relieve).
+    """
+    from repro.emulator.events import AllocEvent
+
+    pinned = set(trace.pinned_classes(stateless_natives_ok=False))
+    pinned.add("<main>")
+    sizes: dict = {}
+    for event in trace.events:
+        if isinstance(event, AllocEvent) and event.class_name not in pinned:
+            sizes[event.class_name] = sizes.get(event.class_name, 0) + event.size
+    return frozenset(sorted(sizes, key=sizes.get, reverse=True)[:top_n])
+
+
+def _fault_run_summary(result) -> dict:
+    summary = {
+        "total_time_s": result.total_time,
+        "comm_time_s": result.comm_time,
+        "completed": result.completed,
+        "offloads": result.offload_count,
+    }
+    if result.faults is not None:
+        fr = result.faults
+        summary.update({
+            "spec": fr.spec,
+            "fault_time_s": fr.fault_time_s,
+            "retries": fr.retries,
+            "timeouts": fr.timeouts,
+            "duplicates_suppressed": fr.duplicates_suppressed,
+            "surrogate_lost": fr.surrogate_lost,
+            "lost_reason": fr.lost_reason,
+            "recoveries": fr.recoveries,
+            "objects_repatriated": fr.objects_repatriated,
+            "repatriated_bytes": fr.repatriated_bytes,
+            "downtime_s": fr.downtime_s,
+        })
+    return summary
+
+
+def bench_faults() -> dict:
+    """Fault injection: dia/javanote under crash-at-peak and 5% loss.
+
+    Four runs per application — all-local baseline, clean offloaded,
+    surrogate crash at peak remote residency, and a 5% lossy link —
+    plus a fifth that repeats the lossy run to check bit-identical
+    determinism.  The guards every report must satisfy:
+
+    * every run **completes** (faults degrade, they never wedge);
+    * **graceful**: a faulty run's useful-work time (total minus the
+      charged retry/backoff/downtime) lands no worse than the slower of
+      the two pure strategies (all-local and clean offloaded) — the
+      degraded run sits between the endpoints, not beyond them;
+    * **deterministic**: identical seed and spec give a byte-identical
+      :meth:`EmulationResult.fingerprint`.
+    """
+    from dataclasses import replace as dc_replace
+
+    from repro.emulator import FaultSpec
+    from repro.experiments.common import cpu_emulator_config
+
+    results = {}
+    for app in ("dia", "javanote"):
+        trace = cached_trace(app, MEMORY_WORKLOADS[app])
+        events = len(trace.events)
+        offload_at = max(1, events // 10)
+        nodes = _offloadable_nodes(trace)
+        config = dc_replace(
+            cpu_emulator_config(offload_at_event=offload_at),
+            forced_offload_nodes=nodes,
+        )
+        emulator = Emulator(trace)
+        baseline = emulator.replay(
+            dc_replace(config, offload_enabled=False)
+        )
+        clean = emulator.replay(config)
+        crash_spec = FaultSpec(seed=7, crash_at_event=2 * offload_at)
+        crash = emulator.replay(config.with_faults(crash_spec))
+        loss_spec = FaultSpec(seed=1, loss_rate=0.05)
+        loss = emulator.replay(config.with_faults(loss_spec))
+        rerun = emulator.replay(config.with_faults(loss_spec))
+
+        envelope = max(baseline.total_time, clean.total_time)
+        graceful = all(
+            faulty.total_time - faulty.fault_time
+            <= envelope * FAULT_GUARD_TOLERANCE
+            for faulty in (crash, loss)
+        )
+        results[app] = {
+            "events": events,
+            "offload_nodes": sorted(nodes),
+            "baseline_local": _fault_run_summary(baseline),
+            "clean": _fault_run_summary(clean),
+            "crash_at_peak": _fault_run_summary(crash),
+            "loss_5pct": _fault_run_summary(loss),
+            "all_completed": all(r.completed for r in
+                                 (baseline, clean, crash, loss)),
+            "graceful_ok": graceful,
+            "deterministic": loss.fingerprint() == rerun.fingerprint(),
+        }
+    return results
+
+
 def validate_report(report: dict) -> list:
     """Schema check: every required section and key, plus the guards."""
     problems = []
@@ -338,7 +450,50 @@ def validate_report(report: dict) -> list:
     cold = report.get("cold_start")
     if isinstance(cold, dict) and not cold.get("seeded_matches_or_beats"):
         problems.append("cold-start seeding regressed the dia scenario")
+    faults = report.get("faults")
+    if isinstance(faults, dict):
+        for app, body in faults.items():
+            if not isinstance(body, dict):
+                continue
+            if not body.get("all_completed"):
+                problems.append(f"faults.{app}: a faulty run did not complete")
+            if not body.get("graceful_ok"):
+                problems.append(
+                    f"faults.{app}: degraded run exceeded the "
+                    f"baseline-plus-fault-time envelope"
+                )
+            if not body.get("deterministic"):
+                problems.append(
+                    f"faults.{app}: seeded fault replay was not "
+                    f"bit-identical across two runs"
+                )
     return problems
+
+
+def validate_checked_in(path: Path) -> list:
+    """Schema problems with the checked-in report file.
+
+    The CI smoke job fails on these: a *missing* or unparseable file is
+    itself a regression (the bench trajectory must always carry a
+    valid, current-schema report), and so is a file that predates a
+    newly required section — the fix is to regenerate and commit it.
+    """
+    if not path.exists():
+        return [
+            f"checked-in {path.name} is missing "
+            f"(regenerate with: python -m benchmarks.report)"
+        ]
+    try:
+        checked_in = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        return [f"checked-in {path.name} is not valid JSON: {exc}"]
+    if not isinstance(checked_in, dict):
+        return [f"checked-in {path.name} is not a JSON object"]
+    return [
+        f"checked-in {path.name}: {problem} "
+        f"(regenerate with: python -m benchmarks.report)"
+        for problem in validate_report(checked_in)
+    ]
 
 
 def bench_replay(rounds: int) -> dict:
@@ -367,6 +522,7 @@ def build_report(rounds: int, quick: bool = False) -> dict:
         "replay": bench_replay(rounds),
         "cold_start": bench_cold_start(),
         "rpc": bench_rpc(rounds),
+        "faults": bench_faults(),
     }
 
 
@@ -396,12 +552,11 @@ def main(argv=None) -> int:
     report = build_report(rounds, quick=args.quick)
 
     problems = validate_report(report)
-    if args.quick and default_output.exists():
-        checked_in = json.loads(default_output.read_text())
-        problems.extend(
-            f"checked-in {REPORT_NAME}: {problem}"
-            for problem in validate_report(checked_in)
-        )
+    if args.quick:
+        # The checked-in report is part of the gate: a file that
+        # predates a newly required section (or went missing entirely)
+        # must fail CI, not slide through unvalidated.
+        problems.extend(validate_checked_in(default_output))
     if problems:
         for problem in problems:
             print(f"SCHEMA REGRESSION: {problem}")
@@ -443,6 +598,17 @@ def main(argv=None) -> int:
           f"{dia_rpc['optimized'].get('rtts_saved', 0)} round trips saved, "
           f"cache hit rate "
           f"{dia_rpc['optimized'].get('cache_hit_rate', 0.0):.2f}")
+    for app, body in report["faults"].items():
+        crash = body["crash_at_peak"]
+        loss = body["loss_5pct"]
+        print(f"faults {app}: baseline "
+              f"{body['baseline_local']['total_time_s']:.1f}s, "
+              f"crash-at-peak {crash['total_time_s']:.1f}s "
+              f"({crash['objects_repatriated']} objects repatriated), "
+              f"5% loss {loss['total_time_s']:.1f}s "
+              f"({loss['retries']} retries) "
+              f"[{'ok' if body['graceful_ok'] and body['all_completed'] else 'REGRESSION'}"
+              f"{', deterministic' if body['deterministic'] else ', NON-DETERMINISTIC'}]")
     if output is not None:
         print(f"wrote {output}")
     return 0

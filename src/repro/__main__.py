@@ -93,17 +93,50 @@ def _record(app_name: str, path: str) -> int:
     return 0
 
 
-def _replay(path: str, heap_mb: float, offload: bool) -> int:
+def _load_trace(source: str):
+    """Load a saved trace file, or record a bundled app by name."""
+    import os
+
+    from .emulator import Trace
+
+    if os.path.exists(source):
+        return Trace.load(source)
+    from .apps import ALL_APPLICATIONS
+    from .emulator import record_application
+
+    by_name = {cls().name: cls for cls in ALL_APPLICATIONS}
+    if source in by_name:
+        return record_application(by_name[source]())
+    raise FileNotFoundError(
+        f"{source!r} is neither a trace file nor a bundled app "
+        f"(apps: {', '.join(sorted(by_name))})")
+
+
+def _replay(source: str, heap_mb: float, offload: bool,
+            faults: str = None) -> int:
     from .config import DeviceProfile
-    from .emulator import Emulator, EmulatorConfig, Trace
+    from .emulator import Emulator, EmulatorConfig
+    from .net.faults import FaultSpec
     from .units import MB
 
-    trace = Trace.load(path)
+    try:
+        trace = _load_trace(source)
+    except FileNotFoundError as exc:
+        print(exc, file=sys.stderr)
+        return 2
     config = EmulatorConfig(
         client=DeviceProfile("client-dev", cpu_speed=1.0,
                              heap_capacity=int(heap_mb * MB)),
         offload_enabled=offload,
     )
+    if faults:
+        from .errors import ConfigurationError
+
+        try:
+            config = config.with_faults(FaultSpec.parse(faults))
+        except (ConfigurationError, ValueError) as exc:
+            print(f"bad --faults spec: {exc}", file=sys.stderr)
+            return 2
     result = Emulator(trace).replay(config)
     print(f"replayed {result.events_processed} events of "
           f"{trace.app_name!r} (heap {heap_mb:g}MB, "
@@ -116,6 +149,17 @@ def _replay(path: str, heap_mb: float, offload: bool) -> int:
           f"migration {result.migration_time:.1f}s)")
     print(f"  offloads: {result.offload_count}, remote interactions: "
           f"{result.remote_interactions}")
+    if result.faults is not None:
+        fr = result.faults
+        print(f"  faults [{fr.spec}]: fault time {fr.fault_time_s:.1f}s, "
+              f"{fr.retries} retries, {fr.timeouts} timeouts, "
+              f"{fr.duplicates_suppressed} duplicates suppressed")
+        if fr.surrogate_lost or fr.recoveries:
+            print(f"    surrogate lost ({fr.lost_reason}): "
+                  f"{fr.objects_repatriated} objects "
+                  f"({fr.repatriated_bytes} bytes) repatriated, "
+                  f"downtime {fr.downtime_s:.1f}s, "
+                  f"{fr.rediscoveries} rediscoveries")
     return 0 if result.completed else 1
 
 
@@ -162,6 +206,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "when PATH is omitted")
     parser.add_argument("--no-offload", action="store_true",
                         help="disable offloading for 'replay'")
+    parser.add_argument("--faults", metavar="SPEC",
+                        help="inject faults during 'replay': "
+                             "seed=N,loss=R,spike=R:S,partition=S:E,"
+                             "crash_at_event=N,crash_at_time=S")
     return parser
 
 
@@ -176,10 +224,11 @@ def main(argv=None) -> int:
         return _record(targets[1], targets[2])
     if targets[0] == "replay":
         if len(targets) != 2:
-            print("usage: python -m repro replay <path> [--heap-mb N] "
-                  "[--no-offload]", file=sys.stderr)
+            print("usage: python -m repro replay <path|app> [--heap-mb N] "
+                  "[--no-offload] [--faults SPEC]", file=sys.stderr)
             return 2
-        return _replay(targets[1], args.heap_mb, not args.no_offload)
+        return _replay(targets[1], args.heap_mb, not args.no_offload,
+                       args.faults)
     if targets[0] == "analyze":
         if len(targets) != 2:
             print("usage: python -m repro analyze <app> [--json [PATH]]",
@@ -193,7 +242,8 @@ def main(argv=None) -> int:
         print("  all      run everything")
         print("other commands:")
         print("  record <app> <path>   record a workload trace")
-        print("  replay <path>         replay a recorded trace")
+        print("  replay <path|app>     replay a recorded trace "
+              "(--faults injects failures)")
         print("  analyze <app>         static placement analysis "
               "(AIDE-Lint)")
         return 0

@@ -95,6 +95,7 @@ class OffloadingEngine(ExecutionListener):
         self.offload_count = 0
         self.refusal_count = 0
         self._attempting = False
+        self._suspended = False
 
     @property
     def partitioner(self) -> Partitioner:
@@ -140,9 +141,30 @@ class OffloadingEngine(ExecutionListener):
 
     # -- hook ------------------------------------------------------------
 
+    def suspend(self) -> None:
+        """Surrogate lost: stop proposing placements until rediscovery.
+
+        Monitoring continues (the graph keeps growing, which is what
+        makes the post-rediscovery warm start useful); only the control
+        loop's trigger path is parked.
+        """
+        self._suspended = True
+
+    def resume(self) -> None:
+        """A (replacement) surrogate is reachable again."""
+        self._suspended = False
+
+    @property
+    def suspended(self) -> bool:
+        return self._suspended
+
     def on_gc_report(self, report: GCReport, site: str) -> None:
         if self._attempting:
             # GC cycles caused by the migration itself must not re-enter.
+            return
+        if self._suspended:
+            # Client-only degraded mode: there is no surrogate to
+            # offload to, so trigger events are observed but not acted on.
             return
         if self.offload_count > 0 and self.reevaluate_every is not None:
             # Periodic re-evaluation is clock-driven and fires off any

@@ -10,6 +10,8 @@ from .events import (
     WorkEvent,
     event_from_row,
 )
+from ..net.faults import FaultReport, FaultSchedule, FaultSpec
+from ..rpc.retry import RetryPolicy
 from .recorder import TraceRecorder, collect_class_traits, record_application
 from .replay import EmulationResult, EmulatorConfig, ReplayOffload, TraceReplayer
 from .timemodel import (
@@ -26,10 +28,14 @@ __all__ = [
     "EmulationResult",
     "Emulator",
     "EmulatorConfig",
+    "FaultReport",
+    "FaultSchedule",
+    "FaultSpec",
     "FreeEvent",
     "InvokeEvent",
     "OverheadStudy",
     "ReplayOffload",
+    "RetryPolicy",
     "Trace",
     "TraceEvent",
     "TraceRecorder",

@@ -1,5 +1,6 @@
-"""Network substrate: link models, profiles, and traffic accounting."""
+"""Network substrate: link models, profiles, faults, and accounting."""
 
+from .faults import FaultReport, FaultSchedule, FaultSpec
 from .link import LinkModel
 from .stats import CategoryStats, TrafficStats
 from .wavelan import (
@@ -15,6 +16,9 @@ __all__ = [
     "BLUETOOTH_1MBPS",
     "CategoryStats",
     "ETHERNET_100MBPS",
+    "FaultReport",
+    "FaultSchedule",
+    "FaultSpec",
     "GPRS_50KBPS",
     "LinkModel",
     "TrafficStats",

@@ -1,0 +1,290 @@
+"""Deterministic fault injection for the emulated wireless link.
+
+The paper assumes the surrogate stays reachable for the lifetime of the
+offload; its monolithic-fallback framing (run everything on the client
+when no surrogate is usable) is exactly the degradation path a platform
+needs when the WaveLAN link drops mid-partition.  This module supplies
+the *fault model* half of that story:
+
+* :class:`FaultSpec` — a frozen, seedable description of what goes
+  wrong: independent message loss, latency spikes, link partitions of a
+  given duration, and a hard surrogate crash at event/time N.  Specs
+  parse from and render to a compact string (``"seed=42,loss=0.05"``)
+  so a failing CI scenario can be reproduced locally from its printed
+  form.
+* :class:`FaultSchedule` — the stateful overlay that sits in front of a
+  :class:`~repro.net.link.LinkModel`: every delivery attempt consults
+  it, and every verdict is drawn from a ``random.Random(seed)`` stream,
+  so identical seed + schedule means bit-identical behaviour.  All cost
+  it induces is charged to the *emulated* clock by its callers — the
+  schedule itself never touches wall time.
+* :class:`FaultReport` — the counters a faulty run surfaces (retries,
+  timeouts, dropped batches, downtime, objects repatriated).
+
+The recovery half — timeouts, bounded backoff, idempotent
+retransmission, and the client-only fallback — lives in
+:mod:`repro.rpc.retry` and the platform/emulator layers.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, fields
+from typing import Optional, Tuple
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """A deterministic description of link and surrogate failures.
+
+    ``partition_windows`` are ``(start_s, end_s)`` intervals of virtual
+    time during which no message crosses the link in either direction.
+    ``crash_at_event`` counts the *caller's* events (trace events in the
+    emulator, delivery exchanges on the live platform); once reached,
+    the surrogate never responds again.
+    """
+
+    seed: int = 0
+    loss_rate: float = 0.0
+    latency_spike_rate: float = 0.0
+    latency_spike_s: float = 0.050
+    partition_windows: Tuple[Tuple[float, float], ...] = ()
+    crash_at_event: Optional[int] = None
+    crash_at_time: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ConfigurationError(
+                f"loss_rate must be in [0, 1), got {self.loss_rate}"
+            )
+        if not 0.0 <= self.latency_spike_rate < 1.0:
+            raise ConfigurationError(
+                f"latency_spike_rate must be in [0, 1), got "
+                f"{self.latency_spike_rate}"
+            )
+        if self.latency_spike_s < 0:
+            raise ConfigurationError("latency_spike_s cannot be negative")
+        windows = tuple(sorted(tuple(w) for w in self.partition_windows))
+        last_end = None
+        for start, end in windows:
+            if end <= start or start < 0:
+                raise ConfigurationError(
+                    f"malformed partition window {start}:{end}"
+                )
+            if last_end is not None and start < last_end:
+                raise ConfigurationError("partition windows overlap")
+            last_end = end
+        object.__setattr__(self, "partition_windows", windows)
+        if self.crash_at_event is not None and self.crash_at_event < 0:
+            raise ConfigurationError("crash_at_event cannot be negative")
+        if self.crash_at_time is not None and self.crash_at_time < 0:
+            raise ConfigurationError("crash_at_time cannot be negative")
+
+    @property
+    def any_faults(self) -> bool:
+        return bool(
+            self.loss_rate
+            or self.latency_spike_rate
+            or self.partition_windows
+            or self.crash_at_event is not None
+            or self.crash_at_time is not None
+        )
+
+    # -- the printable form -------------------------------------------------
+
+    def canonical(self) -> str:
+        """Compact spec string; :meth:`parse` round-trips it exactly."""
+        parts = [f"seed={self.seed}"]
+        if self.loss_rate:
+            parts.append(f"loss={self.loss_rate:g}")
+        if self.latency_spike_rate:
+            parts.append(
+                f"spike={self.latency_spike_rate:g}:{self.latency_spike_s:g}"
+            )
+        for start, end in self.partition_windows:
+            parts.append(f"partition={start:g}:{end:g}")
+        if self.crash_at_event is not None:
+            parts.append(f"crash_at_event={self.crash_at_event}")
+        if self.crash_at_time is not None:
+            parts.append(f"crash_at_time={self.crash_at_time:g}")
+        return ",".join(parts)
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultSpec":
+        """Parse a ``key=value,...`` spec (the ``--faults`` CLI syntax).
+
+        Keys: ``seed``, ``loss``, ``spike=RATE:SECONDS``,
+        ``partition=START:END`` (repeatable), ``crash_at_event``,
+        ``crash_at_time``.
+        """
+        kwargs: dict = {}
+        windows = []
+        for chunk in text.split(","):
+            chunk = chunk.strip()
+            if not chunk:
+                continue
+            if "=" not in chunk:
+                raise ConfigurationError(
+                    f"fault spec entry {chunk!r} is not key=value"
+                )
+            key, value = chunk.split("=", 1)
+            key = key.strip()
+            value = value.strip()
+            try:
+                if key == "seed":
+                    kwargs["seed"] = int(value)
+                elif key == "loss":
+                    kwargs["loss_rate"] = float(value)
+                elif key == "spike":
+                    rate, _, seconds = value.partition(":")
+                    kwargs["latency_spike_rate"] = float(rate)
+                    if seconds:
+                        kwargs["latency_spike_s"] = float(seconds)
+                elif key == "partition":
+                    start, _, end = value.partition(":")
+                    windows.append((float(start), float(end)))
+                elif key == "crash_at_event":
+                    kwargs["crash_at_event"] = int(value)
+                elif key == "crash_at_time":
+                    kwargs["crash_at_time"] = float(value)
+                else:
+                    raise ConfigurationError(
+                        f"unknown fault spec key {key!r}"
+                    )
+            except ValueError as exc:
+                raise ConfigurationError(
+                    f"bad fault spec value {chunk!r}: {exc}"
+                ) from None
+        if windows:
+            kwargs["partition_windows"] = tuple(windows)
+        return cls(**kwargs)
+
+
+@dataclass
+class FaultReport:
+    """What the faults cost one run, and how recovery went.
+
+    ``fault_time_s`` is every second the fault machinery charged to the
+    emulated clock (timeouts, backoff, partition waits, latency
+    spikes); subtracting it from a faulty run's total recovers the
+    useful-work time the degradation guards compare against the
+    all-local baseline.
+    """
+
+    spec: str = ""
+    retries: int = 0
+    timeouts: int = 0
+    dropped_batches: int = 0
+    duplicates_suppressed: int = 0
+    latency_spikes: int = 0
+    partition_waits: int = 0
+    fault_time_s: float = 0.0
+    surrogate_lost: bool = False
+    lost_reason: str = ""
+    recoveries: int = 0
+    rediscoveries: int = 0
+    objects_repatriated: int = 0
+    repatriated_bytes: int = 0
+    downtime_s: float = 0.0
+    epochs_survived: int = 0
+
+    def as_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+class FaultSchedule:
+    """Seeded, stateful fault verdicts for one run.
+
+    One schedule instance serves one run: every consult draws from the
+    same seeded stream, in caller order, so two runs that replay the
+    same operation sequence under equal specs see identical faults.
+    Construct a fresh schedule (or call :meth:`reset`) per run.
+    """
+
+    def __init__(self, spec: FaultSpec) -> None:
+        self.spec = spec
+        self.rng = random.Random(spec.seed)
+        self._crashed = False
+        self._crash_armed = True
+
+    def reset(self) -> None:
+        """Rewind to the start of the fault stream (a fresh run)."""
+        self.rng = random.Random(self.spec.seed)
+        self._crashed = False
+        self._crash_armed = True
+
+    # -- hard crash ---------------------------------------------------------
+
+    def crashed(self, events: int, now: float) -> bool:
+        """Has the surrogate hard-crashed by event ``events`` / ``now``?
+
+        Sticky: once the crash condition has been observed the surrogate
+        never comes back (short of :meth:`revive`, which models a
+        replacement surrogate being discovered).
+        """
+        if self._crashed:
+            return True
+        if not self._crash_armed:
+            return False
+        spec = self.spec
+        if spec.crash_at_event is not None and events >= spec.crash_at_event:
+            self._crashed = True
+        if spec.crash_at_time is not None and now >= spec.crash_at_time:
+            self._crashed = True
+        return self._crashed
+
+    def revive(self) -> None:
+        """A replacement surrogate appeared: clear the crash latch.
+
+        Disarms the crash condition too — the spec describes the *old*
+        surrogate's death, and ``events >= crash_at_event`` stays true
+        forever, so the replacement must not immediately re-crash.
+        """
+        self._crashed = False
+        self._crash_armed = False
+
+    # -- link verdicts ------------------------------------------------------
+
+    def partition_until(self, now: float) -> Optional[float]:
+        """End of the partition window covering ``now``, if any."""
+        for start, end in self.spec.partition_windows:
+            if start <= now < end:
+                return end
+        return None
+
+    def drops_message(self) -> bool:
+        """One delivery attempt: lost?  (One draw per call.)"""
+        if not self.spec.loss_rate:
+            return False
+        return self.rng.random() < self.spec.loss_rate
+
+    def lost_leg_is_ack(self) -> bool:
+        """A lost exchange: did the *response* leg vanish?
+
+        When the acknowledgement (not the request) was lost, the
+        receiver already applied the operation — the retransmission must
+        be recognised as a duplicate, not applied again.  (One draw per
+        call; only drawn for exchanges already judged lost.)
+        """
+        return self.rng.random() < 0.5
+
+    def latency_spike(self) -> float:
+        """Extra one-way delay for this delivery (0.0 when no spike)."""
+        if not self.spec.latency_spike_rate:
+            return 0.0
+        if self.rng.random() < self.spec.latency_spike_rate:
+            return self.spec.latency_spike_s
+        return 0.0
+
+
+#: A ready-made lossy-link scenario used by docs and smoke tests.
+LOSSY_5PCT = FaultSpec(seed=1, loss_rate=0.05)
+
+__all__ = [
+    "FaultReport",
+    "FaultSchedule",
+    "FaultSpec",
+    "LOSSY_5PCT",
+]

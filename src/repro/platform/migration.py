@@ -14,7 +14,7 @@ work (reverse migration on re-evaluation).
 
 from __future__ import annotations
 
-from typing import FrozenSet, List, Set, Tuple
+from typing import FrozenSet, List, Optional, Set, Tuple
 
 from ..core.engine import MigrationOutcome
 from ..core.graph import node_class, object_node_id
@@ -22,6 +22,7 @@ from ..errors import MigrationError
 from ..net.link import LinkModel
 from ..net.stats import TrafficStats
 from ..rpc.marshal import MESSAGE_HEADER_BYTES
+from ..rpc.retry import ReliableDelivery
 from ..vm.hooks import HookFanout
 from ..vm.objectmodel import JObject
 from ..vm.vm import VirtualMachine
@@ -42,6 +43,7 @@ class Migrator:
         hooks: HookFanout,
         traffic: TrafficStats,
         object_granularity_classes: Set[str] = frozenset(),
+        delivery: Optional[ReliableDelivery] = None,
     ) -> None:
         self.client = client
         self.surrogate = surrogate
@@ -49,6 +51,19 @@ class Migrator:
         self.hooks = hooks
         self.traffic = traffic
         self.object_granularity_classes = set(object_granularity_classes)
+        #: Optional reliability layer: when present, every migration
+        #: stream opens with one fault-checked exchange *before* any
+        #: object changes residency, so a surrogate crash mid-migration
+        #: leaves both heaps exactly as they were.
+        self.delivery = delivery
+        #: Sequence number of the delivery exchange that opened the last
+        #: migration stream (for at-most-once application of retried
+        #: streams; 0 when no migration has run under a delivery layer).
+        self.last_migration_seq = 0
+
+    @property
+    def peer_lost(self) -> bool:
+        return self.delivery is not None and self.delivery.peer_dead
 
     # -- placement interpretation ------------------------------------------------
 
@@ -77,6 +92,10 @@ class Migrator:
         for node in offload_nodes:
             if node_class(node) == "<main>":
                 raise MigrationError("the application entry point cannot move")
+        if self.peer_lost:
+            # The surrogate is unreachable; recovery already pulled its
+            # state home and owns residency until rediscovery.
+            return MigrationOutcome()
         outgoing = self._select(self.client, offload_nodes, to_surrogate=True)
         returning = self._select(self.surrogate, offload_nodes, to_surrogate=False)
         moved_bytes = 0
@@ -87,6 +106,11 @@ class Migrator:
             moved_bytes += nbytes
             moved_objects += len(outgoing)
             seconds += duration
+        if self.peer_lost:
+            # The peer died under the outgoing stream: recovery has run,
+            # the ``returning`` objects are already home — do not touch
+            # them again.
+            return MigrationOutcome()
         if returning:
             nbytes, duration = self._move(returning, self.surrogate, self.client)
             moved_bytes += nbytes
@@ -106,6 +130,15 @@ class Migrator:
             obj.size_bytes + PER_OBJECT_OVERHEAD_BYTES for obj in objects
         )
         total = payload + MESSAGE_HEADER_BYTES
+        # Exchange before mutate: the stream's opening message must
+        # survive the fault gauntlet before any object changes
+        # residency.  A crash here aborts the whole stream un-applied —
+        # recovery (triggered inside the failed exchange) sees both
+        # heaps exactly as they were.
+        if self.delivery is not None:
+            if not self.delivery.attempt():
+                return 0, 0.0
+            self.last_migration_seq = self.delivery.exchanges
         # Capacity check before touching either heap, so a failed
         # migration leaves residency unchanged.
         incoming = sum(obj.size_bytes for obj in objects)
@@ -130,4 +163,38 @@ class Migrator:
 
     def return_everything(self) -> MigrationOutcome:
         """Bring every offloaded object home (platform teardown)."""
+        if self.peer_lost:
+            return self.repatriate_unreachable()
         return self.apply_placement(frozenset())
+
+    def repatriate_unreachable(self) -> MigrationOutcome:
+        """Rebuild every surrogate-resident object on the client.
+
+        The surrogate is gone, so nothing travels the wire and nothing
+        is charged to the link or the clock: the client *reconstructs*
+        the lost state from its own bookkeeping (the reference map and
+        monitored field traffic give it every object it ever saw leave),
+        which the emulation models as adopting the same object records
+        back into the client heap.  A pre-recovery collection runs if
+        the reconstructed state would not fit as-is.
+        """
+        stranded = list(self.surrogate.heap.objects())
+        if not stranded:
+            return MigrationOutcome()
+        incoming = sum(obj.size_bytes for obj in stranded)
+        if self.client.heap.free < incoming:
+            self.client.collect_garbage("recovery")
+        moved_bytes = 0
+        for obj in stranded:
+            self.surrogate.evict(obj)
+            self.client.adopt(obj)
+            moved_bytes += obj.size_bytes
+        self.hooks.on_offload(
+            sorted({obj.class_name for obj in stranded}),
+            0, self.surrogate.name, self.client.name,
+        )
+        return MigrationOutcome(
+            moved_bytes=moved_bytes,
+            moved_objects=len(stranded),
+            seconds=0.0,
+        )

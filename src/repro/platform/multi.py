@@ -103,15 +103,15 @@ class MultiSurrogateRuntime(Runtime):
                 f"no link to surrogate {surrogate_name!r}"
             ) from None
 
-    def transfer(self, from_site: str, to_site: str, nbytes: int) -> None:
+    def transfer(self, from_site: str, to_site: str, nbytes: int) -> bool:
         if from_site == to_site:
-            return
+            return True
         client_name = self._client.name
         if from_site == client_name or to_site == client_name:
             surrogate = to_site if from_site == client_name else from_site
             self._client.clock.advance(self.link_to(surrogate).one_way(nbytes))
             self.traffic.record(nbytes, category="rpc")
-            return
+            return True
         # Surrogate-to-surrogate: relay through the client.
         self._client.clock.advance(
             self.link_to(from_site).one_way(nbytes)
@@ -119,6 +119,7 @@ class MultiSurrogateRuntime(Runtime):
         )
         self.traffic.record(nbytes, category="rpc")
         self.traffic.record(nbytes, category="rpc")
+        return True
 
     # -- allocation spill -----------------------------------------------------
     #

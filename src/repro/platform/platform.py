@@ -25,11 +25,13 @@ from ..core.policy import (
     PartitionPolicy,
 )
 from ..errors import PlatformError
+from ..net.faults import FaultReport, FaultSchedule, FaultSpec
 from ..net.link import LinkModel
 from ..net.stats import TrafficStats
 from ..net.wavelan import WAVELAN_11MBPS
 from ..rpc.batch import DataPlane, DataPlaneConfig
 from ..rpc.channel import RpcChannel
+from ..rpc.retry import ReliableDelivery, RetryPolicy
 from ..rpc.distgc import CrossHeapRootScanner
 from ..vm.classloader import ClassRegistry
 from ..vm.clock import VirtualClock
@@ -60,6 +62,11 @@ class DistributedRuntime(Runtime):
         self._client = client_vm
         self.link = link
         self.traffic = traffic
+        #: Optional reliability layer.  When present, every cross-site
+        #: transfer runs the fault gauntlet first (drops, retries,
+        #: partitions, crash detection); the base link charge below only
+        #: happens for delivered messages.
+        self.delivery: Optional[ReliableDelivery] = None
 
     def client(self) -> VirtualMachine:
         return self._client
@@ -79,13 +86,19 @@ class DistributedRuntime(Runtime):
             raise PlatformError(f"site {vm.name!r} already registered")
         self._vms[vm.name] = vm
 
-    def transfer(self, from_site: str, to_site: str, nbytes: int) -> None:
+    def transfer(self, from_site: str, to_site: str, nbytes: int) -> bool:
         if from_site == to_site:
-            return
+            return True
         self.vm(from_site)  # validate both endpoints
         self.vm(to_site)
+        if self.delivery is not None and not self.delivery.attempt():
+            # The peer was declared dead under this exchange; recovery
+            # has already run (via ``on_peer_lost``) and the caller must
+            # resolve the operation locally instead of charging it.
+            return False
         self._client.clock.advance(self.link.one_way(nbytes))
         self.traffic.record(nbytes, category="rpc")
+        return True
 
 
 @dataclass
@@ -109,6 +122,11 @@ class PlatformReport:
     rpc_rtts_saved: int = 0
     rpc_bytes_saved: int = 0
     pruned_handles: int = 0
+    #: Recovery section (``None`` when no fault injection was
+    #: configured): the :class:`~repro.net.faults.FaultReport` counters
+    #: — retries, timeouts, downtime charged, objects repatriated,
+    #: partitioning epochs survived — as a plain dict.
+    faults: Optional[dict] = None
 
 
 class DistributedPlatform:
@@ -130,6 +148,8 @@ class DistributedPlatform:
         registry: Optional[ClassRegistry] = None,
         install_stdlib: bool = True,
         data_plane: Optional[DataPlaneConfig] = None,
+        faults: Optional[FaultSpec] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         self.client_config = client_config or VMConfig(device=JORNADA)
         self.surrogate_config = surrogate_config or VMConfig(device=PC_SURROGATE)
@@ -153,6 +173,30 @@ class DistributedPlatform:
         self.runtime = DistributedRuntime(
             self.client.vm, self.surrogate.vm, link, self.traffic
         )
+        # Fault injection and the recovery ladder.  With a spec, every
+        # cross-site exchange runs through ReliableDelivery: seeded
+        # drops/spikes/partitions, bounded retransmission, and — on a
+        # declared surrogate death — the graceful-degradation callback.
+        self.fault_spec = faults
+        self.retry_policy = retry if retry is not None else RetryPolicy()
+        self.fault_report = FaultReport(
+            spec=faults.canonical() if faults is not None else ""
+        )
+        self.fault_schedule = (
+            FaultSchedule(faults) if faults is not None else None
+        )
+        self.delivery: Optional[ReliableDelivery] = None
+        if faults is not None:
+            self.delivery = ReliableDelivery(
+                self.retry_policy,
+                schedule=self.fault_schedule,
+                charge=self.clock.advance,
+                counters=self.fault_report,
+                now=lambda: self.clock.now,
+                on_peer_lost=self._on_surrogate_lost,
+            )
+        self.runtime.delivery = self.delivery
+        self._lost_at: Optional[float] = None
         dp_config = data_plane if data_plane is not None else DataPlaneConfig()
         self.data_plane = (
             DataPlane(dp_config, link, self.runtime.transfer)
@@ -178,6 +222,7 @@ class DistributedPlatform:
             self.hooks,
             self.traffic,
             object_granularity_classes=granularity,
+            delivery=self.delivery,
         )
         self.partitioner = Partitioner(
             partition_policy or offload_policy.make_partition_policy(),
@@ -202,7 +247,8 @@ class DistributedPlatform:
         self.hooks.add(self.engine)
 
         self.channel = RpcChannel(
-            self.ctx, self.client.vm.name, self.surrogate.vm.name
+            self.ctx, self.client.vm.name, self.surrogate.vm.name,
+            delivery=self.delivery,
         )
         self._wire_gc(self.client.vm)
         self._wire_gc(self.surrogate.vm)
@@ -310,6 +356,65 @@ class DistributedPlatform:
         self.client.vm.collect_garbage("post-offload")
         return outcome
 
+    # -- failure and recovery (graceful degradation) ---------------------------
+
+    def _on_surrogate_lost(self, reason: str) -> None:
+        """The delivery layer declared the surrogate dead: degrade.
+
+        Runs, in order: drain the in-flight coalesced batch (it died
+        with the peer, un-charged), invalidate the remote read cache,
+        park the offloading engine, reconstruct every unreachable
+        remote object client-side, and clear the now-meaningless export
+        tables.  After this the platform is a client-only monolith;
+        every subsequent "remote" operation resolves locally.
+        """
+        report = self.fault_report
+        report.recoveries += 1
+        self._lost_at = self.clock.now
+        # 1. In-flight batches died with the peer — drop them un-charged
+        #    before anything (a GC barrier, the report) could flush them.
+        if self.data_plane is not None:
+            self.data_plane.drop_pending()
+            # 2. Cached remote reads describe state that no longer exists.
+            self.data_plane.note_migration()
+        # 3. No more placements until a surrogate is reachable again.
+        self.engine.suspend()
+        # 4. Rebuild the unreachable state client-side (zero wire charge).
+        outcome = self.migrator.repatriate_unreachable()
+        report.objects_repatriated += outcome.moved_objects
+        report.repatriated_bytes += outcome.moved_bytes
+        # 5. Neither side can resolve the other's handles any more.
+        for refmap in self.channel.exports.values():
+            refmap.clear()
+
+    @property
+    def surrogate_lost(self) -> bool:
+        return self.delivery is not None and self.delivery.peer_dead
+
+    def rediscover(self, attempt_offload: bool = True):
+        """A replacement surrogate was discovered: leave degraded mode.
+
+        Closes the downtime window, revives the delivery layer (the
+        crash latch disarms — the spec described the *old* surrogate's
+        death), resumes the offloading engine, and warm-starts a fresh
+        partitioning epoch from the incremental session, so the new
+        placement comes out of a warm MINCUT instead of a cold one.
+        Returns the warm-start :class:`OffloadEvent` (or ``None`` when
+        ``attempt_offload`` is false).
+        """
+        if not self.surrogate_lost:
+            raise PlatformError("no lost surrogate to rediscover")
+        report = self.fault_report
+        if self._lost_at is not None:
+            report.downtime_s += self.clock.now - self._lost_at
+            self._lost_at = None
+        self.delivery.revive()
+        self.engine.resume()
+        report.rediscoveries += 1
+        if attempt_offload:
+            return self.engine.attempt()
+        return None
+
     # -- running applications ------------------------------------------------------
 
     def run(self, app) -> PlatformReport:
@@ -319,6 +424,30 @@ class DistributedPlatform:
         app.install(self.registry)
         app.main(self.ctx)
         return self.report(app.name)
+
+    def _faults_section(self) -> Optional[dict]:
+        """The report's recovery section (``None`` without injection)."""
+        if self.delivery is None:
+            return None
+        report = self.fault_report
+        # Mirror the reliability counters into the execution monitor's
+        # RemoteCounters, where the rest of the remote-op accounting
+        # lives.
+        remote = self.monitor.remote
+        remote.retries = report.retries
+        remote.timeouts = report.timeouts
+        remote.duplicates_suppressed = report.duplicates_suppressed
+        remote.fault_time_s = report.fault_time_s
+        if self.data_plane is not None:
+            report.dropped_batches = self.data_plane.stats.dropped_batches
+        remote.dropped_batches = report.dropped_batches
+        report.epochs_survived = len(self.engine.performed_events)
+        section = report.as_dict()
+        if self._lost_at is not None:
+            # The downtime window is still open: charge it up to "now"
+            # without closing it (report() must stay idempotent).
+            section["downtime_s"] += self.clock.now - self._lost_at
+        return section
 
     def report(self, app_name: str = "") -> PlatformReport:
         if self.data_plane is not None:
@@ -342,6 +471,7 @@ class DistributedPlatform:
             rpc_rtts_saved=dp_stats.rtts_saved if dp_stats else 0,
             rpc_bytes_saved=dp_stats.bytes_saved if dp_stats else 0,
             pruned_handles=self.channel.pruned_handles,
+            faults=self._faults_section(),
         )
 
     @property

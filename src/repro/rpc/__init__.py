@@ -24,6 +24,7 @@ from .marshal import (
 )
 from .proxy import RemoteProxy, RemoteStub
 from .refmap import ReferenceMap
+from .retry import ReliableDelivery, RetryPolicy
 
 __all__ = [
     "CacheStats",
@@ -35,9 +36,11 @@ __all__ = [
     "MESSAGE_HEADER_BYTES",
     "REFERENCE_BYTES",
     "ReferenceMap",
+    "ReliableDelivery",
     "RemoteProxy",
     "RemoteReadCache",
     "RemoteStub",
+    "RetryPolicy",
     "RpcChannel",
     "RpcCoalescer",
     "WIRE_FORMAT_VERSION",

@@ -40,6 +40,9 @@ FLUSH_RESULT = "result-dependency"
 FLUSH_GC = "gc-barrier"
 FLUSH_MIGRATION = "migration-barrier"
 FLUSH_SHUTDOWN = "shutdown"
+#: Not a flush: the batch was discarded un-charged because the
+#: surrogate died with it in flight (recovery drains, it never lands).
+DROP_RECOVERY = "recovery-drop"
 
 
 @dataclass(frozen=True)
@@ -100,6 +103,10 @@ class DataPlaneStats:
     actual_seconds: float = 0.0
     flushes: Dict[str, int] = field(default_factory=dict)
     cache: CacheStats = field(default_factory=CacheStats)
+    #: Batches discarded un-applied because the surrogate died with
+    #: them in flight (their ops were lost, not charged).
+    dropped_batches: int = 0
+    dropped_ops: int = 0
 
     @property
     def rtts_saved(self) -> int:
@@ -130,6 +137,8 @@ class DataPlaneStats:
             "bytes_saved": self.bytes_saved,
             "seconds_saved": self.seconds_saved,
             "flushes": dict(self.flushes),
+            "dropped_batches": self.dropped_batches,
+            "dropped_ops": self.dropped_ops,
             "cache_hits": self.cache.hits,
             "cache_misses": self.cache.misses,
             "cache_hit_rate": self.cache.hit_rate,
@@ -159,6 +168,11 @@ class RpcCoalescer:
         self._pending_ops = 0
         self._out_bytes = 0
         self._back_bytes = 0
+        #: Sequence number of the last batch put on the wire.  Batches
+        #: are numbered so the retransmission layer
+        #: (:class:`~repro.rpc.retry.ReliableDelivery`) can recognise a
+        #: retried batch and apply it exactly once.
+        self.last_seq = 0
 
     # -- the operation stream ---------------------------------------------
 
@@ -223,8 +237,29 @@ class RpcCoalescer:
         self._out_bytes = 0
         self._back_bytes = 0
         self._direction = None
+        self.last_seq += 1
         self._transfer(initiator, responder, request)
         self._transfer(responder, initiator, response)
+
+    def drop_pending(self) -> int:
+        """Discard the in-flight batch un-charged (surrogate death).
+
+        The buffered operations were lost with the peer: they are
+        *not* transferred and their bytes never reach the wire — the
+        recovery path reconstructs their effects client-side instead.
+        Returns the number of operations dropped.
+        """
+        dropped = self._pending_ops
+        if dropped:
+            stats = self.stats
+            stats.dropped_batches += 1
+            stats.dropped_ops += dropped
+            stats.note_flush(DROP_RECOVERY)
+        self._pending_ops = 0
+        self._out_bytes = 0
+        self._back_bytes = 0
+        self._direction = None
+        return dropped
 
     def gc_barrier(self) -> None:
         """Flush before a collection cycle's pause accounting."""
@@ -265,6 +300,12 @@ class DataPlane:
     def flush(self, reason: str = FLUSH_SHUTDOWN) -> None:
         if self.coalescer is not None:
             self.coalescer.flush(reason)
+
+    def drop_pending(self) -> int:
+        """Surrogate death: discard the in-flight batch un-charged."""
+        if self.coalescer is not None:
+            return self.coalescer.drop_pending()
+        return 0
 
     def gc_barrier(self) -> None:
         if self.coalescer is not None:

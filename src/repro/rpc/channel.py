@@ -34,6 +34,7 @@ if TYPE_CHECKING:  # avoid a circular import with repro.vm.context
 from .marshal import WireCodec
 from .proxy import RemoteStub
 from .refmap import ReferenceMap
+from .retry import ReliableDelivery
 
 #: Modelled service time of one backlogged RPC while every worker is
 #: busy: roughly a null WaveLAN one-way (protocol work plus dispatch).
@@ -94,11 +95,17 @@ class RpcChannel:
     def __init__(
         self, ctx: "ExecutionContext", site_a: str, site_b: str,
         pool_size: int = 4,
+        delivery: Optional[ReliableDelivery] = None,
     ) -> None:
         if site_a == site_b:
             raise RemoteInvocationError("a channel joins two distinct sites")
         self.ctx = ctx
         self.sites = (site_a, site_b)
+        #: Optional reliability layer: when present, every explicit RPC
+        #: is a sequence-numbered exchange — retransmitted requests are
+        #: applied exactly once, and a dead peer degrades the call into
+        #: local execution against the repatriated object.
+        self.delivery = delivery
         self.exports: Dict[str, ReferenceMap] = {
             site_a: ReferenceMap(site_a),
             site_b: ReferenceMap(site_b),
@@ -170,39 +177,69 @@ class RpcChannel:
         """
         target = self.resolve(stub)
         caller = self._peer_of(target.home)
-        wire_request = self._send(caller, {
-            "op": "invoke",
-            "handle": stub.handle,
-            "method": method,
-            "args": list(args),
-        })
-        request = self._receive(caller, wire_request)
-        serving = self._map_for(target.home).resolve(request["handle"])
-        with self.pools[target.home].serve():
-            result = self.ctx.invoke(serving, request["method"],
-                                     *request["args"])
+
+        def serve():
+            wire_request = self._send(caller, {
+                "op": "invoke",
+                "handle": stub.handle,
+                "method": method,
+                "args": list(args),
+            })
+            request = self._receive(caller, wire_request)
+            serving = self._map_for(target.home).resolve(request["handle"])
+            with self.pools[target.home].serve():
+                return self.ctx.invoke(serving, request["method"],
+                                       *request["args"])
+
+        if self.delivery is None:
+            result = serve()
+        else:
+            delivered, result = self.delivery.exchange(serve)
+            if not delivered:
+                # The peer died under this call.  Recovery has already
+                # repatriated its state, so the invocation completes
+                # client-side against the (now local) object.
+                return self.ctx.invoke(target, method, *args)
         wire_response = self._send(target.home,
                                    {"op": "result", "value": result})
         return self._receive(target.home, wire_response)["value"]
 
     def get_field(self, stub: RemoteStub, field_name: str) -> Any:
         target = self.resolve(stub)
-        with self.pools[target.home].serve():
-            value = self.ctx.get_field(target, field_name)
+
+        def serve():
+            with self.pools[target.home].serve():
+                return self.ctx.get_field(target, field_name)
+
+        if self.delivery is None:
+            value = serve()
+        else:
+            delivered, value = self.delivery.exchange(serve)
+            if not delivered:
+                return self.ctx.get_field(target, field_name)
         wire = self._send(target.home, {"op": "result", "value": value})
         return self._receive(target.home, wire)["value"]
 
     def set_field(self, stub: RemoteStub, field_name: str, value: Any) -> None:
         target = self.resolve(stub)
         caller = self._peer_of(target.home)
-        wire = self._send(caller, {
-            "op": "set", "handle": stub.handle,
-            "field": field_name, "value": value,
-        })
-        request = self._receive(caller, wire)
-        serving = self._map_for(target.home).resolve(request["handle"])
-        with self.pools[target.home].serve():
-            self.ctx.set_field(serving, request["field"], request["value"])
+
+        def serve():
+            wire = self._send(caller, {
+                "op": "set", "handle": stub.handle,
+                "field": field_name, "value": value,
+            })
+            request = self._receive(caller, wire)
+            serving = self._map_for(target.home).resolve(request["handle"])
+            with self.pools[target.home].serve():
+                self.ctx.set_field(serving, request["field"], request["value"])
+
+        if self.delivery is None:
+            serve()
+            return
+        delivered, _ = self.delivery.exchange(serve)
+        if not delivered:
+            self.ctx.set_field(target, field_name, value)
 
     # -- GC barrier and statistics -------------------------------------------------
 

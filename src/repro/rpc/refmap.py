@@ -74,6 +74,18 @@ class ReferenceMap:
             )
         del self._by_oid[obj.oid]
 
+    def clear(self) -> int:
+        """Drop every export; returns how many handles were discarded.
+
+        Used by the recovery path after a surrogate death: the peer can
+        no longer resolve any handle, and the repatriated objects get
+        fresh exports if a replacement surrogate is attached.
+        """
+        count = len(self._by_handle)
+        self._by_handle.clear()
+        self._by_oid.clear()
+        return count
+
     def prune_dead(self) -> int:
         """Remove exports whose objects have been collected; return count."""
         dead = [h for h, obj in self._by_handle.items() if not obj.alive]

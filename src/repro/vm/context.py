@@ -61,8 +61,15 @@ class Runtime:
     def vms(self) -> Iterable[VirtualMachine]:
         raise NotImplementedError
 
-    def transfer(self, from_site: str, to_site: str, nbytes: int) -> None:
-        """Move one message of ``nbytes`` between sites, charging time."""
+    def transfer(self, from_site: str, to_site: str, nbytes: int) -> bool:
+        """Move one message of ``nbytes`` between sites, charging time.
+
+        Returns ``True`` when the message was delivered.  ``False``
+        means the peer was declared dead under this exchange — the
+        runtime has already run its recovery (state repatriated, future
+        operations local), and the caller must re-resolve placement
+        instead of charging the transfer.
+        """
         raise NotImplementedError
 
     def new_instance(self, site: str, cls) -> "JObject":
@@ -96,7 +103,7 @@ class SingleVMRuntime(Runtime):
     def vms(self) -> Iterable[VirtualMachine]:
         return (self._vm,)
 
-    def transfer(self, from_site: str, to_site: str, nbytes: int) -> None:
+    def transfer(self, from_site: str, to_site: str, nbytes: int) -> bool:
         raise StaleObjectError(
             "single-VM runtime cannot transfer between sites "
             f"({from_site!r} -> {to_site!r})"
@@ -309,7 +316,12 @@ class ExecutionContext:
             self.data_plane.coalescer if self.data_plane is not None else None
         )
         if remote and coalescer is None:
-            self.runtime.transfer(caller_site, exec_site, message_size(arg_bytes))
+            if not self.runtime.transfer(caller_site, exec_site,
+                                         message_size(arg_bytes)):
+                # The surrogate died under the request: recovery has
+                # repatriated its state, so the call resolves locally.
+                exec_site = self._exec_site(mdef, target)
+                remote = exec_site != caller_site
 
         frame = Frame(exec_site, callee_class, target.oid if target else None)
         if target is not None:
@@ -462,11 +474,17 @@ class ExecutionContext:
             else:
                 dp.coalescer.read(accessor_site, owner_site, nbytes)
         elif is_write:
-            self.runtime.transfer(accessor_site, owner_site, message_size(nbytes))
-            self.runtime.transfer(owner_site, accessor_site, message_size(0))
+            # The ack leg only travels if the request was delivered; a
+            # dead peer means recovery already made the write local.
+            if self.runtime.transfer(accessor_site, owner_site,
+                                     message_size(nbytes)):
+                self.runtime.transfer(owner_site, accessor_site,
+                                      message_size(0))
         else:
-            self.runtime.transfer(accessor_site, owner_site, message_size(0))
-            self.runtime.transfer(owner_site, accessor_site, message_size(nbytes))
+            if self.runtime.transfer(accessor_site, owner_site,
+                                     message_size(0)):
+                self.runtime.transfer(owner_site, accessor_site,
+                                      message_size(nbytes))
         return False
 
     # -- static data (always on the client) ----------------------------------------

@@ -1,0 +1,166 @@
+"""Fault injection in the trace replayer: degrade, recover, replay."""
+
+import pytest
+
+from repro.emulator.events import AllocEvent, InvokeEvent, WorkEvent
+from repro.net.faults import FaultSpec
+from repro.rpc.retry import RetryPolicy
+from repro.units import KB
+
+from tests.emulator.test_replay import config, make_trace
+
+
+def remote_heavy_trace(invokes=40, work_each=0.0):
+    """Offload app.Engine early, then keep crossing the link."""
+    events = [
+        AllocEvent(1, "app.Data", 40 * KB, "app.Engine", None),
+        AllocEvent(2, "app.Data", 30 * KB, "app.Engine", None),
+    ]
+    for _ in range(invokes):
+        events.append(InvokeEvent("<main>", None, "app.Engine", None,
+                                  "run", "instance", False, 16, 8))
+        if work_each:
+            events.append(WorkEvent("ui.Screen", None, work_each))
+    return make_trace(events)
+
+
+def replay(trace, spec=None, **kwargs):
+    from repro.emulator.replay import TraceReplayer
+
+    kwargs.setdefault("tolerance", 1)
+    if spec is not None:
+        kwargs["faults"] = spec
+    return TraceReplayer(trace, config(**kwargs)).run()
+
+
+class TestFaultPlumbing:
+    def test_no_spec_means_no_report(self):
+        result = replay(remote_heavy_trace())
+        assert result.faults is None
+        assert result.fault_time == 0.0
+
+    def test_empty_spec_charges_nothing(self):
+        clean = replay(remote_heavy_trace())
+        nulled = replay(remote_heavy_trace(), FaultSpec(seed=9))
+        assert nulled.faults is not None
+        assert nulled.faults.retries == 0
+        assert nulled.fault_time == 0.0
+        assert nulled.total_time == pytest.approx(clean.total_time)
+        assert nulled.comm_time == pytest.approx(clean.comm_time)
+
+    def test_fault_time_is_a_separate_bucket(self):
+        clean = replay(remote_heavy_trace())
+        lossy = replay(remote_heavy_trace(), FaultSpec(seed=1, loss_rate=0.2))
+        assert lossy.completed
+        assert lossy.faults.retries > 0
+        assert lossy.fault_time == lossy.faults.fault_time_s
+        # Loss only ever adds retransmission wait: strip the fault
+        # bucket and the useful-work time is the clean run's.
+        assert lossy.total_time - lossy.fault_time == pytest.approx(
+            clean.total_time
+        )
+
+
+class TestSurrogateCrash:
+    def test_crash_degrades_to_monolithic(self):
+        clean = replay(remote_heavy_trace())
+        crashed = replay(remote_heavy_trace(),
+                         FaultSpec(seed=0, crash_at_event=10))
+        assert crashed.completed
+        assert crashed.events_processed == clean.events_processed
+        report = crashed.faults
+        assert report.surrogate_lost
+        assert report.lost_reason == "crash"
+        assert report.recoveries == 1
+        assert report.objects_repatriated > 0
+        assert report.repatriated_bytes > 0
+        # Post-crash invokes resolve locally: strictly less remote
+        # traffic than the clean run.
+        assert crashed.remote_invocations < clean.remote_invocations
+
+    def test_crash_before_offload_reverts_to_unmodified_vm(self):
+        # The surrogate dies before the rescue: the client is back to
+        # the paper's unmodified-VM baseline and runs out of memory —
+        # a graceful failure (result, not exception).
+        result = replay(remote_heavy_trace(),
+                        FaultSpec(seed=0, crash_at_event=0))
+        assert not result.completed
+        assert result.oom_time is not None
+        assert result.offload_count == 0
+        assert result.faults.surrogate_lost
+        assert result.remote_invocations == 0
+
+    def test_crash_at_time(self):
+        result = replay(remote_heavy_trace(work_each=0.5),
+                        FaultSpec(seed=0, crash_at_time=3.0))
+        assert result.completed
+        assert result.faults.surrogate_lost
+
+
+class TestPartitions:
+    def test_short_partition_is_waited_out(self):
+        # The window closes well inside the retry ladder's patience, so
+        # the replayer waits instead of declaring the surrogate dead.
+        spec = FaultSpec(seed=0, partition_windows=((0.0, 0.010),))
+        result = replay(remote_heavy_trace(), spec)
+        assert result.completed
+        assert result.faults.partition_waits >= 1
+        assert not result.faults.surrogate_lost
+
+    def test_long_partition_kills_then_reattaches(self):
+        # The outage starts after a successful offload and outlasts
+        # give_up_s: the surrogate is declared dead mid-run, local work
+        # advances virtual time past the window's end, and the replayer
+        # auto-reattaches and resumes offloading.
+        policy = RetryPolicy()
+        window = (0.5, 0.5 + policy.give_up_s * 3)
+        events = [
+            AllocEvent(1, "app.Data", 40 * KB, "app.Engine", None),
+            AllocEvent(2, "app.Data", 30 * KB, "app.Engine", None),
+            WorkEvent("ui.Screen", None, 0.6),  # into the window
+            InvokeEvent("<main>", None, "app.Engine", None, "run",
+                        "instance", False, 16, 8),  # peer declared dead
+        ]
+        # Enough local work to cross the window's far edge, then remote
+        # traffic that must flow again after reattachment.
+        events += [WorkEvent("ui.Screen", None, 0.2) for _ in range(10)]
+        events += [
+            InvokeEvent("<main>", None, "app.Engine", None, "run",
+                        "instance", False, 16, 8)
+            for _ in range(5)
+        ]
+        spec = FaultSpec(seed=0, partition_windows=(window,))
+        result = replay(make_trace(events), spec)
+        assert result.completed
+        report = result.faults
+        assert report.lost_reason == "partition"
+        assert report.recoveries == 1
+        assert report.rediscoveries == 1
+        assert report.downtime_s > 0.0
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("spec", [
+        FaultSpec(seed=1, loss_rate=0.2),
+        FaultSpec(seed=0, crash_at_event=10),
+        FaultSpec(seed=2, loss_rate=0.1, latency_spike_rate=0.1),
+    ])
+    def test_identical_specs_fingerprint_identically(self, spec):
+        first = replay(remote_heavy_trace(), spec)
+        second = replay(remote_heavy_trace(), spec)
+        assert first.fingerprint() == second.fingerprint()
+
+    def test_spec_string_round_trips_into_report(self):
+        spec = FaultSpec(seed=1, loss_rate=0.2)
+        result = replay(remote_heavy_trace(), spec)
+        assert result.faults.spec == spec.canonical()
+        assert FaultSpec.parse(result.faults.spec) == spec
+
+
+class TestConfigSurface:
+    def test_with_faults_is_non_destructive(self):
+        base = config()
+        faulty = base.with_faults(FaultSpec(seed=3, loss_rate=0.01))
+        assert base.faults is None
+        assert faulty.faults is not None
+        assert faulty.client is base.client

@@ -29,6 +29,9 @@ def make_platform(
     flags=EnhancementFlags(),
     single_shot=True,
     gc=None,
+    faults=None,
+    retry=None,
+    data_plane=None,
 ):
     gc = gc or quiet_gc()
     client_config = VMConfig(
@@ -54,6 +57,9 @@ def make_platform(
         offload_policy=policy,
         flags=flags,
         single_shot=single_shot,
+        faults=faults,
+        retry=retry,
+        data_plane=data_plane,
     )
 
 

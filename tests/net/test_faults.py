@@ -1,0 +1,128 @@
+"""Unit tests for the deterministic fault model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.faults import LOSSY_5PCT, FaultSchedule, FaultSpec
+
+
+class TestFaultSpec:
+    def test_defaults_inject_nothing(self):
+        spec = FaultSpec()
+        assert not spec.any_faults
+        assert spec.canonical() == "seed=0"
+
+    @pytest.mark.parametrize("text", [
+        "seed=42",
+        "seed=42,loss=0.05",
+        "seed=7,spike=0.1:0.25",
+        "seed=1,partition=5:9,partition=20:30",
+        "seed=3,crash_at_event=100",
+        "seed=3,crash_at_time=12.5",
+        "seed=9,loss=0.02,spike=0.01:0.05,partition=1:2,crash_at_event=50",
+    ])
+    def test_parse_canonical_round_trip(self, text):
+        spec = FaultSpec.parse(text)
+        assert FaultSpec.parse(spec.canonical()) == spec
+        assert spec.canonical() == text
+
+    def test_parse_tolerates_whitespace_and_empty_chunks(self):
+        spec = FaultSpec.parse(" seed=5 , loss=0.1 ,")
+        assert spec.seed == 5
+        assert spec.loss_rate == pytest.approx(0.1)
+
+    def test_partition_windows_are_sorted(self):
+        spec = FaultSpec(seed=0, partition_windows=((20.0, 30.0), (5.0, 9.0)))
+        assert spec.partition_windows == ((5.0, 9.0), (20.0, 30.0))
+
+    @pytest.mark.parametrize("kwargs", [
+        {"loss_rate": 1.0},
+        {"loss_rate": -0.1},
+        {"latency_spike_rate": 1.5},
+        {"latency_spike_s": -1.0},
+        {"partition_windows": ((5.0, 5.0),)},
+        {"partition_windows": ((9.0, 5.0),)},
+        {"partition_windows": ((-1.0, 5.0),)},
+        {"partition_windows": ((0.0, 10.0), (5.0, 20.0))},
+        {"crash_at_event": -1},
+        {"crash_at_time": -0.5},
+    ])
+    def test_invalid_specs_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(**kwargs)
+
+    @pytest.mark.parametrize("text", [
+        "bogus=1",
+        "seed",
+        "loss=lots",
+        "crash_at_event=soon",
+    ])
+    def test_malformed_spec_strings_rejected(self, text):
+        with pytest.raises(ConfigurationError):
+            FaultSpec.parse(text)
+
+    def test_lossy_preset(self):
+        assert LOSSY_5PCT.loss_rate == pytest.approx(0.05)
+        assert LOSSY_5PCT.any_faults
+
+
+class TestFaultSchedule:
+    def test_same_seed_same_verdict_stream(self):
+        spec = FaultSpec(seed=42, loss_rate=0.3, latency_spike_rate=0.2)
+        first = FaultSchedule(spec)
+        second = FaultSchedule(spec)
+        verdicts = lambda s: [(s.drops_message(), s.latency_spike())
+                              for _ in range(200)]
+        assert verdicts(first) == verdicts(second)
+
+    def test_reset_rewinds_the_stream(self):
+        schedule = FaultSchedule(FaultSpec(seed=9, loss_rate=0.5))
+        first = [schedule.drops_message() for _ in range(50)]
+        schedule.reset()
+        assert [schedule.drops_message() for _ in range(50)] == first
+
+    def test_zero_rates_draw_nothing(self):
+        schedule = FaultSchedule(FaultSpec(seed=1))
+        state = schedule.rng.getstate()
+        assert not schedule.drops_message()
+        assert schedule.latency_spike() == 0.0
+        # No faults configured means no RNG draws: the stream position
+        # (hence determinism) cannot depend on clean-path traffic.
+        assert schedule.rng.getstate() == state
+
+    def test_crash_at_event_is_sticky(self):
+        schedule = FaultSchedule(FaultSpec(seed=0, crash_at_event=10))
+        assert not schedule.crashed(9, 0.0)
+        assert schedule.crashed(10, 0.0)
+        # Sticky: even an earlier event index keeps it crashed.
+        assert schedule.crashed(0, 0.0)
+
+    def test_crash_at_time(self):
+        schedule = FaultSchedule(FaultSpec(seed=0, crash_at_time=5.0))
+        assert not schedule.crashed(0, 4.9)
+        assert schedule.crashed(0, 5.0)
+
+    def test_revive_disarms_the_crash_condition(self):
+        schedule = FaultSchedule(FaultSpec(seed=0, crash_at_event=10))
+        assert schedule.crashed(10, 0.0)
+        schedule.revive()
+        # events >= crash_at_event stays true forever; the replacement
+        # surrogate must not instantly re-crash.
+        assert not schedule.crashed(11, 0.0)
+        assert not schedule.crashed(10_000, 1e9)
+
+    def test_reset_rearms_after_revive(self):
+        schedule = FaultSchedule(FaultSpec(seed=0, crash_at_event=1))
+        schedule.crashed(1, 0.0)
+        schedule.revive()
+        schedule.reset()
+        assert schedule.crashed(1, 0.0)
+
+    def test_partition_until(self):
+        spec = FaultSpec(seed=0, partition_windows=((5.0, 9.0), (20.0, 30.0)))
+        schedule = FaultSchedule(spec)
+        assert schedule.partition_until(4.9) is None
+        assert schedule.partition_until(5.0) == 9.0
+        assert schedule.partition_until(8.9) == 9.0
+        assert schedule.partition_until(9.0) is None
+        assert schedule.partition_until(25.0) == 30.0

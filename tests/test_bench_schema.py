@@ -1,0 +1,83 @@
+"""The benchmark report's schema gate (exercised by CI's --quick job)."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from benchmarks.report import (
+    REQUIRED_SECTIONS,
+    validate_checked_in,
+    validate_report,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+CHECKED_IN = REPO_ROOT / "BENCH_hotpath.json"
+
+
+def minimal_valid_report():
+    """The checked-in report, as a mutable fixture base."""
+    return json.loads(CHECKED_IN.read_text())
+
+
+class TestValidateReport:
+    def test_checked_in_report_is_current_schema(self):
+        assert validate_checked_in(CHECKED_IN) == []
+
+    @pytest.mark.parametrize("section", sorted(REQUIRED_SECTIONS))
+    def test_missing_section_is_a_regression(self, section):
+        report = minimal_valid_report()
+        del report[section]
+        problems = validate_report(report)
+        assert any(f"missing section {section!r}" in p for p in problems)
+
+    def test_missing_faults_key_is_a_regression(self):
+        report = minimal_valid_report()
+        del report["faults"]["dia"]
+        problems = validate_report(report)
+        assert any("faults" in p and "dia" in p for p in problems)
+
+    def test_failed_fault_guard_is_a_regression(self):
+        report = minimal_valid_report()
+        report["faults"]["dia"]["graceful_ok"] = False
+        problems = validate_report(report)
+        assert any("faults.dia" in p and "envelope" in p for p in problems)
+
+    def test_nondeterministic_faults_are_a_regression(self):
+        report = minimal_valid_report()
+        report["faults"]["javanote"]["deterministic"] = False
+        problems = validate_report(report)
+        assert any("faults.javanote" in p and "bit-identical" in p
+                   for p in problems)
+
+
+class TestValidateCheckedIn:
+    def test_missing_file_names_the_fix(self, tmp_path):
+        problems = validate_checked_in(tmp_path / "BENCH_hotpath.json")
+        assert len(problems) == 1
+        assert "missing" in problems[0]
+        assert "python -m benchmarks.report" in problems[0]
+
+    def test_unparseable_file_is_reported(self, tmp_path):
+        path = tmp_path / "BENCH_hotpath.json"
+        path.write_text("{not json")
+        problems = validate_checked_in(path)
+        assert len(problems) == 1
+        assert "not valid JSON" in problems[0]
+
+    def test_non_object_payload_is_reported(self, tmp_path):
+        path = tmp_path / "BENCH_hotpath.json"
+        path.write_text("[1, 2, 3]")
+        assert "not a JSON object" in validate_checked_in(path)[0]
+
+    def test_stale_schema_points_at_regeneration(self, tmp_path):
+        # A report from before the faults section existed must fail
+        # with an actionable message — this is the SCHEMA REGRESSION
+        # path the CI smoke job enforces.
+        report = minimal_valid_report()
+        del report["faults"]
+        path = tmp_path / "BENCH_hotpath.json"
+        path.write_text(json.dumps(report))
+        problems = validate_checked_in(path)
+        assert any("missing section 'faults'" in p for p in problems)
+        assert all("regenerate with" in p for p in problems)

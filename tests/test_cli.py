@@ -68,6 +68,45 @@ class TestRecordReplayCli:
         assert main(["replay"]) == 2
         assert "usage" in capsys.readouterr().err
 
+    def test_replay_accepts_bundled_app_name(self, capsys):
+        assert main(["replay", "dia"]) == 0
+        out = capsys.readouterr().out
+        assert "'dia'" in out
+        assert "completed: True" in out
+
+    def test_replay_unknown_source(self, capsys):
+        assert main(["replay", "no-such-thing"]) == 2
+        err = capsys.readouterr().err
+        assert "neither a trace file nor a bundled app" in err
+
+
+class TestFaultInjectionCli:
+    def test_lossy_replay_prints_fault_counters(self, capsys):
+        assert main(["replay", "dia", "--faults", "seed=7,loss=0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "faults [seed=7,loss=0.05]" in out
+        assert "retries" in out
+        assert "completed: True" in out
+
+    def test_crash_replay_reports_recovery(self, capsys):
+        assert main(["replay", "dia", "--faults",
+                     "seed=7,crash_at_event=4000"]) == 0
+        out = capsys.readouterr().out
+        assert "surrogate lost (crash)" in out
+        assert "repatriated" in out
+
+    def test_bad_fault_spec_is_a_usage_error(self, capsys):
+        assert main(["replay", "dia", "--faults", "bogus=1"]) == 2
+        err = capsys.readouterr().err
+        assert "bad --faults spec" in err
+
+    def test_clean_replay_prints_no_fault_line(self, tmp_path, capsys):
+        path = str(tmp_path / "dia.trace")
+        main(["record", "dia", path])
+        capsys.readouterr()
+        assert main(["replay", path]) == 0
+        assert "faults [" not in capsys.readouterr().out
+
 
 class TestJsonExport:
     def test_json_payload_written(self, tmp_path, capsys):
