@@ -94,13 +94,14 @@ def _record(app_name: str, path: str) -> int:
 
 
 def _load_trace(source: str):
-    """Load a saved trace file, or record a bundled app by name."""
+    """Load a saved trace file (JSONL or .ctrace), or record a bundled
+    app by name."""
     import os
 
-    from .emulator import Trace
+    from .emulator import load_any
 
     if os.path.exists(source):
-        return Trace.load(source)
+        return load_any(source)
     from .apps import ALL_APPLICATIONS
     from .emulator import record_application
 
@@ -112,10 +113,37 @@ def _load_trace(source: str):
         f"(apps: {', '.join(sorted(by_name))})")
 
 
+def _convert(src: str, dst: str) -> int:
+    """``trace convert``: JSONL <-> columnar, by destination suffix."""
+    from .emulator import ColumnarTrace, write_ctrace
+    from .errors import TraceFormatError
+
+    try:
+        trace = _load_trace(src)
+    except (FileNotFoundError, TraceFormatError) as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    if dst.endswith(".ctrace"):
+        write_ctrace(trace, dst)
+        kind = "columnar"
+    else:
+        if isinstance(trace, ColumnarTrace):
+            trace = trace.to_trace()
+        trace.save(dst)
+        kind = "jsonl"
+    print(f"converted {len(trace)} events of {trace.app_name!r} "
+          f"to {kind} at {dst}")
+    return 0
+
+
 def _replay(source: str, heap_mb: float, offload: bool,
-            faults: str = None) -> int:
+            faults: str = None, workers: int = 1, clients: int = 1,
+            trace_format: str = "auto") -> int:
     from .config import DeviceProfile
-    from .emulator import Emulator, EmulatorConfig
+    from .emulator import (
+        ColumnarTrace, Emulator, EmulatorConfig, ShardedReplayer,
+        replicate,
+    )
     from .net.faults import FaultSpec
     from .units import MB
 
@@ -124,6 +152,10 @@ def _replay(source: str, heap_mb: float, offload: bool,
     except FileNotFoundError as exc:
         print(exc, file=sys.stderr)
         return 2
+    if trace_format == "ctrace":
+        trace = ColumnarTrace.from_trace(trace)
+    elif trace_format == "jsonl" and isinstance(trace, ColumnarTrace):
+        trace = trace.to_trace()
     config = EmulatorConfig(
         client=DeviceProfile("client-dev", cpu_speed=1.0,
                              heap_capacity=int(heap_mb * MB)),
@@ -137,6 +169,19 @@ def _replay(source: str, heap_mb: float, offload: bool,
         except (ConfigurationError, ValueError) as exc:
             print(f"bad --faults spec: {exc}", file=sys.stderr)
             return 2
+    if clients > 1 or workers > 1:
+        shards = replicate(trace, config, clients=max(clients, 1))
+        aggregate = ShardedReplayer(shards, workers=workers).run()
+        print(f"replayed {aggregate.events_processed} events of "
+              f"{trace.app_name!r} across {len(shards)} client(s) "
+              f"on {aggregate.workers} worker(s)")
+        print(f"  completed: {aggregate.completed_clients}/"
+              f"{len(shards)} clients "
+              f"({aggregate.oom_clients} out of memory)")
+        print(f"  wall time: {aggregate.wall_time_s:.2f}s "
+              f"({aggregate.events_per_second / 1e6:.2f}M ev/s aggregate)")
+        print(f"  fingerprint: {aggregate.fingerprint()}")
+        return 0 if aggregate.completed_clients == len(shards) else 1
     result = Emulator(trace).replay(config)
     print(f"replayed {result.events_processed} events of "
           f"{trace.app_name!r} (heap {heap_mb:g}MB, "
@@ -196,11 +241,22 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "targets", nargs="*",
         help="experiment names (see 'list'), 'all', "
-             "'record <app> <path>', 'replay <path>', or "
-             "'analyze <app>'",
+             "'record <app> <path>', 'replay <path>', "
+             "'trace convert <in> <out>', or 'analyze <app>'",
     )
     parser.add_argument("--heap-mb", type=float, default=6.0,
                         help="client heap for 'replay' (default 6)")
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="replay worker processes (default 1; >1 "
+                             "shards clients across cores)")
+    parser.add_argument("--clients", type=int, default=1, metavar="N",
+                        help="emulated clients for 'replay' (default 1; "
+                             "each replays the trace independently)")
+    parser.add_argument("--format", dest="trace_format", default="auto",
+                        choices=("auto", "jsonl", "ctrace"),
+                        help="in-memory trace representation for "
+                             "'replay': columnar (ctrace) uses the "
+                             "batched dispatch loop (default: as loaded)")
     parser.add_argument("--json", metavar="PATH", nargs="?", const="-",
                         help="write reports as JSON: to PATH, or to stdout "
                              "when PATH is omitted")
@@ -225,10 +281,21 @@ def main(argv=None) -> int:
     if targets[0] == "replay":
         if len(targets) != 2:
             print("usage: python -m repro replay <path|app> [--heap-mb N] "
-                  "[--no-offload] [--faults SPEC]", file=sys.stderr)
+                  "[--no-offload] [--faults SPEC] [--workers N] "
+                  "[--clients N] [--format ctrace]", file=sys.stderr)
             return 2
         return _replay(targets[1], args.heap_mb, not args.no_offload,
-                       args.faults)
+                       args.faults, workers=args.workers,
+                       clients=args.clients,
+                       trace_format=args.trace_format)
+    if targets[0] == "trace":
+        if len(targets) != 4 or targets[1] != "convert":
+            print("usage: python -m repro trace convert <in> <out> "
+                  "(suffix picks the format: .ctrace = columnar, "
+                  "anything else = JSONL, .gz = gzipped)",
+                  file=sys.stderr)
+            return 2
+        return _convert(targets[2], targets[3])
     if targets[0] == "analyze":
         if len(targets) != 2:
             print("usage: python -m repro analyze <app> [--json [PATH]]",
@@ -243,7 +310,10 @@ def main(argv=None) -> int:
         print("other commands:")
         print("  record <app> <path>   record a workload trace")
         print("  replay <path|app>     replay a recorded trace "
-              "(--faults injects failures)")
+              "(--faults injects failures; --workers/--clients "
+              "shard across cores)")
+        print("  trace convert <in> <out>  convert a trace between "
+              "JSONL and columnar (.ctrace)")
         print("  analyze <app>         static placement analysis "
               "(AIDE-Lint)")
         return 0

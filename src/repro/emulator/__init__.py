@@ -12,6 +12,14 @@ from .events import (
 )
 from ..net.faults import FaultReport, FaultSchedule, FaultSpec
 from ..rpc.retry import RetryPolicy
+from .columnar import ColumnarTrace, read_ctrace, write_ctrace
+from .parallel import (
+    AggregateReplayResult,
+    ClientReplay,
+    ReplayShard,
+    ShardedReplayer,
+    replicate,
+)
 from .recorder import TraceRecorder, collect_class_traits, record_application
 from .replay import EmulationResult, EmulatorConfig, ReplayOffload, TraceReplayer
 from .timemodel import (
@@ -20,11 +28,14 @@ from .timemodel import (
     remote_access_cost,
     remote_invoke_cost,
 )
-from .traces import Trace
+from .traces import Trace, load_any
 
 __all__ = [
     "AccessEvent",
+    "AggregateReplayResult",
     "AllocEvent",
+    "ClientReplay",
+    "ColumnarTrace",
     "EmulationResult",
     "Emulator",
     "EmulatorConfig",
@@ -35,7 +46,9 @@ __all__ = [
     "InvokeEvent",
     "OverheadStudy",
     "ReplayOffload",
+    "ReplayShard",
     "RetryPolicy",
+    "ShardedReplayer",
     "Trace",
     "TraceEvent",
     "TraceRecorder",
@@ -44,9 +57,13 @@ __all__ = [
     "WorkEvent",
     "collect_class_traits",
     "event_from_row",
+    "load_any",
     "migration_cost",
     "migration_payload",
+    "read_ctrace",
     "record_application",
     "remote_access_cost",
     "remote_invoke_cost",
+    "replicate",
+    "write_ctrace",
 ]

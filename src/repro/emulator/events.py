@@ -129,24 +129,58 @@ class WorkEvent:
 TraceEvent = Union[AllocEvent, FreeEvent, InvokeEvent, AccessEvent, WorkEvent]
 
 
-def event_from_row(row: list) -> TraceEvent:
-    """Inverse of ``to_row``; raises TraceFormatError on bad input."""
+def _alloc_from_row(row: list) -> AllocEvent:
+    return AllocEvent(row[1], row[2], row[3], row[4], row[5])
+
+
+def _free_from_row(row: list) -> FreeEvent:
+    return FreeEvent(row[1])
+
+
+def _invoke_from_row(row: list) -> InvokeEvent:
+    return InvokeEvent(row[1], row[2], row[3], row[4], row[5],
+                       row[6], bool(row[7]), row[8], row[9])
+
+
+def _access_from_row(row: list) -> AccessEvent:
+    return AccessEvent(row[1], row[2], row[3], row[4], row[5],
+                       bool(row[6]), bool(row[7]))
+
+
+def _work_from_row(row: list) -> WorkEvent:
+    return WorkEvent(row[1], row[2], row[3])
+
+
+#: tag -> (expected row arity, constructor).  Arity is validated up
+#: front so a short or padded row fails with the tag and expected width
+#: rather than surfacing as an opaque downstream exception.
+ROW_DECODERS = {
+    "A": (6, _alloc_from_row),
+    "F": (2, _free_from_row),
+    "I": (10, _invoke_from_row),
+    "D": (8, _access_from_row),
+    "W": (4, _work_from_row),
+}
+
+
+def event_from_row(row: list, line: Optional[int] = None) -> TraceEvent:
+    """Inverse of ``to_row``; raises TraceFormatError on bad input.
+
+    ``line`` is the 1-based line number of the row in its source file,
+    included in error messages so a misparsed trace points at the
+    offending line instead of only echoing the row.
+    """
+    where = f" (line {line})" if line is not None else ""
     if not row:
-        raise TraceFormatError("empty trace row")
+        raise TraceFormatError(f"empty trace row{where}")
     tag = row[0]
-    try:
-        if tag == "A":
-            return AllocEvent(row[1], row[2], row[3], row[4], row[5])
-        if tag == "F":
-            return FreeEvent(row[1])
-        if tag == "I":
-            return InvokeEvent(row[1], row[2], row[3], row[4], row[5],
-                               row[6], bool(row[7]), row[8], row[9])
-        if tag == "D":
-            return AccessEvent(row[1], row[2], row[3], row[4], row[5],
-                               bool(row[6]), bool(row[7]))
-        if tag == "W":
-            return WorkEvent(row[1], row[2], row[3])
-    except (IndexError, TypeError) as exc:
-        raise TraceFormatError(f"malformed trace row {row!r}") from exc
-    raise TraceFormatError(f"unknown trace event tag {tag!r}")
+    decoder = ROW_DECODERS.get(tag)
+    if decoder is None:
+        raise TraceFormatError(f"unknown trace event tag {tag!r}{where}")
+    arity, build = decoder
+    if len(row) != arity:
+        raise TraceFormatError(
+            f"trace row tagged {tag!r} has {len(row)} fields, "
+            f"expected {arity}{where}: {row!r}"
+        )
+    return build(row)

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import asdict, dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple, Union
 
 from ..config import DeviceProfile, EnhancementFlags, GCConfig, JORNADA, PC_SURROGATE
 from ..core.graph import ExecutionGraph, object_node_id
@@ -42,6 +42,17 @@ from ..rpc.batch import DataPlaneConfig, DataPlaneStats, RpcCoalescer
 from ..rpc.cache import RemoteReadCache
 from ..rpc.retry import ReliableDelivery, RetryPolicy
 from ..vm.gc import GCReport, default_pause_model
+from .columnar import (
+    ColumnarTrace,
+    FLAG_STATELESS,
+    FLAG_STATIC,
+    FLAG_WRITE,
+    TAG_ACCESS,
+    TAG_ALLOC,
+    TAG_FREE,
+    TAG_INVOKE,
+    TAG_WORK,
+)
 from .events import (
     AccessEvent,
     AllocEvent,
@@ -229,9 +240,17 @@ class EmulationResult:
 
 
 class TraceReplayer:
-    """Replays one trace under one configuration."""
+    """Replays one trace under one configuration.
 
-    def __init__(self, trace: Trace, config: EmulatorConfig) -> None:
+    Accepts either representation of a trace: the row-oriented
+    :class:`~repro.emulator.traces.Trace` replays through the per-event
+    handler loop, a :class:`~repro.emulator.columnar.ColumnarTrace`
+    through the batched columnar loop (same semantics, same
+    fingerprint, several times the throughput).
+    """
+
+    def __init__(self, trace: Union[Trace, ColumnarTrace],
+                 config: EmulatorConfig) -> None:
         self.trace = trace
         self.config = config
         # Object residency and bookkeeping.
@@ -513,6 +532,11 @@ class TraceReplayer:
     # -- the replay loop ------------------------------------------------------
 
     def run(self) -> EmulationResult:
+        if isinstance(self.trace, ColumnarTrace) and self._delivery is None:
+            # The batched loop does not thread the fault gauntlet's
+            # per-exchange callbacks; faulty configs take the (equally
+            # correct) per-event path below.
+            return self._run_columnar(self.trace)
         handlers = {
             AllocEvent: self._replay_alloc,
             FreeEvent: self._replay_free,
@@ -551,6 +575,10 @@ class TraceReplayer:
                 self._attempt_offload(reevaluation=True)
             if self.result.oom:
                 break
+        return self._finish_run()
+
+    def _finish_run(self) -> EmulationResult:
+        """Close out a replay (shared by the per-event and batched loops)."""
         self._flush_interactions()
         if self._coalescer is not None:
             self._coalescer.flush()
@@ -567,6 +595,632 @@ class TraceReplayer:
         self.result.reeval = self._session.stats
         self.result.data_plane = self._dp_stats
         return self.result
+
+    def _run_columnar(self, trace: ColumnarTrace) -> EmulationResult:
+        """Batched dispatch over a columnar trace.
+
+        Semantically this is :meth:`run`'s per-event loop with the five
+        handlers inlined: the same operations happen in the same order
+        with the same floating-point arithmetic, so serial and columnar
+        replays of one trace produce bit-identical fingerprints (the
+        parity tests in ``tests/emulator`` enforce this).  The speed
+        comes from batch-decoding the columns into plain lists once and
+        hoisting every per-event attribute/config lookup out of the
+        loop; mutable replayer state lives in locals and is spilled to
+        (and reloaded from) the instance only around the rare cold
+        calls — GC cycles, partitioning attempts, surrogate-side
+        reclaims, coalesced transfers.
+        """
+        cols = trace.column_lists()
+        strings = trace.strings
+        tags = cols["tags"]
+        a_cls, a_oid = cols["a_cls"], cols["a_oid"]
+        b_cls, b_oid = cols["b_cls"], cols["b_oid"]
+        k_id, flags = cols["k_id"], cols["flags"]
+        n1, n2, f64 = cols["n1"], cols["n2"], cols["f64"]
+
+        config = self.config
+        result = self.result
+        graph = self.graph
+        client_speed = config.client.cpu_speed
+        surrogate_speed = config.surrogate.cpu_speed
+        capacity = config.client.heap_capacity
+        space_frac = config.gc.space_pressure_fraction
+        allocs_per_cycle = config.gc.allocations_per_cycle
+        bytes_per_cycle = config.gc.bytes_per_cycle
+        monitoring_cost = config.monitoring_event_cost
+        link = config.link
+        offload_at = config.offload_at_event
+        reevaluate_every = config.reevaluate_every
+        offload_enabled = config.offload_enabled
+        stateless_local = config.flags.stateless_natives_local
+
+        # String-id tables: mkind comparisons and node naming become
+        # integer work.  Ids that cannot occur compare unequal to every
+        # column cell.
+        native_id = static_id = -2
+        for sid, name in enumerate(strings):
+            if name == "native":
+                native_id = sid
+            elif name == "static":
+                static_id = sid
+        granular_ids = {
+            sid for sid, name in enumerate(strings)
+            if name in self._granular_classes
+        }
+        array_ids = {
+            sid for sid, name in enumerate(strings)
+            if name.endswith("[]")
+        }
+
+        # Wire-cost memo tables: the cost helpers are pure in
+        # (link, payload, direction) and traces reuse a handful of
+        # payload sizes, so each distinct size is priced exactly once —
+        # the cached float is the same object the helper returned,
+        # keeping accounting bit-identical.
+        access_cost_memo: Dict[Tuple[int, int], float] = {}
+        access_memo_get = access_cost_memo.get
+        invoke_cost_memo: Dict[Tuple[int, int], float] = {}
+        invoke_memo_get = invoke_cost_memo.get
+
+        site_map = self._site
+        site_get = site_map.get
+        size_map = self._size
+        class_map = self._class
+        cache = self._cache
+        cache_invalidate = cache.invalidate if cache is not None else None
+        cache_note_read = cache.note_read if cache is not None else None
+        static_key = RemoteReadCache.static_key
+        coalescer = self._coalescer
+        graph_record = graph.record_interaction
+        graph_add_cpu = graph.add_cpu
+        graph_add_memory = graph.add_memory
+        graph_note_created = graph.note_object_created
+        graph_ensure = graph.ensure_node
+
+        # Hoisted mutable state (spilled/reloaded around cold calls).
+        now = self._now
+        client_live = self._client_live
+        surrogate_live = self._surrogate_live
+        allocs_since_gc = self._allocs_since_gc
+        bytes_since_gc = self._bytes_since_gc
+        last_reeval = self._last_reevaluation
+        class_on_surrogate = self._class_on_surrogate
+        pend_pair = self._pending_edge
+        pend_bytes = self._pending_edge_bytes
+        pend_count = self._pending_edge_count
+        cpu_client = result.cpu_time_client
+        cpu_surrogate = result.cpu_time_surrogate
+        comm_time = result.comm_time
+        monitoring_time = result.monitoring_time
+        remote_invocations = result.remote_invocations
+        remote_native = result.remote_native_invocations
+        remote_accesses = result.remote_accesses
+        remote_bytes = result.remote_bytes
+        peak_client = result.peak_client_bytes
+        ep = 0
+        oom = False
+
+        CLIENT_ = CLIENT
+        SURROGATE_ = SURROGATE
+        for i, tag in enumerate(tags):
+            if tag == TAG_ACCESS:
+                # -- inline _replay_access --------------------------------
+                acid = a_cls[i]
+                accessor_class = strings[acid]
+                ao = a_oid[i]
+                if ao >= 0:
+                    accessor_site = site_get(ao)
+                    if accessor_site is None:
+                        accessor_site = (
+                            SURROGATE_
+                            if accessor_class in class_on_surrogate
+                            else CLIENT_
+                        )
+                else:
+                    accessor_site = (
+                        SURROGATE_ if accessor_class in class_on_surrogate
+                        else CLIENT_
+                    )
+                bcid = b_cls[i]
+                owner_class = strings[bcid]
+                oo = b_oid[i]
+                fl = flags[i]
+                is_write = fl & FLAG_WRITE
+                if fl & FLAG_STATIC:
+                    owner_site = CLIENT_
+                else:
+                    if oo >= 0:
+                        owner_site = site_get(oo)
+                        if owner_site is None:
+                            owner_site = (
+                                SURROGATE_
+                                if owner_class in class_on_surrogate
+                                else CLIENT_
+                            )
+                    else:
+                        owner_site = (
+                            SURROGATE_
+                            if owner_class in class_on_surrogate
+                            else CLIENT_
+                        )
+                nbytes = n1[i]
+                if cache is not None and is_write:
+                    if fl & FLAG_STATIC:
+                        key = static_key(owner_class)
+                    elif oo < 0 or bcid in array_ids:
+                        key = None
+                    else:
+                        key = oo
+                    if key is not None:
+                        cache_invalidate(key)
+                if owner_site != accessor_site:
+                    cached = False
+                    if cache is not None and not is_write:
+                        if fl & FLAG_STATIC:
+                            key = static_key(owner_class)
+                        elif oo < 0 or bcid in array_ids:
+                            key = None
+                        else:
+                            key = oo
+                        cached = key is not None and cache_note_read(key)
+                    if cached:
+                        # Served from the reading site's copy: no round
+                        # trip, zero bytes on the wire.
+                        pass
+                    elif coalescer is not None:
+                        self._now = now
+                        result.comm_time = comm_time
+                        if is_write:
+                            coalescer.write(accessor_site, owner_site,
+                                            nbytes)
+                        else:
+                            coalescer.read(accessor_site, owner_site,
+                                           nbytes)
+                        now = self._now
+                        comm_time = result.comm_time
+                        remote_accesses += 1
+                        remote_bytes += nbytes
+                    else:
+                        ck = (nbytes, is_write)
+                        cost = access_memo_get(ck)
+                        if cost is None:
+                            cost = remote_access_cost(link, nbytes,
+                                                      bool(is_write))
+                            access_cost_memo[ck] = cost
+                        comm_time += cost
+                        now += cost
+                        remote_accesses += 1
+                        remote_bytes += nbytes
+                if granular_ids:
+                    accessor_node = (
+                        object_node_id(accessor_class, ao)
+                        if ao >= 0 and acid in granular_ids
+                        else accessor_class
+                    )
+                    owner_node = (
+                        object_node_id(owner_class, oo)
+                        if oo >= 0 and bcid in granular_ids
+                        else owner_class
+                    )
+                else:
+                    accessor_node = accessor_class
+                    owner_node = owner_class
+                if accessor_node != owner_node:
+                    pair = (
+                        (accessor_node, owner_node)
+                        if accessor_node <= owner_node
+                        else (owner_node, accessor_node)
+                    )
+                    if pair == pend_pair:
+                        pend_bytes += nbytes
+                        pend_count += 1
+                    else:
+                        if pend_pair is not None:
+                            graph_record(pend_pair[0], pend_pair[1],
+                                         pend_bytes, count=pend_count)
+                        pend_pair = pair
+                        pend_bytes = nbytes
+                        pend_count = 1
+                if monitoring_cost:
+                    wall = monitoring_cost / (
+                        client_speed if owner_site == CLIENT_
+                        else surrogate_speed
+                    )
+                    monitoring_time += wall
+                    now += wall
+            elif tag == TAG_WORK:
+                # -- inline _replay_work ----------------------------------
+                class_name = strings[a_cls[i]]
+                ao = a_oid[i]
+                if ao >= 0:
+                    site = site_get(ao)
+                    if site is None:
+                        site = (
+                            SURROGATE_ if class_name in class_on_surrogate
+                            else CLIENT_
+                        )
+                else:
+                    site = (
+                        SURROGATE_ if class_name in class_on_surrogate
+                        else CLIENT_
+                    )
+                seconds = f64[i]
+                if site == CLIENT_:
+                    wall = seconds / client_speed
+                    cpu_client += wall
+                else:
+                    wall = seconds / surrogate_speed
+                    cpu_surrogate += wall
+                now += wall
+                graph_add_cpu(class_name, seconds)
+            elif tag == TAG_INVOKE:
+                # -- inline _replay_invoke --------------------------------
+                acid = a_cls[i]
+                caller_class = strings[acid]
+                ao = a_oid[i]
+                if ao >= 0:
+                    caller_site = site_get(ao)
+                    if caller_site is None:
+                        caller_site = (
+                            SURROGATE_
+                            if caller_class in class_on_surrogate
+                            else CLIENT_
+                        )
+                else:
+                    caller_site = (
+                        SURROGATE_ if caller_class in class_on_surrogate
+                        else CLIENT_
+                    )
+                bcid = b_cls[i]
+                callee_class = strings[bcid]
+                bo = b_oid[i]
+                kid = k_id[i]
+                if kid == native_id:
+                    if flags[i] & FLAG_STATELESS and stateless_local:
+                        exec_site = caller_site
+                    else:
+                        exec_site = CLIENT_
+                elif kid == static_id:
+                    exec_site = caller_site
+                else:
+                    if bo >= 0:
+                        exec_site = site_get(bo)
+                        if exec_site is None:
+                            exec_site = (
+                                SURROGATE_
+                                if callee_class in class_on_surrogate
+                                else CLIENT_
+                            )
+                    else:
+                        exec_site = (
+                            SURROGATE_
+                            if callee_class in class_on_surrogate
+                            else CLIENT_
+                        )
+                arg_bytes = n1[i]
+                ret_bytes = n2[i]
+                nbytes = arg_bytes + ret_bytes
+                if exec_site != caller_site:
+                    if coalescer is not None:
+                        self._now = now
+                        result.comm_time = comm_time
+                        coalescer.invoke(caller_site, exec_site,
+                                         arg_bytes, ret_bytes)
+                        now = self._now
+                        comm_time = result.comm_time
+                    else:
+                        ck = (arg_bytes, ret_bytes)
+                        cost = invoke_memo_get(ck)
+                        if cost is None:
+                            cost = remote_invoke_cost(link, arg_bytes,
+                                                      ret_bytes)
+                            invoke_cost_memo[ck] = cost
+                        comm_time += cost
+                        now += cost
+                    remote_invocations += 1
+                    remote_bytes += nbytes
+                    if kid == native_id:
+                        remote_native += 1
+                if granular_ids:
+                    caller_node = (
+                        object_node_id(caller_class, ao)
+                        if ao >= 0 and acid in granular_ids
+                        else caller_class
+                    )
+                    callee_node = (
+                        object_node_id(callee_class, bo)
+                        if bo >= 0 and bcid in granular_ids
+                        else callee_class
+                    )
+                else:
+                    caller_node = caller_class
+                    callee_node = callee_class
+                if caller_node != callee_node:
+                    pair = (
+                        (caller_node, callee_node)
+                        if caller_node <= callee_node
+                        else (callee_node, caller_node)
+                    )
+                    if pair == pend_pair:
+                        pend_bytes += nbytes
+                        pend_count += 1
+                    else:
+                        if pend_pair is not None:
+                            graph_record(pend_pair[0], pend_pair[1],
+                                         pend_bytes, count=pend_count)
+                        pend_pair = pair
+                        pend_bytes = nbytes
+                        pend_count = 1
+                if monitoring_cost:
+                    wall = monitoring_cost / (
+                        client_speed if exec_site == CLIENT_
+                        else surrogate_speed
+                    )
+                    monitoring_time += wall
+                    now += wall
+            elif tag == TAG_ALLOC:
+                # -- inline _replay_alloc ---------------------------------
+                creator_class = strings[b_cls[i]]
+                site = (
+                    SURROGATE_ if creator_class in class_on_surrogate
+                    else CLIENT_
+                )
+                size = n1[i]
+                if site == CLIENT_:
+                    if client_live + size > capacity:
+                        # ---- spill / cold call / reload -----------------
+                        self._now = now
+                        self._client_live = client_live
+                        self._surrogate_live = surrogate_live
+                        self._allocs_since_gc = allocs_since_gc
+                        self._bytes_since_gc = bytes_since_gc
+                        self._last_reevaluation = last_reeval
+                        self._pending_edge = pend_pair
+                        self._pending_edge_bytes = pend_bytes
+                        self._pending_edge_count = pend_count
+                        result.cpu_time_client = cpu_client
+                        result.cpu_time_surrogate = cpu_surrogate
+                        result.comm_time = comm_time
+                        result.monitoring_time = monitoring_time
+                        result.remote_invocations = remote_invocations
+                        result.remote_native_invocations = remote_native
+                        result.remote_accesses = remote_accesses
+                        result.remote_bytes = remote_bytes
+                        result.events_processed = ep
+                        if peak_client > result.peak_client_bytes:
+                            result.peak_client_bytes = peak_client
+                        self._gc_cycle("space-exhausted")
+                        now = self._now
+                        client_live = self._client_live
+                        surrogate_live = self._surrogate_live
+                        allocs_since_gc = self._allocs_since_gc
+                        bytes_since_gc = self._bytes_since_gc
+                        last_reeval = self._last_reevaluation
+                        class_on_surrogate = self._class_on_surrogate
+                        pend_pair = self._pending_edge
+                        pend_bytes = self._pending_edge_bytes
+                        pend_count = self._pending_edge_count
+                        comm_time = result.comm_time
+                        peak_client = result.peak_client_bytes
+                        # Placement may have changed under the GC's
+                        # offload trigger, but the serial handler keeps
+                        # its pre-GC site decision — so does this one.
+                        if client_live + size > capacity:
+                            # OOM: like the serial handler's early
+                            # return, the rest of the handler is
+                            # skipped; the common post-event checks
+                            # below still run before the loop breaks.
+                            result.oom = True
+                            result.oom_time = now
+                            oom = True
+                    if not oom:
+                        client_live += size
+                        if client_live > peak_client:
+                            peak_client = client_live
+                        allocs_since_gc += 1
+                        bytes_since_gc += size
+                else:
+                    surrogate_live += size
+                if not oom:
+                    oid = a_oid[i]
+                    acid = a_cls[i]
+                    class_name = strings[acid]
+                    site_map[oid] = site
+                    size_map[oid] = size
+                    class_map[oid] = class_name
+                    if granular_ids and acid in granular_ids:
+                        node = object_node_id(class_name, oid)
+                    else:
+                        node = class_name
+                    graph_add_memory(node, size)
+                    graph_note_created(node)
+                    # The creating class is part of the execution
+                    # picture even if no interaction referenced it yet.
+                    graph_ensure(creator_class)
+                    if monitoring_cost:
+                        wall = monitoring_cost / (
+                            client_speed if site == CLIENT_
+                            else surrogate_speed
+                        )
+                        monitoring_time += wall
+                        now += wall
+                    # -- inline _maybe_gc ---------------------------------
+                    if (capacity - client_live) / capacity < space_frac:
+                        reason = "space-pressure"
+                    elif allocs_since_gc >= allocs_per_cycle:
+                        reason = "allocation-count"
+                    elif bytes_since_gc >= bytes_per_cycle:
+                        reason = "allocation-bytes"
+                    else:
+                        reason = None
+                else:
+                    reason = None
+                if reason is not None:
+                    # ---- spill / cold call / reload ---------------------
+                    self._now = now
+                    self._client_live = client_live
+                    self._surrogate_live = surrogate_live
+                    self._allocs_since_gc = allocs_since_gc
+                    self._bytes_since_gc = bytes_since_gc
+                    self._last_reevaluation = last_reeval
+                    self._pending_edge = pend_pair
+                    self._pending_edge_bytes = pend_bytes
+                    self._pending_edge_count = pend_count
+                    result.cpu_time_client = cpu_client
+                    result.cpu_time_surrogate = cpu_surrogate
+                    result.comm_time = comm_time
+                    result.monitoring_time = monitoring_time
+                    result.remote_invocations = remote_invocations
+                    result.remote_native_invocations = remote_native
+                    result.remote_accesses = remote_accesses
+                    result.remote_bytes = remote_bytes
+                    result.events_processed = ep
+                    if peak_client > result.peak_client_bytes:
+                        result.peak_client_bytes = peak_client
+                    self._gc_cycle(reason)
+                    now = self._now
+                    client_live = self._client_live
+                    surrogate_live = self._surrogate_live
+                    allocs_since_gc = self._allocs_since_gc
+                    bytes_since_gc = self._bytes_since_gc
+                    last_reeval = self._last_reevaluation
+                    class_on_surrogate = self._class_on_surrogate
+                    pend_pair = self._pending_edge
+                    pend_bytes = self._pending_edge_bytes
+                    pend_count = self._pending_edge_count
+                    comm_time = result.comm_time
+                    peak_client = result.peak_client_bytes
+            else:
+                # -- inline _replay_free (TAG_FREE) -----------------------
+                oid = a_oid[i]
+                site = site_get(oid)
+                if site is None:
+                    pass
+                elif site == CLIENT_:
+                    # Client garbage waits for an emulated collection.
+                    self._pending_garbage.append(oid)
+                    self._pending_garbage_bytes += size_map[oid]
+                else:
+                    # Surrogate-side garbage reclaims immediately.
+                    self._client_live = client_live
+                    self._surrogate_live = surrogate_live
+                    self._reclaim(oid)
+                    client_live = self._client_live
+                    surrogate_live = self._surrogate_live
+            # -- post-event checks (mirrors run()) ------------------------
+            ep += 1
+            if (
+                offload_at is not None
+                and ep == offload_at
+                and offload_enabled
+            ):
+                self._columnar_offload(
+                    ep, now, client_live, surrogate_live,
+                    allocs_since_gc, bytes_since_gc, last_reeval,
+                    pend_pair, pend_bytes, pend_count,
+                    cpu_client, cpu_surrogate, comm_time,
+                    monitoring_time, remote_invocations, remote_native,
+                    remote_accesses, remote_bytes, peak_client,
+                )
+                now = self._now
+                client_live = self._client_live
+                surrogate_live = self._surrogate_live
+                last_reeval = self._last_reevaluation
+                class_on_surrogate = self._class_on_surrogate
+                pend_pair = self._pending_edge
+                pend_bytes = self._pending_edge_bytes
+                pend_count = self._pending_edge_count
+                comm_time = result.comm_time
+                peak_client = result.peak_client_bytes
+            if (
+                reevaluate_every is not None
+                and offload_enabled
+                and result.offload_count > 0
+                and now - last_reeval >= reevaluate_every
+            ):
+                last_reeval = now
+                self._columnar_offload(
+                    ep, now, client_live, surrogate_live,
+                    allocs_since_gc, bytes_since_gc, last_reeval,
+                    pend_pair, pend_bytes, pend_count,
+                    cpu_client, cpu_surrogate, comm_time,
+                    monitoring_time, remote_invocations, remote_native,
+                    remote_accesses, remote_bytes, peak_client,
+                    reevaluation=True,
+                )
+                now = self._now
+                client_live = self._client_live
+                surrogate_live = self._surrogate_live
+                last_reeval = self._last_reevaluation
+                class_on_surrogate = self._class_on_surrogate
+                pend_pair = self._pending_edge
+                pend_bytes = self._pending_edge_bytes
+                pend_count = self._pending_edge_count
+                comm_time = result.comm_time
+                peak_client = result.peak_client_bytes
+            if oom:
+                break
+        # -- final spill ------------------------------------------------------
+        self._now = now
+        self._client_live = client_live
+        self._surrogate_live = surrogate_live
+        self._allocs_since_gc = allocs_since_gc
+        self._bytes_since_gc = bytes_since_gc
+        self._last_reevaluation = last_reeval
+        self._pending_edge = pend_pair
+        self._pending_edge_bytes = pend_bytes
+        self._pending_edge_count = pend_count
+        result.cpu_time_client = cpu_client
+        result.cpu_time_surrogate = cpu_surrogate
+        result.comm_time = comm_time
+        result.monitoring_time = monitoring_time
+        result.remote_invocations = remote_invocations
+        result.remote_native_invocations = remote_native
+        result.remote_accesses = remote_accesses
+        result.remote_bytes = remote_bytes
+        result.events_processed = ep
+        if peak_client > result.peak_client_bytes:
+            result.peak_client_bytes = peak_client
+        return self._finish_run()
+
+    def _columnar_offload(
+        self, ep, now, client_live, surrogate_live, allocs_since_gc,
+        bytes_since_gc, last_reeval, pend_pair, pend_bytes, pend_count,
+        cpu_client, cpu_surrogate, comm_time, monitoring_time,
+        remote_invocations, remote_native, remote_accesses, remote_bytes,
+        peak_client, reevaluation=False,
+    ) -> None:
+        """Spill hoisted loop state and run one partitioning attempt.
+
+        The batched loop keeps replayer state in locals; this helper
+        writes it back to the instance so :meth:`_attempt_offload` (and
+        everything it calls) observes the exact state the serial loop
+        would, then the caller reloads what the attempt may have
+        changed.
+        """
+        result = self.result
+        self._now = now
+        self._client_live = client_live
+        self._surrogate_live = surrogate_live
+        self._allocs_since_gc = allocs_since_gc
+        self._bytes_since_gc = bytes_since_gc
+        self._last_reevaluation = last_reeval
+        self._pending_edge = pend_pair
+        self._pending_edge_bytes = pend_bytes
+        self._pending_edge_count = pend_count
+        result.cpu_time_client = cpu_client
+        result.cpu_time_surrogate = cpu_surrogate
+        result.comm_time = comm_time
+        result.monitoring_time = monitoring_time
+        result.remote_invocations = remote_invocations
+        result.remote_native_invocations = remote_native
+        result.remote_accesses = remote_accesses
+        result.remote_bytes = remote_bytes
+        if peak_client > result.peak_client_bytes:
+            result.peak_client_bytes = peak_client
+        result.events_processed = ep
+        self._attempt_offload(reevaluation=reevaluation)
 
     # -- allocation and the emulated collector -------------------------------------
 

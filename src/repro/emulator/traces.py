@@ -57,11 +57,16 @@ class Trace:
         """Write the trace as a JSON-lines file (header, then events).
 
         A ``.gz`` suffix selects transparent gzip compression — full
-        workload traces shrink roughly tenfold.
+        workload traces shrink roughly tenfold.  The header's ``events``
+        count is computed at write time, so a trace appended to after a
+        prior save always declares its current length.
         """
         path = Path(path)
-        opener = (lambda: gzip.open(path, "wt")) if path.suffix == ".gz" \
-            else (lambda: path.open("w"))
+        opener = (
+            (lambda: gzip.open(path, "wt", encoding="utf-8",
+                               compresslevel=6))
+            if path.suffix == ".gz" else (lambda: path.open("w"))
+        )
         with opener() as stream:
             header = {
                 "version": FORMAT_VERSION,
@@ -77,8 +82,10 @@ class Trace:
     @classmethod
     def load(cls, path: Union[str, Path]) -> "Trace":
         path = Path(path)
-        opener = (lambda: gzip.open(path, "rt")) if path.suffix == ".gz" \
-            else (lambda: path.open())
+        opener = (
+            (lambda: gzip.open(path, "rt", encoding="utf-8"))
+            if path.suffix == ".gz" else (lambda: path.open())
+        )
         with opener() as stream:
             header_line = stream.readline()
             if not header_line:
@@ -96,18 +103,57 @@ class Trace:
                 class_traits=header.get("class_traits", {}),
                 notes=header.get("notes", ""),
             )
-            for line in stream:
-                if not line.strip():
-                    continue
-                try:
-                    row = json.loads(line)
-                except json.JSONDecodeError as exc:
-                    raise TraceFormatError(f"{path}: bad event line") from exc
-                trace.append(event_from_row(row))
-        declared = header.get("events")
-        if declared is not None and declared != len(trace.events):
-            raise TraceFormatError(
-                f"{path}: header declares {declared} events, "
-                f"found {len(trace.events)}"
-            )
+            declared = header.get("events")
+            # Preallocate when the header declares a count: full traces
+            # hold 10^5-10^6 events, and list growth reallocation is
+            # measurable at that scale.
+            if isinstance(declared, int) and declared >= 0:
+                events: list = [None] * declared
+                filled = 0
+                for lineno, line in enumerate(stream, start=2):
+                    if not line.strip():
+                        continue
+                    try:
+                        row = json.loads(line)
+                    except json.JSONDecodeError as exc:
+                        raise TraceFormatError(
+                            f"{path}: bad event line (line {lineno})"
+                        ) from exc
+                    event = event_from_row(row, line=lineno)
+                    if filled < declared:
+                        events[filled] = event
+                    else:
+                        events.append(event)
+                    filled += 1
+                if filled != declared:
+                    raise TraceFormatError(
+                        f"{path}: header declares {declared} events, "
+                        f"found {filled}"
+                    )
+                trace.events = events
+            else:
+                for lineno, line in enumerate(stream, start=2):
+                    if not line.strip():
+                        continue
+                    try:
+                        row = json.loads(line)
+                    except json.JSONDecodeError as exc:
+                        raise TraceFormatError(
+                            f"{path}: bad event line (line {lineno})"
+                        ) from exc
+                    trace.append(event_from_row(row, line=lineno))
         return trace
+
+
+def load_any(path: Union[str, Path]):
+    """Load a trace file in whichever format its suffix declares.
+
+    ``.ctrace`` selects the columnar binary format (returning a
+    :class:`~repro.emulator.columnar.ColumnarTrace`); anything else is
+    read as JSONL (optionally gzipped), returning a :class:`Trace`.
+    """
+    path = Path(path)
+    if path.suffix == ".ctrace":
+        from .columnar import read_ctrace
+        return read_ctrace(path)
+    return Trace.load(path)

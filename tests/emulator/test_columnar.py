@@ -1,0 +1,253 @@
+"""Columnar trace representation and the `.ctrace` on-disk format."""
+
+import pickle
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.emulator.columnar import (
+    CTRACE_MAGIC,
+    CTRACE_VERSION,
+    ColumnarTrace,
+    read_ctrace,
+    write_ctrace,
+)
+from repro.emulator.events import (
+    AccessEvent,
+    AllocEvent,
+    FreeEvent,
+    InvokeEvent,
+    WorkEvent,
+)
+from repro.emulator.traces import Trace
+from repro.errors import TraceFormatError
+
+CLASS_NAMES = st.sampled_from(
+    ["app.Model", "ui.Screen", "util.FastMath", "app.Buffer", "int[]"]
+)
+OIDS = st.one_of(st.none(), st.integers(min_value=0, max_value=2**40))
+SIZES = st.integers(min_value=0, max_value=2**31)
+
+ALLOCS = st.builds(
+    AllocEvent,
+    st.integers(min_value=0, max_value=2**40),
+    CLASS_NAMES, SIZES, CLASS_NAMES, OIDS,
+)
+FREES = st.builds(FreeEvent, st.integers(min_value=0, max_value=2**40))
+INVOKES = st.builds(
+    InvokeEvent,
+    CLASS_NAMES, OIDS, CLASS_NAMES, OIDS,
+    st.sampled_from(["run", "paint", "<init>"]),
+    st.sampled_from(["instance", "static", "native"]),
+    st.booleans(), SIZES, SIZES,
+)
+ACCESSES = st.builds(
+    AccessEvent,
+    CLASS_NAMES, OIDS, CLASS_NAMES, OIDS, SIZES,
+    st.booleans(), st.booleans(),
+)
+WORKS = st.builds(
+    WorkEvent, CLASS_NAMES, OIDS,
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+)
+EVENTS = st.one_of(ALLOCS, FREES, INVOKES, ACCESSES, WORKS)
+
+
+def build_trace(events):
+    trace = Trace(app_name="prop", notes="hypothesis")
+    trace.class_traits = {
+        "ui.Screen": {"native": True, "stateful_native": True},
+        "app.Model": {"native": False, "stateful_native": False},
+    }
+    trace.events = list(events)
+    return trace
+
+
+def rows(trace):
+    return [event.to_row() for event in trace.events]
+
+
+def sample_trace():
+    return build_trace([
+        AllocEvent(1, "app.Model", 64, "<main>", None),
+        InvokeEvent("<main>", None, "app.Model", 1, "run",
+                    "instance", False, 8, 8),
+        AccessEvent("app.Model", 1, "int[]", 2, 128, True, False),
+        WorkEvent("app.Model", 1, 1.5),
+        FreeEvent(1),
+    ])
+
+
+class TestRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(EVENTS, max_size=40))
+    def test_trace_columnar_trace(self, events):
+        trace = build_trace(events)
+        columnar = ColumnarTrace.from_trace(trace)
+        assert len(columnar) == len(trace)
+        back = columnar.to_trace()
+        assert rows(back) == rows(trace)
+        assert back.app_name == trace.app_name
+        assert back.notes == trace.notes
+        assert back.class_traits == trace.class_traits
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(EVENTS, max_size=40), st.booleans())
+    def test_ctrace_file_roundtrip(self, tmp_path_factory, events, use_mmap):
+        trace = build_trace(events)
+        path = tmp_path_factory.mktemp("ct") / "prop.ctrace"
+        write_ctrace(trace, path)
+        loaded = read_ctrace(path, use_mmap=use_mmap)
+        try:
+            assert rows(loaded.to_trace()) == rows(trace)
+            assert loaded.class_traits == trace.class_traits
+        finally:
+            loaded.close()
+
+    def test_all_kinds_survive_both_file_formats(self, tmp_path):
+        trace = sample_trace()
+        for name in ("t.trace", "t.trace.gz"):
+            jsonl = tmp_path / name
+            trace.save(jsonl)
+            columnar = ColumnarTrace.from_trace(Trace.load(jsonl))
+            assert rows(columnar.to_trace()) == rows(trace)
+        ctrace = tmp_path / "t.ctrace"
+        write_ctrace(trace, ctrace)
+        loaded = read_ctrace(ctrace)
+        try:
+            back = tmp_path / "back.trace.gz"
+            loaded.to_trace().save(back)
+            assert rows(Trace.load(back)) == rows(trace)
+        finally:
+            loaded.close()
+
+    def test_from_trace_is_identity_on_columnar(self):
+        columnar = ColumnarTrace.from_trace(sample_trace())
+        assert ColumnarTrace.from_trace(columnar) is columnar
+
+    def test_none_oids_use_sentinel_and_come_back_none(self):
+        columnar = ColumnarTrace.from_trace(build_trace([
+            InvokeEvent("<main>", None, "app.Model", None, "run",
+                        "static", False, 0, 0),
+        ]))
+        assert columnar.columns["a_oid"][0] == -1
+        assert columnar.columns["b_oid"][0] == -1
+        event = next(iter(columnar))
+        assert event.caller_oid is None
+        assert event.callee_oid is None
+
+    def test_negative_oid_rejected(self):
+        with pytest.raises(TraceFormatError, match="non-negative"):
+            ColumnarTrace.from_trace(build_trace([FreeEvent(-3)]))
+
+    def test_pinned_classes_match_row_trace(self):
+        trace = sample_trace()
+        columnar = ColumnarTrace.from_trace(trace)
+        assert columnar.pinned_classes() == trace.pinned_classes()
+        assert (columnar.pinned_classes(stateless_natives_ok=True)
+                == trace.pinned_classes(stateless_natives_ok=True))
+
+
+class TestMmapReload:
+    def test_mmap_and_copy_loads_agree(self, tmp_path):
+        path = tmp_path / "m.ctrace"
+        write_ctrace(sample_trace(), path)
+        mapped = read_ctrace(path, use_mmap=True)
+        copied = read_ctrace(path, use_mmap=False)
+        try:
+            assert mapped._mmap is not None
+            assert copied._mmap is None
+            assert rows(mapped.to_trace()) == rows(copied.to_trace())
+            assert mapped.strings == copied.strings
+        finally:
+            mapped.close()
+
+    def test_close_releases_map_but_keeps_data(self, tmp_path):
+        path = tmp_path / "c.ctrace"
+        write_ctrace(sample_trace(), path)
+        loaded = read_ctrace(path, use_mmap=True)
+        expected = rows(loaded.to_trace())
+        loaded.close()
+        assert loaded._mmap is None
+        loaded.close()  # idempotent
+        assert rows(loaded.to_trace()) == expected
+
+    def test_mmap_backed_trace_pickles(self, tmp_path):
+        path = tmp_path / "p.ctrace"
+        write_ctrace(sample_trace(), path)
+        loaded = read_ctrace(path, use_mmap=True)
+        try:
+            clone = pickle.loads(pickle.dumps(loaded))
+        finally:
+            loaded.close()
+        assert clone._mmap is None
+        assert rows(clone.to_trace()) == rows(sample_trace())
+
+
+class TestMalformedFiles:
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "e.ctrace"
+        path.write_bytes(b"")
+        with pytest.raises(TraceFormatError, match="truncated"):
+            read_ctrace(path)
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "b.ctrace"
+        write_ctrace(sample_trace(), path)
+        raw = bytearray(path.read_bytes())
+        raw[:4] = b"NOPE"
+        path.write_bytes(bytes(raw))
+        with pytest.raises(TraceFormatError, match="bad magic"):
+            read_ctrace(path)
+
+    def test_future_version_rejected(self, tmp_path):
+        path = tmp_path / "v.ctrace"
+        write_ctrace(sample_trace(), path)
+        raw = bytearray(path.read_bytes())
+        struct.pack_into("<H", raw, 4, CTRACE_VERSION + 1)
+        path.write_bytes(bytes(raw))
+        with pytest.raises(TraceFormatError, match="version"):
+            read_ctrace(path)
+
+    def test_truncated_header_rejected(self, tmp_path):
+        path = tmp_path / "th.ctrace"
+        write_ctrace(sample_trace(), path)
+        path.write_bytes(path.read_bytes()[:10])
+        with pytest.raises(TraceFormatError, match="truncated"):
+            read_ctrace(path)
+
+    def test_garbage_header_json_rejected(self, tmp_path):
+        path = tmp_path / "gj.ctrace"
+        garbage = b"{not json"
+        path.write_bytes(
+            struct.pack("<4sHHI", CTRACE_MAGIC, CTRACE_VERSION, 0,
+                        len(garbage)) + garbage
+        )
+        with pytest.raises(TraceFormatError, match="bad ctrace header"):
+            read_ctrace(path)
+
+    def test_column_window_outside_file_rejected(self, tmp_path):
+        path = tmp_path / "w.ctrace"
+        write_ctrace(sample_trace(), path)
+        # Cut the file short so the last column runs off the end.
+        path.write_bytes(path.read_bytes()[:-8])
+        with pytest.raises(TraceFormatError, match="outside"):
+            read_ctrace(path)
+
+    def test_count_mismatch_rejected(self, tmp_path):
+        import json as json_module
+
+        path = tmp_path / "n.ctrace"
+        columnar = write_ctrace(sample_trace(), path)
+        raw = path.read_bytes()
+        header_len = struct.unpack_from("<4sHHI", raw)[3]
+        header = json_module.loads(raw[12:12 + header_len])
+        header["events"] = len(columnar) + 1
+        # Same rendered length: swap one digit in place.
+        patched = json_module.dumps(header, sort_keys=True).encode()
+        assert len(patched) == header_len
+        path.write_bytes(raw[:12] + patched + raw[12 + header_len:])
+        with pytest.raises(TraceFormatError, match="disagree"):
+            read_ctrace(path)

@@ -85,6 +85,52 @@ class TestPersistence:
         with pytest.raises(TraceFormatError):
             Trace.load(path)
 
+    def test_bad_json_error_carries_line_number(self, tmp_path):
+        trace = make_trace()
+        path = tmp_path / "noise.trace"
+        trace.save(path)
+        with path.open("a") as stream:
+            stream.write("{broken\n")
+        # Rewrite the header so the count covers the extra line.
+        lines = path.read_text().splitlines()
+        import json
+        header = json.loads(lines[0])
+        header["events"] = len(trace) + 1
+        path.write_text("\n".join([json.dumps(header)] + lines[1:]) + "\n")
+        with pytest.raises(TraceFormatError, match=r"line 5"):
+            Trace.load(path)
+
+    def test_arity_mismatch_error_carries_line_number(self, tmp_path):
+        path = tmp_path / "short.trace"
+        path.write_text(
+            '{"version": 1, "app": "x", "class_traits": {}, "events": 1}\n'
+            '["A", 1, "cls"]\n'
+        )
+        with pytest.raises(TraceFormatError,
+                           match=r"3 fields, expected 6 \(line 2\)"):
+            Trace.load(path)
+
+    def test_unknown_tag_error_carries_line_number(self, tmp_path):
+        path = tmp_path / "tag.trace"
+        path.write_text(
+            '{"version": 1, "app": "x", "class_traits": {}, "events": 1}\n'
+            '["Z", 1]\n'
+        )
+        with pytest.raises(TraceFormatError, match=r"'Z' \(line 2\)"):
+            Trace.load(path)
+
+    def test_declared_count_mismatch_rejected(self, tmp_path):
+        trace = make_trace()
+        path = tmp_path / "over.trace"
+        trace.save(path)
+        lines = path.read_text().splitlines()
+        import json
+        header = json.loads(lines[0])
+        header["events"] = len(trace) + 2
+        path.write_text("\n".join([json.dumps(header)] + lines[1:]) + "\n")
+        with pytest.raises(TraceFormatError, match="declares"):
+            Trace.load(path)
+
 
 class TestGzipPersistence:
     def test_gz_suffix_roundtrips_compressed(self, tmp_path):
@@ -111,3 +157,22 @@ class TestGzipPersistence:
         trace.save(plain)
         trace.save(packed)
         assert packed.stat().st_size < plain.stat().st_size / 4
+
+    def test_resave_after_append_declares_current_count(self, tmp_path):
+        """Header ``events`` is computed at write time, so a trace that
+        grew after a prior save declares (and round-trips) its current
+        length — for gzip and plain alike."""
+        import gzip
+        import json
+
+        trace = make_trace()
+        for path in (tmp_path / "grow.trace", tmp_path / "grow.trace.gz"):
+            trace.save(path)
+            trace.append(WorkEvent("app.Model", None, 0.25))
+            trace.save(path)
+            loaded = Trace.load(path)
+            assert len(loaded) == len(trace)
+            opener = gzip.open if path.suffix == ".gz" else open
+            with opener(path, "rt", encoding="utf-8") as stream:
+                header = json.loads(stream.readline())
+            assert header["events"] == len(trace)

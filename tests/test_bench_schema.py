@@ -50,6 +50,26 @@ class TestValidateReport:
         assert any("faults.javanote" in p and "bit-identical" in p
                    for p in problems)
 
+    def test_parallel_floor_miss_is_a_regression(self):
+        report = minimal_valid_report()
+        report["replay_parallel"]["floor_ok"] = False
+        problems = validate_report(report)
+        assert any("replay_parallel" in p and "below the floor" in p
+                   for p in problems)
+
+    def test_parallel_fingerprint_divergence_is_a_regression(self):
+        report = minimal_valid_report()
+        report["replay_parallel"]["fingerprint_parity"] = False
+        problems = validate_report(report)
+        assert any("fingerprints diverged" in p for p in problems)
+
+    def test_missing_parallel_key_is_a_regression(self):
+        report = minimal_valid_report()
+        del report["replay_parallel"]["columnar_speedup"]
+        problems = validate_report(report)
+        assert any("replay_parallel" in p and "columnar_speedup" in p
+                   for p in problems)
+
 
 class TestValidateCheckedIn:
     def test_missing_file_names_the_fix(self, tmp_path):

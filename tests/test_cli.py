@@ -80,6 +80,72 @@ class TestRecordReplayCli:
         assert "neither a trace file nor a bundled app" in err
 
 
+class TestTraceConvertCli:
+    def test_convert_to_columnar_and_back(self, tmp_path, capsys):
+        jsonl = str(tmp_path / "dia.trace")
+        ctrace = str(tmp_path / "dia.ctrace")
+        back = str(tmp_path / "back.trace")
+        main(["record", "dia", jsonl])
+        capsys.readouterr()
+        assert main(["trace", "convert", jsonl, ctrace]) == 0
+        assert "to columnar" in capsys.readouterr().out
+        assert main(["trace", "convert", ctrace, back]) == 0
+        assert "to jsonl" in capsys.readouterr().out
+        from repro.emulator import Trace, load_any
+
+        original = Trace.load(jsonl)
+        assert len(load_any(ctrace)) == len(original)
+        assert len(Trace.load(back)) == len(original)
+
+    def test_convert_accepts_bundled_app_name(self, tmp_path, capsys):
+        ctrace = str(tmp_path / "dia.ctrace")
+        assert main(["trace", "convert", "dia", ctrace]) == 0
+        assert "converted" in capsys.readouterr().out
+
+    def test_convert_usage_error(self, capsys):
+        assert main(["trace", "convert", "only-one"]) == 2
+        assert "usage" in capsys.readouterr().err
+
+    def test_convert_missing_source(self, tmp_path, capsys):
+        assert main(["trace", "convert", "no-such-thing",
+                     str(tmp_path / "o.ctrace")]) == 2
+        assert "neither" in capsys.readouterr().err
+
+
+class TestShardedReplayCli:
+    def test_replay_ctrace_file_with_clients_and_workers(
+            self, tmp_path, capsys):
+        jsonl = str(tmp_path / "dia.trace")
+        ctrace = str(tmp_path / "dia.ctrace")
+        main(["record", "dia", jsonl])
+        main(["trace", "convert", jsonl, ctrace])
+        capsys.readouterr()
+        assert main(["replay", ctrace, "--clients", "2",
+                     "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "across 2 client(s)" in out
+        assert "completed: 2/2 clients" in out
+        assert "fingerprint:" in out
+
+    def test_sharded_fingerprint_is_worker_invariant(self, capsys):
+        assert main(["replay", "dia", "--clients", "2",
+                     "--workers", "1"]) == 0
+        one = capsys.readouterr().out
+        assert main(["replay", "dia", "--clients", "2",
+                     "--workers", "2"]) == 0
+        two = capsys.readouterr().out
+        pick = [line for line in one.splitlines() if "fingerprint" in line]
+        assert pick == [line for line in two.splitlines()
+                        if "fingerprint" in line]
+
+    def test_format_ctrace_matches_serial_replay(self, capsys):
+        assert main(["replay", "dia"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["replay", "dia", "--format", "ctrace"]) == 0
+        columnar = capsys.readouterr().out
+        assert serial == columnar
+
+
 class TestFaultInjectionCli:
     def test_lossy_replay_prints_fault_counters(self, capsys):
         assert main(["replay", "dia", "--faults", "seed=7,loss=0.05"]) == 0
