@@ -49,7 +49,17 @@ REQUIRED_SECTIONS = {
     "cold_start": ("unseeded", "seeded", "seeded_matches_or_beats"),
     "rpc": ("chatty", "dia_early_trigger", "replay_events_per_second"),
     "faults": ("dia", "javanote"),
+    "fleet": ("scales", "fairness_ratio", "fairness_ok",
+              "fingerprint_stable"),
 }
+
+#: Tail-fairness gate for the fleet emulator: at the reference scale
+#: (100 clients on 4 surrogates) DRR must keep the p99 client
+#: completion within this multiple of the p50.
+FLEET_FAIRNESS_RATIO_MAX = 3.0
+FLEET_GATE_SCALE = "n100_m4"
+FLEET_SCALES = ((10, 1), (100, 4), (1000, 16))
+QUICK_FLEET_SCALES = ((100, 4),)
 
 #: Minimum speedup the coalescing+caching data plane must show on the
 #: chatty remote-heavy scenario.
@@ -480,6 +490,20 @@ def validate_report(report: dict) -> list:
                 "replay_parallel: serial/columnar/sharded replay "
                 "fingerprints diverged"
             )
+    fleet = report.get("fleet")
+    if isinstance(fleet, dict):
+        if not fleet.get("fairness_ok"):
+            problems.append(
+                f"fleet: p99/p50 completion ratio "
+                f"{fleet.get('fairness_ratio', 0.0):.2f} at "
+                f"{fleet.get('gate_scale', '?')} exceeds "
+                f"{FLEET_FAIRNESS_RATIO_MAX}"
+            )
+        if not fleet.get("fingerprint_stable"):
+            problems.append(
+                "fleet: fingerprint changed with the drive-side "
+                "worker count"
+            )
     faults = report.get("faults")
     if isinstance(faults, dict):
         for app, body in faults.items():
@@ -616,6 +640,73 @@ def bench_replay_parallel(rounds: int, serial_eps: float) -> dict:
     }
 
 
+def bench_fleet(quick: bool = False) -> dict:
+    """Fleet emulation: N dia clients sharing M surrogates.
+
+    Sweeps fleet sizes (clients, surrogates), reporting per-scale p50
+    and p99 client completion, the p99/p50 fairness ratio, and the
+    host-side aggregate emulation throughput.  Two gates:
+
+    * **fairness** — at the reference scale (``FLEET_GATE_SCALE``) the
+      deficit-round-robin scheduler must hold p99/p50 within
+      ``FLEET_FAIRNESS_RATIO_MAX``;
+    * **determinism** — the fleet fingerprint at the reference scale is
+      bit-identical when the drive-side replay runs on one worker and
+      on several (virtual time never depends on host parallelism).
+    """
+    from repro.emulator import (
+        ColumnarTrace, FleetConfig, FleetEmulator, replicate,
+    )
+
+    trace = cached_trace("dia", MEMORY_WORKLOADS["dia"])
+    columnar = ColumnarTrace.from_trace(trace)
+    config = memory_emulator_config()
+    scales = QUICK_FLEET_SCALES if quick else FLEET_SCALES
+
+    def run(clients: int, surrogates: int, workers: int):
+        shards = replicate(columnar, config, clients=clients)
+        fleet_config = FleetConfig(surrogates=surrogates)
+        return FleetEmulator(shards, fleet_config, workers=workers).run()
+
+    section = {"trace": "dia", "events_per_client": len(trace),
+               "scales": {}}
+    gate = None
+    for clients, surrogates in scales:
+        result = run(clients, surrogates, workers=1)
+        key = f"n{clients}_m{surrogates}"
+        section["scales"][key] = {
+            "clients": clients,
+            "surrogates": surrogates,
+            "completed": result.completed_clients,
+            "rejected": result.rejected_clients,
+            "p50_completion_s": result.p50_completion_s,
+            "p99_completion_s": result.p99_completion_s,
+            "fairness_ratio": result.fairness_ratio,
+            "mean_admission_wait_s": result.mean_admission_wait_s,
+            "makespan_s": result.makespan_s,
+            "evictions": result.total_evictions,
+            "rebalances": result.rebalances,
+            "distinct_profiles": result.distinct_profiles,
+            "wall_s": result.wall_time_s,
+            "aggregate_events_per_second": result.events_per_second,
+        }
+        if key == FLEET_GATE_SCALE:
+            gate = result
+    if gate is None:  # pragma: no cover - scales always include the gate
+        raise RuntimeError(f"fleet sweep missed {FLEET_GATE_SCALE}")
+    twin = run(100, 4, workers=2)
+    section["gate_scale"] = FLEET_GATE_SCALE
+    section["fairness_ratio"] = gate.fairness_ratio
+    section["fairness_ok"] = bool(
+        gate.fairness_ratio <= FLEET_FAIRNESS_RATIO_MAX
+    )
+    section["fingerprint"] = gate.fingerprint()
+    section["fingerprint_stable"] = (
+        twin.fingerprint() == gate.fingerprint()
+    )
+    return section
+
+
 def build_report(rounds: int, quick: bool = False) -> dict:
     replay = bench_replay(rounds)
     return {
@@ -636,6 +727,7 @@ def build_report(rounds: int, quick: bool = False) -> dict:
         "cold_start": bench_cold_start(),
         "rpc": bench_rpc(rounds),
         "faults": bench_faults(),
+        "fleet": bench_fleet(quick=quick),
     }
 
 
@@ -730,6 +822,16 @@ def main(argv=None) -> int:
               f"({loss['retries']} retries) "
               f"[{'ok' if body['graceful_ok'] and body['all_completed'] else 'REGRESSION'}"
               f"{', deterministic' if body['deterministic'] else ', NON-DETERMINISTIC'}]")
+    fleet = report["fleet"]
+    for key, scale in fleet["scales"].items():
+        print(f"fleet {key:>10}: p50 {scale['p50_completion_s']:9.1f}s, "
+              f"p99 {scale['p99_completion_s']:9.1f}s "
+              f"(ratio {scale['fairness_ratio']:.2f}), "
+              f"{scale['aggregate_events_per_second'] / 1e6:7.1f}M ev/s")
+    print(f"fleet gate {fleet['gate_scale']}: fairness "
+          f"{fleet['fairness_ratio']:.2f} <= {FLEET_FAIRNESS_RATIO_MAX} "
+          f"[{'ok' if fleet['fairness_ok'] else 'UNFAIR'}"
+          f"{', stable' if fleet['fingerprint_stable'] else ', FINGERPRINT DRIFT'}]")
     if output is not None:
         print(f"wrote {output}")
     return 0

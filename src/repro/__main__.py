@@ -208,6 +208,65 @@ def _replay(source: str, heap_mb: float, offload: bool,
     return 0 if result.completed else 1
 
 
+def _fleet_run(source: str, clients: int, surrogates: int,
+               heap_mb: float, workers: int, cap: int, policy: str,
+               surrogate_heap_mb: float) -> int:
+    """``fleet run``: N trace-driven clients against M shared
+    surrogates, with admission control, DRR fairness, and eviction."""
+    from .config import DeviceProfile
+    from .emulator import (
+        ColumnarTrace, EmulatorConfig, FleetConfig, FleetEmulator,
+        replicate,
+    )
+    from .errors import ConfigurationError
+    from .units import MB
+
+    try:
+        trace = _load_trace(source)
+    except FileNotFoundError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    if not isinstance(trace, ColumnarTrace):
+        trace = ColumnarTrace.from_trace(trace)
+    config = EmulatorConfig(
+        client=DeviceProfile("client-dev", cpu_speed=1.0,
+                             heap_capacity=int(heap_mb * MB)),
+        offload_enabled=True,
+    )
+    try:
+        fleet_config = FleetConfig(
+            surrogates=surrogates, admission_cap=cap,
+            admission_policy=policy,
+            heap_capacity=int(surrogate_heap_mb * MB),
+        )
+        emulator = FleetEmulator(
+            replicate(trace, config, clients=max(clients, 1)),
+            fleet_config, workers=workers)
+    except ConfigurationError as exc:
+        print(f"bad fleet configuration: {exc}", file=sys.stderr)
+        return 2
+    result = emulator.run()
+    print(f"fleet: {len(result.outcomes)} client(s) of "
+          f"{trace.app_name!r} on {surrogates} surrogate(s) "
+          f"(cap {cap}, policy {policy})")
+    print(f"  completed: {result.completed_clients}, "
+          f"rejected: {result.rejected_clients}")
+    print(f"  completion p50 {result.p50_completion_s:.1f}s, "
+          f"p99 {result.p99_completion_s:.1f}s "
+          f"(fairness p99/p50 {result.fairness_ratio:.2f})")
+    print(f"  admission wait: {result.mean_admission_wait_s:.1f}s mean; "
+          f"evictions: {result.total_evictions}, "
+          f"rebalances: {result.rebalances}")
+    print(f"  drive side: {result.replayed_events} events replayed "
+          f"({result.distinct_profiles} distinct profile(s)) on "
+          f"{result.workers} worker(s); "
+          f"{result.events_per_second / 1e6:.2f}M ev/s aggregate")
+    for warning in result.warnings:
+        print(f"  note: {warning}")
+    print(f"  fingerprint: {result.fingerprint()}")
+    return 0 if result.rejected_clients == 0 else 1
+
+
 def _analyze(app_name: str, json_path) -> int:
     from .analysis import analyze_app
 
@@ -242,7 +301,8 @@ def build_parser() -> argparse.ArgumentParser:
         "targets", nargs="*",
         help="experiment names (see 'list'), 'all', "
              "'record <app> <path>', 'replay <path>', "
-             "'trace convert <in> <out>', or 'analyze <app>'",
+             "'trace convert <in> <out>', 'fleet run [<path|app>]', "
+             "or 'analyze <app>'",
     )
     parser.add_argument("--heap-mb", type=float, default=6.0,
                         help="client heap for 'replay' (default 6)")
@@ -257,6 +317,22 @@ def build_parser() -> argparse.ArgumentParser:
                         help="in-memory trace representation for "
                              "'replay': columnar (ctrace) uses the "
                              "batched dispatch loop (default: as loaded)")
+    parser.add_argument("--surrogates", type=int, default=4, metavar="M",
+                        help="surrogate pool size for 'fleet run' "
+                             "(default 4)")
+    parser.add_argument("--admission-cap", type=int, default=8,
+                        metavar="N",
+                        help="concurrent clients per surrogate for "
+                             "'fleet run' (default 8; 0 = serial under "
+                             "the queue policy)")
+    parser.add_argument("--admission-policy", default="queue",
+                        choices=("queue", "reject"),
+                        help="what a full surrogate does with a new "
+                             "client (default: queue)")
+    parser.add_argument("--surrogate-heap-mb", type=float, default=64.0,
+                        metavar="MB",
+                        help="shared heap per surrogate for 'fleet run' "
+                             "(default 64)")
     parser.add_argument("--json", metavar="PATH", nargs="?", const="-",
                         help="write reports as JSON: to PATH, or to stdout "
                              "when PATH is omitted")
@@ -288,6 +364,18 @@ def main(argv=None) -> int:
                        args.faults, workers=args.workers,
                        clients=args.clients,
                        trace_format=args.trace_format)
+    if targets[0] == "fleet":
+        if len(targets) < 2 or targets[1] != "run" or len(targets) > 3:
+            print("usage: python -m repro fleet run [<path|app>] "
+                  "[--clients N] [--surrogates M] [--admission-cap N] "
+                  "[--admission-policy queue|reject] [--workers N] "
+                  "[--heap-mb N] [--surrogate-heap-mb MB]",
+                  file=sys.stderr)
+            return 2
+        source = targets[2] if len(targets) == 3 else "dia"
+        return _fleet_run(source, args.clients, args.surrogates,
+                          args.heap_mb, args.workers, args.admission_cap,
+                          args.admission_policy, args.surrogate_heap_mb)
     if targets[0] == "trace":
         if len(targets) != 4 or targets[1] != "convert":
             print("usage: python -m repro trace convert <in> <out> "
@@ -314,6 +402,9 @@ def main(argv=None) -> int:
               "shard across cores)")
         print("  trace convert <in> <out>  convert a trace between "
               "JSONL and columnar (.ctrace)")
+        print("  fleet run [<path|app>]    emulate N clients sharing "
+              "M surrogates (--clients/--surrogates; admission "
+              "control, fairness, eviction)")
         print("  analyze <app>         static placement analysis "
               "(AIDE-Lint)")
         return 0

@@ -13,6 +13,14 @@ from .events import (
 from ..net.faults import FaultReport, FaultSchedule, FaultSpec
 from ..rpc.retry import RetryPolicy
 from .columnar import ColumnarTrace, read_ctrace, write_ctrace
+from .fleet import (
+    ClientDemand,
+    ClientOutcome,
+    FleetConfig,
+    FleetEmulator,
+    FleetResult,
+    SurrogateStats,
+)
 from .parallel import (
     AggregateReplayResult,
     ClientReplay,
@@ -34,6 +42,8 @@ __all__ = [
     "AccessEvent",
     "AggregateReplayResult",
     "AllocEvent",
+    "ClientDemand",
+    "ClientOutcome",
     "ClientReplay",
     "ColumnarTrace",
     "EmulationResult",
@@ -42,6 +52,9 @@ __all__ = [
     "FaultReport",
     "FaultSchedule",
     "FaultSpec",
+    "FleetConfig",
+    "FleetEmulator",
+    "FleetResult",
     "FreeEvent",
     "InvokeEvent",
     "OverheadStudy",
@@ -49,6 +62,7 @@ __all__ = [
     "ReplayShard",
     "RetryPolicy",
     "ShardedReplayer",
+    "SurrogateStats",
     "Trace",
     "TraceEvent",
     "TraceRecorder",

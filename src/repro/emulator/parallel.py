@@ -67,6 +67,12 @@ class AggregateReplayResult:
     clients: List[ClientReplay] = field(default_factory=list)
     workers: int = 1
     wall_time_s: float = 0.0
+    #: What the caller asked for, before clamping to the host's cores
+    #: and the shard count.
+    requested_workers: int = 1
+    #: Human-readable notes about adjustments the replayer made (e.g.
+    #: worker clamping).  Metadata only — never part of the fingerprint.
+    warnings: List[str] = field(default_factory=list)
 
     @property
     def total_events(self) -> int:
@@ -145,9 +151,24 @@ class ShardedReplayer:
         if len(set(ids)) != len(ids):
             raise ValueError("duplicate client_id in shards")
         self.shards = list(shards)
+        cpus = os.cpu_count() or 1
         if workers is None:
-            workers = os.cpu_count() or 1
-        self.workers = max(1, min(int(workers), max(1, len(self.shards))))
+            workers = cpus
+        requested = max(1, int(workers))
+        self.requested_workers = requested
+        self.warnings: List[str] = []
+        # Clamp to the host's cores and to the client count: extra fork
+        # workers would only oversubscribe the pool (or sit idle), so
+        # the clamp is recorded as report metadata instead of silently
+        # spawning them.
+        cap = max(1, min(cpus, len(self.shards)))
+        if requested > cap:
+            reason = (f"{cpus} cpu(s)" if requested > cpus
+                      else f"{len(self.shards)} shard(s)")
+            self.warnings.append(
+                f"workers clamped from {requested} to {cap} ({reason})"
+            )
+        self.workers = min(requested, cap)
 
     def run(self) -> AggregateReplayResult:
         started = time.perf_counter()
@@ -162,4 +183,6 @@ class ShardedReplayer:
         replays.sort(key=lambda c: c.client_id)
         return AggregateReplayResult(
             clients=replays, workers=self.workers, wall_time_s=wall,
+            requested_workers=self.requested_workers,
+            warnings=list(self.warnings),
         )

@@ -198,6 +198,9 @@ class DistributedPlatform:
         self.runtime.delivery = self.delivery
         self._lost_at: Optional[float] = None
         dp_config = data_plane if data_plane is not None else DataPlaneConfig()
+        #: RPC worker-pool service quantum, threaded into every channel
+        #: this platform creates (including post-handoff rebuilds).
+        self._service_quantum_s = dp_config.service_quantum_s
         self.data_plane = (
             DataPlane(dp_config, link, self.runtime.transfer)
             if dp_config.any_enabled else None
@@ -249,6 +252,7 @@ class DistributedPlatform:
         self.channel = RpcChannel(
             self.ctx, self.client.vm.name, self.surrogate.vm.name,
             delivery=self.delivery,
+            service_quantum_s=self._service_quantum_s,
         )
         self._wire_gc(self.client.vm)
         self._wire_gc(self.surrogate.vm)
@@ -559,7 +563,8 @@ class DistributedPlatform:
             self.traffic, object_granularity_classes=granularity,
         )
         self.channel = RpcChannel(
-            self.ctx, self.client.vm.name, new_node.vm.name
+            self.ctx, self.client.vm.name, new_node.vm.name,
+            service_quantum_s=self._service_quantum_s,
         )
         client_scanner = CrossHeapRootScanner(
             self.client.vm, new_node.vm,

@@ -58,6 +58,12 @@ class DataPlaneConfig:
     coalescing: bool = False
     read_cache: bool = False
     pipelined_migration: bool = False
+    #: Modelled service time of one backlogged RPC in the serving VM's
+    #: worker pool (see :class:`repro.rpc.channel.WorkerPool`).  Not an
+    #: optimisation toggle — it parameterises the queueing-delay model,
+    #: so fleet studies can emulate faster or slower surrogate CPUs.
+    #: The default matches the historical hardcoded 1.2 ms quantum.
+    service_quantum_s: float = 1.2e-3
 
     @classmethod
     def off(cls) -> "DataPlaneConfig":

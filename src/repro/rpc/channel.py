@@ -42,15 +42,31 @@ from .retry import ReliableDelivery
 #: backlog ahead of it to drain at this rate.
 QUEUE_SERVICE_SECONDS = 1.2e-3
 
+#: Requests served without a client id all account to one shared
+#: round-robin flow (the historical single-tenant behaviour).
+ANONYMOUS_CLIENT = "<anon>"
+
 
 class WorkerPool:
     """Occupancy model of one VM's RPC service threads.
 
     A request that finds all ``size`` workers busy is *queued*, not
     refused: real RPC runtimes park the request until a worker frees
-    up.  The modelled wait is the backlog depth times one service
-    quantum, charged to the caller through ``charge_wait`` (the channel
-    wires this to the shared virtual clock).
+    up.  The modelled wait is charged to the caller through
+    ``charge_wait`` (the channel wires this to the shared virtual
+    clock), in units of one ``service_estimate_s`` quantum.
+
+    Backlog is drained **deficit-round-robin across client ids**, not
+    FIFO: a newly queued request from client *c* that already has
+    ``own`` requests outstanding enters service round ``own + 1``, so
+    every *other* client contributes at most ``own + 1`` requests ahead
+    of it (one per round) while ``c``'s own outstanding requests are
+    fully serial.  A chatty client therefore only delays itself — a
+    single-request client entering a pool saturated by one bulk caller
+    waits one quantum, not the whole backlog.  With a single flow (all
+    requests anonymous or one client id) the DRR wait degenerates to
+    the classic FIFO ``backlog x quantum``, so single-tenant accounting
+    is bit-identical to the historical model.
     """
 
     def __init__(
@@ -69,24 +85,69 @@ class WorkerPool:
         self.queue_wait_s = 0.0
         self.service_estimate_s = service_estimate_s
         self._charge_wait = charge_wait
+        #: Per-client requests currently inside :meth:`serve`.
+        self._outstanding: Dict[str, int] = {}
+        #: Fairness counters, surfaced through :meth:`client_stats`.
+        self._client_served: Dict[str, int] = {}
+        self._client_queued: Dict[str, int] = {}
+        self._client_wait_s: Dict[str, float] = {}
+
+    def drr_wait(self, client_id: str) -> float:
+        """Modelled DRR admission wait for one more request of ``client_id``.
+
+        ``own + sum(min(other, own + 1))`` requests run ahead of the
+        new arrival; ``size - 1`` of those drain on the other workers
+        in parallel.  At least one quantum is charged — the pool *was*
+        full when the request arrived.
+        """
+        own = self._outstanding.get(client_id, 0)
+        ahead = own + sum(
+            min(count, own + 1)
+            for other, count in self._outstanding.items()
+            if other != client_id and count > 0
+        )
+        backlog = max(1, ahead - (self.size - 1))
+        return backlog * self.service_estimate_s
 
     @contextmanager
-    def serve(self) -> Iterator[None]:
+    def serve(self, client_id: Optional[str] = None) -> Iterator[None]:
+        cid = client_id if client_id is not None else ANONYMOUS_CLIENT
         if self.in_flight >= self.size:
-            backlog = self.in_flight - self.size + 1
-            wait = backlog * self.service_estimate_s
+            wait = self.drr_wait(cid)
             self.queued += 1
             self.queue_wait_s += wait
+            self._client_queued[cid] = self._client_queued.get(cid, 0) + 1
+            self._client_wait_s[cid] = (
+                self._client_wait_s.get(cid, 0.0) + wait
+            )
             if self._charge_wait is not None:
                 self._charge_wait(wait)
         self.in_flight += 1
         self.served += 1
+        self._outstanding[cid] = self._outstanding.get(cid, 0) + 1
+        self._client_served[cid] = self._client_served.get(cid, 0) + 1
         if self.in_flight > self.peak_in_flight:
             self.peak_in_flight = self.in_flight
         try:
             yield
         finally:
             self.in_flight -= 1
+            remaining = self._outstanding.get(cid, 0) - 1
+            if remaining > 0:
+                self._outstanding[cid] = remaining
+            else:
+                self._outstanding.pop(cid, None)
+
+    def client_stats(self) -> Dict[str, Dict[str, float]]:
+        """Per-client fairness counters (served/queued/queue wait)."""
+        return {
+            cid: {
+                "served": self._client_served.get(cid, 0),
+                "queued": self._client_queued.get(cid, 0),
+                "queue_wait_s": self._client_wait_s.get(cid, 0.0),
+            }
+            for cid in sorted(self._client_served)
+        }
 
 
 class RpcChannel:
@@ -96,6 +157,7 @@ class RpcChannel:
         self, ctx: "ExecutionContext", site_a: str, site_b: str,
         pool_size: int = 4,
         delivery: Optional[ReliableDelivery] = None,
+        service_quantum_s: float = QUEUE_SERVICE_SECONDS,
     ) -> None:
         if site_a == site_b:
             raise RemoteInvocationError("a channel joins two distinct sites")
@@ -111,8 +173,10 @@ class RpcChannel:
             site_b: ReferenceMap(site_b),
         }
         self.pools: Dict[str, WorkerPool] = {
-            site_a: WorkerPool(pool_size, charge_wait=self._charge_wait),
-            site_b: WorkerPool(pool_size, charge_wait=self._charge_wait),
+            site_a: WorkerPool(pool_size, charge_wait=self._charge_wait,
+                               service_estimate_s=service_quantum_s),
+            site_b: WorkerPool(pool_size, charge_wait=self._charge_wait,
+                               service_estimate_s=service_quantum_s),
         }
         #: One codec per direction of travel, keyed by the sending site:
         #: each direction's interned-name table grows independently,
@@ -271,6 +335,8 @@ class RpcChannel:
                     "queued": pool.queued,
                     "queue_wait_s": pool.queue_wait_s,
                     "peak_in_flight": pool.peak_in_flight,
+                    "service_quantum_s": pool.service_estimate_s,
+                    "clients": pool.client_stats(),
                 }
                 for site, pool in self.pools.items()
             },

@@ -7,6 +7,7 @@ produce bit-identical fingerprints, with the data plane on or off.
 """
 
 import dataclasses
+import os
 
 import pytest
 
@@ -72,7 +73,10 @@ class TestShardedParity:
         inline = ShardedReplayer(shards, workers=1).run()
         pooled = ShardedReplayer(shards, workers=2).run()
         assert inline.workers == 1
-        assert pooled.workers == 2
+        # Two workers for two shards, unless the host itself is smaller
+        # (the clamp then records itself as report metadata).
+        assert pooled.workers == min(2, os.cpu_count() or 1)
+        assert pooled.requested_workers == 2
         assert inline.fingerprint() == pooled.fingerprint()
         serial_fp = fingerprints[(app_name, "off", "serial")]
         for aggregate in (inline, pooled):
@@ -138,6 +142,35 @@ class TestShardMechanics:
                      for c in aggregate.clients],
             workers=99, wall_time_s=aggregate.wall_time_s + 123.0)
         assert twin.fingerprint() == aggregate.fingerprint()
+
+    def test_workers_clamped_to_cpu_count_with_warning(self):
+        trace = trace_for("dia")
+        config = config_with_plane("off")
+        shards = replicate(trace, config, clients=2)
+        cpus = os.cpu_count() or 1
+        replayer = ShardedReplayer(shards, workers=cpus + 7)
+        assert replayer.workers == min(cpus, len(shards))
+        assert replayer.requested_workers == cpus + 7
+        assert any("clamped" in w for w in replayer.warnings)
+
+    def test_workers_clamped_to_shard_count_with_warning(self):
+        trace = trace_for("dia")
+        config = config_with_plane("off")
+        replayer = ShardedReplayer(
+            [ReplayShard("only", trace, config)], workers=1000)
+        assert replayer.workers == 1
+        assert any("clamped" in w for w in replayer.warnings)
+        aggregate = replayer.run()
+        assert aggregate.requested_workers == 1000
+        assert aggregate.warnings == replayer.warnings
+
+    def test_unclamped_run_carries_no_warnings(self):
+        trace = trace_for("dia")
+        config = config_with_plane("off")
+        aggregate = ShardedReplayer(
+            replicate(trace, config, clients=2), workers=1).run()
+        assert aggregate.warnings == []
+        assert aggregate.requested_workers == 1
 
     def test_empty_aggregate_rates_are_zero(self):
         empty = AggregateReplayResult()

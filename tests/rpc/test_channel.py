@@ -61,6 +61,94 @@ class TestWorkerPool:
             WorkerPool(size=0)
 
 
+class TestQuantumConfig:
+    def test_default_quantum_is_preserved(self):
+        # The historical 1.2 ms constant, now a parameter: the default
+        # path must stay bit-identical everywhere it is consumed.
+        from repro.rpc.batch import DataPlaneConfig
+        from repro.rpc.channel import QUEUE_SERVICE_SECONDS
+
+        assert QUEUE_SERVICE_SECONDS == 1.2e-3
+        assert WorkerPool(size=1).service_estimate_s == 1.2e-3
+        assert DataPlaneConfig().service_quantum_s == QUEUE_SERVICE_SECONDS
+
+    def test_pool_quantum_is_configurable(self):
+        pool = WorkerPool(size=1, service_estimate_s=0.5)
+        with pool.serve(), pool.serve():
+            pass
+        assert pool.queue_wait_s == 0.5
+
+    def test_data_plane_quantum_threads_into_channel_pools(self):
+        from repro.rpc.batch import DataPlaneConfig
+
+        platform = make_platform(
+            data_plane=DataPlaneConfig(service_quantum_s=7e-3))
+        for pool in platform.channel.pools.values():
+            assert pool.service_estimate_s == 7e-3
+        stats = platform.channel.stats()
+        for body in stats["pools"].values():
+            assert body["service_quantum_s"] == 7e-3
+
+
+class TestDrrFairness:
+    def test_single_flow_degenerates_to_fifo(self):
+        # One client id (or all-anonymous) must reproduce the historic
+        # FIFO accounting exactly: backlog x quantum.
+        anon = WorkerPool(size=1)
+        with anon.serve(), anon.serve(), anon.serve():
+            pass
+        tenant = WorkerPool(size=1)
+        with tenant.serve("c"), tenant.serve("c"), tenant.serve("c"):
+            pass
+        assert anon.queue_wait_s == tenant.queue_wait_s
+        assert anon.queue_wait_s == 3 * anon.service_estimate_s
+
+    def test_light_client_is_not_stuck_behind_a_bulk_caller(self):
+        # A bulk caller saturates the pool with 5 outstanding requests;
+        # a newcomer with no history enters round 1 and waits a single
+        # quantum, not the whole backlog.
+        pool = WorkerPool(size=1)
+        with pool.serve("bulk"), pool.serve("bulk"), pool.serve("bulk"), \
+                pool.serve("bulk"), pool.serve("bulk"):
+            assert pool.drr_wait("light") == pool.service_estimate_s
+            # The bulk caller's own next request queues behind all of
+            # its outstanding work — chattiness only delays itself.
+            assert pool.drr_wait("bulk") == 5 * pool.service_estimate_s
+
+    def test_own_backlog_bounds_other_clients_contribution(self):
+        pool = WorkerPool(size=1)
+        with pool.serve("bulk"), pool.serve("bulk"), pool.serve("bulk"), \
+                pool.serve("other"):
+            # 'other' has 1 outstanding: it enters round 2, where bulk
+            # contributes min(3, 2) = 2 ahead of it.
+            assert pool.drr_wait("other") == 3 * pool.service_estimate_s
+
+    def test_client_stats_expose_fairness_counters(self):
+        pool = WorkerPool(size=1)
+        with pool.serve("a"):
+            with pool.serve("b"):
+                pass
+            with pool.serve("b"):
+                pass
+        stats = pool.client_stats()
+        assert stats["a"] == {"served": 1, "queued": 0,
+                              "queue_wait_s": 0.0}
+        assert stats["b"]["served"] == 2
+        assert stats["b"]["queued"] == 2
+        assert stats["b"]["queue_wait_s"] == pytest.approx(
+            2 * pool.service_estimate_s)
+        assert list(stats) == ["a", "b"]
+
+    def test_channel_stats_carry_per_client_breakdown(self, platform):
+        store = offload_store(platform)
+        stub = platform.channel.stub_for(store)
+        platform.channel.call(stub, "put", 16)
+        pools = platform.channel.stats()["pools"]
+        served = sum(body["clients"].get("<anon>", {}).get("served", 0)
+                     for body in pools.values())
+        assert served >= 1
+
+
 class TestStubs:
     def test_stub_names_home_namespace(self, platform):
         store = offload_store(platform)

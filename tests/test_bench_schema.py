@@ -70,6 +70,27 @@ class TestValidateReport:
         assert any("replay_parallel" in p and "columnar_speedup" in p
                    for p in problems)
 
+    def test_fleet_fairness_miss_is_a_regression(self):
+        report = minimal_valid_report()
+        report["fleet"]["fairness_ok"] = False
+        report["fleet"]["fairness_ratio"] = 9.99
+        problems = validate_report(report)
+        assert any("fleet" in p and "9.99" in p and "exceeds" in p
+                   for p in problems)
+
+    def test_fleet_fingerprint_drift_is_a_regression(self):
+        report = minimal_valid_report()
+        report["fleet"]["fingerprint_stable"] = False
+        problems = validate_report(report)
+        assert any("fleet" in p and "worker count" in p for p in problems)
+
+    def test_missing_fleet_key_is_a_regression(self):
+        report = minimal_valid_report()
+        del report["fleet"]["fairness_ratio"]
+        problems = validate_report(report)
+        assert any("'fleet'" in p and "fairness_ratio" in p
+                   for p in problems)
+
 
 class TestValidateCheckedIn:
     def test_missing_file_names_the_fix(self, tmp_path):

@@ -138,6 +138,42 @@ class TestShardedReplayCli:
         assert pick == [line for line in two.splitlines()
                         if "fingerprint" in line]
 
+    def test_fleet_run_reports_fairness_and_fingerprint(self, capsys):
+        assert main(["fleet", "run", "--clients", "20",
+                     "--surrogates", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "20 client(s)" in out
+        assert "2 surrogate(s)" in out
+        assert "fairness p99/p50" in out
+        assert "fingerprint:" in out
+        assert "deduplicated 20 client replays" in out
+
+    def test_fleet_reject_policy_signals_refusals(self, capsys):
+        assert main(["fleet", "run", "--clients", "8",
+                     "--surrogates", "1", "--admission-cap", "2",
+                     "--admission-policy", "reject"]) == 1
+        out = capsys.readouterr().out
+        assert "rejected: 6" in out
+
+    def test_fleet_fingerprint_is_worker_invariant(self, capsys):
+        assert main(["fleet", "run", "--clients", "10", "--surrogates",
+                     "2", "--workers", "1"]) == 0
+        one = capsys.readouterr().out
+        assert main(["fleet", "run", "--clients", "10", "--surrogates",
+                     "2", "--workers", "4"]) == 0
+        two = capsys.readouterr().out
+        pick = [line for line in one.splitlines() if "fingerprint" in line]
+        assert pick == [line for line in two.splitlines()
+                        if "fingerprint" in line]
+
+    def test_fleet_usage_error(self, capsys):
+        assert main(["fleet"]) == 2
+        assert "usage" in capsys.readouterr().err
+
+    def test_fleet_bad_config_is_a_usage_error(self, capsys):
+        assert main(["fleet", "run", "--surrogates", "0"]) == 2
+        assert "bad fleet configuration" in capsys.readouterr().err
+
     def test_format_ctrace_matches_serial_replay(self, capsys):
         assert main(["replay", "dia"]) == 0
         serial = capsys.readouterr().out

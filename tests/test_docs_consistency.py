@@ -58,4 +58,4 @@ class TestReadmeClaims:
         readme = read("README.md")
         for name in re.findall(r"aide-repro (\w+)", readme):
             assert name in set(EXPERIMENTS) | {"record", "replay", "list",
-                                               "analyze", "trace"}
+                                               "analyze", "trace", "fleet"}
