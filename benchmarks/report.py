@@ -51,6 +51,8 @@ REQUIRED_SECTIONS = {
     "faults": ("dia", "javanote"),
     "fleet": ("scales", "fairness_ratio", "fairness_ok",
               "fingerprint_stable"),
+    "static_prediction": ("apps", "top1_matches", "top1_ok",
+                          "rank_correlation_ok"),
 }
 
 #: Tail-fairness gate for the fleet emulator: at the reference scale
@@ -80,6 +82,16 @@ PARALLEL_RETENTION = 0.9
 #: Slack on the graceful-degradation inequality (pure float comparison
 #: of two long accumulations of link/cpu charges).
 FAULT_GUARD_TOLERANCE = 1.01
+
+#: Gates on the interprocedural traffic predictor: the statically
+#: predicted hottest cross-partition edge must match the measured one
+#: on at least this many of the six bundled apps (biomer's sqrt count
+#: is runtime-data-dependent, so one structural miss is tolerated)...
+STATIC_TOP1_MIN_MATCHES = 5
+#: ...and predicted-vs-measured per-edge byte totals must rank-correlate
+#: at or above this Spearman rho on the two data-heavy apps.
+STATIC_RHO_MIN = 0.6
+STATIC_RHO_GATED_APPS = ("dia", "javanote")
 
 
 def _time(func, rounds: int) -> dict:
@@ -225,6 +237,156 @@ def bench_cold_start() -> dict:
         <= results["unseeded"]["total_time_s"] * 1.0001
     )
     return results
+
+
+def _spearman(xs, ys) -> float:
+    """Tie-averaged Spearman rank correlation of two paired samples."""
+    n = len(xs)
+    if n < 2:
+        return 1.0
+
+    def ranks(vals):
+        order = sorted(range(n), key=lambda i: vals[i])
+        ranked = [0.0] * n
+        i = 0
+        while i < n:
+            j = i
+            while j + 1 < n and vals[order[j + 1]] == vals[order[i]]:
+                j += 1
+            avg = (i + j) / 2.0
+            for k in range(i, j + 1):
+                ranked[order[k]] = avg
+            i = j + 1
+        return ranked
+
+    rx, ry = ranks(xs), ranks(ys)
+    mx = sum(rx) / n
+    my = sum(ry) / n
+    cov = sum((a - mx) * (b - my) for a, b in zip(rx, ry))
+    vx = sum((a - mx) ** 2 for a in rx)
+    vy = sum((b - my) ** 2 for b in ry)
+    if vx == 0 or vy == 0:
+        return 0.0
+    return cov / (vx * vy) ** 0.5
+
+
+def _static_prediction_apps():
+    """Small parameterisations of the six bundled apps.
+
+    Sized so a full in-process replay of all six finishes in well under
+    a second — the section runs even in ``--quick`` CI smoke mode.
+    """
+    from repro.apps import Biomer, Dia, JavaNote, MixedSession, Tracer, Voxel
+    from repro.units import KB
+
+    return [
+        JavaNote(document_bytes=64 * KB, edits=30, scrolls=20,
+                 widgets=10, token_kinds=5),
+        Dia(width=256, height=192, passes=3, render_start_pass=1,
+            renders_per_pass=1, filter_kinds=4, widgets=6,
+            filter_work=0.01),
+        Biomer(residues=8, iterations=10, element_kinds=4),
+        Voxel(regions=64, tiles=8, frame_every=8, region_work=0.01,
+              render_work=0.05, math_calls=2, cache_rows=8,
+              first_frame_fraction=0.3),
+        Tracer(batches=40, frame_every=20, batch_work=0.01,
+               frame_work=0.5, math_calls=4, spheres=8),
+        MixedSession(bursts=2, edits_per_burst=20, passes_per_burst=1,
+                     document_bytes=32 * KB, image_width=64,
+                     image_height=48),
+    ]
+
+
+def bench_static_prediction() -> dict:
+    """Predicted-vs-measured interaction traffic for the six apps.
+
+    Runs every bundled app once in-process under an
+    :class:`ExecutionMonitor` (the measured interaction graph), runs the
+    static analyzer on the same registry (the interprocedurally weighted
+    predicted graph), and compares the two per app:
+
+    * **rank correlation** — Spearman rho between measured and predicted
+      bytes over every measured edge (gated at ``STATIC_RHO_MIN`` for
+      the ``STATIC_RHO_GATED_APPS``);
+    * **top-1 cross edge** — whether the predicted hottest edge crossing
+      the pinned/offloadable boundary is the measured hottest one (gated
+      at ``STATIC_TOP1_MIN_MATCHES`` of six apps).
+    """
+    from repro.analysis import analyze_registry
+    from repro.config import DeviceProfile, GCConfig, VMConfig
+    from repro.core.monitor import ExecutionMonitor
+    from repro.units import MB
+    from repro.vm.session import LocalSession
+
+    def hottest_cross_edge(graph, pinned):
+        best, best_bytes = None, -1.0
+        for (a, b), edge in graph.edges():
+            if (a in pinned) != (b in pinned) and edge.bytes > best_bytes:
+                best, best_bytes = (a, b), edge.bytes
+        return best, max(best_bytes, 0.0)
+
+    apps = {}
+    matches = 0
+    for app in _static_prediction_apps():
+        config = VMConfig(
+            device=DeviceProfile("pc", cpu_speed=1.0,
+                                 heap_capacity=64 * MB),
+            gc=GCConfig(), monitoring_event_cost=0.0,
+        )
+        session = LocalSession(config)
+        monitor = ExecutionMonitor()
+        session.add_listener(monitor)
+        app.install(session.registry)
+        app.main(session.ctx)
+        report = analyze_registry(session.registry, app)
+        predicted = report.analysis.weighted_graph
+        measured = monitor.graph
+        pinned = report.closure.must
+
+        measured_bytes = {key: edge.bytes for key, edge in measured.edges()
+                          if edge.bytes > 0}
+        xs, ys = [], []
+        for key, mbytes in measured_bytes.items():
+            xs.append(mbytes)
+            ys.append(
+                predicted.edge_bytes(*key)
+                if predicted.has_node(key[0]) and predicted.has_node(key[1])
+                else 0.0
+            )
+        rho = _spearman(xs, ys)
+
+        measured_top, measured_top_bytes = hottest_cross_edge(
+            measured, pinned
+        )
+        predicted_top, predicted_top_bytes = hottest_cross_edge(
+            predicted, pinned
+        )
+        match = measured_top is not None and measured_top == predicted_top
+        matches += bool(match)
+        apps[app.name] = {
+            "measured_edges": len(measured_bytes),
+            "spearman_rho": rho,
+            "top1_measured": list(measured_top) if measured_top else None,
+            "top1_measured_bytes": measured_top_bytes,
+            "top1_predicted": list(predicted_top) if predicted_top else None,
+            "top1_predicted_bytes": predicted_top_bytes,
+            "top1_match": match,
+            "predicted_cross_traffic_bytes":
+                report.analysis.seed.predicted_cross_traffic,
+        }
+
+    return {
+        "apps": apps,
+        "top1_matches": matches,
+        "top1_required": STATIC_TOP1_MIN_MATCHES,
+        "top1_ok": matches >= STATIC_TOP1_MIN_MATCHES,
+        "rho_min": STATIC_RHO_MIN,
+        "rho_gated_apps": list(STATIC_RHO_GATED_APPS),
+        "rank_correlation_ok": all(
+            apps[name]["spearman_rho"] >= STATIC_RHO_MIN
+            for name in STATIC_RHO_GATED_APPS
+        ),
+    }
 
 
 def chatty_trace(widgets: int = 40, sweeps: int = 60):
@@ -504,6 +666,27 @@ def validate_report(report: dict) -> list:
                 "fleet: fingerprint changed with the drive-side "
                 "worker count"
             )
+    static = report.get("static_prediction")
+    if isinstance(static, dict):
+        if not static.get("top1_ok"):
+            problems.append(
+                f"static_prediction: hottest cross-partition edge "
+                f"matched on only {static.get('top1_matches', 0)} of "
+                f"{len(static.get('apps', {}))} apps "
+                f"(need {STATIC_TOP1_MIN_MATCHES})"
+            )
+        if not static.get("rank_correlation_ok"):
+            gated = static.get("rho_gated_apps",
+                               list(STATIC_RHO_GATED_APPS))
+            rhos = ", ".join(
+                f"{name} "
+                f"{static.get('apps', {}).get(name, {}).get('spearman_rho', 0.0):.2f}"
+                for name in gated
+            )
+            problems.append(
+                f"static_prediction: rank correlation below "
+                f"{STATIC_RHO_MIN} ({rhos})"
+            )
     faults = report.get("faults")
     if isinstance(faults, dict):
         for app, body in faults.items():
@@ -725,6 +908,7 @@ def build_report(rounds: int, quick: bool = False) -> dict:
             rounds, replay["events_per_second"]
         ),
         "cold_start": bench_cold_start(),
+        "static_prediction": bench_static_prediction(),
         "rpc": bench_rpc(rounds),
         "faults": bench_faults(),
         "fleet": bench_fleet(quick=quick),
@@ -797,6 +981,17 @@ def main(argv=None) -> int:
           f"unseeded {cold['unseeded']['total_time_s']:.1f}s vs "
           f"seeded {cold['seeded']['total_time_s']:.1f}s "
           f"({'ok' if cold['seeded_matches_or_beats'] else 'REGRESSION'})")
+    static = report["static_prediction"]
+    for name, body in static["apps"].items():
+        top = body["top1_predicted"]
+        print(f"static {name:>14}: rho {body['spearman_rho']:5.2f}, "
+              f"top-1 cross edge "
+              f"{'-'.join(top) if top else '(none)':40s} "
+              f"[{'match' if body['top1_match'] else 'MISS'}]")
+    print(f"static prediction: top-1 matched on "
+          f"{static['top1_matches']}/{len(static['apps'])} apps "
+          f"[{'ok' if static['top1_ok'] else 'BELOW TARGET'}"
+          f"{', ranks ok' if static['rank_correlation_ok'] else ', RANK REGRESSION'}]")
     rpc = report["rpc"]
     chatty = rpc["chatty"]
     print(f"rpc chatty remote-heavy: "

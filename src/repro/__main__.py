@@ -267,7 +267,7 @@ def _fleet_run(source: str, clients: int, surrogates: int,
     return 0 if result.rejected_clients == 0 else 1
 
 
-def _analyze(app_name: str, json_path) -> int:
+def _analyze(app_name: str, json_path, sarif: bool = False) -> int:
     from .analysis import analyze_app
 
     try:
@@ -275,7 +275,15 @@ def _analyze(app_name: str, json_path) -> int:
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
         return 2
-    if json_path is None:
+    if sarif:
+        rendered = report.to_sarif_json()
+        if json_path is None or json_path == "-":
+            print(rendered)
+        else:
+            with open(json_path, "w") as stream:
+                stream.write(rendered + "\n")
+            print(f"wrote SARIF analysis of {app_name!r} to {json_path}")
+    elif json_path is None:
         print(report.to_text())
     elif json_path == "-":
         print(report.to_json())
@@ -313,10 +321,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="emulated clients for 'replay' (default 1; "
                              "each replays the trace independently)")
     parser.add_argument("--format", dest="trace_format", default="auto",
-                        choices=("auto", "jsonl", "ctrace"),
+                        choices=("auto", "jsonl", "ctrace", "sarif"),
                         help="in-memory trace representation for "
                              "'replay': columnar (ctrace) uses the "
-                             "batched dispatch loop (default: as loaded)")
+                             "batched dispatch loop (default: as "
+                             "loaded); for 'analyze', 'sarif' renders "
+                             "the diagnostics as a SARIF 2.1.0 log "
+                             "(to --json PATH, or stdout)")
     parser.add_argument("--surrogates", type=int, default=4, metavar="M",
                         help="surrogate pool size for 'fleet run' "
                              "(default 4)")
@@ -386,10 +397,12 @@ def main(argv=None) -> int:
         return _convert(targets[2], targets[3])
     if targets[0] == "analyze":
         if len(targets) != 2:
-            print("usage: python -m repro analyze <app> [--json [PATH]]",
+            print("usage: python -m repro analyze <app> [--json [PATH]] "
+                  "[--format sarif]",
                   file=sys.stderr)
             return 2
-        return _analyze(targets[1], args.json)
+        return _analyze(targets[1], args.json,
+                        sarif=args.trace_format == "sarif")
     if targets == ["list"]:
         print("available experiments:")
         for name, description in DESCRIPTIONS.items():

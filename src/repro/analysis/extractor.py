@@ -50,9 +50,11 @@ from .facts import (
     GlobalOf,
     GlobalWriteFact,
     HostRef,
+    IntRange,
     MethodFacts,
     NameTables,
     NumConst,
+    ParamRef,
     ProgramFacts,
     ReturnFact,
     ReturnOf,
@@ -168,6 +170,8 @@ class _FunctionWalker:
         depth: int = 0,
         stack: Tuple[Any, ...] = (),
         collect_returns: bool = True,
+        loops: int = 0,
+        trip_stack: Tuple[Optional[int], ...] = (),
     ) -> None:
         self.sink = sink
         self.owner = owner_class
@@ -177,7 +181,18 @@ class _FunctionWalker:
         self.depth = depth
         self.stack = stack
         self.collect_returns = collect_returns
+        #: Syntactic loop nesting level, inherited across helper
+        #: inlining so inlined sites keep the caller's loop context.
+        self.loops = loops
+        #: One entry per enclosing loop (outermost first): its constant
+        #: trip count, or None when the bound is not statically known.
+        #: Inherited across inlining like ``loops``.
+        self.trip_stack: List[Optional[int]] = list(trip_stack)
         self.returned: List[ValueRef] = []
+
+    @property
+    def trips(self) -> Tuple[Optional[int], ...]:
+        return tuple(self.trip_stack)
 
     # -- statements ---------------------------------------------------------
 
@@ -212,26 +227,45 @@ class _FunctionWalker:
             value = self.eval(stmt.value) if stmt.value is not None else _NONE
             self._record_return(value, stmt.lineno)
         elif isinstance(stmt, ast.If):
-            self.eval(stmt.test)
-            self._branch((stmt.body, stmt.orelse))
+            outcome = self._test_outcome(stmt.test)
+            if outcome is True:
+                self.walk_body(stmt.body)
+            elif outcome is False:
+                self.walk_body(stmt.orelse)
+            else:
+                self._branch((stmt.body, stmt.orelse))
         elif isinstance(stmt, (ast.For, ast.AsyncFor)):
-            self.eval(stmt.iter)
-            self._bind_loop_target(stmt.target, stmt.iter)
+            trip_count, target_ref = self._eval_loop_iter(stmt.iter)
+            self._bind_loop_target(stmt.target, stmt.iter, target_ref)
+            if trip_count == 0:
+                # The range is statically empty with this app's live
+                # configuration: the body cannot execute at runtime, so
+                # skipping it preserves the superset property.
+                self.walk_body(stmt.orelse)
+                return
             saved = self.weight
             self.weight = min(self.weight * LOOP_WEIGHT, MAX_WEIGHT)
+            self.loops += 1
+            self.trip_stack.append(trip_count)
             try:
                 self.walk_body(stmt.body)
             finally:
                 self.weight = saved
+                self.loops -= 1
+                self.trip_stack.pop()
             self.walk_body(stmt.orelse)
         elif isinstance(stmt, ast.While):
             self.eval(stmt.test)
             saved = self.weight
             self.weight = min(self.weight * LOOP_WEIGHT, MAX_WEIGHT)
+            self.loops += 1
+            self.trip_stack.append(None)
             try:
                 self.walk_body(stmt.body)
             finally:
                 self.weight = saved
+                self.loops -= 1
+                self.trip_stack.pop()
             self.walk_body(stmt.orelse)
         elif isinstance(stmt, (ast.With, ast.AsyncWith)):
             for item in stmt.items:
@@ -288,6 +322,7 @@ class _FunctionWalker:
                     ElemStoreFact(
                         container=base.container, value=value,
                         weight=self.weight, line=target.lineno,
+                        depth=self.loops, trips=self.trips,
                     )
                 )
         elif isinstance(target, (ast.Tuple, ast.List)):
@@ -295,17 +330,85 @@ class _FunctionWalker:
                 self._assign(element, _UNKNOWN)
         # Attribute targets are host-object mutation; nothing to extract.
 
-    def _bind_loop_target(self, target: ast.expr, iterable: ast.expr) -> None:
+    def _eval_loop_iter(
+        self, iterable: ast.expr
+    ) -> Tuple[Any, Optional[ValueRef]]:
+        """Evaluate a for-loop's iterable exactly once.
+
+        Returns ``(trip_count, target_ref)``: the loop's constant trip
+        count when every ``range`` argument folds to an integer
+        constant, the bound's symbolic reference for a single-argument
+        ``range`` over a parameter-dependent value (the dataflow pass
+        resolves it through call-site bindings), or ``None``; plus an
+        :class:`IntRange` covering the loop variable for constant
+        ranges.
+        """
+        if (
+            isinstance(iterable, ast.Call)
+            and isinstance(iterable.func, ast.Name)
+            and iterable.func.id == "range"
+            and not iterable.keywords
+            and 1 <= len(iterable.args) <= 3
+        ):
+            parts = [self.eval(arg) for arg in iterable.args]
+            values: List[int] = []
+            for part in parts:
+                if not (
+                    isinstance(part, NumConst)
+                    and float(part.value) == int(part.value)
+                ):
+                    if len(parts) == 1 and not isinstance(
+                        part, (Unknown, Scalar, CtxRef)
+                    ):
+                        return part, None
+                    return None, None
+                values.append(int(part.value))
+            if len(values) == 3 and values[2] == 0:
+                return None, None
+            span = range(*values)
+            if len(span) == 0:
+                return 0, None
+            return len(span), IntRange(min(span[0], span[-1]),
+                                       max(span[0], span[-1]))
+        self.eval(iterable)
+        return None, None
+
+    def _bind_loop_target(
+        self,
+        target: ast.expr,
+        iterable: ast.expr,
+        target_ref: Optional[ValueRef] = None,
+    ) -> None:
         scalar_iter = (
             isinstance(iterable, ast.Call)
             and isinstance(iterable.func, ast.Name)
             and iterable.func.id in ("range", "enumerate")
         )
         if isinstance(target, ast.Name):
-            self.env[target.id] = Scalar("int") if scalar_iter else _UNKNOWN
+            if target_ref is not None:
+                self.env[target.id] = target_ref
+            else:
+                self.env[target.id] = Scalar("int") if scalar_iter else _UNKNOWN
         elif isinstance(target, (ast.Tuple, ast.List)):
             for element in target.elts:
                 self._assign(element, _UNKNOWN)
+
+    def _test_outcome(self, test: ast.expr) -> Optional[bool]:
+        """Evaluate an ``if`` test exactly once; decide it when possible.
+
+        Only single comparisons whose operands are numeric constants or
+        loop-variable intervals are decided; everything else evaluates
+        for nested facts and returns ``None`` (walk both arms).
+        """
+        if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+            inner = self._test_outcome(test.operand)
+            return None if inner is None else (not inner)
+        if isinstance(test, ast.Compare) and len(test.ops) == 1:
+            left = self.eval(test.left)
+            right = self.eval(test.comparators[0])
+            return _compare_outcome(test.ops[0], left, right)
+        self.eval(test)
+        return None
 
     # -- expressions --------------------------------------------------------
 
@@ -375,6 +478,8 @@ class _FunctionWalker:
     def _eval_comprehension(self, generators, expressions) -> None:
         saved = self.weight
         self.weight = min(self.weight * LOOP_WEIGHT, MAX_WEIGHT)
+        self.loops += 1
+        self.trip_stack.append(None)
         try:
             for generator in generators:
                 self.eval(generator.iter)
@@ -385,6 +490,8 @@ class _FunctionWalker:
                 self.eval(expression)
         finally:
             self.weight = saved
+            self.loops -= 1
+            self.trip_stack.pop()
 
     @staticmethod
     def _eval_constant(value: Any) -> ValueRef:
@@ -439,6 +546,10 @@ class _FunctionWalker:
             folded = _fold_binop(node.op, left.value, right.value)
             if folded is not None:
                 return NumConst(folded)
+        if isinstance(left, IntRange) or isinstance(right, IntRange):
+            span = _interval_binop(node.op, _interval(left), _interval(right))
+            if span is not None:
+                return span
         if isinstance(left, (StrConst, Scalar)) and getattr(left, "kind", "str") == "str":
             return Scalar("str")
         return Scalar("int")
@@ -506,6 +617,8 @@ class _FunctionWalker:
             depth=self.depth + 1,
             stack=self.stack + (code,),
             collect_returns=False,
+            loops=self.loops,
+            trip_stack=self.trips,
         )
         returned = walker.run(node)
         return union_of(*returned) if returned else _NONE
@@ -523,7 +636,7 @@ class _FunctionWalker:
                     field_values[keyword.arg] = self.eval(keyword.value)
             self.sink.facts.append(
                 AllocFact(class_names=names, field_values=field_values,
-                          weight=self.weight, line=line)
+                          weight=self.weight, line=line, depth=self.loops, trips=self.trips)
             )
             return Classes(names) if names else _UNKNOWN
         if api == "new_array":
@@ -537,7 +650,7 @@ class _FunctionWalker:
             )
             self.sink.facts.append(
                 ArrayAllocFact(element_type=element, length=length,
-                               weight=self.weight, line=line)
+                               weight=self.weight, line=line, depth=self.loops, trips=self.trips)
             )
             if element is not None:
                 return Classes(frozenset((f"{element}[]",)))
@@ -545,21 +658,20 @@ class _FunctionWalker:
         if api == "invoke":
             receiver = self.eval(node.args[0]) if node.args else _UNKNOWN
             method_ref = self.eval(node.args[1]) if len(node.args) > 1 else _UNKNOWN
-            rest = [self.eval(arg) for arg in node.args[2:]]
-            del rest
+            passed = tuple(self.eval(arg) for arg in node.args[2:])
             if not isinstance(method_ref, StrConst):
                 return _UNKNOWN
             self.sink.facts.append(
                 CallFact(receiver=receiver, method=method_ref.text,
                          is_static=False, nargs=len(node.args) - 2,
-                         weight=self.weight, line=line)
+                         weight=self.weight, line=line, depth=self.loops, trips=self.trips,
+                         args=passed)
             )
             return ReturnOf(receiver, method_ref.text)
         if api == "invoke_static":
             class_ref = self.eval(node.args[0]) if node.args else _UNKNOWN
             method_ref = self.eval(node.args[1]) if len(node.args) > 1 else _UNKNOWN
-            for arg in node.args[2:]:
-                self.eval(arg)
+            passed = tuple(self.eval(arg) for arg in node.args[2:])
             if not isinstance(method_ref, StrConst):
                 return _UNKNOWN
             names = _class_names(class_ref)
@@ -569,7 +681,8 @@ class _FunctionWalker:
                 CallFact(receiver=receiver, method=method_ref.text,
                          is_static=True, class_name=const_name,
                          nargs=len(node.args) - 2,
-                         weight=self.weight, line=line)
+                         weight=self.weight, line=line, depth=self.loops, trips=self.trips,
+                         args=passed)
             )
             return ReturnOf(receiver, method_ref.text)
         if api in ("get_field", "set_field"):
@@ -582,7 +695,7 @@ class _FunctionWalker:
             self.sink.facts.append(
                 FieldAccessFact(receiver=receiver, field=field_ref.text,
                                 is_write=is_write, value=value,
-                                weight=self.weight, line=line)
+                                weight=self.weight, line=line, depth=self.loops, trips=self.trips)
             )
             if is_write:
                 return _NONE
@@ -598,7 +711,7 @@ class _FunctionWalker:
             self.sink.facts.append(
                 StaticAccessFact(class_name=const_name, field=field_ref.text,
                                  is_write=is_write, value=value,
-                                 weight=self.weight, line=line)
+                                 weight=self.weight, line=line, depth=self.loops, trips=self.trips)
             )
             if is_write:
                 return _NONE
@@ -614,7 +727,9 @@ class _FunctionWalker:
             )
             self.sink.facts.append(
                 ArrayAccessFact(array=array, is_write=api == "array_write",
-                                count=count, weight=self.weight, line=line)
+                                count=count, weight=self.weight, line=line,
+                                depth=self.loops, trips=self.trips,
+                                count_ref=count_ref if count is None else None)
             )
             return _NONE
         if api == "work":
@@ -624,7 +739,7 @@ class _FunctionWalker:
                 if isinstance(seconds_ref, NumConst) else None
             )
             self.sink.facts.append(
-                WorkFact(seconds=seconds, weight=self.weight, line=line)
+                WorkFact(seconds=seconds, weight=self.weight, line=line, depth=self.loops, trips=self.trips)
             )
             return _NONE
         if api == "set_global":
@@ -633,7 +748,7 @@ class _FunctionWalker:
             if isinstance(name_ref, StrConst):
                 self.sink.facts.append(
                     GlobalWriteFact(name=name_ref.text, value=value,
-                                    weight=self.weight, line=line)
+                                    weight=self.weight, line=line, depth=self.loops, trips=self.trips)
                 )
             return _NONE
         if api == "get_global":
@@ -656,6 +771,87 @@ def _class_names(ref: ValueRef):
         return frozenset((ref.text,))
     if isinstance(ref, StrChoice):
         return ref.options
+    return None
+
+
+def _interval(ref: ValueRef) -> Optional[Tuple[int, int]]:
+    """Integer bounds of a reference, when statically known."""
+    if isinstance(ref, IntRange):
+        return (ref.lo, ref.hi)
+    if isinstance(ref, NumConst) and float(ref.value) == int(ref.value):
+        value = int(ref.value)
+        return (value, value)
+    return None
+
+
+def _interval_binop(
+    op: ast.operator,
+    left: Optional[Tuple[int, int]],
+    right: Optional[Tuple[int, int]],
+) -> Optional[ValueRef]:
+    """Interval arithmetic for loop-variable expressions."""
+    if left is None or right is None:
+        return None
+    lo_l, hi_l = left
+    lo_r, hi_r = right
+    if isinstance(op, ast.Add):
+        lo, hi = lo_l + lo_r, hi_l + hi_r
+    elif isinstance(op, ast.Sub):
+        lo, hi = lo_l - hi_r, hi_l - lo_r
+    elif isinstance(op, ast.Mult):
+        corners = (lo_l * lo_r, lo_l * hi_r, hi_l * lo_r, hi_l * hi_r)
+        lo, hi = min(corners), max(corners)
+    elif isinstance(op, ast.Mod) and lo_r == hi_r and lo_r > 0:
+        lo, hi = 0, lo_r - 1
+    elif isinstance(op, ast.FloorDiv) and lo_r == hi_r and lo_r > 0:
+        lo, hi = lo_l // lo_r, hi_l // lo_r
+    else:
+        return None
+    if lo == hi:
+        return NumConst(lo)
+    return IntRange(lo, hi)
+
+
+def _compare_outcome(
+    op: ast.cmpop, left: ValueRef, right: ValueRef
+) -> Optional[bool]:
+    """Decide a comparison between two statically bounded integers."""
+    a = _interval(left)
+    b = _interval(right)
+    if a is None or b is None:
+        return None
+    lo_l, hi_l = a
+    lo_r, hi_r = b
+    if isinstance(op, ast.Lt):
+        if hi_l < lo_r:
+            return True
+        if lo_l >= hi_r:
+            return False
+    elif isinstance(op, ast.LtE):
+        if hi_l <= lo_r:
+            return True
+        if lo_l > hi_r:
+            return False
+    elif isinstance(op, ast.Gt):
+        if lo_l > hi_r:
+            return True
+        if hi_l <= lo_r:
+            return False
+    elif isinstance(op, ast.GtE):
+        if lo_l >= hi_r:
+            return True
+        if hi_l < lo_r:
+            return False
+    elif isinstance(op, ast.Eq):
+        if lo_l == hi_l == lo_r == hi_r:
+            return True
+        if hi_l < lo_r or hi_r < lo_l:
+            return False
+    elif isinstance(op, ast.NotEq):
+        if lo_l == hi_l == lo_r == hi_r:
+            return False
+        if hi_l < lo_r or hi_r < lo_l:
+            return True
     return None
 
 
@@ -710,7 +906,7 @@ def extract_method(class_def, mdef) -> MethodFacts:
             else:
                 env[name] = Classes(frozenset((class_def.name,)))
         else:
-            env[name] = _UNKNOWN
+            env[name] = ParamRef(index - 2)
     walker = _FunctionWalker(
         sink=sink, owner_class=class_def.name, env=env,
         host=_host_bindings(func), stack=(code,),

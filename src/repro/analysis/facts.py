@@ -24,7 +24,7 @@ of anything the runtime can observe.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, FrozenSet, Iterator, List, Optional, Tuple
+from typing import Any, Dict, FrozenSet, Iterator, List, Optional, Tuple, Union
 
 from ..vm.classloader import ClassRegistry
 from ..vm.context import MAIN_CLASS
@@ -32,9 +32,11 @@ from ..vm.objectmodel import MethodKind
 
 __all__ = [
     "MAIN_CLASS",
-    "ValueRef", "Classes", "Scalar", "StrConst", "NumConst", "StrChoice",
-    "Unknown", "CtxRef", "HostRef", "ArrayData", "FieldOf", "ElemOf",
-    "GlobalOf", "ReturnOf", "UnionRef", "union_of", "classes_of",
+    "ValueRef", "Classes", "Scalar", "StrConst", "NumConst", "IntRange",
+    "StrChoice", "Unknown", "CtxRef", "HostRef", "ArrayData", "FieldOf",
+    "ElemOf", "GlobalOf", "ReturnOf", "ParamRef", "UnionRef", "union_of",
+    "TripCount",
+    "classes_of",
     "CallFact", "FieldAccessFact", "StaticAccessFact", "AllocFact",
     "ArrayAllocFact", "ArrayAccessFact", "ElemStoreFact",
     "GlobalWriteFact", "WorkFact", "ReturnFact",
@@ -77,6 +79,20 @@ class NumConst(ValueRef):
     """A numeric constant (foldable work seconds, array lengths)."""
 
     value: float
+
+
+@dataclass(frozen=True)
+class IntRange(ValueRef):
+    """An integer known to lie in ``[lo, hi]`` (constant-range loops).
+
+    Bound by the extractor for ``for i in range(<const>)`` targets, and
+    used to prune branches whose comparisons against constants are
+    statically decided (e.g. a render gate whose threshold exceeds the
+    loop bound), keeping the predicted graph tight without breaking the
+    superset property — a pruned branch cannot execute at runtime."""
+
+    lo: int
+    hi: int
 
 
 @dataclass(frozen=True)
@@ -146,6 +162,20 @@ class ReturnOf(ValueRef):
 
 
 @dataclass(frozen=True)
+class ParamRef(ValueRef):
+    """The ``index``-th guest argument of the enclosing method.
+
+    Indexing starts after the implicit ``(ctx, self)`` pair, matching
+    the position in :attr:`CallFact.args` at call sites.  The base
+    resolver treats this as :class:`Unknown` (callers are unknown in
+    general), preserving the superset property; the interprocedural
+    dataflow pass (:mod:`repro.analysis.dataflow`) substitutes merged
+    caller arguments to recover constants such as array counts."""
+
+    index: int
+
+
+@dataclass(frozen=True)
 class UnionRef(ValueRef):
     """Any of several alternatives (branch merges, ``a or b``)."""
 
@@ -177,6 +207,20 @@ def classes_of(*names: str) -> Classes:
 
 
 # -- facts -------------------------------------------------------------------
+#
+# Every site fact carries three loop annotations: ``weight`` — the
+# legacy multiplicative estimate baked in by the extractor (LOOP_WEIGHT
+# per nesting level, capped) — ``depth`` — the raw syntactic loop
+# nesting level — and ``trips`` — one entry per enclosing loop
+# (outermost first), holding the loop's constant trip count when its
+# ``range`` bound folded to a constant, a symbolic :class:`ValueRef`
+# when the bound is a method parameter or similar (the dataflow pass
+# resolves it through call-site bindings), or ``None`` when unknown.
+# The summary layer re-weights sites as the product of known trips,
+# substituting a configurable base B for each unknown level.
+
+#: One enclosing loop's trip count: constant, symbolic, or unknown.
+TripCount = Optional[Union[int, ValueRef]]
 
 
 @dataclass
@@ -191,6 +235,11 @@ class CallFact:
     nargs: int = 0
     weight: int = 1
     line: int = 0
+    depth: int = 0
+    trips: Tuple[TripCount, ...] = ()
+    #: Symbolic guest arguments (after the receiver/class and method
+    #: name), consumed by the dataflow pass for constant propagation.
+    args: Tuple[ValueRef, ...] = ()
 
 
 @dataclass
@@ -203,6 +252,8 @@ class FieldAccessFact:
     value: Optional[ValueRef] = None
     weight: int = 1
     line: int = 0
+    depth: int = 0
+    trips: Tuple[TripCount, ...] = ()
 
 
 @dataclass
@@ -215,6 +266,8 @@ class StaticAccessFact:
     value: Optional[ValueRef] = None
     weight: int = 1
     line: int = 0
+    depth: int = 0
+    trips: Tuple[TripCount, ...] = ()
 
 
 @dataclass
@@ -225,6 +278,8 @@ class AllocFact:
     field_values: Dict[str, ValueRef] = field(default_factory=dict)
     weight: int = 1
     line: int = 0
+    depth: int = 0
+    trips: Tuple[TripCount, ...] = ()
 
 
 @dataclass
@@ -235,6 +290,8 @@ class ArrayAllocFact:
     length: Optional[int] = None
     weight: int = 1
     line: int = 0
+    depth: int = 0
+    trips: Tuple[TripCount, ...] = ()
 
 
 @dataclass
@@ -246,6 +303,12 @@ class ArrayAccessFact:
     count: Optional[int] = None
     weight: int = 1
     line: int = 0
+    depth: int = 0
+    trips: Tuple[TripCount, ...] = ()
+    #: Symbolic element count when it is not a literal constant; the
+    #: dataflow pass resolves :class:`ParamRef` counts (e.g. the
+    #: ``count`` argument of ``System.arraycopy``) through call sites.
+    count_ref: Optional[ValueRef] = None
 
 
 @dataclass
@@ -256,6 +319,8 @@ class ElemStoreFact:
     value: ValueRef
     weight: int = 1
     line: int = 0
+    depth: int = 0
+    trips: Tuple[TripCount, ...] = ()
 
 
 @dataclass
@@ -266,6 +331,8 @@ class GlobalWriteFact:
     value: ValueRef
     weight: int = 1
     line: int = 0
+    depth: int = 0
+    trips: Tuple[TripCount, ...] = ()
 
 
 @dataclass
@@ -275,6 +342,8 @@ class WorkFact:
     seconds: Optional[float] = None
     weight: int = 1
     line: int = 0
+    depth: int = 0
+    trips: Tuple[TripCount, ...] = ()
 
 
 @dataclass

@@ -16,6 +16,10 @@ AL204  warning  cross-cluster shared class (the paper's Dia pathology)
 AL301  info     declared field never accessed anywhere in the program
 AL302  info     registered class never allocated, invoked, or accessed
 AL303  info     class name at this site is not a compile-time constant
+AL401  warning  read-modify-write of a remote field inside a loop
+AL402  warning  per-element access to a remote-majority array in a loop
+AL403  warning  field only ever written, and written across the boundary
+AL404  warning  mutable static reached from both placement clusters
 ====== ======== ==========================================================
 
 Error-band rules find code the runtime would reject
@@ -24,6 +28,15 @@ the CI lint gate fails on them.  Warning-band rules flag placement
 pathologies that are *legal* but costly — several fire intentionally on
 the bundled apps because they reproduce the paper's native-bounce and
 shared-scratch effects.  Info-band rules are hygiene.
+
+The AL4xx band (chatty-interface diagnostics) is powered by the
+interprocedural dataflow pass: each finding quotes the *predicted*
+byte and round-trip cost of the pattern, computed from method call
+frequencies and loop trip counts.  The rules are tuned to stay silent
+on the six bundled apps — their cross-partition traffic is bulk
+transfers and intentional pathologies already covered by AL2xx — while
+firing on genuinely chatty shapes (element-at-a-time remote loops,
+blind remote writes).
 """
 
 from __future__ import annotations
@@ -32,9 +45,11 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Set
 
 from ..vm.objectmodel import MethodKind, array_class_name, suggest_name
+from .dataflow import substitute
 from .facts import (
     MAIN_CLASS,
     AllocFact,
+    ArrayAccessFact,
     ArrayAllocFact,
     CallFact,
     Classes,
@@ -48,13 +63,40 @@ from .facts import (
     StrConst,
     ValueRef,
 )
-from .staticgraph import Resolver, StaticAnalysis
+from .staticgraph import ACCESS_BYTES, Resolver, StaticAnalysis
 
 ERROR = "error"
 WARNING = "warning"
 INFO = "info"
 
+#: AL402 fires only when the per-element site is predicted to run at
+#: least this often per program run — cold loops are not worth a
+#: restructuring warning.
+AL402_MIN_RATE = 32.0
+#: AL403/AL404 fire only above this much predicted wire traffic.
+AL4XX_MIN_BYTES = 64.0
+
 _SEVERITY_ORDER = {ERROR: 0, WARNING: 1, INFO: 2}
+
+#: One-line summary per rule code (mirrors the module docstring table;
+#: rendered into SARIF rule metadata and the docs).
+RULE_SUMMARIES = {
+    "AL101": "allocation or static call names a class that does not exist",
+    "AL102": "invocation names a method the receiver cannot have",
+    "AL103": "field access names a field the owner cannot have",
+    "AL104": "static invocation of an instance method (or vice versa)",
+    "AL201": "value stored into a field of an incompatible declared type",
+    "AL202": "static-field write from offloadable code (client round-trip)",
+    "AL203": "call into a stateful native from an offloadable class",
+    "AL204": "cross-cluster shared class (the paper's Dia pathology)",
+    "AL301": "declared field never accessed anywhere in the program",
+    "AL302": "registered class never allocated, invoked, or accessed",
+    "AL303": "class name at this site is not a compile-time constant",
+    "AL401": "read-modify-write of a remote field inside a loop",
+    "AL402": "per-element access to a remote-majority array in a loop",
+    "AL403": "field only ever written, and written across the boundary",
+    "AL404": "mutable static reached from both placement clusters",
+}
 
 #: Primitive field type names (everything else is reference-typed).
 _PRIMITIVE_TYPES = frozenset(
@@ -145,8 +187,28 @@ class Linter:
                     self._check_static_access(mf, fact)
         self._check_shared_classes()
         self._check_unused()
+        self._check_dataflow()
         self.diagnostics.sort(key=Diagnostic.sort_key)
+        self._dedupe_al303()
         return self.diagnostics
+
+    def _dedupe_al303(self) -> None:
+        """One non-constant-name site, one AL303 diagnostic.
+
+        Helper inlining replays a shared helper's body once per caller,
+        so the same source line would otherwise report once for every
+        class that inlines it.
+        """
+        seen: Set[tuple] = set()
+        kept: List[Diagnostic] = []
+        for diag in self.diagnostics:
+            if diag.rule == "AL303":
+                site = (diag.source_file, diag.line, diag.message)
+                if site in seen:
+                    continue
+                seen.add(site)
+            kept.append(diag)
+        self.diagnostics = kept
 
     # -- AL101/AL303: class names ---------------------------------------------
 
@@ -440,6 +502,176 @@ class Linter:
                         ),
                         class_name=class_def.name, method_name="<class>",
                     ))
+
+
+    # -- AL4xx: chatty-interface diagnostics (dataflow-powered) ----------------
+
+    def _check_dataflow(self) -> None:
+        traffic = self.analysis.traffic
+        if traffic is None:
+            return
+        self._check_loop_round_trips(traffic)
+        self._check_per_element_loops(traffic)
+        self._check_write_only_fields(traffic)
+        self._check_shared_statics(traffic)
+
+    def _check_loop_round_trips(self, traffic) -> None:
+        """AL401: read + write of the same all-remote field in a loop.
+
+        The classic chatty accessor: ``x = get_field(o, f); ...;
+        set_field(o, f, x')`` inside a loop, where every candidate owner
+        of ``f`` lives on the other side of the partition — each
+        iteration pays two wire crossings that hoisting would collapse
+        to one pair around the loop.
+        """
+        for mf in self.program.iter_methods():
+            if not mf.analyzed:
+                continue
+            key = (mf.class_name, mf.method_name)
+            accessor_client = mf.class_name in traffic.pinned
+            reads: Dict[str, FieldAccessFact] = {}
+            writes: Dict[str, FieldAccessFact] = {}
+            for fact in mf.iter_facts(FieldAccessFact):
+                if fact.depth < 1:
+                    continue
+                candidates = self.resolver.field_candidates(
+                    substitute(fact.receiver, traffic.binding_for(key)),
+                    fact.field,
+                )
+                if not candidates:
+                    continue
+                remote = {
+                    c for c in candidates
+                    if (c in traffic.pinned) != accessor_client
+                }
+                if remote != candidates:
+                    continue
+                (writes if fact.is_write else reads)[fact.field] = fact
+            for field_name in sorted(set(reads) & set(writes)):
+                write = writes[field_name]
+                rtts = 2.0 * traffic.site_rate(key, write)
+                nbytes = rtts * ACCESS_BYTES
+                self._emit(
+                    mf, "AL401", WARNING,
+                    f"field {field_name!r} is read and written across the "
+                    f"partition boundary inside a loop (predicted "
+                    f"{nbytes:.0f} B, {rtts:.0f} round trips per run); "
+                    f"hoist the value and write it back once after the "
+                    f"loop", write.line,
+                )
+
+    def _check_per_element_loops(self, traffic) -> None:
+        """AL402: hot per-element access to a remote-majority array.
+
+        Element-at-a-time ``array_read``/``array_write`` in a loop
+        against an array class whose predicted traffic majority sits on
+        the other side of the partition: each element pays a full round
+        trip where one bulk transfer of the whole range would pay one.
+
+        Only primitive-element arrays qualify.  Bulk-copying a ``ref[]``
+        moves handles, not payloads — the per-object chatter survives
+        the copy, so there is no bulk-transfer win to recommend.
+        """
+        for mf in self.program.iter_methods():
+            if not mf.analyzed:
+                continue
+            key = (mf.class_name, mf.method_name)
+            accessor_client = mf.class_name in traffic.pinned
+            flagged: Set[str] = set()
+            for fact in mf.iter_facts(ArrayAccessFact):
+                if fact.depth < 1:
+                    continue
+                if fact.count not in (None, 1) or fact.count_ref is not None:
+                    continue
+                rate = traffic.site_rate(key, fact)
+                if rate < AL402_MIN_RATE:
+                    continue
+                candidates = self.resolver.array_candidates(
+                    substitute(fact.array, traffic.binding_for(key))
+                )
+                if not candidates or "ref[]" in candidates:
+                    continue
+                remote = []
+                for array_class in sorted(candidates):
+                    state = traffic.escape.arrays.get(array_class)
+                    if state is None or state.total_bytes <= 0:
+                        break
+                    majority_client = (
+                        state.client_bytes >= state.offload_bytes
+                    )
+                    if majority_client == accessor_client:
+                        break
+                    remote.append(array_class)
+                else:
+                    if not remote or remote[0] in flagged:
+                        continue
+                    flagged.add(remote[0])
+                    nbytes = rate * ACCESS_BYTES
+                    self._emit(
+                        mf, "AL402", WARNING,
+                        f"per-element access to remote array "
+                        f"{remote[0]!r} in a loop (predicted {rate:.0f} "
+                        f"round trips, {nbytes:.0f} B per run); read the "
+                        f"range in one bulk transfer instead", fact.line,
+                    )
+
+    def _check_write_only_fields(self, traffic) -> None:
+        """AL403: cross-partition traffic into a field nobody reads."""
+        for (owner, field_name), state in sorted(
+            traffic.escape.fields.items()
+        ):
+            if state.reads > 0 or state.writes <= 0:
+                continue
+            owner_client = owner in traffic.pinned
+            remote_writers = sorted(
+                cls for cls in state.writers
+                if (cls in traffic.pinned) != owner_client
+            )
+            if not remote_writers or state.total_bytes < AL4XX_MIN_BYTES:
+                continue
+            self._emit_class(
+                owner, "AL403",
+                f"field {owner}.{field_name} is written from across the "
+                f"partition boundary ({remote_writers[0]}) but never "
+                f"read (predicted {state.total_bytes:.0f} B, "
+                f"{state.writes:.0f} round trips per run of pure wire "
+                f"waste); drop the writes or keep them local",
+            )
+
+    def _check_shared_statics(self, traffic) -> None:
+        """AL404: mutable static reached from both placement clusters.
+
+        Statics live on the client, so a static that offloadable *and*
+        pinned code both touch — with at least one writer — chains both
+        clusters to the client's copy; every remote toucher pays wire.
+        """
+        for (owner, field_name), state in sorted(
+            traffic.escape.statics.items()
+        ):
+            if state.writes <= 0:
+                continue
+            accessors = state.readers | state.writers
+            sides = {cls in traffic.pinned for cls in accessors}
+            if len(sides) < 2 or state.total_bytes < AL4XX_MIN_BYTES:
+                continue
+            movable = sorted(
+                cls for cls in accessors if cls not in traffic.pinned
+            )
+            self._emit_class(
+                owner, "AL404",
+                f"mutable static {owner}.{field_name} is reached from "
+                f"both placement clusters (predicted "
+                f"{state.total_bytes:.0f} B per run); partitioning "
+                f"cannot separate {', '.join(movable[:3])} from the "
+                f"client's copy — split the static or confine it to one "
+                f"cluster",
+            )
+
+    def _emit_class(self, class_name: str, rule: str, message: str) -> None:
+        self.diagnostics.append(Diagnostic(
+            rule=rule, severity=WARNING, message=message,
+            class_name=class_name, method_name="<class>",
+        ))
 
 
 def lint_program(analysis: StaticAnalysis) -> List[Diagnostic]:

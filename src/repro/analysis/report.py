@@ -17,13 +17,29 @@ from ..vm.classloader import ClassRegistry
 from ..vm.natives import install_standard_library
 from .extractor import extract_program
 from .facts import ProgramFacts
-from .lint import Diagnostic, has_errors, lint_program
+from .lint import RULE_SUMMARIES, Diagnostic, has_errors, lint_program
 from .pinning import PinningClosure, compute_pinning
 from .staticgraph import StaticAnalysis, analyze_program
 
 SCHEMA = "aide-lint/1"
 
 _SEVERITY_TAGS = {"error": "E", "warning": "W", "info": "I"}
+
+#: Diagnostic severity -> SARIF 2.1.0 result level.
+_SARIF_LEVELS = {"error": "error", "warning": "warning", "info": "note"}
+_SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+
+def _sarif_uri(source_file: str) -> str:
+    """Repo-relative POSIX uri when the file sits under this checkout."""
+    from pathlib import Path
+
+    path = Path(source_file)
+    root = Path(__file__).resolve().parents[3]
+    try:
+        return path.resolve().relative_to(root).as_posix()
+    except ValueError:
+        return path.as_posix()
 
 
 def application_factories() -> Dict[str, type]:
@@ -91,6 +107,61 @@ class AnalysisReport:
 
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    # -- SARIF ------------------------------------------------------------
+
+    def to_sarif(self) -> dict:
+        """The diagnostics as a SARIF 2.1.0 log (one run, one tool).
+
+        Severities map error->error, warning->warning, info->note; each
+        result carries the guest-source physical location plus the
+        ``Class.method`` logical location the text report prints.
+        """
+        fired = sorted({d.rule for d in self.diagnostics})
+        results = []
+        for diag in self.diagnostics:
+            location: dict = {
+                "logicalLocations": [{
+                    "fullyQualifiedName":
+                        f"{diag.class_name}.{diag.method_name}",
+                    "kind": "function",
+                }],
+            }
+            if diag.source_file:
+                location["physicalLocation"] = {
+                    "artifactLocation": {"uri": _sarif_uri(diag.source_file)},
+                    "region": {"startLine": max(diag.line, 1)},
+                }
+            results.append({
+                "ruleId": diag.rule,
+                "level": _SARIF_LEVELS[diag.severity],
+                "message": {"text": diag.message},
+                "locations": [location],
+            })
+        return {
+            "$schema": _SARIF_SCHEMA,
+            "version": "2.1.0",
+            "runs": [{
+                "tool": {"driver": {
+                    "name": "aide-lint",
+                    "version": SCHEMA.rsplit("/", 1)[-1],
+                    "rules": [
+                        {
+                            "id": rule,
+                            "shortDescription": {
+                                "text": RULE_SUMMARIES.get(rule, rule),
+                            },
+                        }
+                        for rule in fired
+                    ],
+                }},
+                "automationDetails": {"id": f"aide-lint/{self.app_name}"},
+                "results": results,
+            }],
+        }
+
+    def to_sarif_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_sarif(), indent=indent, sort_keys=False)
 
     # -- human-readable ---------------------------------------------------
 

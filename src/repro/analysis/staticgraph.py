@@ -43,7 +43,9 @@ from .facts import (
     GlobalOf,
     GlobalWriteFact,
     HostRef,
+    IntRange,
     NumConst,
+    ParamRef,
     ProgramFacts,
     ReturnOf,
     Scalar,
@@ -181,10 +183,13 @@ class Resolver:
             return _EMPTY
         if isinstance(ref, Classes):
             return set(ref.names), False
-        if isinstance(ref, (Scalar, StrConst, NumConst, StrChoice, CtxRef,
-                            HostRef, ArrayData)):
+        if isinstance(ref, (Scalar, StrConst, NumConst, IntRange, StrChoice,
+                            CtxRef, HostRef, ArrayData)):
             return _EMPTY
-        if isinstance(ref, Unknown):
+        if isinstance(ref, (Unknown, ParamRef)):
+            # Callers are unknown in general: a parameter could be
+            # anything, so the name-table fallback applies (superset
+            # property).  The dataflow pass substitutes real arguments.
             return set(), True
         seen = _seen | {ref}
         if isinstance(ref, UnionRef):
@@ -372,6 +377,16 @@ class StaticAnalysis:
     colocation_groups: Tuple[FrozenSet[str], ...] = ()
     shared_classes: FrozenSet[str] = frozenset()
     pin_advisories: Dict[str, str] = dataclass_field(default_factory=dict)
+    #: Interprocedural traffic estimate (``None`` only when a caller
+    #: assembles the dataclass by hand without running the pass).
+    traffic: Optional["TrafficPrediction"] = None
+
+    @property
+    def weighted_graph(self) -> ExecutionGraph:
+        """The traffic-weighted graph (falls back to the base graph)."""
+        if self.traffic is not None:
+            return self.traffic.graph
+        return self.graph
 
 
 def _adjacent_bytes(graph: ExecutionGraph, node: str) -> int:
@@ -536,17 +551,34 @@ def find_static_writers(
     return writers
 
 
-def analyze_program(program: ProgramFacts) -> StaticAnalysis:
-    """Run resolution, graph prediction, and hint derivation."""
+def analyze_program(
+    program: ProgramFacts,
+    dataflow_config=None,
+) -> StaticAnalysis:
+    """Run resolution, graph and traffic prediction, hint derivation.
+
+    Structural products (node/edge sets, lint name checks) come from
+    the base predicted graph; *weight-sensitive* products — placement
+    hints, co-location groups, the shared-class pathology, and the
+    cold-start seed profile — consume the interprocedurally weighted
+    graph so hot edges dominate as they would at runtime.
+    """
+    from .dataflow import predict_traffic
+
     resolver = Resolver(program)
     graph = predict_graph(program, resolver)
     pinned = frozenset(program.native_method_classes()) | {MAIN_CLASS}
+    traffic = predict_traffic(
+        program, resolver, base_graph=graph, pinned=pinned,
+        config=dataflow_config,
+    )
     static_writers = find_static_writers(program, resolver)
-    hints, groups = derive_hints(graph, pinned, static_writers)
+    hints, groups = derive_hints(traffic.graph, pinned, static_writers)
     seed = ColdStartSeed(
         hints=hints if (hints.pin_local or hints.has_groups) else None,
-        profile=interaction_profile(graph),
+        profile=interaction_profile(traffic.graph),
         source=f"static-analysis:{program.app_name}",
+        predicted_cross_traffic=traffic.cross_traffic_bytes,
     )
     return StaticAnalysis(
         program=program,
@@ -555,6 +587,7 @@ def analyze_program(program: ProgramFacts) -> StaticAnalysis:
         hints=hints,
         seed=seed,
         colocation_groups=groups,
-        shared_classes=shared_class_pathology(graph, pinned),
+        shared_classes=shared_class_pathology(traffic.graph, pinned),
         pin_advisories=static_writers,
+        traffic=traffic,
     )

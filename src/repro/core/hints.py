@@ -72,6 +72,10 @@ class ColdStartSeed:
     profile: Optional[ExecutionGraph] = None
     #: Provenance marker, e.g. ``"static-analysis:dia"``.
     source: str = "static-analysis"
+    #: Predicted bytes crossing the pinned/offloadable boundary, from
+    #: the interprocedural dataflow pass.  Consumed by the fleet placer
+    #: as a per-client load estimate before any trace is replayed.
+    predicted_cross_traffic: Optional[float] = None
 
     @property
     def empty(self) -> bool:

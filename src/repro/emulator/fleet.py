@@ -617,12 +617,20 @@ class FleetEmulator:
     @staticmethod
     def _predicted_load(shard: ReplayShard, events: int) -> float:
         seed = shard.config.cold_start
-        if seed is not None and seed.profile is not None:
-            total = sum(
-                edge.bytes for _, edge in seed.profile.edges()
-            )
-            if total > 0:
-                return float(total)
+        if seed is not None:
+            # The dataflow pass's boundary estimate is the sharpest
+            # signal: it already excludes intra-side chatter that never
+            # costs wire traffic, so prefer it over the whole-profile
+            # byte total.
+            cross = seed.predicted_cross_traffic
+            if cross is not None and cross > 0:
+                return float(cross)
+            if seed.profile is not None:
+                total = sum(
+                    edge.bytes for _, edge in seed.profile.edges()
+                )
+                if total > 0:
+                    return float(total)
         return float(events)
 
     @staticmethod
@@ -671,7 +679,9 @@ class FleetEmulator:
     # -- running -----------------------------------------------------------
 
     def run(self) -> FleetResult:
-        started = time.perf_counter()
+        # Host wall time is the measurand here (events/s reporting);
+        # it never feeds the fleet fingerprint.
+        started = time.perf_counter()  # detlint: allow
         demands, replayed, workers, warnings = self._replay_demands()
         placement = place_fleet_clients(
             {d.client_id: d.predicted_load for d in demands},
@@ -679,7 +689,7 @@ class FleetEmulator:
         )
         simulation = _FleetSimulation(demands, placement, self.config)
         simulation.run()
-        wall = time.perf_counter() - started
+        wall = time.perf_counter() - started  # detlint: allow
         return FleetResult(
             config=self.config,
             outcomes=simulation.outcomes,

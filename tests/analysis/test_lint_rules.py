@@ -232,6 +232,245 @@ class TestHygieneInfos:
         assert d.severity == "info"
 
 
+class TestChattyInterfaceWarnings:
+    """AL4xx: chatty-interface diagnostics from the dataflow pass."""
+
+    def test_al401_loop_round_trip_on_remote_field(self):
+        def churn(ctx, self_obj):
+            screen = ctx.get_field(self_obj, "screen")
+            for _ in range(4):
+                level = ctx.get_field(screen, "brightness")
+                ctx.set_field(screen, "brightness", level)
+
+        def main(ctx, self_obj):
+            worker = ctx.new("t.Worker")
+            ctx.set_field(worker, "screen", ctx.new("t.Screen"))
+            ctx.invoke(worker, "churn")
+
+        registry = build_registry()
+        registry.define("t.Screen") \
+            .field("brightness", "int") \
+            .native_method("sync", lambda ctx, self_obj: None) \
+            .register()
+        registry.define("t.Worker") \
+            .field("screen", "ref") \
+            .method("churn", churn) \
+            .register()
+        registry.define("t.Main").method("main", main).register()
+        report = analyze(registry)
+        d = diag(report, "AL401")
+        assert d.severity == "warning"
+        assert d.class_name == "t.Worker"
+        assert "'brightness'" in d.message
+        assert "round trips" in d.message
+        assert "hoist" in d.message
+
+    def test_al401_silent_when_field_is_local(self):
+        # Same shape, but the field's owner is offloadable like the
+        # accessor: no boundary crossing, no diagnostic.
+        def churn(ctx, self_obj):
+            screen = ctx.get_field(self_obj, "screen")
+            for _ in range(4):
+                level = ctx.get_field(screen, "brightness")
+                ctx.set_field(screen, "brightness", level)
+
+        def main(ctx, self_obj):
+            worker = ctx.new("t.Worker")
+            ctx.set_field(worker, "screen", ctx.new("t.Screen"))
+            ctx.invoke(worker, "churn")
+
+        registry = build_registry()
+        registry.define("t.Screen").field("brightness", "int").register()
+        registry.define("t.Worker") \
+            .field("screen", "ref") \
+            .method("churn", churn) \
+            .register()
+        registry.define("t.Main").method("main", main).register()
+        report = analyze(registry)
+        assert "AL401" not in rules_of(report)
+
+    def test_al402_per_element_access_to_remote_array(self):
+        def fill(ctx, self_obj):
+            buf = ctx.get_field(self_obj, "buf")
+            ctx.array_write(buf, 256)
+
+        def sum_up(ctx, self_obj):
+            data = ctx.get_field(self_obj, "data")
+            for _ in range(64):
+                ctx.array_read(data)
+
+        def main(ctx, self_obj):
+            arr = ctx.new_array("int", 256)
+            feeder = ctx.new("t.Feeder")
+            ctx.set_field(feeder, "buf", arr)
+            summer = ctx.new("t.Summer")
+            ctx.set_field(summer, "data", arr)
+            ctx.invoke(feeder, "fill")
+            ctx.invoke(summer, "sum")
+
+        registry = build_registry()
+        registry.define("t.Feeder") \
+            .field("buf", "ref") \
+            .method("fill", fill) \
+            .native_method("flush", lambda ctx, self_obj: None) \
+            .register()
+        registry.define("t.Summer") \
+            .field("data", "ref") \
+            .method("sum", sum_up) \
+            .register()
+        registry.define("t.Main").method("main", main).register()
+        report = analyze(registry)
+        d = diag(report, "AL402")
+        assert d.severity == "warning"
+        assert d.class_name == "t.Summer"
+        assert "'int[]'" in d.message
+        assert "bulk" in d.message
+
+    def test_al402_silent_below_rate_threshold(self):
+        # Only 8 predicted round trips — under AL402's 32/run floor.
+        def fill(ctx, self_obj):
+            buf = ctx.get_field(self_obj, "buf")
+            ctx.array_write(buf, 256)
+
+        def sum_up(ctx, self_obj):
+            data = ctx.get_field(self_obj, "data")
+            for _ in range(8):
+                ctx.array_read(data)
+
+        def main(ctx, self_obj):
+            arr = ctx.new_array("int", 256)
+            feeder = ctx.new("t.Feeder")
+            ctx.set_field(feeder, "buf", arr)
+            summer = ctx.new("t.Summer")
+            ctx.set_field(summer, "data", arr)
+            ctx.invoke(feeder, "fill")
+            ctx.invoke(summer, "sum")
+
+        registry = build_registry()
+        registry.define("t.Feeder") \
+            .field("buf", "ref") \
+            .method("fill", fill) \
+            .native_method("flush", lambda ctx, self_obj: None) \
+            .register()
+        registry.define("t.Summer") \
+            .field("data", "ref") \
+            .method("sum", sum_up) \
+            .register()
+        registry.define("t.Main").method("main", main).register()
+        report = analyze(registry)
+        assert "AL402" not in rules_of(report)
+
+    def test_al403_write_only_remote_field(self):
+        def push(ctx, self_obj):
+            log = ctx.get_field(self_obj, "log")
+            for _ in range(16):
+                ctx.set_field(log, "last", 1)
+
+        def main(ctx, self_obj):
+            writer = ctx.new("t.Writer")
+            ctx.set_field(writer, "log", ctx.new("t.Log"))
+            ctx.invoke(writer, "push")
+
+        registry = build_registry()
+        registry.define("t.Log") \
+            .field("last", "int") \
+            .native_method("rotate", lambda ctx, self_obj: None) \
+            .register()
+        registry.define("t.Writer") \
+            .field("log", "ref") \
+            .method("push", push) \
+            .register()
+        registry.define("t.Main").method("main", main).register()
+        report = analyze(registry)
+        d = diag(report, "AL403")
+        assert d.severity == "warning"
+        assert d.class_name == "t.Log"
+        assert "t.Log.last" in d.message
+        assert "never" in d.message
+
+    def test_al403_silent_when_field_is_read(self):
+        def push(ctx, self_obj):
+            log = ctx.get_field(self_obj, "log")
+            for _ in range(16):
+                ctx.set_field(log, "last", 1)
+            ctx.get_field(log, "last")
+
+        def main(ctx, self_obj):
+            writer = ctx.new("t.Writer")
+            ctx.set_field(writer, "log", ctx.new("t.Log"))
+            ctx.invoke(writer, "push")
+
+        registry = build_registry()
+        registry.define("t.Log") \
+            .field("last", "int") \
+            .native_method("rotate", lambda ctx, self_obj: None) \
+            .register()
+        registry.define("t.Writer") \
+            .field("log", "ref") \
+            .method("push", push) \
+            .register()
+        registry.define("t.Main").method("main", main).register()
+        report = analyze(registry)
+        assert "AL403" not in rules_of(report)
+
+    def test_al404_shared_mutable_static(self):
+        def bump(ctx, self_obj):
+            for _ in range(4):
+                count = ctx.get_static("t.Shared", "counter")
+                ctx.set_static("t.Shared", "counter", count)
+
+        def tick(ctx, self_obj):
+            for _ in range(4):
+                count = ctx.get_static("t.Shared", "counter")
+                ctx.set_static("t.Shared", "counter", count)
+
+        def main(ctx, self_obj):
+            ctx.invoke(ctx.new("t.Device"), "bump")
+            ctx.invoke(ctx.new("t.Agent"), "tick")
+
+        registry = build_registry()
+        registry.define("t.Shared") \
+            .field("counter", "int", static=True, default=0) \
+            .register()
+        registry.define("t.Device") \
+            .method("bump", bump) \
+            .native_method("probe", lambda ctx, self_obj: None) \
+            .register()
+        registry.define("t.Agent").method("tick", tick).register()
+        registry.define("t.Main").method("main", main).register()
+        report = analyze(registry)
+        d = diag(report, "AL404")
+        assert d.severity == "warning"
+        assert d.class_name == "t.Shared"
+        assert "t.Shared.counter" in d.message
+        assert "t.Agent" in d.message
+
+
+class TestDiagnosticDedup:
+    def test_al303_reported_once_per_inlined_site(self):
+        # Both methods inline the same helper; the dynamic-name site
+        # must report once, not once per caller.
+        def _spawn(ctx, self_obj):
+            name = "t.Widget" + str(ctx.get_field(self_obj, "suffix"))
+            ctx.new(name)
+
+        def one(ctx, self_obj):
+            _spawn(ctx, self_obj)
+
+        def two(ctx, self_obj):
+            _spawn(ctx, self_obj)
+
+        registry = build_registry()
+        registry.define("t.Main") \
+            .field("suffix", "int") \
+            .method("one", one) \
+            .method("two", two) \
+            .register()
+        report = analyze(registry)
+        infos = [d for d in report.diagnostics if d.rule == "AL303"]
+        assert len(infos) == 1
+
+
 class TestBundledAppsClean:
     @pytest.mark.parametrize("name", ["biomer", "dia", "javanote",
                                       "mixed-session", "tracer", "voxel"])
@@ -243,3 +482,13 @@ class TestBundledAppsClean:
         assert "error" not in severities
         assert "info" not in severities
         assert not report.has_errors
+
+    @pytest.mark.parametrize("name", ["biomer", "dia", "javanote",
+                                      "mixed-session", "tracer", "voxel"])
+    def test_no_chatty_interface_warnings(self, name):
+        from repro.analysis import analyze_app
+
+        report = analyze_app(name)
+        chatty = [d.rule for d in report.diagnostics
+                  if d.rule.startswith("AL4")]
+        assert not chatty

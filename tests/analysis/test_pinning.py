@@ -1,0 +1,148 @@
+"""The three-tier pinning closure: must/advisory/reaches_native
+membership, the human-readable reason strings the report prints, and
+the advisory-vs-must boundary under both native policies."""
+
+from repro.analysis import analyze_registry
+from repro.analysis.facts import MAIN_CLASS
+from repro.analysis.pinning import compute_pinning
+from repro.vm.classloader import ClassRegistry
+from repro.vm.natives import install_standard_library
+
+
+def build_registry():
+    registry = ClassRegistry()
+    install_standard_library(registry)
+    return registry
+
+
+def closure_of(registry, stateless_natives_ok=False):
+    report = analyze_registry(registry, app_name="synthetic")
+    if not stateless_natives_ok:
+        return report.closure
+    return compute_pinning(
+        report.program, report.analysis.resolver, stateless_natives_ok=True
+    )
+
+
+def _noop(ctx, self_obj):
+    return None
+
+
+class TestMustTier:
+    def test_native_holder_pinned_with_reason(self):
+        registry = build_registry()
+        registry.define("t.Device").native_method("probe", _noop).register()
+        registry.define("t.Main").method("main", _noop).register()
+        closure = closure_of(registry)
+        assert "t.Device" in closure.must
+        assert closure.reasons["t.Device"] == "declares native methods"
+
+    def test_entry_point_always_pinned(self):
+        registry = build_registry()
+        registry.define("t.Main").method("main", _noop).register()
+        closure = closure_of(registry)
+        assert MAIN_CLASS in closure.must
+        assert closure.reasons[MAIN_CLASS] == "entry point"
+
+    def test_stateless_natives_released_under_section_52_rule(self):
+        # The paper's section 5.2 enhancement: a class whose natives
+        # are all stateless leaves the must tier; a stateful holder
+        # stays, with the sharper reason string.
+        registry = build_registry()
+        registry.define("t.MathLib") \
+            .native_method("sqrt", _noop, stateless=True) \
+            .register()
+        registry.define("t.Screen").native_method("draw", _noop).register()
+        registry.define("t.Main").method("main", _noop).register()
+
+        initial = closure_of(registry)
+        assert {"t.MathLib", "t.Screen"} <= initial.must
+
+        relaxed = closure_of(registry, stateless_natives_ok=True)
+        assert "t.MathLib" not in relaxed.must
+        assert "t.Screen" in relaxed.must
+        assert (relaxed.reasons["t.Screen"]
+                == "declares stateful native methods")
+
+
+class TestAdvisoryTier:
+    def _static_writer_registry(self):
+        def write(ctx, self_obj):
+            ctx.set_static("t.Conf", "limit", 2)
+
+        def main(ctx, self_obj):
+            ctx.invoke(ctx.new("t.Writer"), "write")
+
+        registry = build_registry()
+        registry.define("t.Conf") \
+            .field("limit", "int", static=True, default=1) \
+            .register()
+        registry.define("t.Writer").method("write", write).register()
+        registry.define("t.Main").method("main", main).register()
+        return registry
+
+    def test_static_writer_is_advisory_not_must(self):
+        closure = closure_of(self._static_writer_registry())
+        assert "t.Writer" in closure.advisory
+        assert "t.Writer" not in closure.must
+        assert (closure.reasons["t.Writer"]
+                == "writes client-resident static t.Conf.limit")
+
+    def test_all_pinned_unions_both_tiers(self):
+        closure = closure_of(self._static_writer_registry())
+        assert "t.Writer" in closure.all_pinned
+        assert closure.must <= closure.all_pinned
+
+    def test_native_holder_never_demoted_to_advisory(self):
+        # A class that is already must-pinned keeps its native reason
+        # even when it also writes statics.
+        def write(ctx, self_obj):
+            ctx.set_static("t.Conf", "limit", 2)
+
+        registry = build_registry()
+        registry.define("t.Conf") \
+            .field("limit", "int", static=True, default=1) \
+            .register()
+        registry.define("t.Device") \
+            .method("write", write) \
+            .native_method("probe", _noop) \
+            .register()
+        registry.define("t.Main").method("main", _noop).register()
+        closure = closure_of(registry)
+        assert "t.Device" in closure.must
+        assert "t.Device" not in closure.advisory
+        assert closure.reasons["t.Device"] == "declares native methods"
+
+
+class TestReachesNativeTier:
+    def test_transitive_caller_flagged_with_reason(self):
+        def load(ctx, self_obj):
+            handle = ctx.get_field(self_obj, "handle")
+            ctx.invoke(handle, "read", 64)
+
+        def main(ctx, self_obj):
+            loader = ctx.new("t.Loader", handle=ctx.new("java.io.File"))
+            ctx.invoke(loader, "load")
+
+        registry = build_registry()
+        registry.define("t.Loader") \
+            .field("handle", "ref") \
+            .method("load", load) \
+            .register()
+        registry.define("t.Main").method("main", main).register()
+        closure = closure_of(registry)
+        assert "t.Loader" in closure.reaches_native
+        assert (closure.reasons["t.Loader"]
+                == "may transitively call a stateful native")
+        # Informational tier only: never forces a pin.
+        assert "t.Loader" not in closure.all_pinned
+
+    def test_covers_and_missing(self):
+        registry = build_registry()
+        registry.define("t.Device").native_method("probe", _noop).register()
+        registry.define("t.Main").method("main", _noop).register()
+        closure = closure_of(registry)
+        assert closure.covers(["t.Device"])
+        assert closure.covers([])
+        assert not closure.covers(["t.Ghost"])
+        assert closure.missing(["t.Ghost"]) == frozenset({"t.Ghost"})

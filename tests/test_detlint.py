@@ -1,0 +1,108 @@
+"""The determinism lint: each rule fires on a crafted snippet, the
+suppression marker works, and the shipped fingerprint-path modules are
+clean (the same invariant CI enforces next to ruff)."""
+
+import importlib.util
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+_spec = importlib.util.spec_from_file_location(
+    "detlint", REPO_ROOT / "tools" / "detlint.py"
+)
+detlint = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(detlint)
+
+
+def rules_in(source):
+    return [f.rule for f in detlint.check_source("<test>", source)]
+
+
+class TestWallClock:
+    def test_time_time_flagged(self):
+        assert rules_in("import time\nx = time.time()\n") == ["DL101"]
+
+    def test_perf_counter_flagged(self):
+        assert rules_in(
+            "import time\nstart = time.perf_counter()\n"
+        ) == ["DL101"]
+
+    def test_datetime_now_flagged(self):
+        assert rules_in(
+            "import datetime\nstamp = datetime.datetime.now()\n"
+        ) == ["DL101"]
+
+    def test_virtual_time_not_flagged(self):
+        assert rules_in("clock = self.virtual_time()\n") == []
+
+
+class TestUnorderedIteration:
+    def test_set_literal_for_loop_flagged(self):
+        assert rules_in(
+            "for name in {'a', 'b'}:\n    use(name)\n"
+        ) == ["DL102"]
+
+    def test_set_call_comprehension_flagged(self):
+        assert rules_in(
+            "out = [f(x) for x in set(items)]\n"
+        ) == ["DL102"]
+
+    def test_frozenset_generator_flagged(self):
+        assert rules_in(
+            "total = sum(x for x in frozenset(items))\n"
+        ) == ["DL102"]
+
+    def test_sorted_set_not_flagged(self):
+        assert rules_in(
+            "for name in sorted({'a', 'b'}):\n    use(name)\n"
+        ) == []
+
+    def test_list_iteration_not_flagged(self):
+        assert rules_in("for item in [1, 2]:\n    use(item)\n") == []
+
+
+class TestRandomness:
+    def test_global_random_flagged(self):
+        assert rules_in(
+            "import random\nx = random.random()\n"
+        ) == ["DL103"]
+
+    def test_global_shuffle_flagged(self):
+        assert rules_in(
+            "import random\nrandom.shuffle(deck)\n"
+        ) == ["DL103"]
+
+    def test_unseeded_random_instance_flagged(self):
+        assert rules_in(
+            "import random\nrng = random.Random()\n"
+        ) == ["DL103"]
+
+    def test_seeded_random_instance_not_flagged(self):
+        assert rules_in(
+            "import random\nrng = random.Random(7)\n"
+        ) == []
+
+
+class TestSuppression:
+    def test_allow_marker_suppresses(self):
+        assert rules_in(
+            "import time\n"
+            "wall = time.perf_counter()  # detlint: allow\n"
+        ) == []
+
+    def test_marker_only_covers_its_line(self):
+        source = (
+            "import time\n"
+            "a = time.time()  # detlint: allow\n"
+            "b = time.time()\n"
+        )
+        findings = detlint.check_source("<test>", source)
+        assert [f.line for f in findings] == [3]
+
+
+class TestShippedModulesClean:
+    def test_default_targets_exist_and_pass(self):
+        for rel in detlint.DEFAULT_TARGETS:
+            path = REPO_ROOT / rel
+            assert path.exists(), rel
+            assert detlint.check_file(path) == [], rel
