@@ -1,0 +1,99 @@
+"""Partitioner hot-path profiler: ``python -m benchmarks.profile_partition``.
+
+Runs the flat-CSR partitioning hot path under :mod:`cProfile` on the
+same synthetic graph the bench report uses and prints the top-20
+functions by cumulative time.  Meant for quick "where did the
+milliseconds go" triage after touching ``core/flatgraph.py`` or
+``core/mincut.py`` — the CI bench-smoke job uploads the output as an
+artifact so a regression report always ships with its hotspot profile.
+
+Examples::
+
+    python -m benchmarks.profile_partition --nodes 5000
+    python -m benchmarks.profile_partition --nodes 20000 --rounds 3 \
+        --output profile_partition.txt
+    python -m benchmarks.profile_partition --legacy   # pre-CSR kernel
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import io
+import pstats
+import sys
+
+from benchmarks.test_perf_components import synthetic_graph
+
+from repro.core.partitioner import Partitioner
+from repro.core.policy import EvaluationContext, MemoryPartitionPolicy
+
+TOP_FUNCTIONS = 20
+
+
+def profile_partition(node_count: int, rounds: int = 5,
+                      use_flat: bool = True,
+                      top: int = TOP_FUNCTIONS) -> str:
+    """Profile ``rounds`` cold partitions at ``node_count`` nodes.
+
+    Returns the formatted cProfile report (top ``top`` entries by
+    cumulative time).  Each round uses a fresh :class:`Partitioner` so
+    the flat-snapshot compile cost shows up in the profile alongside
+    the per-partition kernel cost instead of being hidden by the
+    module-level snapshot cache.
+    """
+    graph = synthetic_graph(node_count)
+    pinned = [f"c{i:04d}" for i in range(0, node_count, 10)]
+    ctx = EvaluationContext(heap_capacity=graph.total_memory())
+
+    def run() -> None:
+        for _ in range(rounds):
+            partitioner = Partitioner(MemoryPartitionPolicy(0.20),
+                                      use_flat=use_flat)
+            partitioner.partition(graph, pinned, ctx)
+
+    profiler = cProfile.Profile()
+    profiler.runcall(run)
+
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats("cumulative").print_stats(top)
+    header = (f"profile_partition: {node_count} nodes, {rounds} rounds, "
+              f"{'flat-CSR' if use_flat else 'legacy'} kernel, "
+              f"top {top} by cumulative time\n")
+    return header + buffer.getvalue()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m benchmarks.profile_partition",
+        description="cProfile the partitioner hot path on a synthetic "
+                    "graph and print the top cumulative hotspots.")
+    parser.add_argument("--nodes", type=int, default=5000,
+                        help="synthetic graph size (default: 5000)")
+    parser.add_argument("--rounds", type=int, default=5,
+                        help="cold partitions to profile (default: 5)")
+    parser.add_argument("--top", type=int, default=TOP_FUNCTIONS,
+                        help="number of hotspot rows (default: 20)")
+    parser.add_argument("--legacy", action="store_true",
+                        help="profile the pre-CSR string-keyed kernel "
+                             "instead of the flat path")
+    parser.add_argument("--output", type=str, default=None,
+                        help="also write the report to this file "
+                             "(stdout is always printed)")
+    args = parser.parse_args(argv)
+
+    if args.nodes < 1 or args.rounds < 1 or args.top < 1:
+        parser.error("--nodes, --rounds and --top must be positive")
+
+    report = profile_partition(args.nodes, rounds=args.rounds,
+                               use_flat=not args.legacy, top=args.top)
+    sys.stdout.write(report)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

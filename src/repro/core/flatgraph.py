@@ -1,0 +1,1011 @@
+"""Flat integer-indexed CSR snapshot of the execution graph.
+
+The MINCUT candidate generator in :mod:`repro.core.mincut` runs on the
+string-keyed dict-of-dicts :class:`~repro.core.graph.ExecutionGraph`.
+That shape is right for the monitor (incremental point updates, stable
+node identities) but wrong for the control-plane hot path: one candidate
+chain walks every edge several times through hash lookups and tuple
+heap keys.  This module compiles the graph into the same stdlib-``array``
+SoA style the emulator's columnar replay core uses:
+
+* a **node interning table** (``names``/``idx``/``rank``) mapping node
+  ids to dense integer indices, reused across epochs — an index assigned
+  at compile time stays valid until the node set itself changes;
+* **CSR adjacency** (``indptr``/``adj``/``eidx``) plus per-node
+  memory/CPU columns and per-edge byte/count columns;
+* a derived **kernel cache**: per-node rows of ``(neighbor, inc)`` pairs
+  where ``inc`` is the edge's packed connectivity increment (below), and
+  ``rowtot`` — the per-node sum of its packed increments.
+
+Packed connectivity keys
+------------------------
+
+The legacy generator orders surrogate nodes by the tuple
+``(conn_bytes, conn_count, node_id)`` with ties broken towards the
+*largest* id.  Here the whole tuple is packed into one integer::
+
+    key(v) = (conn_bytes * CB + conn_count) * NB + rank(v)
+
+where ``rank(v)`` is the node id's lexicographic rank, ``NB`` is a
+power of two above the node count and ``CB`` a power of two above twice
+the graph's total interaction count.  Packed keys compare exactly like
+the legacy tuples (ranks are distinct, so ties never reach doubt), a
+relaxation is a single integer add of the edge's pre-packed increment,
+and a lazy-deletion heap of plain ints replaces the tuple heap.  The
+factor-of-two slack in ``CB`` means interaction counts can keep growing
+across epochs without re-deriving every increment; the basis is doubled
+(amortised O(1)) only when the total count actually reaches ``CB``.
+
+The selection loop also uses the row-total identity: moving ``v`` with
+current packed connectivity ``key`` changes the packed cut by
+``rowtot[v] - 2 * (key - key % NB)`` (its client-side edges leave the
+cut, the rest join), so the inner loop never touches per-edge cut sums.
+
+Bounded local repair
+--------------------
+
+The legacy warm start is all-or-nothing: any shrinking edge or greedy
+order flip abandons the whole move log and reruns cold.  Here the move
+log is *repaired* instead.  A single sweep replays the previous order
+while exactly tracking the packed connectivity of the **perturbed set**
+— endpoints of changed edges, plus (lazily) every neighbor of a node
+that moves out of its old position.  At each step the recorded winner
+is compared against the best tracked competitor; a flip splices the
+overtaking node into the order and promotes its untouched neighbors
+into the tracked set (their old recorded values can no longer be
+trusted relative to the displaced segment).  Untracked nodes keep
+exactly their recorded connectivities — every node whose connectivity
+could have changed is tracked by construction — so the sweep emits the
+same order and statistics a cold run would.  The sweep falls back cold
+only when
+
+* a recorded winner's connectivity *shrank* below its recorded value
+  (untracked dominance can no longer be certified cheaply),
+* the repair region exceeds its budget (total promoted adjacency over
+  ``REPAIR_BUDGET_FRACTION`` of the half-edge count), or
+* the node set or seed changed (index interning must be rebuilt).
+
+Each fallback is reported with a reason so the session can expose a
+fallback taxonomy in its :class:`~repro.core.partitioner.ReevalStats`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from array import array
+from typing import Dict, FrozenSet, Iterable, List, NamedTuple, Optional, Tuple
+from weakref import WeakKeyDictionary
+
+from ..errors import PartitioningError
+from .graph import ExecutionGraph, GraphDelta
+from .mincut import CandidatePartition, _MoveLog
+
+#: Repair gives up (and the session falls back cold) once the adjacency
+#: it has re-examined exceeds this fraction of the half-edge count...
+REPAIR_BUDGET_FRACTION = 0.25
+#: ...but never for less than this much absolute work, so tiny graphs
+#: are always repairable end to end.
+REPAIR_BUDGET_MIN = 512
+
+# Cold-fallback taxonomy reasons (ReevalStats counts one per cold epoch).
+COLD_NOT_READY = "not-ready"
+COLD_NODE_CHURN = "node-churn"
+COLD_SEED_CHANGE = "seed-change"
+COLD_SHRUNK_WINNER = "shrunk-winner"
+COLD_BUDGET = "budget"
+COLD_FORCED = "forced"
+
+
+def _pow2_at_least(value: int) -> int:
+    """Smallest power of two >= ``value`` (and >= 2)."""
+    return 1 << max(1, (value - 1).bit_length())
+
+
+class FlatDelta(NamedTuple):
+    """One epoch's graph delta, lowered onto the flat snapshot.
+
+    ``edge_changes`` holds ``(a_idx, b_idx, dbytes, dcount)`` per changed
+    (or newly appeared) edge; ``node_changes`` holds
+    ``(idx, dmemory, dcpu)``.  ``rebased`` is True when the packed-key
+    basis had to be doubled (recorded packed selections must be
+    re-encoded before reuse).
+    """
+
+    edge_changes: List[Tuple[int, int, int, int]]
+    node_changes: List[Tuple[int, int, float]]
+    rebased: bool
+
+
+class FlatWarmState:
+    """Index-space outcome of one candidate-generation run.
+
+    The flat equivalent of :class:`repro.core.mincut.WarmStartState`:
+    everything is keyed by interned node index, selections are stored as
+    packed keys (with the basis they were packed under, so a basis
+    doubling can re-encode them in O(k)), and the per-candidate
+    statistics columns are plain Python lists ready for difference-free
+    exact repair.
+    """
+
+    __slots__ = (
+        "ready",
+        "seed_key",
+        "order",
+        "pos",
+        "sel_packed",
+        "cb",
+        "nb",
+        "cut_bytes0",
+        "cut_count0",
+    )
+
+    def __init__(self) -> None:
+        self.ready = False
+        self.seed_key: FrozenSet[str] = frozenset()
+        #: Move order over node indices; ``order[j]`` joined the client
+        #: at candidate index ``j + 1`` (the final entry never moved).
+        self.order: List[int] = []
+        #: idx -> candidate index from which the node is client-side
+        #: (0 for seed members, ``len(order)`` for the never-moved tail).
+        self.pos: List[int] = []
+        #: Packed connectivity of the selection at each of the
+        #: ``len(order) - 1`` steps, under the (cb, nb) basis below.
+        self.sel_packed: List[int] = []
+        self.cb = 0
+        self.nb = 0
+        # Candidate-0 cut statistics (the seed cut).  Repair patches
+        # these with the delta's seed-crossing edges and rebuilds every
+        # later candidate from scratch, so the full statistics columns
+        # need not be retained here.
+        self.cut_bytes0 = 0
+        self.cut_count0 = 0
+
+
+class FlatChain:
+    """One candidate chain in columnar form.
+
+    Stores the seed, the move order (as interned indices) and the raw
+    accumulator arrays from the generation kernel; the five
+    per-candidate statistics columns are decoded from them lazily, one
+    cached property each, so a policy that scans only (say) memory and
+    cut bytes never pays for decoding CPU or cut-count columns.
+    Candidate objects — with their O(V) frozenset node sets — are only
+    materialised on demand, through the same
+    shared-:class:`~repro.core.mincut._MoveLog` lazy mechanism the
+    legacy generator uses, so a chain whose winner is picked by a
+    columnar policy scan materialises exactly one candidate.
+
+    The packed basis (``cb``, ``nb``) and resource totals are captured
+    at construction: a later ``sync`` may rebasis or retotal the parent
+    graph, and a deferred decode must still use the values the raw
+    arrays were packed under.
+    """
+
+    __slots__ = (
+        "fg",
+        "seed",
+        "order",
+        "k",
+        "_raw_cut",
+        "_raw_cmem",
+        "_ccpus",
+        "_cb",
+        "_nb",
+        "_cbnb",
+        "_total_mem",
+        "_total_cpu",
+        "_cut_bytes",
+        "_cut_count",
+        "_smem",
+        "_scpu",
+        "_log",
+        "_materialized",
+        "_fingerprint",
+    )
+
+    def __init__(
+        self,
+        fg: "FlatGraph",
+        seed: FrozenSet[str],
+        order: List[int],
+        raw_cut: List[int],
+        raw_cmem: List[int],
+        ccpus: List[float],
+        cb: int,
+        nb: int,
+        total_mem: int,
+        total_cpu: float,
+    ) -> None:
+        self.fg = fg
+        self.seed = seed
+        self.order = order
+        self.k = len(order)
+        self._raw_cut = raw_cut
+        self._raw_cmem = raw_cmem
+        self._ccpus = ccpus
+        self._cb = cb
+        self._nb = nb
+        self._cbnb = cb * nb
+        self._total_mem = total_mem
+        self._total_cpu = total_cpu
+        self._cut_bytes: Optional[List[int]] = None
+        self._cut_count: Optional[List[int]] = None
+        self._smem: Optional[List[int]] = None
+        self._scpu: Optional[List[float]] = None
+        self._log: Optional[_MoveLog] = None
+        self._materialized: Optional[List[CandidatePartition]] = None
+        self._fingerprint = None
+
+    @property
+    def cut_bytes(self) -> List[int]:
+        col = self._cut_bytes
+        if col is None:
+            cbnb = self._cbnb
+            col = [c // cbnb for c in self._raw_cut]
+            self._cut_bytes = col
+        return col
+
+    @property
+    def cut_count(self) -> List[int]:
+        col = self._cut_count
+        if col is None:
+            nb = self._nb
+            cb = self._cb
+            col = [(c // nb) % cb for c in self._raw_cut]
+            self._cut_count = col
+        return col
+
+    @property
+    def surrogate_memory(self) -> List[int]:
+        col = self._smem
+        if col is None:
+            total_mem = self._total_mem
+            col = [total_mem - m for m in self._raw_cmem]
+            self._smem = col
+        return col
+
+    @property
+    def surrogate_cpu(self) -> List[float]:
+        col = self._scpu
+        if col is None:
+            total_cpu = self._total_cpu
+            col = [total_cpu - c for c in self._ccpus]
+            self._scpu = col
+        return col
+
+    @property
+    def client_cpu(self) -> List[float]:
+        return self._ccpus
+
+    def _move_log(self) -> _MoveLog:
+        log = self._log
+        if log is None:
+            names = self.fg.names
+            log = _MoveLog(self.seed)
+            log.order = [names[i] for i in self.order]
+            self._log = log
+        return log
+
+    def candidate(self, index: int) -> CandidatePartition:
+        """Materialise one candidate (index ``i``: client = seed + i moves)."""
+        materialized = self._materialized
+        if materialized is not None:
+            return materialized[index]
+        # Single-element decode (same expressions as the column
+        # properties, so the values are bit-identical): picking one
+        # winner must not force whole-column decoding.
+        raw = self._raw_cut[index]
+        ccpu = self._ccpus[index]
+        return CandidatePartition._deferred(
+            log=self._move_log(),
+            moves_applied=index,
+            cut_count=(raw // self._nb) % self._cb,
+            cut_bytes=raw // self._cbnb,
+            surrogate_memory=self._total_mem - self._raw_cmem[index],
+            surrogate_cpu=self._total_cpu - ccpu,
+            client_cpu=ccpu,
+        )
+
+    def candidates(self) -> List[CandidatePartition]:
+        """The full legacy candidate list (memoised)."""
+        materialized = self._materialized
+        if materialized is None:
+            log = self._move_log()
+            materialized = [
+                CandidatePartition._deferred(
+                    log=log,
+                    moves_applied=index,
+                    cut_count=self.cut_count[index],
+                    cut_bytes=self.cut_bytes[index],
+                    surrogate_memory=self.surrogate_memory[index],
+                    surrogate_cpu=self.surrogate_cpu[index],
+                    client_cpu=self.client_cpu[index],
+                )
+                for index in range(self.k)
+            ]
+            self._materialized = materialized
+        return materialized
+
+    def materialized(self) -> Optional[List[CandidatePartition]]:
+        """The candidate list if it was ever materialised, else None."""
+        return self._materialized
+
+    def fingerprint(self):
+        """Hashable digest of the statistics columns (C-speed hashing).
+
+        The columnar analogue of
+        :func:`repro.core.policy.candidates_fingerprint`: node sets are
+        excluded (no policy selects on them), and the integer columns
+        are packed through ``array.tobytes`` so the policy-evaluation
+        memo hashes five byte strings instead of k tuples.
+        """
+        fp = self._fingerprint
+        if fp is None:
+            try:
+                fp = (
+                    array("q", self.cut_bytes).tobytes(),
+                    array("q", self.cut_count).tobytes(),
+                    array("q", self.surrogate_memory).tobytes(),
+                    array("d", self.surrogate_cpu).tobytes(),
+                    array("d", self.client_cpu).tobytes(),
+                )
+            except OverflowError:
+                # Statistics beyond int64 (pathological byte totals):
+                # fall back to the legacy tuple-of-tuples shape.
+                fp = tuple(
+                    zip(self.cut_bytes, self.cut_count,
+                        self.surrogate_memory, self.surrogate_cpu,
+                        self.client_cpu)
+                )
+            self._fingerprint = fp
+        return fp
+
+
+class FlatGraph:
+    """CSR + columns compiled from an :class:`ExecutionGraph`.
+
+    Compile once, then feed each epoch's :class:`GraphDelta` through
+    :meth:`sync` — weight changes patch the columns and packed
+    increments in O(dirty); only node churn (a changed node set) forces
+    a recompile, because the interning table must stay stable for the
+    warm state's index-space bookkeeping to survive.
+    """
+
+    __slots__ = (
+        "names",
+        "idx",
+        "n",
+        "rank",
+        "r2i",
+        "node_mem",
+        "node_cpu",
+        "edge_a",
+        "edge_b",
+        "edge_bytes",
+        "edge_count",
+        "edge_pos",
+        "edge_slot",
+        "rows",
+        "rowtot",
+        "cb",
+        "nb",
+        "cbnb",
+        "total_count",
+        "total_mem",
+        "half_edges",
+        "synced_version",
+        "_indptr",
+        "_adj",
+        "_eidx",
+        "_csr_stale",
+    )
+
+    # -- compilation --------------------------------------------------------
+
+    @classmethod
+    def try_compile(cls, graph: ExecutionGraph) -> Optional["FlatGraph"]:
+        """Compile a snapshot; None when the graph is unsupported.
+
+        Negative edge weights (possible only through synthetic negative
+        ``record_interaction`` deltas) would break the packed-key sign
+        convention, so such graphs stay on the legacy string path.
+        """
+        self = cls.__new__(cls)
+        names = list(graph.nodes())
+        n = len(names)
+        idx: Dict[str, int] = {}
+        for i, name in enumerate(names):
+            idx[name] = i
+        node_mem: List[int] = [0] * n
+        node_cpu: List[float] = [0.0] * n
+        for name, stats in graph.node_items():
+            i = idx[name]
+            node_mem[i] = stats.memory_bytes
+            node_cpu[i] = stats.cpu_seconds
+        # Lexicographic interning rank: packed keys tie-break exactly
+        # like the legacy (bytes, count, node-id) max selection.
+        by_name = sorted(range(n), key=names.__getitem__)
+        rank = [0] * n
+        r2i = [0] * n
+        for r, i in enumerate(by_name):
+            rank[i] = r
+            r2i[r] = i
+        edge_a: List[int] = []
+        edge_b: List[int] = []
+        edge_bytes: List[int] = []
+        edge_count: List[int] = []
+        edge_pos: Dict[Tuple[str, str], int] = {}
+        total_count = 0
+        for key, edge in graph.edges():
+            if edge.bytes < 0 or edge.count < 0:
+                return None
+            edge_pos[key] = len(edge_a)
+            edge_a.append(idx[key[0]])
+            edge_b.append(idx[key[1]])
+            edge_bytes.append(edge.bytes)
+            edge_count.append(edge.count)
+            total_count += edge.count
+        self.names = names
+        self.idx = idx
+        self.n = n
+        self.rank = rank
+        self.r2i = r2i
+        self.node_mem = node_mem
+        self.node_cpu = node_cpu
+        self.edge_a = edge_a
+        self.edge_b = edge_b
+        self.edge_bytes = edge_bytes
+        self.edge_count = edge_count
+        self.edge_pos = edge_pos
+        self.total_count = total_count
+        self.total_mem = sum(node_mem)
+        self.half_edges = 2 * len(edge_a)
+        self.nb = _pow2_at_least(max(2, n))
+        self.cb = _pow2_at_least(2 * (total_count + 1))
+        self.cbnb = self.cb * self.nb
+        self._build_rows()
+        self._csr_stale = True
+        self._indptr = self._adj = self._eidx = None
+        self.synced_version = graph.version
+        return self
+
+    def _build_rows(self) -> None:
+        """(Re)derive the kernel cache: packed rows, slots, row totals."""
+        cb = self.cb
+        nb = self.nb
+        # Row entries are (neighbor, inc) tuples: CPython specialises
+        # two-tuple unpacking in the kernel's hottest loop, and sync
+        # patches a weight by replacing the whole tuple through its slot.
+        rows: List[List[Tuple[int, int]]] = [[] for _ in range(self.n)]
+        edge_slot: List[Tuple[int, int]] = []
+        rowtot = [0] * self.n
+        for e in range(len(self.edge_a)):
+            a = self.edge_a[e]
+            b = self.edge_b[e]
+            inc = (self.edge_bytes[e] * cb + self.edge_count[e]) * nb
+            edge_slot.append((len(rows[a]), len(rows[b])))
+            rows[a].append((b, inc))
+            rows[b].append((a, inc))
+            rowtot[a] += inc
+            rowtot[b] += inc
+        self.rows = rows
+        self.edge_slot = edge_slot
+        self.rowtot = rowtot
+
+    def csr(self) -> Tuple[array, array, array]:
+        """Canonical CSR arrays ``(indptr, adj, eidx)`` (built lazily)."""
+        if self._csr_stale:
+            indptr = array("q", [0] * (self.n + 1))
+            total = 0
+            for i in range(self.n):
+                total += len(self.rows[i])
+                indptr[i + 1] = total
+            adj = array("q", bytes(8 * total))
+            eidx = array("q", bytes(8 * total))
+            cursor = list(indptr[:-1])
+            for e in range(len(self.edge_a)):
+                a = self.edge_a[e]
+                b = self.edge_b[e]
+                adj[cursor[a]] = b
+                eidx[cursor[a]] = e
+                cursor[a] += 1
+                adj[cursor[b]] = a
+                eidx[cursor[b]] = e
+                cursor[b] += 1
+            self._indptr = indptr
+            self._adj = adj
+            self._eidx = eidx
+            self._csr_stale = False
+        return self._indptr, self._adj, self._eidx
+
+    # -- epoch sync ---------------------------------------------------------
+
+    def sync(
+        self, graph: ExecutionGraph, delta: GraphDelta
+    ) -> Optional[FlatDelta]:
+        """Patch the snapshot with one epoch's delta; None => recompile.
+
+        Reads the *current* values of every dirty node/edge from the
+        graph (the delta names what changed; the graph is the source of
+        truth), so it works across copy-on-write graph replacement as
+        long as the delta covers the gap.  Returns None on node churn,
+        on an edge whose endpoints are unknown, on negative weights, or
+        when the post-sync link count disagrees with the graph (a sign
+        the delta did not cover every mutation).
+        """
+        idx = self.idx
+        if graph.node_count != self.n:
+            return None
+        for name in delta.nodes:
+            if name not in idx:
+                return None
+        for a, b in delta.edges:
+            if a not in idx or b not in idx:
+                return None
+        edge_changes: List[Tuple[int, int, int, int]] = []
+        changed_pos: List[int] = []
+        for key in sorted(delta.edges):
+            edge = graph.edge(*key)
+            if edge is None or edge.bytes < 0 or edge.count < 0:
+                return None
+            pos = self.edge_pos.get(key)
+            if pos is None:
+                pos = len(self.edge_a)
+                self.edge_pos[key] = pos
+                a = idx[key[0]]
+                b = idx[key[1]]
+                self.edge_a.append(a)
+                self.edge_b.append(b)
+                self.edge_bytes.append(0)
+                self.edge_count.append(0)
+                self.edge_slot.append((len(self.rows[a]), len(self.rows[b])))
+                self.rows[a].append((b, 0))
+                self.rows[b].append((a, 0))
+                self.half_edges += 2
+                self._csr_stale = True
+            dbytes = edge.bytes - self.edge_bytes[pos]
+            dcount = edge.count - self.edge_count[pos]
+            if dbytes or dcount:
+                self.edge_bytes[pos] = edge.bytes
+                self.edge_count[pos] = edge.count
+                self.total_count += dcount
+                edge_changes.append(
+                    (self.edge_a[pos], self.edge_b[pos], dbytes, dcount)
+                )
+                changed_pos.append(pos)
+        node_changes: List[Tuple[int, int, float]] = []
+        for name in sorted(delta.nodes):
+            i = idx[name]
+            stats = graph.node(name)
+            dmem = stats.memory_bytes - self.node_mem[i]
+            dcpu = stats.cpu_seconds - self.node_cpu[i]
+            if dmem or dcpu:
+                self.node_mem[i] = stats.memory_bytes
+                self.node_cpu[i] = stats.cpu_seconds
+                self.total_mem += dmem
+                node_changes.append((i, dmem, dcpu))
+        if graph.link_count != len(self.edge_a):
+            return None
+        rebased = False
+        if self.total_count >= self.cb:
+            # Counts outgrew the packed basis: double it and re-derive
+            # every increment (amortised O(1) per epoch).
+            self.cb = _pow2_at_least(2 * (self.total_count + 1))
+            self.cbnb = self.cb * self.nb
+            self._build_rows()
+            rebased = True
+        else:
+            cb = self.cb
+            nb = self.nb
+            for pos in changed_pos:
+                inc = (self.edge_bytes[pos] * cb + self.edge_count[pos]) * nb
+                a = self.edge_a[pos]
+                b = self.edge_b[pos]
+                slot_a, slot_b = self.edge_slot[pos]
+                old = self.rows[a][slot_a][1]
+                dinc = inc - old
+                self.rows[a][slot_a] = (b, inc)
+                self.rows[b][slot_b] = (a, inc)
+                self.rowtot[a] += dinc
+                self.rowtot[b] += dinc
+        self.synced_version = graph.version
+        return FlatDelta(edge_changes, node_changes, rebased)
+
+    # -- cut / connectivity queries ----------------------------------------
+
+    def cut(self, client: Iterable[int]) -> Tuple[int, int]:
+        """Interaction ``(count, bytes)`` crossing an index partition."""
+        inside = bytearray(self.n)
+        for i in client:
+            inside[i] = 1
+        count = 0
+        nbytes = 0
+        for e in range(len(self.edge_a)):
+            if inside[self.edge_a[e]] != inside[self.edge_b[e]]:
+                count += self.edge_count[e]
+                nbytes += self.edge_bytes[e]
+        return count, nbytes
+
+    def connectivity(self, node: int, group: Iterable[int]) -> int:
+        """Total edge bytes between ``node`` and the index ``group``."""
+        members = set(group)
+        cbnb = self.cbnb
+        total = 0
+        for w, inc in self.rows[node]:
+            if w in members:
+                total += inc // cbnb
+        return total
+
+    # -- cold candidate generation -----------------------------------------
+
+    def _seed_set(self, pinned: Iterable[str]) -> set:
+        """Mirror of ``mincut._seed_nodes`` on the interned snapshot."""
+        idx = self.idx
+        seed = {name for name in pinned if name in idx}
+        if seed:
+            return seed
+        if not self.n:
+            raise PartitioningError(
+                "cannot partition an empty execution graph"
+            )
+        names = self.names
+        cbnb = self.cbnb
+        rowtot = self.rowtot
+        # rowtot[i] // cbnb is exactly the node's total edge bytes (the
+        # count and rank fields cannot carry into the byte field).
+        best = max(range(self.n),
+                   key=lambda i: (rowtot[i] // cbnb, names[i]))
+        return {names[best]}
+
+    def generate_chain(
+        self, pinned: Iterable[str],
+        warm: Optional[FlatWarmState] = None,
+    ) -> FlatChain:
+        """Cold run of the MINCUT heuristic on packed integer keys.
+
+        Emits bit-identical candidates to the legacy generator: same
+        move order, same integer cut/memory statistics, and the same
+        float accumulation order for the CPU columns (the seed sums are
+        taken in the same set-iteration order the legacy path uses).
+        """
+        seed_set = self._seed_set(pinned)
+        n = self.n
+        idx = self.idx
+        seed_idx = [idx[name] for name in seed_set]
+        k = n - len(seed_idx)
+        node_mem = self.node_mem
+        node_cpu = self.node_cpu
+        client_mem = sum(node_mem[i] for i in seed_idx)
+        client_cpu = sum(node_cpu[i] for i in seed_idx)
+        total_mem = self.total_mem
+        total_cpu = sum(node_cpu)
+        seed_key = frozenset(seed_set)
+        if warm is not None:
+            warm.ready = False
+            warm.seed_key = seed_key
+        if k == 0:
+            return FlatChain(self, seed_key, [], [], [], [],
+                             self.cb, self.nb, total_mem, total_cpu)
+        nb = self.nb
+        cb = self.cb
+        rows = self.rows
+        rowtot = self.rowtot
+        r2i = self.r2i
+        record = warm is not None
+        # ``cur`` holds the *negated* packed connectivity of each
+        # surrogate (<= 0) so relaxations push heap entries without a
+        # per-push negation; +1 marks a client-side node (no surrogate
+        # value is positive, so the sentinel can never collide).
+        cur = [-r for r in self.rank]
+        for s in seed_idx:
+            cur[s] = 1
+        cut_pk = 0
+        for s in seed_idx:
+            for w, inc in rows[s]:
+                if cur[w] <= 0:
+                    cut_pk += inc
+                    cur[w] -= inc
+        heap = [c for c in cur if c <= 0]
+        heapq.heapify(heap)
+        order = [0] * k
+        # Only raw accumulators are recorded inside the hot loop; the
+        # statistics columns are decoded lazily by FlatChain, and only
+        # the ones a policy actually scans.
+        raw_cut = [0] * k
+        raw_cmem = [0] * k
+        ccpus = [0.0] * k
+        sel_packed: List[int] = [0] * (k - 1) if record else []
+        raw_cut[0] = cut_pk
+        raw_cmem[0] = client_mem
+        ccpus[0] = client_cpu
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        heapify = heapq.heapify
+        # Lazy deletion lets stale entries pile up (every relaxation
+        # pushes afresh); once the heap outgrows the live surrogate
+        # population by 4x, rebuilding it from ``cur`` in one C-speed
+        # heapify is cheaper than sifting pops through the dead weight.
+        compact_at = 4 * len(heap) + 64
+        # Exactly one fresh winner is consumed per iteration, so the
+        # k - 1 moves need no separate remaining-count bookkeeping.
+        for step in range(k - 1):
+            if len(heap) > compact_at:
+                heap = [c for c in cur if c <= 0]
+                heapify(heap)
+                compact_at = 4 * len(heap) + 64
+            while True:
+                negpk = heappop(heap)
+                packed = -negpk
+                rk = packed % nb
+                v = r2i[rk]
+                if cur[v] == negpk:
+                    break
+            cur[v] = 1
+            if record:
+                sel_packed[step] = packed
+            client_mem += node_mem[v]
+            client_cpu += node_cpu[v]
+            cut_pk += rowtot[v] - 2 * (packed - rk)
+            for w, inc in rows[v]:
+                pk = cur[w]
+                if pk <= 0:
+                    pk -= inc
+                    cur[w] = pk
+                    heappush(heap, pk)
+            order[step] = v
+            ci = step + 1
+            raw_cut[ci] = cut_pk
+            raw_cmem[ci] = client_mem
+            ccpus[ci] = client_cpu
+        # The never-moved remainder closes the order (exactly one node).
+        for v in range(n):
+            if cur[v] <= 0:
+                order[k - 1] = v
+                break
+        chain = FlatChain(self, seed_key, order, raw_cut, raw_cmem,
+                          ccpus, cb, nb, total_mem, total_cpu)
+        if record:
+            self._commit_warm(warm, chain, sel_packed)
+        return chain
+
+    def _commit_warm(
+        self, warm: FlatWarmState, chain: FlatChain,
+        sel_packed: List[int],
+    ) -> None:
+        pos = [0] * self.n
+        for j, v in enumerate(chain.order):
+            pos[v] = j + 1
+        warm.seed_key = chain.seed
+        warm.order = chain.order
+        warm.pos = pos
+        warm.sel_packed = sel_packed
+        warm.cb = self.cb
+        warm.nb = self.nb
+        # Repair only ever reads the candidate-0 cut; decode just that
+        # element rather than forcing the chain's full columns.
+        raw0 = chain._raw_cut[0]
+        warm.cut_bytes0 = raw0 // chain._cbnb
+        warm.cut_count0 = (raw0 // chain._nb) % chain._cb
+        warm.ready = chain.k >= 2
+
+    # -- bounded local repair ----------------------------------------------
+
+    def repair_chain(
+        self,
+        warm: FlatWarmState,
+        fdelta: FlatDelta,
+        pinned: Iterable[str],
+    ) -> Tuple[Optional[FlatChain], Optional[str], int, int]:
+        """Replay + repair the previous move order against the delta.
+
+        Returns ``(chain, fail_reason, splices, promotions)``; ``chain``
+        is None exactly when ``fail_reason`` names the cold-fallback
+        cause.  See the module docstring for the algorithm; the key
+        invariant is that any node whose connectivity timeline can
+        differ from the recorded run is in the exactly-tracked set, so
+        untracked hypothesis winners can reuse their recorded packed
+        selections verbatim.
+        """
+        k = len(warm.order)
+        if not warm.ready or k < 2:
+            return None, COLD_NOT_READY, 0, 0
+        idx = self.idx
+        # Same seeding rule as the cold path, most-connected fallback
+        # included — a delta can legitimately move that fallback seed,
+        # which is a real seed change and repairs cannot survive it.
+        seed_set = self._seed_set(pinned)
+        if frozenset(seed_set) != warm.seed_key:
+            return None, COLD_SEED_CHANGE, 0, 0
+        cb = self.cb
+        nb = self.nb
+        if warm.cb != cb or warm.nb != nb:
+            # The packed basis moved under the recorded selections:
+            # re-encode them (O(k)) before comparing anything.
+            ocb, onb = warm.cb, warm.nb
+            ocbnb = ocb * onb
+            warm.sel_packed = [
+                ((p // ocbnb) * cb + (p // onb) % ocb) * nb + p % onb
+                for p in warm.sel_packed
+            ]
+            warm.cb = cb
+            warm.nb = nb
+        pos = warm.pos
+        old_order = warm.order
+        osel = warm.sel_packed
+        rank = self.rank
+        r2i = self.r2i
+        rows = self.rows
+        rowtot = self.rowtot
+        node_mem = self.node_mem
+        node_cpu = self.node_cpu
+
+        # Candidate-0 baseline: patch the recorded seed cut with the
+        # deltas of seed-crossing edges; memory/CPU come fresh from the
+        # columns (same accumulation order as the cold kernel, so a
+        # repaired chain is bit-identical to a cold rerun).
+        cut_b0 = warm.cut_bytes0
+        cut_c0 = warm.cut_count0
+        for a, b, dbytes, dcount in fdelta.edge_changes:
+            if (pos[a] == 0) != (pos[b] == 0):
+                cut_b0 += dbytes
+                cut_c0 += dcount
+        seed_idx = [idx[name] for name in seed_set]
+        client_mem = sum(node_mem[i] for i in seed_idx)
+        client_cpu = sum(node_cpu[i] for i in seed_idx)
+        total_mem = self.total_mem
+        total_cpu = sum(node_cpu)
+
+        onclient = bytearray(self.n)
+        for s in seed_idx:
+            onclient[s] = 1
+        budget = max(REPAIR_BUDGET_MIN,
+                     int(self.half_edges * REPAIR_BUDGET_FRACTION))
+        work = 0
+        # Exactly-tracked packed connectivities: endpoints of changed
+        # edges now, neighbors of out-of-order movers as they appear.
+        tracked: Dict[int, int] = {}
+        for a, b, _, _ in fdelta.edge_changes:
+            for v in (a, b):
+                if pos[v] > 0 and v not in tracked:
+                    row = rows[v]
+                    work += len(row)
+                    val = rank[v]
+                    for w, inc in row:
+                        if onclient[w]:
+                            val += inc
+                    tracked[v] = val
+        if work > budget:
+            return None, COLD_BUDGET, 0, 0
+        # touch: future mover -> [(tracked node, packed inc)] updates.
+        touch: Dict[int, List[Tuple[int, int]]] = {}
+        for v in tracked:
+            for w, inc in rows[v]:
+                if not onclient[w]:
+                    touch.setdefault(w, []).append((v, inc))
+        heap = [-val for val in tracked.values()]
+        heapq.heapify(heap)
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+
+        order_new = [0] * k
+        # Raw accumulators in the loop, lazy column decode in
+        # FlatChain — same deferral as the cold kernel.
+        raw_cut = [0] * k
+        raw_cmem = [0] * k
+        ccpus = [0.0] * k
+        sel_new = [0] * (k - 1)
+        cut_pk = (cut_b0 * cb + cut_c0) * nb
+        raw_cut[0] = cut_pk
+        raw_cmem[0] = client_mem
+        ccpus[0] = client_cpu
+        splices = 0
+        promotions = 0
+        optr = 0
+        for step in range(k - 1):
+            while onclient[old_order[optr]]:
+                optr += 1
+            w = old_order[optr]
+            recorded = osel[optr] if w not in tracked else None
+            if recorded is None:
+                wv = tracked[w]
+                if wv < osel[optr]:
+                    # The recorded winner shrank: untracked nodes below
+                    # its *recorded* value might now beat it, and their
+                    # current connectivities are unknown.  Bail cold.
+                    return None, COLD_SHRUNK_WINNER, splices, promotions
+            else:
+                wv = recorded
+            mover = w
+            mv = wv
+            via_heap = False
+            while heap:
+                tv = -heap[0]
+                v = r2i[tv % nb]
+                if onclient[v] or tracked.get(v) != tv:
+                    heappop(heap)
+                    continue
+                if tv > wv:
+                    mover = v
+                    mv = tv
+                    via_heap = True
+                    heappop(heap)
+                break
+            if via_heap:
+                splices += 1
+            else:
+                optr += 1
+            onclient[mover] = 1
+            tracked.pop(mover, None)
+            for t, inc in touch.pop(mover, ()):
+                cv = tracked.get(t)
+                if cv is not None:
+                    cv += inc
+                    tracked[t] = cv
+                    heappush(heap, -cv)
+            if via_heap:
+                # An out-of-order move shifts the client timeline of
+                # every neighbor, so their recorded values are no
+                # longer comparable: promote them to exact tracking.
+                for nbr, _ in rows[mover]:
+                    if not onclient[nbr] and nbr not in tracked:
+                        promotions += 1
+                        row = rows[nbr]
+                        work += len(row)
+                        if work > budget:
+                            return None, COLD_BUDGET, splices, promotions
+                        val = rank[nbr]
+                        for w2, inc2 in row:
+                            if onclient[w2]:
+                                val += inc2
+                        tracked[nbr] = val
+                        heappush(heap, -val)
+                        for w2, inc2 in row:
+                            if not onclient[w2]:
+                                touch.setdefault(w2, []).append((nbr, inc2))
+            client_mem += node_mem[mover]
+            client_cpu += node_cpu[mover]
+            cut_pk += rowtot[mover] - 2 * (mv - mv % nb)
+            sel_new[step] = mv
+            order_new[step] = mover
+            ci = step + 1
+            raw_cut[ci] = cut_pk
+            raw_cmem[ci] = client_mem
+            ccpus[ci] = client_cpu
+        for v in old_order:
+            if not onclient[v]:
+                order_new[k - 1] = v
+                break
+        chain = FlatChain(self, warm.seed_key, order_new, raw_cut,
+                          raw_cmem, ccpus, cb, nb, total_mem, total_cpu)
+        self._commit_warm(warm, chain, sel_new)
+        return chain, None, splices, promotions
+
+
+# -- stateless snapshot cache ----------------------------------------------
+
+#: Compiled snapshots for stateless ``Partitioner.partition`` callers,
+#: keyed weakly by graph identity and validated against the graph's
+#: version counter — repeated partitions of an unchanged graph (the
+#: common multi-consumer case) reuse one compile.
+_snapshots: "WeakKeyDictionary[ExecutionGraph, FlatGraph]" = (
+    WeakKeyDictionary()
+)
+
+
+def snapshot(graph: ExecutionGraph) -> Optional[FlatGraph]:
+    """A compiled snapshot of ``graph`` (cached while its version holds).
+
+    Returns None when the graph is unsupported by the flat path (see
+    :meth:`FlatGraph.try_compile`); callers fall back to the legacy
+    string-keyed generator.
+    """
+    fg = _snapshots.get(graph)
+    if fg is not None and fg.synced_version == graph.version:
+        return fg
+    fg = FlatGraph.try_compile(graph)
+    if fg is not None:
+        try:
+            _snapshots[graph] = fg
+        except TypeError:
+            pass  # non-weakrefable graph subclass: still usable, uncached
+    return fg

@@ -223,6 +223,16 @@ class ExecutionGraph:
     def nodes(self) -> Iterator[str]:
         return iter(self._nodes)
 
+    def node_items(self) -> ItemsView[str, NodeStats]:
+        """Read-only ``(node_id, NodeStats)`` view in insertion order.
+
+        Bulk-export companion to :meth:`nodes`: consumers that lower the
+        whole graph into another representation (the flat CSR snapshot
+        in :mod:`repro.core.flatgraph`) walk one view instead of paying
+        a dict lookup per node.
+        """
+        return self._nodes.items()
+
     def node(self, node_id: str) -> NodeStats:
         try:
             return self._nodes[node_id]

@@ -19,6 +19,14 @@ rather than a linear scan, so one candidate chain costs
 O((V + E) log V) instead of O(V^2 + E); connectivities only ever grow
 while a vertex is selectable, so the freshest heap entry for a vertex is
 always the largest and stale entries can simply be skipped on pop.
+
+This module is the *reference* implementation: ``Partitioner`` runs the
+flat-index CSR rewrite of the same heuristic (``core.flatgraph``) by
+default and keeps this string-keyed kernel behind ``use_flat=False``.
+The two must stay bit-identical — same candidate chains, statistics,
+and float accumulation order — which
+``tests/core/test_flatgraph_parity.py`` enforces on randomized graphs;
+behavioural changes here must be mirrored there.
 """
 
 from __future__ import annotations

@@ -252,6 +252,12 @@ class ExecutionMonitor(ExecutionListener):
         The monitor is the graph's single dirty-set consumer: code that
         drains ``monitor.graph`` directly must not also use
         :meth:`snapshot`.
+
+        Unchanged-snapshot reuse matters downstream: returning the same
+        object (same identity, same ``version``) lets the partitioner's
+        flat CSR snapshot cache (``core.flatgraph.snapshot``) skip
+        recompiling, and lets an incremental session hand the delta
+        straight to ``FlatGraph.sync`` instead of diffing graphs.
         """
         graph = self.graph
         delta = graph.drain_dirty()

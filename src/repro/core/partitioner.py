@@ -13,6 +13,7 @@ from dataclasses import dataclass, replace
 from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from ..errors import NoBeneficialPartitionError
+from . import flatgraph
 from .graph import ExecutionGraph, GraphDelta
 from .hints import contract_graph, expand_nodes
 from .mincut import CandidatePartition, WarmStartState, generate_candidates
@@ -21,8 +22,15 @@ from .policy import (
     PartitionPolicy,
     PolicyDecision,
     PolicyEvaluationCache,
+    evaluate_chain_with_cache,
     evaluate_with_cache,
 )
+
+#: Run candidate generation on the flat CSR core by default; the legacy
+#: string-keyed generator stays available behind ``use_flat=False`` (it
+#: is the parity oracle, and the fallback for graphs the flat core
+#: cannot represent, e.g. negative edge weights).
+USE_FLAT_DEFAULT = True
 
 
 @dataclass(frozen=True)
@@ -81,9 +89,15 @@ class Partitioner:
     generation, so no candidate can split a semantic component.
     """
 
-    def __init__(self, policy: PartitionPolicy, hints=None) -> None:
+    def __init__(
+        self,
+        policy: PartitionPolicy,
+        hints=None,
+        use_flat: Optional[bool] = None,
+    ) -> None:
         self.policy = policy
         self.hints = hints
+        self.use_flat = USE_FLAT_DEFAULT if use_flat is None else use_flat
 
     def _prepare(
         self, graph: ExecutionGraph, pinned: List[str]
@@ -112,19 +126,26 @@ class Partitioner:
         ctx: EvaluationContext,
     ) -> PartitionDecision:
         """Attempt a partitioning; never raises on policy refusal."""
-        started = time.perf_counter()
+        started = time.perf_counter()  # detlint: allow - reported compute cost
         graph, pinned, expansion = self._prepare(graph, list(pinned))
-        candidates = generate_candidates(graph, pinned)
+        fg = flatgraph.snapshot(graph) if self.use_flat else None
         try:
-            decision = self.policy.evaluate(candidates, ctx)
+            if fg is not None:
+                chain = fg.generate_chain(pinned)
+                evaluated = chain.k
+                decision = self.policy.evaluate_chain(chain, ctx)
+            else:
+                candidates = generate_candidates(graph, pinned)
+                evaluated = len(candidates)
+                decision = self.policy.evaluate(candidates, ctx)
         except NoBeneficialPartitionError as refusal:
             return PartitionDecision.refusal(
                 reason=str(refusal),
-                candidates_evaluated=len(candidates),
-                compute_seconds=time.perf_counter() - started,
+                candidates_evaluated=evaluated,
+                compute_seconds=time.perf_counter() - started,  # detlint: allow
                 policy_name=self.policy.name,
             )
-        accepted = self._accept(decision, candidates, started)
+        accepted = self._accept(decision, evaluated, started)
         if expansion:
             accepted = replace(
                 accepted,
@@ -138,7 +159,7 @@ class Partitioner:
     def _accept(
         self,
         decision: PolicyDecision,
-        candidates: List[CandidatePartition],
+        candidates_evaluated: int,
         started: float,
     ) -> PartitionDecision:
         candidate = decision.candidate
@@ -150,8 +171,8 @@ class Partitioner:
             cut_count=candidate.cut_count,
             freed_bytes=candidate.surrogate_memory,
             predicted_bandwidth=decision.predicted_bandwidth,
-            candidates_evaluated=len(candidates),
-            compute_seconds=time.perf_counter() - started,
+            candidates_evaluated=candidates_evaluated,
+            compute_seconds=time.perf_counter() - started,  # detlint: allow
             policy_name=decision.policy_name,
             predicted_time=decision.predicted_time,
             original_time=decision.original_time,
@@ -166,6 +187,20 @@ class ReevalStats:
     previous attempt and the prior candidate list was reused outright;
     ``warm_hits`` counts epochs served by the warm-started generator;
     ``cold_runs`` counts full cold candidate generations.
+
+    On the flat CSR path every cold epoch also increments exactly one
+    fallback-taxonomy counter naming *why* it ran cold: ``not_ready``
+    (no usable warm state — first epoch, oversized delta, changed
+    pinned set, or a freshly compiled snapshot), ``node_churn`` (the
+    node set changed, so the interning table was rebuilt), ``seed_change``
+    (same nodes, different effective seed), ``shrunk_winner`` (a
+    recorded winner's connectivity shrank below its recorded value, so
+    local repair could not certify the order), ``budget`` (the repair
+    region outgrew its adjacency budget), and ``forced`` (``force_cold``
+    sessions and hint-contraction epochs).  ``repair_epochs`` counts
+    warm hits that actually had to repair the move log (with
+    ``repair_splices``/``repair_promotions`` accumulating how much);
+    warm hits beyond those merely revalidated the recorded order.
     """
 
     epochs: int = 0
@@ -174,6 +209,15 @@ class ReevalStats:
     reuse_hits: int = 0
     cache_hits: int = 0
     contraction_reuses: int = 0
+    repair_epochs: int = 0
+    repair_splices: int = 0
+    repair_promotions: int = 0
+    fallback_not_ready: int = 0
+    fallback_node_churn: int = 0
+    fallback_seed_change: int = 0
+    fallback_shrunk_winner: int = 0
+    fallback_budget: int = 0
+    fallback_forced: int = 0
     last_dirty_fraction: float = 0.0
     last_epoch_seconds: float = 0.0
     total_epoch_seconds: float = 0.0
@@ -214,11 +258,14 @@ class IncrementalPartitioner:
         self.force_cold = force_cold
         self.stats = ReevalStats()
         self._warm = WarmStartState()
+        self._fg: Optional[flatgraph.FlatGraph] = None
+        self._fwarm = flatgraph.FlatWarmState()
         self._cache = PolicyEvaluationCache(maxsize=cache_size)
         self._last_graph: Optional[ExecutionGraph] = None
         self._last_version: int = -1
         self._last_pinned_key: Optional[FrozenSet[str]] = None
         self._last_candidates: Optional[List[CandidatePartition]] = None
+        self._last_chain: Optional[flatgraph.FlatChain] = None
         self._last_expansion: Dict[str, FrozenSet[str]] = {}
 
     @property
@@ -230,15 +277,21 @@ class IncrementalPartitioner:
         graph: ExecutionGraph,
         pinned: List[str],
         delta: GraphDelta,
-    ) -> Tuple[List[CandidatePartition], Dict[str, FrozenSet[str]], bool]:
-        """Produce candidates, via reuse, warm start, or a cold run."""
+    ):
+        """Produce candidates, via reuse, warm start, or a cold run.
+
+        Returns ``(payload, expansion, warm_used)`` where the payload is
+        a :class:`~repro.core.flatgraph.FlatChain` on the flat path and
+        a legacy candidate list otherwise.
+        """
         pinned_key = frozenset(pinned)
         unchanged = (
             graph is self._last_graph
             and graph.version == self._last_version
             and delta.empty
             and pinned_key == self._last_pinned_key
-            and self._last_candidates is not None
+            and (self._last_candidates is not None
+                 or self._last_chain is not None)
         )
         hints = self.base.hints
         contracted = hints is not None and hints.has_groups
@@ -246,43 +299,134 @@ class IncrementalPartitioner:
             self.stats.reuse_hits += 1
             if contracted:
                 self.stats.contraction_reuses += 1
-            return self._last_candidates, self._last_expansion, False
+            payload = (self._last_chain if self._last_chain is not None
+                       else self._last_candidates)
+            return payload, self._last_expansion, False
         work_graph, eff_pinned, expansion = self.base._prepare(graph, pinned)
         warm_used = False
+        payload = None
         if contracted:
             # Contraction rebuilds the graph wholesale; warm-start
-            # bookkeeping does not survive it.
-            candidates = generate_candidates(work_graph, eff_pinned)
+            # bookkeeping does not survive it.  The cold run still goes
+            # through the flat kernel when possible.
+            if self.base.use_flat:
+                fg = flatgraph.snapshot(work_graph)
+                if fg is not None:
+                    payload = fg.generate_chain(eff_pinned)
+            if payload is None:
+                payload = generate_candidates(work_graph, eff_pinned)
             self.stats.cold_runs += 1
+            self.stats.fallback_forced += 1
         else:
             denominator = graph.node_count + graph.link_count
             dirty_fraction = (
                 delta.size() / denominator if denominator else 1.0
             )
             self.stats.last_dirty_fraction = dirty_fraction
-            use_warm = (
-                self._warm.ready
-                and not delta.empty
-                and dirty_fraction <= self.warm_threshold
-                and pinned_key == self._last_pinned_key
-            )
-            candidates = generate_candidates(
-                work_graph,
-                eff_pinned,
-                warm=self._warm,
-                delta=delta if use_warm else None,
-            )
-            warm_used = self._warm.last_run_warm
-            if warm_used:
-                self.stats.warm_hits += 1
-            else:
-                self.stats.cold_runs += 1
+            if self.base.use_flat:
+                payload, warm_used = self._generate_flat(
+                    work_graph, eff_pinned, pinned_key, delta, dirty_fraction
+                )
+            if payload is None:
+                use_warm = (
+                    self._warm.ready
+                    and not delta.empty
+                    and dirty_fraction <= self.warm_threshold
+                    and pinned_key == self._last_pinned_key
+                )
+                payload = generate_candidates(
+                    work_graph,
+                    eff_pinned,
+                    warm=self._warm,
+                    delta=delta if use_warm else None,
+                )
+                warm_used = self._warm.last_run_warm
+                if warm_used:
+                    self.stats.warm_hits += 1
+                else:
+                    self.stats.cold_runs += 1
         self._last_graph = graph
         self._last_version = graph.version
         self._last_pinned_key = pinned_key
-        self._last_candidates = candidates
+        if isinstance(payload, flatgraph.FlatChain):
+            self._last_chain = payload
+            self._last_candidates = None
+        else:
+            self._last_candidates = payload
+            self._last_chain = None
         self._last_expansion = expansion
-        return candidates, expansion, warm_used
+        return payload, expansion, warm_used
+
+    def _generate_flat(
+        self,
+        graph: ExecutionGraph,
+        pinned: List[str],
+        pinned_key: FrozenSet[str],
+        delta: GraphDelta,
+        dirty_fraction: float,
+    ) -> Tuple[Optional["flatgraph.FlatChain"], bool]:
+        """Flat-core epoch: sync the snapshot, repair or rerun cold.
+
+        Returns ``(None, False)`` when the graph cannot be represented
+        flatly at all; the caller then falls back to the legacy
+        generator for this epoch.
+        """
+        reason = flatgraph.COLD_NOT_READY
+        fg = self._fg
+        fdelta = None
+        if fg is not None and delta.empty \
+                and graph.version != fg.synced_version:
+            # An empty delta cannot explain the version drift — some
+            # other consumer drained this graph's dirty sets.  The
+            # snapshot can no longer be trusted; rebuild it.
+            fg = None
+        if fg is not None:
+            fdelta = fg.sync(graph, delta)
+            if fdelta is None:
+                fg = None
+                reason = flatgraph.COLD_NODE_CHURN
+        if fg is None:
+            fg = flatgraph.FlatGraph.try_compile(graph)
+            self._fg = fg
+            self._fwarm = flatgraph.FlatWarmState()
+            if fg is None:
+                return None, False
+        warm_viable = (
+            fdelta is not None
+            and self._fwarm.ready
+            and not delta.empty
+            and dirty_fraction <= self.warm_threshold
+            and pinned_key == self._last_pinned_key
+        )
+        if warm_viable:
+            chain, fail, splices, promotions = fg.repair_chain(
+                self._fwarm, fdelta, pinned
+            )
+            if chain is not None:
+                self.stats.warm_hits += 1
+                if splices or promotions:
+                    self.stats.repair_epochs += 1
+                    self.stats.repair_splices += splices
+                    self.stats.repair_promotions += promotions
+                return chain, True
+            reason = fail
+        chain = fg.generate_chain(pinned, warm=self._fwarm)
+        self.stats.cold_runs += 1
+        self._count_fallback(reason)
+        return chain, False
+
+    def _count_fallback(self, reason: Optional[str]) -> None:
+        stats = self.stats
+        if reason == flatgraph.COLD_NODE_CHURN:
+            stats.fallback_node_churn += 1
+        elif reason == flatgraph.COLD_SEED_CHANGE:
+            stats.fallback_seed_change += 1
+        elif reason == flatgraph.COLD_SHRUNK_WINNER:
+            stats.fallback_shrunk_winner += 1
+        elif reason == flatgraph.COLD_BUDGET:
+            stats.fallback_budget += 1
+        else:
+            stats.fallback_not_ready += 1
 
     def partition(
         self,
@@ -292,23 +436,31 @@ class IncrementalPartitioner:
         delta: Optional[GraphDelta] = None,
     ) -> PartitionDecision:
         """One re-evaluation epoch; never raises on policy refusal."""
-        started = time.perf_counter()
+        started = time.perf_counter()  # detlint: allow - reported epoch cost
         self.stats.epochs += 1
         if delta is None:
             delta = graph.drain_dirty()
         if self.force_cold:
             decision = self.base.partition(graph, pinned, ctx)
             self.stats.cold_runs += 1
+            self.stats.fallback_forced += 1
             self._record_epoch(started)
             return decision
-        candidates, expansion, warm_used = self._generate(
+        payload, expansion, warm_used = self._generate(
             graph, list(pinned), delta
         )
+        is_chain = isinstance(payload, flatgraph.FlatChain)
+        evaluated = payload.k if is_chain else len(payload)
         hits_before = self._cache.hits
         try:
-            policy_decision, cache_hit = evaluate_with_cache(
-                self.base.policy, candidates, ctx, self._cache
-            )
+            if is_chain:
+                policy_decision, cache_hit = evaluate_chain_with_cache(
+                    self.base.policy, payload, ctx, self._cache
+                )
+            else:
+                policy_decision, cache_hit = evaluate_with_cache(
+                    self.base.policy, payload, ctx, self._cache
+                )
         except NoBeneficialPartitionError as refusal:
             cache_hit = self._cache.hits > hits_before
             if cache_hit:
@@ -317,8 +469,8 @@ class IncrementalPartitioner:
             return replace(
                 PartitionDecision.refusal(
                     reason=str(refusal),
-                    candidates_evaluated=len(candidates),
-                    compute_seconds=time.perf_counter() - started,
+                    candidates_evaluated=evaluated,
+                    compute_seconds=time.perf_counter() - started,  # detlint: allow
                     policy_name=self.base.policy.name,
                 ),
                 warm_start=warm_used,
@@ -326,7 +478,7 @@ class IncrementalPartitioner:
             )
         if cache_hit:
             self.stats.cache_hits += 1
-        accepted = self.base._accept(policy_decision, candidates, started)
+        accepted = self.base._accept(policy_decision, evaluated, started)
         if expansion:
             accepted = replace(
                 accepted,
@@ -341,6 +493,6 @@ class IncrementalPartitioner:
         )
 
     def _record_epoch(self, started: float) -> None:
-        elapsed = time.perf_counter() - started
+        elapsed = time.perf_counter() - started  # detlint: allow - epoch cost
         self.stats.last_epoch_seconds = elapsed
         self.stats.total_epoch_seconds += elapsed

@@ -19,9 +19,12 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Hashable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Hashable, List, Optional, Tuple
 
 from ..errors import ConfigurationError, NoBeneficialPartitionError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from .flatgraph import FlatChain
 from ..net.link import LinkModel
 from ..net.wavelan import WAVELAN_11MBPS
 from ..vm.gc import GCReport
@@ -181,6 +184,21 @@ class PartitionPolicy:
         """
         raise NotImplementedError
 
+    def evaluate_chain(
+        self, chain: "FlatChain", ctx: EvaluationContext
+    ) -> PolicyDecision:
+        """Evaluate a columnar candidate chain (see ``core.flatgraph``).
+
+        The built-in policies override this with a scan over the chain's
+        statistics columns that materialises only the winning candidate;
+        selections and refusals are identical to :meth:`evaluate` on the
+        materialised list (same float expressions in the same order,
+        same first-of-equal-key tie-breaks, same refusal messages).
+        This base implementation keeps third-party subclasses working by
+        materialising the chain and deferring to their :meth:`evaluate`.
+        """
+        return self.evaluate(chain.candidates(), ctx)
+
 
 # --------------------------------------------------------------------------
 # Policy-evaluation memoisation
@@ -302,6 +320,49 @@ def evaluate_with_cache(
     return decision, False
 
 
+def evaluate_chain_with_cache(
+    policy: PartitionPolicy,
+    chain: "FlatChain",
+    ctx: EvaluationContext,
+    cache: PolicyEvaluationCache,
+) -> Tuple[PolicyDecision, bool]:
+    """Chain-shaped :func:`evaluate_with_cache`.
+
+    The chain fingerprint hashes the statistics columns as packed byte
+    strings (so keys never collide with list-shaped entries, whose
+    fingerprints are tuples of tuples), and a hit replays the winner by
+    chain index.  Chain candidates carry their index as
+    ``_moves_applied``; if a custom policy's base-path evaluation hands
+    back a candidate from somewhere else entirely, the selection is
+    simply not memoised.
+    """
+    key = (id(policy), chain.fingerprint(), context_key(ctx))
+    entry = cache.get(key)
+    if entry is not None:
+        kind, payload = entry
+        if kind == _REFUSED:
+            raise NoBeneficialPartitionError(payload)
+        return policy.decision_for(chain.candidate(payload), ctx), True
+    try:
+        decision = policy.evaluate_chain(chain, ctx)
+    except NoBeneficialPartitionError as refusal:
+        cache.put(key, (_REFUSED, str(refusal)))
+        raise
+    winner = decision.candidate
+    materialized = chain.materialized()
+    if materialized is not None:
+        index = next(
+            (i for i, c in enumerate(materialized) if c is winner), None
+        )
+    else:
+        index = winner._moves_applied
+        if not 0 <= index < chain.k:
+            index = None
+    if index is not None:
+        cache.put(key, ("selected", index))
+    return decision, False
+
+
 class MemoryPartitionPolicy(PartitionPolicy):
     """Free enough memory at minimum network bandwidth (section 5.1).
 
@@ -335,6 +396,32 @@ class MemoryPartitionPolicy(PartitionPolicy):
             )
         best = min(eligible, key=lambda c: (c.cut_bytes, -c.surrogate_memory))
         return self.decision_for(best, ctx)
+
+    def evaluate_chain(
+        self, chain: "FlatChain", ctx: EvaluationContext
+    ) -> PolicyDecision:
+        required = self.min_free_fraction * ctx.heap_capacity
+        memory = chain.surrogate_memory
+        cut_bytes = chain.cut_bytes
+        best = -1
+        best_bytes = 0
+        best_memory = 0
+        for i in range(chain.k):
+            freed = memory[i]
+            if freed >= required:
+                nbytes = cut_bytes[i]
+                # Strict improvement only: ties keep the earliest
+                # candidate, exactly like min() over the list.
+                if (best < 0 or nbytes < best_bytes
+                        or (nbytes == best_bytes and freed > best_memory)):
+                    best = i
+                    best_bytes = nbytes
+                    best_memory = freed
+        if best < 0:
+            raise NoBeneficialPartitionError(
+                f"no candidate frees the required {required:.0f} bytes"
+            )
+        return self.decision_for(chain.candidate(best), ctx)
 
     def decision_for(
         self, candidate: CandidatePartition, ctx: EvaluationContext
@@ -410,6 +497,51 @@ class CpuPartitionPolicy(PartitionPolicy):
             )
         return self.decision_for(best, ctx)
 
+    def evaluate_chain(
+        self, chain: "FlatChain", ctx: EvaluationContext
+    ) -> PolicyDecision:
+        surrogate_cpu = chain.surrogate_cpu
+        client_cpu = chain.client_cpu
+        cut_count = chain.cut_count
+        cut_bytes = chain.cut_bytes
+        memory = chain.surrogate_memory
+        client_speed = ctx.client_speed
+        surrogate_speed = ctx.surrogate_speed
+        link = ctx.link
+        rtt = link.rtt
+        bandwidth_bps = link.bandwidth_bps
+        bulk_transfer = link.bulk_transfer
+        best = -1
+        predicted = 0.0
+        for i in range(chain.k):
+            if surrogate_cpu[i] > 0:
+                # Term-for-term the same expression as
+                # predict_completion_time, so the floats agree bit for
+                # bit with the legacy evaluation.
+                compute = (
+                    client_cpu[i] / client_speed
+                    + surrogate_cpu[i] / surrogate_speed
+                )
+                communication = (
+                    cut_count[i] * rtt
+                    + (cut_bytes[i] * 8) / bandwidth_bps
+                )
+                total = compute + communication + bulk_transfer(memory[i])
+                if best < 0 or total < predicted:
+                    best = i
+                    predicted = total
+        if best < 0:
+            raise NoBeneficialPartitionError(
+                "no candidate moves any computation"
+            )
+        original_time = ctx.total_cpu / ctx.client_speed
+        if predicted >= original_time * (1.0 - self.min_speedup_fraction):
+            raise NoBeneficialPartitionError(
+                f"best candidate predicts {predicted:.1f}s vs "
+                f"{original_time:.1f}s locally"
+            )
+        return self.decision_for(chain.candidate(best), ctx)
+
     def decision_for(
         self, candidate: CandidatePartition, ctx: EvaluationContext
     ) -> PolicyDecision:
@@ -478,6 +610,39 @@ class BestEffortCpuPolicy(CpuPartitionPolicy):
         best = min(eligible, key=lambda c: (c.cut_bytes, c.cut_count))
         return self.decision_for(best, ctx)
 
+    def evaluate_chain(
+        self, chain: "FlatChain", ctx: EvaluationContext
+    ) -> PolicyDecision:
+        surrogate_cpu = chain.surrogate_cpu
+        cut_bytes = chain.cut_bytes
+        cut_count = chain.cut_count
+        max_cpu = 0.0
+        any_offloading = False
+        for i in range(chain.k):
+            cpu = surrogate_cpu[i]
+            if cpu > 0:
+                any_offloading = True
+                if cpu > max_cpu:
+                    max_cpu = cpu
+        if not any_offloading:
+            raise NoBeneficialPartitionError(
+                "no candidate moves any computation"
+            )
+        floor = 0.95 * max_cpu
+        best = -1
+        best_bytes = 0
+        best_count = 0
+        for i in range(chain.k):
+            if surrogate_cpu[i] > 0 and surrogate_cpu[i] >= floor:
+                nbytes = cut_bytes[i]
+                count = cut_count[i]
+                if (best < 0 or nbytes < best_bytes
+                        or (nbytes == best_bytes and count < best_count)):
+                    best = i
+                    best_bytes = nbytes
+                    best_count = count
+        return self.decision_for(chain.candidate(best), ctx)
+
 
 class CombinedPartitionPolicy(PartitionPolicy):
     """Memory constraint plus completion-time objective (paper section 8).
@@ -510,6 +675,43 @@ class CombinedPartitionPolicy(PartitionPolicy):
             )
         best = min(eligible, key=lambda c: predict_completion_time(c, ctx))
         return self.decision_for(best, ctx)
+
+    def evaluate_chain(
+        self, chain: "FlatChain", ctx: EvaluationContext
+    ) -> PolicyDecision:
+        required = self._memory.min_free_fraction * ctx.heap_capacity
+        memory = chain.surrogate_memory
+        surrogate_cpu = chain.surrogate_cpu
+        client_cpu = chain.client_cpu
+        cut_count = chain.cut_count
+        cut_bytes = chain.cut_bytes
+        client_speed = ctx.client_speed
+        surrogate_speed = ctx.surrogate_speed
+        link = ctx.link
+        rtt = link.rtt
+        bandwidth_bps = link.bandwidth_bps
+        bulk_transfer = link.bulk_transfer
+        best = -1
+        best_time = 0.0
+        for i in range(chain.k):
+            if memory[i] >= required:
+                compute = (
+                    client_cpu[i] / client_speed
+                    + surrogate_cpu[i] / surrogate_speed
+                )
+                communication = (
+                    cut_count[i] * rtt
+                    + (cut_bytes[i] * 8) / bandwidth_bps
+                )
+                total = compute + communication + bulk_transfer(memory[i])
+                if best < 0 or total < best_time:
+                    best = i
+                    best_time = total
+        if best < 0:
+            raise NoBeneficialPartitionError(
+                f"no candidate frees the required {required:.0f} bytes"
+            )
+        return self.decision_for(chain.candidate(best), ctx)
 
     def decision_for(
         self, candidate: CandidatePartition, ctx: EvaluationContext

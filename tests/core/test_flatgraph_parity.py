@@ -1,0 +1,496 @@
+"""Flat-CSR partitioner core vs the legacy string-keyed generator.
+
+The flat path (``core.flatgraph``) must be *bit-identical* to the
+legacy MINCUT kernel — same candidates, same statistics (including the
+float CPU columns), same policy selections, same refusal messages —
+across cold runs, warm-started sessions, and every repair/fallback
+branch.  These tests drive both implementations over
+hypothesis-randomised graphs and adversarial mutation mixes (edge
+growth, shrinking edges, node churn, greedy-order flips) and compare
+exhaustively.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import flatgraph
+from repro.core.graph import ExecutionGraph
+from repro.core.mincut import generate_candidates
+from repro.core.partitioner import IncrementalPartitioner, Partitioner
+from repro.core.policy import (
+    BestEffortCpuPolicy,
+    CombinedPartitionPolicy,
+    CpuPartitionPolicy,
+    EvaluationContext,
+    MemoryPartitionPolicy,
+    PartitionPolicy,
+)
+from repro.errors import PartitioningError
+
+POLICIES = (
+    MemoryPartitionPolicy(0.20),
+    CpuPartitionPolicy(),
+    BestEffortCpuPolicy(),
+    CombinedPartitionPolicy(0.20),
+)
+
+
+def make_context(graph: ExecutionGraph) -> EvaluationContext:
+    return EvaluationContext(
+        heap_capacity=max(1, graph.total_memory()),
+        total_cpu=graph.total_cpu(),
+        elapsed=30.0,
+    )
+
+
+def assert_chain_matches(chain, legacy) -> None:
+    """Every candidate statistic and node set, exactly (floats too)."""
+    assert chain.k == len(legacy)
+    for got, want in zip(chain.candidates(), legacy):
+        assert got.client_nodes == want.client_nodes
+        assert got.surrogate_nodes == want.surrogate_nodes
+        assert got.cut_bytes == want.cut_bytes
+        assert got.cut_count == want.cut_count
+        assert got.surrogate_memory == want.surrogate_memory
+        assert got.surrogate_cpu == want.surrogate_cpu
+        assert got.client_cpu == want.client_cpu
+
+
+def assert_decisions_match(flat, legacy) -> None:
+    """PartitionDecision parity (warm_start/cache flags may differ)."""
+    assert flat.beneficial == legacy.beneficial
+    assert flat.refusal_reason == legacy.refusal_reason
+    assert flat.offload_nodes == legacy.offload_nodes
+    assert flat.client_nodes == legacy.client_nodes
+    assert flat.cut_bytes == legacy.cut_bytes
+    assert flat.cut_count == legacy.cut_count
+    assert flat.freed_bytes == legacy.freed_bytes
+    assert flat.predicted_time == legacy.predicted_time
+    assert flat.original_time == legacy.original_time
+    assert flat.policy_name == legacy.policy_name
+
+
+@st.composite
+def graph_cases(draw):
+    """A random weighted graph plus a (possibly stale) pinned list."""
+    node_count = draw(st.integers(min_value=2, max_value=12))
+    names = [f"n{i:02d}" for i in range(node_count)]
+    graph = ExecutionGraph()
+    for name in names:
+        graph.add_memory(name, draw(st.integers(0, 10_000)))
+        if draw(st.booleans()):
+            # Dyadic fractions keep the float columns exactly
+            # representable; the comparison is == either way.
+            graph.add_cpu(name, draw(st.integers(0, 6400)) / 64)
+    for _ in range(draw(st.integers(0, node_count * 2))):
+        i = draw(st.integers(0, node_count - 1))
+        j = draw(st.integers(0, node_count - 1))
+        graph.record_interaction(
+            names[i], names[j], draw(st.integers(1, 1_000_000)),
+            count=draw(st.integers(1, 50)),
+        )
+    pinned = draw(st.lists(st.sampled_from(names), max_size=node_count,
+                           unique=True))
+    if draw(st.booleans()):
+        pinned.append("ghost")  # pinned names absent from the graph
+    return graph, pinned
+
+
+class TestColdParity:
+    @given(graph_cases())
+    @settings(max_examples=60, deadline=None)
+    def test_cold_chain_matches_legacy(self, case):
+        graph, pinned = case
+        legacy = generate_candidates(graph, pinned)
+        fg = flatgraph.snapshot(graph)
+        assert fg is not None
+        assert_chain_matches(fg.generate_chain(pinned), legacy)
+
+    @given(graph_cases(), st.integers(0, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_partitioner_flag_parity(self, case, policy_index):
+        graph, pinned = case
+        ctx = make_context(graph)
+        policy = POLICIES[policy_index]
+        flat = Partitioner(policy, use_flat=True).partition(
+            graph, pinned, ctx)
+        legacy = Partitioner(policy, use_flat=False).partition(
+            graph, pinned, ctx)
+        assert_decisions_match(flat, legacy)
+
+    def test_empty_graph_raises_like_legacy(self):
+        graph = ExecutionGraph()
+        with pytest.raises(PartitioningError):
+            generate_candidates(graph, [])
+        fg = flatgraph.snapshot(graph)
+        with pytest.raises(PartitioningError):
+            fg.generate_chain([])
+
+    def test_single_movable_node_chain(self):
+        graph = ExecutionGraph()
+        graph.add_memory("a", 100)
+        graph.add_memory("b", 200)
+        graph.record_interaction("a", "b", 64)
+        chain = flatgraph.snapshot(graph).generate_chain(["a"])
+        assert chain.k == 1
+        assert_chain_matches(chain, generate_candidates(graph, ["a"]))
+
+    def test_all_pinned_yields_empty_chain(self):
+        graph = ExecutionGraph()
+        graph.add_memory("a", 100)
+        graph.add_memory("b", 200)
+        graph.record_interaction("a", "b", 64)
+        chain = flatgraph.snapshot(graph).generate_chain(["a", "b"])
+        assert chain.k == 0
+        assert chain.candidates() == []
+
+    def test_negative_edge_weight_disables_flat_compile(self):
+        graph = ExecutionGraph()
+        graph.add_memory("a", 100)
+        graph.add_memory("b", 200)
+        graph.record_interaction("a", "b", -64)
+        assert flatgraph.FlatGraph.try_compile(graph) is None
+        assert flatgraph.snapshot(graph) is None
+        # The partitioner transparently falls back to the legacy kernel.
+        ctx = make_context(graph)
+        flat = Partitioner(MemoryPartitionPolicy(0.20),
+                           use_flat=True).partition(graph, ["a"], ctx)
+        legacy = Partitioner(MemoryPartitionPolicy(0.20),
+                             use_flat=False).partition(graph, ["a"], ctx)
+        assert_decisions_match(flat, legacy)
+
+
+class TestFlatGraphStructure:
+    @given(graph_cases())
+    @settings(max_examples=30, deadline=None)
+    def test_csr_cut_connectivity_match_graph(self, case):
+        graph, _ = case
+        fg = flatgraph.snapshot(graph)
+        indptr, adj, eidx = fg.csr()
+        assert indptr[-1] == len(adj) == len(eidx)
+        names = fg.names
+        for u in range(fg.n):
+            row = [names[adj[p]] for p in range(indptr[u], indptr[u + 1])]
+            assert sorted(row) == sorted(graph.neighbors(names[u]))
+        group = frozenset(n for i, n in enumerate(names) if i % 2 == 0)
+        group_idx = [i for i in range(fg.n) if i % 2 == 0]
+        assert fg.cut(group_idx) == graph.cut(group)
+        for u in range(fg.n):
+            assert (fg.connectivity(u, group_idx)
+                    == graph.connectivity(names[u], group))
+
+    def test_sync_patches_and_csr_refreshes(self):
+        graph = ExecutionGraph()
+        for name in ("a", "b", "c"):
+            graph.add_memory(name, 100)
+        graph.record_interaction("a", "b", 10, count=100)
+        graph.drain_dirty()
+        fg = flatgraph.FlatGraph.try_compile(graph)
+        fg.csr()
+        graph.record_interaction("b", "c", 20, count=3)
+        graph.record_interaction("a", "b", 5)
+        fdelta = fg.sync(graph, graph.drain_dirty())
+        assert fdelta is not None and not fdelta.rebased
+        assert fg.synced_version == graph.version
+        indptr, adj, _ = fg.csr()
+        assert indptr[-1] == 4  # two undirected edges, two half-edges each
+        assert fg.cut([fg.idx["a"]]) == graph.cut(frozenset({"a"}))
+
+    def test_rebasis_reencodes_and_stays_exact(self):
+        graph = ExecutionGraph()
+        for name in ("a", "b", "c", "d"):
+            graph.add_memory(name, 1000)
+        graph.record_interaction("a", "b", 8)
+        graph.record_interaction("b", "c", 4)
+        graph.record_interaction("c", "d", 2)
+        graph.drain_dirty()
+        fg = flatgraph.FlatGraph.try_compile(graph)
+        old_cb = fg.cb
+        # Blow past the count basis so sync must rebasis.
+        graph.record_interaction("a", "b", 1, count=10 * old_cb)
+        fdelta = fg.sync(graph, graph.drain_dirty())
+        assert fdelta is not None and fdelta.rebased
+        assert fg.cb > old_cb
+        assert_chain_matches(fg.generate_chain(["a"]),
+                             generate_candidates(graph, ["a"]))
+
+    def test_sync_refuses_node_churn_and_unknown_names(self):
+        graph = ExecutionGraph()
+        graph.add_memory("a", 100)
+        graph.add_memory("b", 100)
+        graph.record_interaction("a", "b", 10)
+        graph.drain_dirty()
+        fg = flatgraph.FlatGraph.try_compile(graph)
+        graph.record_interaction("a", "z", 10)  # new node appears
+        assert fg.sync(graph, graph.drain_dirty()) is None
+
+    def test_sync_refuses_negative_result(self):
+        graph = ExecutionGraph()
+        graph.add_memory("a", 100)
+        graph.add_memory("b", 100)
+        graph.record_interaction("a", "b", 10)
+        graph.drain_dirty()
+        fg = flatgraph.FlatGraph.try_compile(graph)
+        graph.record_interaction("a", "b", -50)  # bytes would go negative
+        assert fg.sync(graph, graph.drain_dirty()) is None
+
+    def test_fingerprint_packs_columns_and_overflow_falls_back(self):
+        graph = ExecutionGraph()
+        graph.add_memory("a", 100)
+        graph.add_memory("b", 100)
+        graph.record_interaction("a", "b", 64)
+        chain = flatgraph.snapshot(graph).generate_chain(["a"])
+        fp = chain.fingerprint()
+        assert fp is chain.fingerprint()  # memoised
+        assert all(isinstance(part, bytes) for part in fp)
+
+        huge = ExecutionGraph()
+        huge.add_memory("a", 100)
+        huge.add_memory("b", 100)
+        huge.record_interaction("a", "b", 2 ** 70)  # beyond int64
+        overflow = flatgraph.snapshot(huge).generate_chain(["a"])
+        fp2 = overflow.fingerprint()
+        assert all(isinstance(part, tuple) for part in fp2)
+        assert overflow.candidates()[0].cut_bytes == 2 ** 70
+
+    def test_chain_candidate_defers_materialisation(self):
+        graph = ExecutionGraph()
+        for name in ("a", "b", "c", "d"):
+            graph.add_memory(name, 100)
+        graph.record_interaction("a", "b", 10)
+        graph.record_interaction("b", "c", 20)
+        graph.record_interaction("c", "d", 30)
+        chain = flatgraph.snapshot(graph).generate_chain(["a"])
+        assert chain.materialized() is None
+        single = chain.candidate(1)
+        assert chain.materialized() is None  # one-off, not the full list
+        full = chain.candidates()
+        assert chain.materialized() is full
+        assert full[1].client_nodes == single.client_nodes
+
+
+class ThirdPartyPolicy(PartitionPolicy):
+    """Overrides only evaluate(): exercises the base evaluate_chain."""
+
+    name = "third-party"
+
+    def evaluate(self, candidates, ctx):
+        return MemoryPartitionPolicy(0.01).evaluate(candidates, ctx)
+
+    def decision_for(self, candidate, ctx):
+        return MemoryPartitionPolicy(0.01).decision_for(candidate, ctx)
+
+
+class TestSessionParity:
+    """Multi-epoch incremental sessions under adversarial mutation mixes."""
+
+    KINDS = ("bump", "shrink", "new_edge", "churn", "memory", "cpu")
+
+    @staticmethod
+    def _apply(graph: ExecutionGraph, names, kind: str,
+               rng: random.Random) -> None:
+        edges = [key for key, _ in graph.edges()]
+        if kind == "bump" and edges:
+            a, b = rng.choice(edges)
+            graph.record_interaction(a, b, rng.randrange(1, 500),
+                                     count=rng.randrange(1, 4))
+        elif kind == "shrink" and edges:
+            # Shrink an edge without going negative: exercises the
+            # shrunk-winner detection in the repair sweep.
+            a, b = rng.choice(edges)
+            nbytes = graph.edge_bytes(a, b)
+            if nbytes > 1:
+                graph.record_interaction(a, b, -rng.randrange(1, nbytes),
+                                         count=0)
+        elif kind == "new_edge":
+            a, b = rng.choice(names), rng.choice(names)
+            graph.record_interaction(a, b, rng.randrange(1, 1000))
+        elif kind == "churn":
+            fresh = f"x{len(names):02d}"
+            names.append(fresh)
+            graph.record_interaction(rng.choice(names[:-1]), fresh,
+                                     rng.randrange(1, 1000))
+        elif kind == "memory":
+            graph.add_memory(rng.choice(names), rng.randrange(0, 4096))
+        elif kind == "cpu":
+            graph.add_cpu(rng.choice(names), rng.randrange(0, 640) / 64)
+
+    @given(
+        st.integers(min_value=0, max_value=2 ** 32 - 1),
+        st.lists(
+            st.lists(st.sampled_from(KINDS), min_size=0, max_size=4),
+            min_size=1, max_size=8,
+        ),
+        st.integers(0, 3),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_session_matches_legacy_session(self, seed, epochs,
+                                            policy_index):
+        policy = POLICIES[policy_index]
+        base = ExecutionGraph()
+        names = [f"n{i:02d}" for i in range(10)]
+        rng = random.Random(seed)
+        for name in names:
+            base.add_memory(name, rng.randrange(100, 8192))
+            base.add_cpu(name, rng.randrange(0, 640) / 64)
+        for _ in range(18):
+            base.record_interaction(rng.choice(names), rng.choice(names),
+                                    rng.randrange(1, 4096))
+        legacy_graph = base.copy()
+
+        flat = IncrementalPartitioner(Partitioner(policy, use_flat=True))
+        legacy = IncrementalPartitioner(
+            Partitioner(policy, use_flat=False))
+        pinned = [names[0], names[3]]
+
+        # Two independent-but-identical mutation streams: sessions drain
+        # their graph's dirty set, so each needs its own graph copy.
+        flat_rng = random.Random(seed + 1)
+        legacy_rng = random.Random(seed + 1)
+        flat_names, legacy_names = list(names), list(names)
+        for epoch in epochs:
+            for kind in epoch:
+                self._apply(base, flat_names, kind, flat_rng)
+                self._apply(legacy_graph, legacy_names, kind, legacy_rng)
+            ctx = make_context(base)
+            assert_decisions_match(
+                flat.partition(base, pinned, ctx),
+                legacy.partition(legacy_graph, pinned, ctx),
+            )
+
+    def test_warm_session_matches_forced_cold_session(self):
+        rng = random.Random(7)
+        base = ExecutionGraph()
+        names = [f"n{i:02d}" for i in range(30)]
+        for name in names:
+            base.add_memory(name, rng.randrange(100, 8192))
+        for _ in range(80):
+            base.record_interaction(rng.choice(names), rng.choice(names),
+                                    rng.randrange(1, 4096))
+        cold_graph = base.copy()
+        pinned = [names[0], names[5]]
+        policy = MemoryPartitionPolicy(0.20)
+        warm = IncrementalPartitioner(Partitioner(policy, use_flat=True))
+        cold = IncrementalPartitioner(Partitioner(policy, use_flat=True),
+                                      force_cold=True)
+        warm_rng, cold_rng = random.Random(11), random.Random(11)
+        edge_keys = [key for key, _ in base.edges()]
+        for _ in range(15):
+            a, b = warm_rng.choice(edge_keys)
+            base.record_interaction(a, b, warm_rng.randrange(1, 64))
+            a, b = cold_rng.choice(edge_keys)
+            cold_graph.record_interaction(a, b, cold_rng.randrange(1, 64))
+            ctx = make_context(base)
+            assert_decisions_match(warm.partition(base, pinned, ctx),
+                                   cold.partition(cold_graph, pinned, ctx))
+        assert warm.stats.warm_hits > 0
+        assert cold.stats.fallback_forced == cold.stats.cold_runs > 0
+
+    def test_third_party_policy_uses_base_evaluate_chain(self):
+        graph = ExecutionGraph()
+        for name in ("a", "b", "c"):
+            graph.add_memory(name, 4096)
+        graph.record_interaction("a", "b", 100)
+        graph.record_interaction("b", "c", 10)
+        ctx = make_context(graph)
+        flat = Partitioner(ThirdPartyPolicy(), use_flat=True).partition(
+            graph, ["a"], ctx)
+        legacy = Partitioner(ThirdPartyPolicy(), use_flat=False).partition(
+            graph, ["a"], ctx)
+        assert_decisions_match(flat, legacy)
+
+
+class TestFallbackTaxonomy:
+    @staticmethod
+    def _session(node_count=20, seed=3, policy=None):
+        rng = random.Random(seed)
+        graph = ExecutionGraph()
+        names = [f"n{i:02d}" for i in range(node_count)]
+        for name in names:
+            graph.add_memory(name, rng.randrange(100, 8192))
+        for _ in range(node_count * 3):
+            graph.record_interaction(rng.choice(names), rng.choice(names),
+                                     rng.randrange(1, 4096))
+        session = IncrementalPartitioner(
+            Partitioner(policy or MemoryPartitionPolicy(0.20),
+                        use_flat=True))
+        return graph, names, session
+
+    def test_node_churn_is_counted_and_recompiles(self):
+        graph, names, session = self._session()
+        pinned = [names[0]]
+        ctx = make_context(graph)
+        session.partition(graph, pinned, ctx)
+        graph.record_interaction(names[1], "brand-new", 256)
+        decision = session.partition(graph, pinned, make_context(graph))
+        assert session.stats.fallback_node_churn == 1
+        fresh = Partitioner(MemoryPartitionPolicy(0.20)).partition(
+            graph, pinned, make_context(graph))
+        assert_decisions_match(decision, fresh)
+
+    def test_budget_exhaustion_falls_back_cold(self, monkeypatch):
+        monkeypatch.setattr(flatgraph, "REPAIR_BUDGET_MIN", 0)
+        monkeypatch.setattr(flatgraph, "REPAIR_BUDGET_FRACTION", 0.0)
+        graph, names, session = self._session()
+        pinned = [names[0]]
+        session.partition(graph, pinned, make_context(graph))
+        rng = random.Random(5)
+        edge_keys = [key for key, _ in graph.edges()]
+        for _ in range(5):
+            a, b = rng.choice(edge_keys)
+            graph.record_interaction(a, b, 10_000)
+            session.partition(graph, pinned, make_context(graph))
+        stats = session.stats
+        assert stats.warm_hits == 0
+        assert stats.fallback_budget > 0
+
+    def test_not_ready_covers_tiny_chains(self):
+        graph = ExecutionGraph()
+        graph.add_memory("a", 100)
+        graph.add_memory("b", 100)
+        graph.record_interaction("a", "b", 32)
+        session = IncrementalPartitioner(
+            Partitioner(MemoryPartitionPolicy(0.20), use_flat=True))
+        ctx = make_context(graph)
+        session.partition(graph, ["a"], ctx)  # k == 1: warm never ready
+        graph.record_interaction("a", "b", 8)
+        session.partition(graph, ["a"], make_context(graph))
+        assert session.stats.fallback_not_ready >= 1
+        assert session.stats.warm_hits == 0
+
+    def test_external_drain_triggers_recompile_not_staleness(self):
+        graph, names, session = self._session()
+        pinned = [names[0]]
+        session.partition(graph, pinned, make_context(graph))
+        # Another consumer drains the dirty set: the session sees an
+        # empty delta with a drifted version and must recompile rather
+        # than trust the stale snapshot.
+        graph.record_interaction(names[1], names[2], 9999)
+        graph.drain_dirty()
+        decision = session.partition(graph, pinned, make_context(graph))
+        fresh = Partitioner(MemoryPartitionPolicy(0.20)).partition(
+            graph, pinned, make_context(graph))
+        assert_decisions_match(decision, fresh)
+
+    def test_repair_counters_advance_on_warm_hits(self):
+        graph, names, session = self._session(node_count=40, seed=9)
+        pinned = [names[0], names[7]]
+        session.partition(graph, pinned, make_context(graph))
+        rng = random.Random(13)
+        edge_keys = [key for key, _ in graph.edges()]
+        for _ in range(10):
+            a, b = rng.choice(edge_keys)
+            graph.record_interaction(a, b, rng.randrange(1, 8))
+            session.partition(graph, pinned, make_context(graph))
+        stats = session.stats
+        assert stats.warm_hits > 0
+        taxonomy_total = (stats.fallback_not_ready
+                          + stats.fallback_node_churn
+                          + stats.fallback_seed_change
+                          + stats.fallback_shrunk_winner
+                          + stats.fallback_budget
+                          + stats.fallback_forced)
+        assert taxonomy_total <= stats.cold_runs

@@ -7,6 +7,7 @@ import pytest
 
 from benchmarks.report import (
     REQUIRED_SECTIONS,
+    parallel_floor_verdict,
     validate_checked_in,
     validate_report,
 )
@@ -90,6 +91,86 @@ class TestValidateReport:
         problems = validate_report(report)
         assert any("'fleet'" in p and "fairness_ratio" in p
                    for p in problems)
+
+
+class TestWarmColdInversionGate:
+    def test_inverted_reeval_size_is_a_regression(self):
+        # A steady-state epoch mean above the cold epoch means the warm
+        # path lost to recomputing from scratch — the whole point of the
+        # incremental session.  The gate must name the offending size.
+        report = minimal_valid_report()
+        size, stats = sorted(report["reeval"].items())[0]
+        stats["steady_epoch_mean_s"] = stats["cold_epoch_s"] * 2.0
+        problems = validate_report(report)
+        assert any(f"reeval[{size}]" in p and "warm/cold inversion" in p
+                   for p in problems)
+
+    def test_every_inverted_size_is_named(self):
+        report = minimal_valid_report()
+        for stats in report["reeval"].values():
+            stats["steady_epoch_mean_s"] = stats["cold_epoch_s"] + 1.0
+        problems = validate_report(report)
+        inversions = [p for p in problems if "warm/cold inversion" in p]
+        assert len(inversions) == len(report["reeval"])
+
+    def test_steady_at_or_below_cold_passes(self):
+        report = minimal_valid_report()
+        for stats in report["reeval"].values():
+            stats["steady_epoch_mean_s"] = stats["cold_epoch_s"]
+        problems = validate_report(report)
+        assert not any("warm/cold inversion" in p for p in problems)
+
+
+class TestParallelFloorVerdict:
+    def test_missing_floor_reason_is_a_regression(self):
+        report = minimal_valid_report()
+        del report["replay_parallel"]["floor_reason"]
+        problems = validate_report(report)
+        assert any("replay_parallel" in p and "floor_reason" in p
+                   for p in problems)
+
+    def test_absolute_clause_skipped_below_four_cpus(self):
+        # The 5M ev/s absolute target is unreachable by construction on
+        # a 1-2 core runner; the clause must be skipped (None), not
+        # reported as a miss, and the machine-robust clauses still gate.
+        verdict = parallel_floor_verdict(
+            aggregate_eps=10_000_000.0, serial_eps=1_000_000.0,
+            columnar_eps=9_000_000.0, cpus=2)
+        assert verdict["meets_absolute_floor"] is None
+        assert verdict["floor_reason"] == "serial-multiple"
+        assert verdict["floor_ok"]
+
+    def test_absolute_clause_wins_on_big_boxes(self):
+        verdict = parallel_floor_verdict(
+            aggregate_eps=6_000_000.0, serial_eps=1_000_000.0,
+            columnar_eps=5_000_000.0, cpus=8)
+        assert verdict["meets_absolute_floor"] is True
+        assert verdict["floor_reason"] == "absolute"
+        assert verdict["floor_ok"]
+
+    def test_columnar_retention_clause(self):
+        # Below both the absolute target and 5x serial, but the
+        # columnar loop beats per-event replay and sharding retains its
+        # throughput — the loaded-runner escape hatch.
+        verdict = parallel_floor_verdict(
+            aggregate_eps=1_300_000.0, serial_eps=1_000_000.0,
+            columnar_eps=1_400_000.0, cpus=2)
+        assert verdict["floor_reason"] == "columnar-retention"
+        assert verdict["floor_ok"]
+
+    def test_floor_miss_names_no_clause(self):
+        verdict = parallel_floor_verdict(
+            aggregate_eps=500_000.0, serial_eps=1_000_000.0,
+            columnar_eps=900_000.0, cpus=8)
+        assert verdict["meets_absolute_floor"] is False
+        assert verdict["floor_reason"] == "none"
+        assert not verdict["floor_ok"]
+
+    def test_zero_rates_do_not_divide_by_zero(self):
+        verdict = parallel_floor_verdict(
+            aggregate_eps=0.0, serial_eps=0.0, columnar_eps=0.0, cpus=8)
+        assert verdict["floor_reason"] == "none"
+        assert not verdict["floor_ok"]
 
 
 class TestValidateCheckedIn:

@@ -38,12 +38,19 @@ from typing import List, NamedTuple, Optional
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
-#: The modules whose behaviour feeds replay fingerprints.
+#: The modules whose behaviour feeds replay fingerprints, plus the
+#: partitioner core: candidate chains and their policy decisions must be
+#: bit-identical across runs (the flat/legacy parity suite depends on
+#: it), so the same no-wall-clock / no-set-iteration / seeded-random
+#: rules apply there.
 DEFAULT_TARGETS = (
     "src/repro/emulator/fleet.py",
     "src/repro/emulator/parallel.py",
     "src/repro/emulator/columnar.py",
     "src/repro/rpc/marshal.py",
+    "src/repro/core/mincut.py",
+    "src/repro/core/flatgraph.py",
+    "src/repro/core/partitioner.py",
 )
 
 SUPPRESS_MARKER = "detlint: allow"
