@@ -52,6 +52,9 @@ REQUIRED_SECTIONS = {
               "fingerprint_stable"),
     "static_prediction": ("apps", "top1_matches", "top1_ok",
                           "rank_correlation_ok"),
+    "mobility": ("handoff_beats_no_action", "handoff_beats_repatriate",
+                 "completion_bound_ok", "fingerprint_parity",
+                 "deterministic", "disconnect_recovered"),
 }
 
 #: Tail-fairness gate for the fleet emulator: at the reference scale
@@ -91,6 +94,13 @@ STATIC_TOP1_MIN_MATCHES = 5
 #: at or above this Spearman rho on the two data-heavy apps.
 STATIC_RHO_MIN = 0.6
 STATIC_RHO_GATED_APPS = ("dia", "javanote")
+
+#: Completion bound for the roaming scenario: proactive handoff must
+#: finish the trace within this multiple of the static-WaveLAN run.
+#: Roaming costs *something* (the trend trigger reacts after the link
+#: has already degraded), but a working handoff path keeps the client
+#: adjacent to a surrogate and nowhere near the no-action WAN tail.
+MOBILITY_MAX_SLOWDOWN = 3.0
 
 
 def _time(func, rounds: int, warmup: int = 0) -> dict:
@@ -637,6 +647,150 @@ def bench_faults() -> dict:
     return results
 
 
+def roaming_trace(widgets: int = 12, sweeps: int = 80,
+                  paint_s: float = 0.03):
+    """A compute-heavy UI trace for the mobility scenarios.
+
+    Unlike :func:`chatty_trace` (communication-bound), every paint here
+    carries real CPU work, so the 3.5x surrogate makes remote execution
+    the winning strategy *as long as the link is good*: remote-on-WaveLAN
+    beats local, local beats remote-on-WAN.  That ordering is what makes
+    the mobility policies distinguishable — proactive repatriation gives
+    up the fast surrogate, doing nothing strands the client behind a
+    high-latency WAN, and a surrogate-to-surrogate handoff keeps both
+    the 3.5x CPU and the short link.
+    """
+    from repro.emulator.events import (
+        AccessEvent, AllocEvent, InvokeEvent, WorkEvent,
+    )
+    from repro.emulator.traces import Trace
+
+    main = "<main>"
+    trace = Trace(app_name="roaming-ui",
+                  class_traits={"gui.Widget": {}, "gui.Style": {}})
+    oid = 1
+    widget_oids = []
+    for _ in range(widgets):
+        trace.append(AllocEvent(oid, "gui.Widget", 256, main, None))
+        widget_oids.append(oid)
+        oid += 1
+    style_oid = oid
+    trace.append(AllocEvent(style_oid, "gui.Style", 512, main, None))
+    for _ in range(sweeps):
+        for w in widget_oids:
+            trace.append(InvokeEvent(main, None, "gui.Widget", w, "paint",
+                                     "instance", False, 16, 8))
+            trace.append(WorkEvent("gui.Widget", w, paint_s))
+            trace.append(AccessEvent(main, None, "gui.Style", style_oid,
+                                     32, False, False))
+    return trace
+
+
+def _mobility_run_summary(result) -> dict:
+    summary = {
+        "total_time_s": result.total_time,
+        "comm_time_s": result.comm_time,
+        "migration_time_s": result.migration_time,
+        "completed": result.completed,
+    }
+    if result.mobility is not None:
+        summary["mobility"] = result.mobility.as_dict()
+    return summary
+
+
+def bench_mobility(quick: bool = False) -> dict:
+    """Mobility scenarios: a roaming client against time-varying links.
+
+    Five runs of the compute-heavy roaming trace:
+
+    * ``static`` — constant WaveLAN, the stay-put baseline;
+    * ``roam_no_action`` — the link ramps WaveLAN -> WAN mid-run and
+      nothing reacts (the client drags its traffic over the WAN);
+    * ``roam_handoff`` — the bandwidth-trend trigger fires and the
+      offloaded partition streams surrogate-to-surrogate over the
+      backhaul, putting the client back on a short link;
+    * ``roam_repatriate`` — the same trigger proactively pulls state
+      home instead, then re-offloads when the link recovers;
+    * ``disconnect`` — the named ``wavelan-wan-roam`` profile, whose
+      disconnection window exercises graceful loss recovery under
+      roaming.
+
+    Gates: handoff strictly beats both alternatives, stays within
+    ``MOBILITY_MAX_SLOWDOWN`` of static, serial/columnar/sharded
+    replay fingerprints agree on the handoff run, a rerun is
+    bit-identical, and the disconnection run completes.
+    """
+    from repro.emulator import (
+        ColumnarTrace, MobilityConfig, ShardedReplayer, replicate,
+    )
+    from repro.emulator.replay import EmulatorConfig, TraceReplayer
+    from repro.net import WAVELAN_WAN_ROAM, LinkProfile
+
+    trace = roaming_trace(sweeps=40 if quick else 80)
+    roam = LinkProfile.parse(
+        "step=0:wavelan,ramp=4:8:wavelan:wan,step=16:wavelan"
+    )
+    base = EmulatorConfig(
+        offload_at_event=len(trace.events) // 120,
+        forced_offload_nodes=frozenset({"gui.Widget", "gui.Style"}),
+    )
+    handoff_config = base.with_profile(roam, MobilityConfig(mode="handoff"))
+
+    static = TraceReplayer(trace, base).run()
+    no_action = TraceReplayer(trace, base.with_profile(roam)).run()
+    handoff = TraceReplayer(trace, handoff_config).run()
+    repatriate = TraceReplayer(
+        trace, base.with_profile(roam, MobilityConfig(mode="repatriate"))
+    ).run()
+    disconnect = TraceReplayer(
+        trace,
+        base.with_profile(WAVELAN_WAN_ROAM, MobilityConfig(mode="handoff")),
+    ).run()
+
+    # Parity: the handoff run must fingerprint identically through the
+    # serial loop, the columnar batched loop, and a sharded replay.
+    columnar = TraceReplayer(
+        ColumnarTrace.from_trace(trace), handoff_config
+    ).run()
+    shards = replicate(ColumnarTrace.from_trace(trace), handoff_config,
+                       clients=2)
+    sharded = ShardedReplayer(shards, workers=1).run()
+    sharded_fps = {c.result.fingerprint() for c in sharded.clients}
+    parity = (columnar.fingerprint() == handoff.fingerprint()
+              and sharded_fps == {handoff.fingerprint()})
+    rerun = TraceReplayer(trace, handoff_config).run()
+
+    ratio = (handoff.total_time / static.total_time
+             if static.total_time else 0.0)
+    fr = disconnect.faults
+    return {
+        "trace": "roaming-ui",
+        "events": len(trace.events),
+        "profile": roam.canonical(),
+        "static": _mobility_run_summary(static),
+        "roam_no_action": _mobility_run_summary(no_action),
+        "roam_handoff": _mobility_run_summary(handoff),
+        "roam_repatriate": _mobility_run_summary(repatriate),
+        "disconnect": _mobility_run_summary(disconnect),
+        "handoff_vs_static_ratio": ratio,
+        "handoff_beats_no_action": bool(
+            handoff.total_time < no_action.total_time
+        ),
+        "handoff_beats_repatriate": bool(
+            handoff.total_time < repatriate.total_time
+        ),
+        "completion_bound_ok": bool(
+            handoff.completed and ratio <= MOBILITY_MAX_SLOWDOWN
+        ),
+        "fingerprint_parity": parity,
+        "deterministic": handoff.fingerprint() == rerun.fingerprint(),
+        "disconnect_recovered": bool(
+            disconnect.completed
+            and (fr is None or not fr.surrogate_lost or fr.recoveries > 0)
+        ),
+    }
+
+
 def validate_report(report: dict) -> list:
     """Schema check: every required section and key, plus the guards."""
     problems = []
@@ -743,6 +897,39 @@ def validate_report(report: dict) -> list:
                     f"faults.{app}: seeded fault replay was not "
                     f"bit-identical across two runs"
                 )
+    mobility = report.get("mobility")
+    if isinstance(mobility, dict):
+        if not mobility.get("handoff_beats_no_action"):
+            problems.append(
+                "mobility: proactive handoff did not beat riding out "
+                "the degraded link"
+            )
+        if not mobility.get("handoff_beats_repatriate"):
+            problems.append(
+                "mobility: proactive handoff did not beat "
+                "repatriate-then-reoffload"
+            )
+        if not mobility.get("completion_bound_ok"):
+            problems.append(
+                f"mobility: roaming handoff completion is "
+                f"{mobility.get('handoff_vs_static_ratio', 0.0):.2f}x "
+                f"static (bound {MOBILITY_MAX_SLOWDOWN}x)"
+            )
+        if not mobility.get("fingerprint_parity"):
+            problems.append(
+                "mobility: serial/columnar/sharded handoff replay "
+                "fingerprints diverged"
+            )
+        if not mobility.get("deterministic"):
+            problems.append(
+                "mobility: handoff replay was not bit-identical "
+                "across two runs"
+            )
+        if not mobility.get("disconnect_recovered"):
+            problems.append(
+                "mobility: the disconnection-window run did not "
+                "recover gracefully"
+            )
     return problems
 
 
@@ -981,6 +1168,7 @@ def build_report(rounds: int, quick: bool = False) -> dict:
         "rpc": bench_rpc(rounds),
         "faults": bench_faults(),
         "fleet": bench_fleet(quick=quick),
+        "mobility": bench_mobility(quick=quick),
     }
 
 
@@ -1096,6 +1284,19 @@ def main(argv=None) -> int:
           f"{fleet['fairness_ratio']:.2f} <= {FLEET_FAIRNESS_RATIO_MAX} "
           f"[{'ok' if fleet['fairness_ok'] else 'UNFAIR'}"
           f"{', stable' if fleet['fingerprint_stable'] else ', FINGERPRINT DRIFT'}]")
+    mobility = report["mobility"]
+    print(f"mobility roaming: static "
+          f"{mobility['static']['total_time_s']:.1f}s, "
+          f"no-action {mobility['roam_no_action']['total_time_s']:.1f}s, "
+          f"handoff {mobility['roam_handoff']['total_time_s']:.1f}s, "
+          f"repatriate {mobility['roam_repatriate']['total_time_s']:.1f}s, "
+          f"disconnect {mobility['disconnect']['total_time_s']:.1f}s")
+    mobility_ok = all(mobility[k] for k in REQUIRED_SECTIONS["mobility"])
+    print(f"mobility gate: handoff at "
+          f"{mobility['handoff_vs_static_ratio']:.2f}x static "
+          f"(bound {MOBILITY_MAX_SLOWDOWN}x) "
+          f"[{'ok' if mobility_ok else 'REGRESSION'}"
+          f"{', parity' if mobility['fingerprint_parity'] else ', FINGERPRINT MISMATCH'}]")
     if output is not None:
         print(f"wrote {output}")
     return 0

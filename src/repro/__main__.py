@@ -138,13 +138,15 @@ def _convert(src: str, dst: str) -> int:
 
 def _replay(source: str, heap_mb: float, offload: bool,
             faults: str = None, workers: int = 1, clients: int = 1,
-            trace_format: str = "auto") -> int:
+            trace_format: str = "auto", link_profile: str = None,
+            mobility: str = "handoff") -> int:
     from .config import DeviceProfile
     from .emulator import (
-        ColumnarTrace, Emulator, EmulatorConfig, ShardedReplayer,
-        replicate,
+        ColumnarTrace, Emulator, EmulatorConfig, MobilityConfig,
+        ShardedReplayer, replicate,
     )
     from .net.faults import FaultSpec
+    from .net.mobility import LinkProfile
     from .units import MB
 
     try:
@@ -168,6 +170,16 @@ def _replay(source: str, heap_mb: float, offload: bool,
             config = config.with_faults(FaultSpec.parse(faults))
         except (ConfigurationError, ValueError) as exc:
             print(f"bad --faults spec: {exc}", file=sys.stderr)
+            return 2
+    if link_profile:
+        from .errors import ConfigurationError
+
+        try:
+            profile = LinkProfile.parse(link_profile)
+            mob = None if mobility == "none" else MobilityConfig(mode=mobility)
+            config = config.with_profile(profile, mob)
+        except (ConfigurationError, ValueError) as exc:
+            print(f"bad --link-profile spec: {exc}", file=sys.stderr)
             return 2
     if clients > 1 or workers > 1:
         shards = replicate(trace, config, clients=max(clients, 1))
@@ -194,6 +206,16 @@ def _replay(source: str, heap_mb: float, offload: bool,
           f"migration {result.migration_time:.1f}s)")
     print(f"  offloads: {result.offload_count}, remote interactions: "
           f"{result.remote_interactions}")
+    if result.mobility is not None:
+        mr = result.mobility
+        print(f"  mobility [{mr.profile}]: {mr.link_changes} link "
+              f"change(s), {mr.trend_fires} trend fire(s)")
+        if mr.handoffs or mr.proactive_repatriations or mr.reoffloads:
+            print(f"    handoffs: {mr.handoffs} "
+                  f"({mr.handoff_bytes} bytes, {mr.handoff_time_s:.2f}s), "
+                  f"proactive repatriations: {mr.proactive_repatriations} "
+                  f"({mr.proactively_repatriated_bytes} bytes), "
+                  f"reoffloads: {mr.reoffloads}")
     if result.faults is not None:
         fr = result.faults
         print(f"  faults [{fr.spec}]: fault time {fr.fault_time_s:.1f}s, "
@@ -353,6 +375,15 @@ def build_parser() -> argparse.ArgumentParser:
                         help="inject faults during 'replay': "
                              "seed=N,loss=R,spike=R:S,partition=S:E,"
                              "crash_at_event=N,crash_at_time=S")
+    parser.add_argument("--link-profile", metavar="SPEC",
+                        help="time-varying link for 'replay': a named "
+                             "profile (e.g. wavelan-wan-roam) or "
+                             "step=T:LINK,ramp=T0:T1:FROM:TO[:STEPS],"
+                             "link=T:NAME:BPS:LAT,down=T0:T1")
+    parser.add_argument("--mobility", default="handoff",
+                        choices=("none", "handoff", "repatriate"),
+                        help="reaction to a degrading link under "
+                             "--link-profile (default: handoff)")
     return parser
 
 
@@ -369,12 +400,16 @@ def main(argv=None) -> int:
         if len(targets) != 2:
             print("usage: python -m repro replay <path|app> [--heap-mb N] "
                   "[--no-offload] [--faults SPEC] [--workers N] "
-                  "[--clients N] [--format ctrace]", file=sys.stderr)
+                  "[--clients N] [--format ctrace] "
+                  "[--link-profile SPEC] [--mobility MODE]",
+                  file=sys.stderr)
             return 2
         return _replay(targets[1], args.heap_mb, not args.no_offload,
                        args.faults, workers=args.workers,
                        clients=args.clients,
-                       trace_format=args.trace_format)
+                       trace_format=args.trace_format,
+                       link_profile=args.link_profile,
+                       mobility=args.mobility)
     if targets[0] == "fleet":
         if len(targets) < 2 or targets[1] != "run" or len(targets) > 3:
             print("usage: python -m repro fleet run [<path|app>] "

@@ -25,6 +25,7 @@ from .mincut import (
 from .monitor import ExecutionMonitor, MonitorCounters, RemoteCounters, ResourceMonitor
 from .partitioner import PartitionDecision, Partitioner
 from .policy import (
+    BandwidthTrendTrigger,
     BestEffortCpuPolicy,
     CombinedPartitionPolicy,
     CpuPartitionPolicy,
@@ -42,6 +43,7 @@ from .policy import (
 )
 
 __all__ = [
+    "BandwidthTrendTrigger",
     "BestEffortCpuPolicy",
     "CandidatePartition",
     "CombinedPartitionPolicy",

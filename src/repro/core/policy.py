@@ -112,6 +112,91 @@ class PeriodicTrigger:
         return False
 
 
+class BandwidthTrendTrigger:
+    """Fires when the windowed link-bandwidth estimate trends below a
+    threshold — the roaming client's early-warning system.
+
+    ``observe`` keeps the last ``window`` (time, bandwidth) samples,
+    fits a least-squares slope, and projects the bandwidth at ``now +
+    horizon_s``.  When either the projection or the current sample sits
+    below ``threshold_bps``, it returns ``"fire"`` — the platform
+    should repatriate or hand off *before* the link becomes useless.
+    The trigger then latches (no repeated fires while degraded) until a
+    sample at or above ``restore_bps`` returns ``"recover"``, at which
+    point re-offloading through the warm-start repair path is safe.
+    Returns ``None`` when nothing changed.
+    """
+
+    def __init__(
+        self,
+        threshold_bps: float,
+        horizon_s: float = 2.0,
+        window: int = 3,
+        restore_bps: Optional[float] = None,
+    ) -> None:
+        if threshold_bps <= 0:
+            raise ConfigurationError("threshold must be positive")
+        if horizon_s < 0:
+            raise ConfigurationError("horizon cannot be negative")
+        if window < 2:
+            raise ConfigurationError("trend window needs >= 2 samples")
+        self.threshold_bps = threshold_bps
+        self.horizon_s = horizon_s
+        self.window = window
+        self.restore_bps = (
+            threshold_bps if restore_bps is None else restore_bps
+        )
+        if self.restore_bps < threshold_bps:
+            raise ConfigurationError(
+                "restore level cannot sit below the fire threshold"
+            )
+        self._samples: List[Tuple[float, float]] = []
+        self._degraded = False
+        self.fired_count = 0
+        self.recovered_count = 0
+
+    def projected_bps(self, now: float) -> Optional[float]:
+        """Least-squares projection at ``now + horizon_s`` (None until
+        the window holds two distinct-time samples)."""
+        samples = self._samples
+        if len(samples) < 2:
+            return None
+        n = len(samples)
+        mean_t = sum(t for t, _ in samples) / n
+        mean_b = sum(b for _, b in samples) / n
+        var_t = sum((t - mean_t) ** 2 for t, _ in samples)
+        if var_t == 0.0:
+            return None
+        slope = sum(
+            (t - mean_t) * (b - mean_b) for t, b in samples
+        ) / var_t
+        return mean_b + slope * (now + self.horizon_s - mean_t)
+
+    def observe(self, now: float, bandwidth_bps: float) -> Optional[str]:
+        self._samples.append((now, bandwidth_bps))
+        if len(self._samples) > self.window:
+            del self._samples[: len(self._samples) - self.window]
+        if self._degraded:
+            if bandwidth_bps >= self.restore_bps:
+                self._degraded = False
+                self._samples = [(now, bandwidth_bps)]
+                self.recovered_count += 1
+                return "recover"
+            return None
+        projected = self.projected_bps(now)
+        below_now = bandwidth_bps < self.threshold_bps
+        below_soon = projected is not None and projected < self.threshold_bps
+        if below_now or below_soon:
+            self._degraded = True
+            self.fired_count += 1
+            return "fire"
+        return None
+
+    def reset(self) -> None:
+        self._samples.clear()
+        self._degraded = False
+
+
 # --------------------------------------------------------------------------
 # Partition evaluation
 # --------------------------------------------------------------------------

@@ -11,6 +11,7 @@ from .events import (
     event_from_row,
 )
 from ..net.faults import FaultReport, FaultSchedule, FaultSpec
+from ..net.mobility import LinkProfile, MobilityConfig, MobilityReport
 from ..rpc.retry import RetryPolicy
 from .columnar import ColumnarTrace, read_ctrace, write_ctrace
 from .fleet import (
@@ -57,6 +58,9 @@ __all__ = [
     "FleetResult",
     "FreeEvent",
     "InvokeEvent",
+    "LinkProfile",
+    "MobilityConfig",
+    "MobilityReport",
     "OverheadStudy",
     "ReplayOffload",
     "ReplayShard",

@@ -16,6 +16,7 @@ with Chai's trigger conditions.
 from __future__ import annotations
 
 import json
+import math
 from dataclasses import asdict, dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple, Union
 
@@ -29,6 +30,7 @@ from ..core.partitioner import (
     ReevalStats,
 )
 from ..core.policy import (
+    BandwidthTrendTrigger,
     EvaluationContext,
     MemoryTrigger,
     OffloadPolicy,
@@ -37,6 +39,7 @@ from ..core.policy import (
 from ..errors import ConfigurationError
 from ..net.faults import FaultReport, FaultSchedule, FaultSpec
 from ..net.link import LinkModel
+from ..net.mobility import LinkProfile, MobilityConfig, MobilityReport
 from ..net.wavelan import WAVELAN_11MBPS
 from ..rpc.batch import DataPlaneConfig, DataPlaneStats, RpcCoalescer
 from ..rpc.cache import RemoteReadCache
@@ -130,6 +133,14 @@ class EmulatorConfig:
     faults: Optional[FaultSpec] = None
     #: Retransmission discipline used when ``faults`` is set.
     retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: Scheduled link profile (mobility): the link resolves against the
+    #: virtual clock instead of staying ``link`` for the whole run.
+    #: Configure through :meth:`with_profile`, which also folds the
+    #: profile's disconnection windows into ``faults``.
+    link_profile: Optional[LinkProfile] = None
+    #: What to do when the link trend turns bad (requires
+    #: ``link_profile``); ``None`` = ride the decay out passively.
+    mobility: Optional[MobilityConfig] = None
 
     def with_heap(self, capacity: int) -> "EmulatorConfig":
         from dataclasses import replace
@@ -138,6 +149,29 @@ class EmulatorConfig:
     def with_faults(self, faults: Optional[FaultSpec]) -> "EmulatorConfig":
         from dataclasses import replace
         return replace(self, faults=faults)
+
+    def with_profile(
+        self,
+        profile: LinkProfile,
+        mobility: Optional[MobilityConfig] = None,
+    ) -> "EmulatorConfig":
+        """Attach a link profile (and optionally a mobility reaction).
+
+        The starting link becomes the profile's t=0 link, and any
+        disconnection windows are folded into the fault spec so the
+        retry/recovery machinery handles the outage.
+        """
+        from dataclasses import replace
+        faults = self.faults
+        if profile.disconnections:
+            faults = profile.fault_spec(faults)
+        return replace(
+            self,
+            link=profile.link_at(0.0),
+            link_profile=profile,
+            mobility=mobility,
+            faults=faults,
+        )
 
 
 @dataclass
@@ -186,6 +220,9 @@ class EmulationResult:
     #: What the injected faults cost and how recovery went; ``None``
     #: when the run was configured without fault injection.
     faults: Optional[FaultReport] = None
+    #: Roaming counters (link changes, trend fires, handoffs,
+    #: proactive repatriations); ``None`` without a link profile.
+    mobility: Optional[MobilityReport] = None
 
     @property
     def offload_count(self) -> int:
@@ -290,13 +327,39 @@ class TraceReplayer:
         # Cross-site data plane: coalescer and remote-read cache are
         # created only when enabled, so the naive path stays on the
         # exact pre-optimisation code (bit-identical accounting).
+        # The link in force *now*.  Static runs never reassign it; under
+        # a link profile it tracks the schedule (every cost site reads
+        # this attribute, never ``config.link``).
+        profile = config.link_profile
+        self._link: LinkModel = (
+            profile.link_at(0.0) if profile is not None else config.link
+        )
+        self._epoch_start = 0.0
+        self._next_link_change = (
+            profile.next_change_after(0.0) if profile is not None
+            else math.inf
+        )
+        self._pending_reoffload: Optional[FrozenSet[str]] = None
+        self._mobility_report: Optional[MobilityReport] = (
+            MobilityReport(profile=profile.name)
+            if profile is not None else None
+        )
+        self._trend: Optional[BandwidthTrendTrigger] = None
+        if profile is not None and config.mobility is not None:
+            mob = config.mobility
+            self._trend = BandwidthTrendTrigger(
+                mob.threshold_bps,
+                horizon_s=mob.horizon_s,
+                window=mob.window,
+                restore_bps=mob.restore_bps,
+            )
         dp = config.data_plane
         self._dp_stats = DataPlaneStats() if dp.any_enabled else None
         self._cache = RemoteReadCache() if dp.read_cache else None
         if self._cache is not None:
             self._dp_stats.cache = self._cache.stats
         self._coalescer = (
-            RpcCoalescer(config.link, self._transfer_one_way,
+            RpcCoalescer(self._link, self._transfer_one_way,
                          stats=self._dp_stats)
             if dp.coalescing else None
         )
@@ -442,7 +505,7 @@ class TraceReplayer:
         if not self._exchange():
             # The batch died with the surrogate: its legs never travel.
             return
-        self._charge_comm(self.config.link.one_way(nbytes))
+        self._charge_comm(self._link.one_way(nbytes))
 
     def _cache_key(self, event: AccessEvent):
         """Cache key for one access, or None when uncacheable.
@@ -529,6 +592,112 @@ class TraceReplayer:
         if self.config.offload_enabled:
             self._attempt_offload()
 
+    # -- mobility: the scheduled link and the reactions to its decay ----------
+
+    def _poll_mobility(self) -> None:
+        """The clock crossed a profile change point: re-resolve the link.
+
+        Bandwidth/latency segments resolve relative to the attachment
+        epoch (a handoff resets it — the client is adjacent to the new
+        surrogate again); disconnection windows live in the fault spec
+        and are the retry layer's problem, not this method's.
+        """
+        profile = self.config.link_profile
+        report = self._mobility_report
+        new_link = profile.link_at(self._now - self._epoch_start)
+        if new_link != self._link:
+            if self._coalescer is not None:
+                # Buffered traffic was produced under the old link;
+                # charge it at old-link prices before switching.
+                self._coalescer.flush()
+            self._link = new_link
+            if self._coalescer is not None:
+                self._coalescer.link = new_link
+            report.link_changes += 1
+        self._next_link_change = self._epoch_start + profile.next_change_after(
+            self._now - self._epoch_start
+        )
+        if self._trend is None:
+            return
+        action = self._trend.observe(self._now, self._link.bandwidth_bps)
+        if action == "fire":
+            report.trend_fires += 1
+            if self.config.mobility.mode == "handoff":
+                self._roam_handoff()
+            else:
+                self._proactive_repatriation()
+        elif action == "recover":
+            self._reoffload_after_recovery()
+
+    def _roam_handoff(self) -> None:
+        """Hand the offloaded partition to a better-placed surrogate.
+
+        The state streams surrogate-to-surrogate over the mobility
+        backhaul; residency does not change (the new surrogate replaces
+        the old transparently) and nothing transits the client's
+        wireless hop.  The attachment epoch restarts: the profile's
+        decay schedule runs again from its t=0 link.
+        """
+        if not self._exchange():
+            # The old surrogate died under the handoff stream; recovery
+            # has already repatriated everything.
+            return
+        report = self._mobility_report
+        total_bytes = 0
+        count = 0
+        for oid, site in self._site.items():
+            if site == SURROGATE:
+                total_bytes += self._size[oid]
+                count += 1
+        if count:
+            wire = migration_payload(total_bytes, count)
+            backhaul = self.config.mobility.backhaul
+            duration = migration_cost(backhaul, total_bytes, count)
+            self.result.migration_bytes += wire
+            self.result.migration_time += duration
+            self._now += duration
+            report.handoff_bytes += wire
+            report.handoff_time_s += duration
+        report.handoffs += 1
+        self._epoch_start = self._now
+        profile = self.config.link_profile
+        new_link = profile.link_at(0.0)
+        if new_link != self._link:
+            if self._coalescer is not None:
+                self._coalescer.flush()
+            self._link = new_link
+            if self._coalescer is not None:
+                self._coalescer.link = new_link
+            report.link_changes += 1
+        self._next_link_change = (
+            self._now + profile.next_change_after(0.0)
+        )
+        if self._trend is not None:
+            # The new attachment starts clean: old decay samples would
+            # otherwise project the previous cell's slope onto it.
+            self._trend.reset()
+
+    def _proactive_repatriation(self) -> None:
+        """Pull the offloaded partition home while the link still works,
+        remembering it for re-offload when the trend recovers."""
+        if not self._offloaded:
+            return
+        placement = self._offloaded
+        moved_bytes, _ = self._apply_placement(frozenset())
+        self._pending_reoffload = placement
+        report = self._mobility_report
+        report.proactive_repatriations += 1
+        report.proactively_repatriated_bytes += moved_bytes
+
+    def _reoffload_after_recovery(self) -> None:
+        """The link came back: re-apply the remembered placement."""
+        placement = self._pending_reoffload
+        if placement is None or self._surrogate_dead:
+            return
+        self._pending_reoffload = None
+        self._apply_placement(placement)
+        self._mobility_report.reoffloads += 1
+
     # -- the replay loop ------------------------------------------------------
 
     def run(self) -> EmulationResult:
@@ -549,6 +718,8 @@ class TraceReplayer:
         for event in self.trace.events:
             handlers[type(event)](event)
             self.result.events_processed += 1
+            if self._now >= self._next_link_change:
+                self._poll_mobility()
             if (
                 self._reattach_at is not None
                 and self._surrogate_dead
@@ -589,6 +760,8 @@ class TraceReplayer:
         if self.config.faults is not None:
             self._fault_report.epochs_survived = self.result.offload_count
             self.result.faults = self._fault_report
+        if self._mobility_report is not None:
+            self.result.mobility = self._mobility_report
         self.result.completed = not self.result.oom
         self.result.total_time = self._now
         self.result.final_offload_nodes = self._offloaded
@@ -629,7 +802,8 @@ class TraceReplayer:
         allocs_per_cycle = config.gc.allocations_per_cycle
         bytes_per_cycle = config.gc.bytes_per_cycle
         monitoring_cost = config.monitoring_event_cost
-        link = config.link
+        link = self._link
+        next_roam = self._next_link_change
         offload_at = config.offload_at_event
         reevaluate_every = config.reevaluate_every
         offload_enabled = config.offload_enabled
@@ -1110,6 +1284,33 @@ class TraceReplayer:
                     surrogate_live = self._surrogate_live
             # -- post-event checks (mirrors run()) ------------------------
             ep += 1
+            if now >= next_roam:
+                # ---- spill / cold call / reload -------------------------
+                # The roam may migrate state, charge time, and change
+                # the link — which invalidates the wire-cost memos.
+                self._columnar_spill(
+                    ep, now, client_live, surrogate_live,
+                    allocs_since_gc, bytes_since_gc, last_reeval,
+                    pend_pair, pend_bytes, pend_count,
+                    cpu_client, cpu_surrogate, comm_time,
+                    monitoring_time, remote_invocations, remote_native,
+                    remote_accesses, remote_bytes, peak_client,
+                )
+                self._poll_mobility()
+                now = self._now
+                client_live = self._client_live
+                surrogate_live = self._surrogate_live
+                last_reeval = self._last_reevaluation
+                class_on_surrogate = self._class_on_surrogate
+                pend_pair = self._pending_edge
+                pend_bytes = self._pending_edge_bytes
+                pend_count = self._pending_edge_count
+                comm_time = result.comm_time
+                peak_client = result.peak_client_bytes
+                link = self._link
+                next_roam = self._next_link_change
+                access_cost_memo.clear()
+                invoke_cost_memo.clear()
             if (
                 offload_at is not None
                 and ep == offload_at
@@ -1191,13 +1392,30 @@ class TraceReplayer:
         remote_invocations, remote_native, remote_accesses, remote_bytes,
         peak_client, reevaluation=False,
     ) -> None:
-        """Spill hoisted loop state and run one partitioning attempt.
+        """Spill hoisted loop state and run one partitioning attempt."""
+        self._columnar_spill(
+            ep, now, client_live, surrogate_live, allocs_since_gc,
+            bytes_since_gc, last_reeval, pend_pair, pend_bytes,
+            pend_count, cpu_client, cpu_surrogate, comm_time,
+            monitoring_time, remote_invocations, remote_native,
+            remote_accesses, remote_bytes, peak_client,
+        )
+        self._attempt_offload(reevaluation=reevaluation)
+
+    def _columnar_spill(
+        self, ep, now, client_live, surrogate_live, allocs_since_gc,
+        bytes_since_gc, last_reeval, pend_pair, pend_bytes, pend_count,
+        cpu_client, cpu_surrogate, comm_time, monitoring_time,
+        remote_invocations, remote_native, remote_accesses, remote_bytes,
+        peak_client,
+    ) -> None:
+        """Write the batched loop's hoisted state back to the instance.
 
         The batched loop keeps replayer state in locals; this helper
-        writes it back to the instance so :meth:`_attempt_offload` (and
-        everything it calls) observes the exact state the serial loop
-        would, then the caller reloads what the attempt may have
-        changed.
+        writes it back so a cold call (:meth:`_attempt_offload`,
+        :meth:`_poll_mobility`, and everything they reach) observes the
+        exact state the serial loop would, then the caller reloads what
+        the call may have changed.
         """
         result = self.result
         self._now = now
@@ -1220,7 +1438,6 @@ class TraceReplayer:
         if peak_client > result.peak_client_bytes:
             result.peak_client_bytes = peak_client
         result.events_processed = ep
-        self._attempt_offload(reevaluation=reevaluation)
 
     # -- allocation and the emulated collector -------------------------------------
 
@@ -1358,7 +1575,7 @@ class TraceReplayer:
             heap_capacity=self.config.client.heap_capacity,
             client_speed=self.config.client.cpu_speed,
             surrogate_speed=self.config.surrogate.cpu_speed,
-            link=self.config.link,
+            link=self._link,
             total_cpu=self.graph.total_cpu(),
             elapsed=self._now,
         )
@@ -1476,7 +1693,7 @@ class TraceReplayer:
                 batches.append((batch_bytes, len(oids)))
             else:
                 wire = migration_payload(batch_bytes, len(oids))
-                duration = migration_cost(self.config.link, batch_bytes,
+                duration = migration_cost(self._link, batch_bytes,
                                           len(oids))
                 self.result.migration_bytes += wire
                 self.result.migration_time += duration
@@ -1485,7 +1702,7 @@ class TraceReplayer:
             moved_objects += len(oids)
         if pipelined and batches:
             wire = pipelined_migration_payload(batches)
-            duration = pipelined_migration_cost(self.config.link, batches)
+            duration = pipelined_migration_cost(self._link, batches)
             self.result.migration_bytes += wire
             self.result.migration_time += duration
             self._now += duration
@@ -1528,7 +1745,7 @@ class TraceReplayer:
                                        event.arg_bytes, event.ret_bytes)
             else:
                 self._charge_comm(remote_invoke_cost(
-                    self.config.link, event.arg_bytes, event.ret_bytes
+                    self._link, event.arg_bytes, event.ret_bytes
                 ))
             self.result.remote_invocations += 1
             self.result.remote_bytes += nbytes
@@ -1585,7 +1802,7 @@ class TraceReplayer:
                 self.result.remote_bytes += event.nbytes
             else:
                 self._charge_comm(remote_access_cost(
-                    self.config.link, event.nbytes, event.is_write
+                    self._link, event.nbytes, event.is_write
                 ))
                 self.result.remote_accesses += 1
                 self.result.remote_bytes += event.nbytes

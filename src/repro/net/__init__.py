@@ -1,13 +1,21 @@
 """Network substrate: link models, profiles, faults, and accounting."""
 
 from .faults import FaultReport, FaultSchedule, FaultSpec
-from .link import LinkModel
+from .link import MIN_BANDWIDTH_BPS, LinkModel
+from .mobility import (
+    NAMED_PROFILES,
+    WAVELAN_WAN_ROAM,
+    LinkProfile,
+    MobilityConfig,
+    MobilityReport,
+)
 from .stats import CategoryStats, TrafficStats
 from .wavelan import (
     ALL_PROFILES,
     BLUETOOTH_1MBPS,
     ETHERNET_100MBPS,
     GPRS_50KBPS,
+    WAN_384KBPS,
     WAVELAN_11MBPS,
 )
 
@@ -21,6 +29,13 @@ __all__ = [
     "FaultSpec",
     "GPRS_50KBPS",
     "LinkModel",
+    "LinkProfile",
+    "MIN_BANDWIDTH_BPS",
+    "MobilityConfig",
+    "MobilityReport",
+    "NAMED_PROFILES",
     "TrafficStats",
+    "WAN_384KBPS",
     "WAVELAN_11MBPS",
+    "WAVELAN_WAN_ROAM",
 ]

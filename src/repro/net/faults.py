@@ -35,6 +35,18 @@ from typing import Optional, Tuple
 from ..errors import ConfigurationError
 
 
+def _fnum(x: float) -> str:
+    """Shortest decimal form that parses back to exactly ``x``.
+
+    ``%g`` is compact but lossy past six significant digits; falling
+    back to ``repr`` keeps :meth:`FaultSpec.canonical` an exact inverse
+    of :meth:`FaultSpec.parse` for every float, which the round-trip
+    property test relies on.
+    """
+    compact = f"{x:g}"
+    return compact if float(compact) == x else repr(x)
+
+
 @dataclass(frozen=True)
 class FaultSpec:
     """A deterministic description of link and surrogate failures.
@@ -98,17 +110,18 @@ class FaultSpec:
         """Compact spec string; :meth:`parse` round-trips it exactly."""
         parts = [f"seed={self.seed}"]
         if self.loss_rate:
-            parts.append(f"loss={self.loss_rate:g}")
+            parts.append(f"loss={_fnum(self.loss_rate)}")
         if self.latency_spike_rate:
             parts.append(
-                f"spike={self.latency_spike_rate:g}:{self.latency_spike_s:g}"
+                f"spike={_fnum(self.latency_spike_rate)}"
+                f":{_fnum(self.latency_spike_s)}"
             )
         for start, end in self.partition_windows:
-            parts.append(f"partition={start:g}:{end:g}")
+            parts.append(f"partition={_fnum(start)}:{_fnum(end)}")
         if self.crash_at_event is not None:
             parts.append(f"crash_at_event={self.crash_at_event}")
         if self.crash_at_time is not None:
-            parts.append(f"crash_at_time={self.crash_at_time:g}")
+            parts.append(f"crash_at_time={_fnum(self.crash_at_time)}")
         return ",".join(parts)
 
     @classmethod

@@ -13,6 +13,14 @@ from dataclasses import dataclass
 
 from ..errors import ConfigurationError
 
+#: Floor for interpolated bandwidths (1 kbit/s).  ``LinkModel`` itself
+#: rejects non-positive bandwidth outright — a zero-bandwidth "link" is
+#: a disconnection and belongs in the fault layer, not the cost model —
+#: but a mobility ramp interpolating toward an outage can numerically
+#: approach zero; ramp construction clamps to this documented epsilon so
+#: it can never build an invalid (or division-exploding) link.
+MIN_BANDWIDTH_BPS = 1_000.0
+
 
 @dataclass(frozen=True)
 class LinkModel:

@@ -31,9 +31,16 @@ GPRS_50KBPS = LinkModel(
     name="gprs-50kbps", bandwidth_bps=50_000, latency_s=300e-3
 )
 
+#: UMTS-class wide-area link: what the roaming client falls back to
+#: when it walks out of WaveLAN coverage (the mobility scenarios' WAN).
+WAN_384KBPS = LinkModel(
+    name="wan-384kbps", bandwidth_bps=384_000, latency_s=80e-3
+)
+
 ALL_PROFILES = (
     WAVELAN_11MBPS,
     BLUETOOTH_1MBPS,
     ETHERNET_100MBPS,
     GPRS_50KBPS,
+    WAN_384KBPS,
 )

@@ -10,8 +10,9 @@ compute) is the part the platform depends on and is implemented fully.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..config import DeviceProfile
 from ..errors import PlatformError, SurrogateUnavailableError
@@ -38,52 +39,71 @@ class SurrogateOffer:
 
 
 class SurrogateDirectory:
-    """Registry of currently reachable surrogates."""
+    """Registry of currently reachable surrogates.
+
+    Directory mutation and selection are serialised by a lock: during a
+    surrogate-to-surrogate handoff a re-``select`` can race a
+    ``withdraw`` from the failure detector, and a ``select`` must see
+    either the offer or its absence — never a half-removed entry.
+    """
 
     def __init__(self) -> None:
         self._offers: Dict[str, SurrogateOffer] = {}
+        self._lock = threading.Lock()
 
     def advertise(self, offer: SurrogateOffer) -> None:
         """Add or refresh an offer (latest advertisement wins)."""
-        self._offers[offer.name] = offer
+        with self._lock:
+            self._offers[offer.name] = offer
 
-    def withdraw(self, name: str) -> None:
-        if name not in self._offers:
-            raise PlatformError(f"no advertised surrogate named {name!r}")
-        del self._offers[name]
+    def withdraw(self, name: str) -> SurrogateOffer:
+        """Remove an offer, returning it (for handoff bookkeeping)."""
+        with self._lock:
+            if name not in self._offers:
+                raise PlatformError(f"no advertised surrogate named {name!r}")
+            return self._offers.pop(name)
 
     def offers(self) -> List[SurrogateOffer]:
-        return sorted(self._offers.values(), key=lambda o: o.name)
+        with self._lock:
+            return sorted(self._offers.values(), key=lambda o: o.name)
 
     def __len__(self) -> int:
-        return len(self._offers)
+        with self._lock:
+            return len(self._offers)
 
     def select(
         self,
         min_free_heap: int = 0,
         max_rtt: Optional[float] = None,
         min_effective_speed: float = 0.0,
+        exclude: Tuple[str, ...] = (),
     ) -> SurrogateOffer:
         """Pick the best offer meeting the constraints.
 
         Candidates are filtered by heap, round-trip latency, and
         load-discounted speed, then ranked: lowest RTT first (the
         dominant cost for fine-grained offloading), effective speed as
-        the tie-breaker.
+        the tie-breaker.  ``exclude`` drops named offers from
+        consideration — the handoff path uses it to rule out the
+        surrogate being abandoned even while its advertisement is
+        still live.
         """
-        eligible = [
-            offer for offer in self._offers.values()
-            if offer.device.heap_capacity >= min_free_heap
-            and (max_rtt is None or offer.link.rtt <= max_rtt)
-            and offer.effective_speed >= min_effective_speed
-        ]
-        if not eligible:
-            raise SurrogateUnavailableError(
-                f"no surrogate satisfies min_free_heap={min_free_heap}, "
-                f"max_rtt={max_rtt}, min_effective_speed={min_effective_speed} "
-                f"among {len(self._offers)} offers"
+        with self._lock:
+            eligible = [
+                offer for offer in self._offers.values()
+                if offer.name not in exclude
+                and offer.device.heap_capacity >= min_free_heap
+                and (max_rtt is None or offer.link.rtt <= max_rtt)
+                and offer.effective_speed >= min_effective_speed
+            ]
+            if not eligible:
+                raise SurrogateUnavailableError(
+                    f"no surrogate satisfies min_free_heap={min_free_heap}, "
+                    f"max_rtt={max_rtt}, "
+                    f"min_effective_speed={min_effective_speed} "
+                    f"among {len(self._offers)} offers"
+                )
+            return min(
+                eligible,
+                key=lambda o: (o.link.rtt, -o.effective_speed, o.name),
             )
-        return min(
-            eligible,
-            key=lambda o: (o.link.rtt, -o.effective_speed, o.name),
-        )

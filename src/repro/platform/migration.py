@@ -161,6 +161,70 @@ class Migrator:
         )
         return total, duration
 
+    def handoff_to(
+        self,
+        new_surrogate: VirtualMachine,
+        backhaul: LinkModel,
+        link: Optional[LinkModel] = None,
+    ) -> MigrationOutcome:
+        """Move the offloaded partition surrogate-to-surrogate.
+
+        The roaming client found a better-placed surrogate: every object
+        resident on the current surrogate streams to ``new_surrogate``
+        over ``backhaul`` (the surrogate-side infrastructure link) —
+        the state never transits the client's wireless hop.  After the
+        move this migrator is attached to the new surrogate, talking
+        over ``link`` (default: keep the current link model).
+
+        Exactly-once under retry: the stream opens with one
+        fault-checked delivery exchange *before* any object moves (the
+        delivery layer dedups retransmitted sequence numbers), and
+        ``last_migration_seq`` records the stream so recovery can tell
+        an applied handoff from an aborted one.  A failed exchange
+        aborts the handoff with both surrogates' heaps untouched.
+        """
+        departing = list(self.surrogate.heap.objects())
+        if self.delivery is not None:
+            if not self.delivery.attempt():
+                return MigrationOutcome()
+            self.last_migration_seq = self.delivery.exchanges
+        if not departing:
+            self.surrogate = new_surrogate
+            if link is not None:
+                self.link = link
+            return MigrationOutcome()
+        payload = sum(
+            obj.size_bytes + PER_OBJECT_OVERHEAD_BYTES for obj in departing
+        )
+        total = payload + MESSAGE_HEADER_BYTES
+        incoming = sum(obj.size_bytes for obj in departing)
+        if new_surrogate.heap.free < incoming:
+            new_surrogate.collect_garbage("pre-handoff")
+            if new_surrogate.heap.free < incoming:
+                raise MigrationError(
+                    f"{new_surrogate.name} cannot host {incoming} bytes "
+                    f"({new_surrogate.heap.free} free)"
+                )
+        old = self.surrogate
+        for obj in departing:
+            old.evict(obj)
+            new_surrogate.adopt(obj)
+        duration = backhaul.bulk_transfer(total)
+        old.clock.advance(duration)
+        self.traffic.record(total, category="migration")
+        self.hooks.on_offload(
+            sorted({obj.class_name for obj in departing}),
+            total, old.name, new_surrogate.name,
+        )
+        self.surrogate = new_surrogate
+        if link is not None:
+            self.link = link
+        return MigrationOutcome(
+            moved_bytes=total,
+            moved_objects=len(departing),
+            seconds=duration,
+        )
+
     def return_everything(self) -> MigrationOutcome:
         """Bring every offloaded object home (platform teardown)."""
         if self.peer_lost:

@@ -20,13 +20,19 @@ from ..core.engine import MigrationOutcome, OffloadEvent, OffloadingEngine
 from ..core.monitor import ExecutionMonitor, ResourceMonitor
 from ..core.partitioner import Partitioner
 from ..core.policy import (
+    BandwidthTrendTrigger,
     EvaluationContext,
     OffloadPolicy,
     PartitionPolicy,
 )
-from ..errors import PlatformError
+from ..errors import (
+    MigrationError,
+    PlatformError,
+    SurrogateUnavailableError,
+)
 from ..net.faults import FaultReport, FaultSchedule, FaultSpec
 from ..net.link import LinkModel
+from ..net.mobility import LinkProfile, MobilityConfig, MobilityReport
 from ..net.stats import TrafficStats
 from ..net.wavelan import WAVELAN_11MBPS
 from ..rpc.batch import DataPlane, DataPlaneConfig
@@ -150,9 +156,16 @@ class DistributedPlatform:
         data_plane: Optional[DataPlaneConfig] = None,
         faults: Optional[FaultSpec] = None,
         retry: Optional[RetryPolicy] = None,
+        link_profile: Optional[LinkProfile] = None,
+        mobility: Optional[MobilityConfig] = None,
+        directory: Optional[SurrogateDirectory] = None,
     ) -> None:
         self.client_config = client_config or VMConfig(device=JORNADA)
         self.surrogate_config = surrogate_config or VMConfig(device=PC_SURROGATE)
+        if link_profile is not None:
+            # A scheduled profile owns the link from t=0; the static
+            # ``link`` argument is ignored in its favour.
+            link = link_profile.link_at(0.0)
         self.link = link
         self.flags = flags
         offload_policy = offload_policy or OffloadPolicy.initial()
@@ -197,6 +210,28 @@ class DistributedPlatform:
             )
         self.runtime.delivery = self.delivery
         self._lost_at: Optional[float] = None
+        # Mobility: a scheduled link profile plus (optionally) the
+        # trend trigger that turns decay into proactive action.
+        self.link_profile = link_profile
+        self.mobility = mobility
+        self.directory = directory
+        self._epoch_start = 0.0
+        self._current_offer_name = ""
+        self._offloaded_before_repatriation: Optional[frozenset] = None
+        self.mobility_report: Optional[MobilityReport] = (
+            MobilityReport(profile=link_profile.name)
+            if link_profile is not None else None
+        )
+        self._trend: Optional[BandwidthTrendTrigger] = None
+        if mobility is not None:
+            self._trend = BandwidthTrendTrigger(
+                mobility.threshold_bps,
+                horizon_s=mobility.horizon_s,
+                window=mobility.window,
+                restore_bps=mobility.restore_bps,
+            )
+            if self.mobility_report is None:
+                self.mobility_report = MobilityReport()
         dp_config = data_plane if data_plane is not None else DataPlaneConfig()
         #: RPC worker-pool service quantum, threaded into every channel
         #: this platform creates (including post-handoff rebuilds).
@@ -513,8 +548,6 @@ class DistributedPlatform:
         surrogate.
         """
         from ..net.wavelan import ETHERNET_100MBPS
-        from ..rpc.marshal import MESSAGE_HEADER_BYTES
-        from .migration import PER_OBJECT_OVERHEAD_BYTES
 
         if self._torn_down:
             raise PlatformError("platform has been torn down")
@@ -522,7 +555,6 @@ class DistributedPlatform:
             self.data_plane.migration_barrier()
             self.data_plane.note_migration()
         backhaul = backhaul if backhaul is not None else ETHERNET_100MBPS
-        old_surrogate = self.surrogate
         suffix = sum(1 for vm in self.runtime.vms()) - 1
         new_name = f"surrogate-{suffix + 1}"
         new_node = make_surrogate_node(
@@ -533,37 +565,26 @@ class DistributedPlatform:
         new_node.vm.add_root_source(self.ctx.frame_roots)
         self._wire_gc(new_node.vm)
 
-        # Ship every departing object over the backhaul in one stream.
-        departing = list(old_surrogate.vm.heap.objects())
-        moved_bytes = 0
-        for obj in departing:
-            old_surrogate.vm.evict(obj)
-            new_node.vm.adopt(obj)
-            moved_bytes += obj.size_bytes
-        if departing:
-            wire = (moved_bytes
-                    + len(departing) * PER_OBJECT_OVERHEAD_BYTES
-                    + MESSAGE_HEADER_BYTES)
-            self.clock.advance(backhaul.bulk_transfer(wire))
-            self.traffic.record(wire, category="migration")
-            self.hooks.on_offload(
-                sorted({obj.class_name for obj in departing}),
-                wire, old_surrogate.vm.name, new_node.vm.name,
-            )
-        else:
-            wire = 0
+        # The existing migrator (and its delivery layer, so exactly-once
+        # and the recovery ladder survive the handoff) streams the state
+        # over the backhaul and re-attaches to the new surrogate.
+        outcome = self.migrator.handoff_to(
+            new_node.vm, backhaul, link=offer.link
+        )
+        if self.migrator.surrogate is not new_node.vm:
+            # The opening delivery exchange failed: the stream aborted
+            # un-applied and recovery owns the old surrogate's state —
+            # leave the platform attached where it was.
+            return outcome
 
         # Re-point the platform at the new surrogate.
         self.surrogate = new_node
-        self.link = offer.link
-        self.runtime.link = offer.link
-        granularity = set(self.migrator.object_granularity_classes)
-        self.migrator = Migrator(
-            self.client.vm, new_node.vm, offer.link, self.hooks,
-            self.traffic, object_granularity_classes=granularity,
-        )
+        self._set_link(offer.link)
+        self._epoch_start = self.clock.now
+        self._current_offer_name = offer.name
         self.channel = RpcChannel(
             self.ctx, self.client.vm.name, new_node.vm.name,
+            delivery=self.delivery,
             service_quantum_s=self._service_quantum_s,
         )
         client_scanner = CrossHeapRootScanner(
@@ -578,7 +599,112 @@ class DistributedPlatform:
         )
         self.client.vm.add_root_source(client_scanner.roots)
         new_node.vm.add_root_source(surrogate_scanner.roots)
-        return MigrationOutcome(
-            moved_bytes=wire, moved_objects=len(departing),
-            seconds=backhaul.bulk_transfer(wire) if departing else 0.0,
+        if self.mobility_report is not None:
+            self.mobility_report.handoffs += 1
+            self.mobility_report.handoff_bytes += outcome.moved_bytes
+            self.mobility_report.handoff_time_s += outcome.seconds
+        return outcome
+
+    def _set_link(self, link: LinkModel) -> None:
+        """Re-point every link-cost consumer at ``link``.
+
+        The runtime (RPC transfer charges), the migrator (placement
+        streams), and the data plane's coalescer (RTT-saving
+        accounting) each hold their own reference; a link change that
+        misses one silently keeps charging old-link costs.
+        """
+        self.link = link
+        self.runtime.link = link
+        self.migrator.link = link
+        if self.data_plane is not None and self.data_plane.coalescer is not None:
+            self.data_plane.coalescer.link = link
+
+    def poll_mobility(self) -> Optional[str]:
+        """Resolve the link profile against the clock and react.
+
+        Applications (and the platform-backed experiment drivers) call
+        this between operations.  Returns the action taken — ``"fire"``
+        (proactive handoff or repatriation), ``"recover"``
+        (re-offload after the link came back), or ``None``.
+
+        Bandwidth/latency segments resolve relative to the current
+        attachment epoch (a handoff restarts the profile: the client is
+        adjacent to the new surrogate again); disconnection windows are
+        absolute and handled by the fault layer, not here.
+        """
+        if self.link_profile is None:
+            return None
+        now = self.clock.now
+        link = self.link_profile.link_at(now - self._epoch_start)
+        if link != self.link:
+            if self.data_plane is not None:
+                # Buffered traffic was produced under the old link;
+                # charge it at old-link prices before switching.
+                self.data_plane.flush()
+            self._set_link(link)
+            if self.mobility_report is not None:
+                self.mobility_report.link_changes += 1
+        if self._trend is None or self.mobility is None:
+            return None
+        action = self._trend.observe(now, link.bandwidth_bps)
+        if action == "fire":
+            if self.mobility_report is not None:
+                self.mobility_report.trend_fires += 1
+            self._on_trend_fire()
+        elif action == "recover":
+            self._on_trend_recover()
+        return action
+
+    def _on_trend_fire(self) -> None:
+        """The link is decaying: act before it becomes useless."""
+        mobility = self.mobility
+        if mobility.mode == "handoff" and self.directory is not None:
+            try:
+                offer = self.directory.select(
+                    exclude=(getattr(self, "_current_offer_name", ""),),
+                )
+            except SurrogateUnavailableError:
+                offer = None
+            if offer is not None:
+                self.handoff(offer, backhaul=mobility.backhaul)
+                return
+        # Repatriation mode (or no better surrogate on offer): pull the
+        # offloaded partition home over the still-working link, and
+        # remember it for re-offload when the link recovers.
+        offloaded = frozenset(
+            obj.class_name for obj in self.surrogate.vm.heap.objects()
         )
+        try:
+            outcome = self._migrate(frozenset())
+        except MigrationError:
+            # The client cannot host the partition — usually exactly why
+            # it was offloaded.  Proactive repatriation is an
+            # optimisation, not a correctness requirement: stay remote
+            # and ride the degraded link (the fault layer still covers
+            # an actual outage).
+            return
+        self._offloaded_before_repatriation = offloaded or None
+        if self.mobility_report is not None:
+            self.mobility_report.proactive_repatriations += 1
+            self.mobility_report.proactively_repatriated_bytes += (
+                outcome.moved_bytes
+            )
+
+    def _on_trend_recover(self) -> None:
+        """The link came back: restore the pre-repatriation placement.
+
+        The remembered partition re-applies directly — the policy
+        already chose it once, and the client's situation has only
+        gotten worse for having taken the state back — so recovery is
+        the placement-repair path, not a fresh policy evaluation.
+        """
+        placement = self._offloaded_before_repatriation
+        if placement is None:
+            return
+        self._offloaded_before_repatriation = None
+        try:
+            outcome = self._migrate(placement)
+        except MigrationError:
+            return
+        if outcome.moved_objects and self.mobility_report is not None:
+            self.mobility_report.reoffloads += 1

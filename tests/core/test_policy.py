@@ -4,6 +4,7 @@ import pytest
 
 from repro.core.mincut import CandidatePartition
 from repro.core.policy import (
+    BandwidthTrendTrigger,
     CombinedPartitionPolicy,
     CpuPartitionPolicy,
     EvaluationContext,
@@ -226,6 +227,77 @@ class TestCombinedPolicy:
                          surrogate_cpu=50.0, client_cpu=50.0, tag="fast")
         decision = policy.evaluate([slow, fast], ctx)
         assert decision.candidate is fast
+
+
+class TestBandwidthTrendTrigger:
+    def trigger(self, **kwargs):
+        kwargs.setdefault("threshold_bps", 2e6)
+        kwargs.setdefault("restore_bps", 6e6)
+        return BandwidthTrendTrigger(**kwargs)
+
+    def test_healthy_link_never_fires(self):
+        trigger = self.trigger()
+        assert trigger.observe(0.0, 11e6) is None
+        assert trigger.observe(1.0, 11e6) is None
+        assert trigger.observe(2.0, 11e6) is None
+        assert trigger.fired_count == 0
+
+    def test_current_sample_below_threshold_fires(self):
+        trigger = self.trigger()
+        assert trigger.observe(0.0, 384e3) == "fire"
+
+    def test_projection_fires_before_the_link_dies(self):
+        # 11 -> 8 -> 5 Mb/s: every sample is above threshold, but the
+        # least-squares slope projects ~ -1 Mb/s at now+2s horizon.
+        trigger = self.trigger(horizon_s=2.0, window=3)
+        assert trigger.observe(0.0, 11e6) is None
+        assert trigger.observe(1.0, 8e6) is None
+        assert trigger.observe(2.0, 5e6) == "fire"
+
+    def test_projection_needs_two_distinct_times(self):
+        trigger = self.trigger()
+        assert trigger.projected_bps(0.0) is None
+        trigger.observe(1.0, 11e6)
+        trigger.observe(1.0, 11e6)
+        assert trigger.projected_bps(1.0) is None
+
+    def test_latches_until_restore_level(self):
+        trigger = self.trigger()
+        assert trigger.observe(0.0, 384e3) == "fire"
+        # Still degraded, and above-threshold-but-below-restore samples
+        # do not bounce it back and forth.
+        assert trigger.observe(1.0, 384e3) is None
+        assert trigger.observe(2.0, 3e6) is None
+        assert trigger.observe(3.0, 11e6) == "recover"
+        assert (trigger.fired_count, trigger.recovered_count) == (1, 1)
+
+    def test_recovery_discards_stale_decay_samples(self):
+        trigger = self.trigger(window=3)
+        trigger.observe(0.0, 11e6)
+        trigger.observe(1.0, 384e3)
+        assert trigger.fired_count == 1
+        trigger.observe(2.0, 11e6)
+        # A fresh window: the old cell's downward slope must not make
+        # the healthy new attachment instantly re-fire.
+        assert trigger.observe(3.0, 11e6) is None
+
+    def test_reset_rearms(self):
+        trigger = self.trigger()
+        trigger.observe(0.0, 384e3)
+        trigger.reset()
+        assert trigger.observe(5.0, 384e3) == "fire"
+        assert trigger.fired_count == 2
+
+    @pytest.mark.parametrize("kwargs", [
+        {"threshold_bps": 0.0},
+        {"threshold_bps": -1.0},
+        {"threshold_bps": 1e6, "horizon_s": -0.1},
+        {"threshold_bps": 1e6, "window": 1},
+        {"threshold_bps": 2e6, "restore_bps": 1e6},
+    ])
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            BandwidthTrendTrigger(**kwargs)
 
 
 class TestOffloadPolicy:

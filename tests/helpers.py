@@ -32,6 +32,7 @@ def make_platform(
     faults=None,
     retry=None,
     data_plane=None,
+    **extra,
 ):
     gc = gc or quiet_gc()
     client_config = VMConfig(
@@ -60,6 +61,7 @@ def make_platform(
         faults=faults,
         retry=retry,
         data_plane=data_plane,
+        **extra,
     )
 
 

@@ -1,9 +1,52 @@
 """Unit tests for the deterministic fault model."""
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.errors import ConfigurationError
 from repro.net.faults import LOSSY_5PCT, FaultSchedule, FaultSpec
+
+
+def _disjoint_windows(raw):
+    """Lay (start, duration) pairs end to end so windows never overlap."""
+    windows = []
+    cursor = 0.0
+    for gap, duration in raw:
+        start = cursor + gap
+        windows.append((start, start + duration))
+        cursor = start + duration
+    return tuple(windows)
+
+
+@st.composite
+def fault_specs(draw):
+    """Arbitrary valid specs whose canonical form is lossless.
+
+    The spike duration only prints alongside a non-zero rate (it is
+    inert without one), so it is drawn dependently: a zero rate keeps
+    the field at its default.
+    """
+    spike_rate = draw(st.floats(0.001, 0.999, exclude_max=True,
+                                allow_nan=False) | st.just(0.0))
+    spike_s = (draw(st.floats(0.0, 60.0, allow_nan=False))
+               if spike_rate else 0.050)
+    windows = _disjoint_windows(draw(st.lists(
+        st.tuples(st.floats(0.0, 100.0, allow_nan=False),
+                  st.floats(0.001, 50.0, allow_nan=False)),
+        max_size=3,
+    )))
+    return FaultSpec(
+        seed=draw(st.integers(0, 2**31)),
+        loss_rate=draw(st.floats(0.0, 0.999, exclude_max=True,
+                                 allow_nan=False)),
+        latency_spike_rate=spike_rate,
+        latency_spike_s=spike_s,
+        partition_windows=windows,
+        crash_at_event=draw(st.none() | st.integers(0, 10**6)),
+        crash_at_time=draw(st.none()
+                           | st.floats(0.0, 1e6, allow_nan=False)),
+    )
 
 
 class TestFaultSpec:
@@ -25,6 +68,10 @@ class TestFaultSpec:
         spec = FaultSpec.parse(text)
         assert FaultSpec.parse(spec.canonical()) == spec
         assert spec.canonical() == text
+
+    @given(fault_specs())
+    def test_canonical_round_trips_every_spec(self, spec):
+        assert FaultSpec.parse(spec.canonical()) == spec
 
     def test_parse_tolerates_whitespace_and_empty_chunks(self):
         spec = FaultSpec.parse(" seed=5 , loss=0.1 ,")

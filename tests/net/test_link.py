@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.net.link import LinkModel
+from repro.net.link import MIN_BANDWIDTH_BPS, LinkModel
 from repro.net.wavelan import (
     ALL_PROFILES,
     ETHERNET_100MBPS,
@@ -39,9 +39,34 @@ class TestLinkModel:
         with pytest.raises(ConfigurationError):
             LinkModel("t", bandwidth_bps=0, latency_s=0.1)
         with pytest.raises(ConfigurationError):
+            LinkModel("t", bandwidth_bps=-1.0, latency_s=0.1)
+        with pytest.raises(ConfigurationError):
             LinkModel("t", bandwidth_bps=1, latency_s=-0.1)
         with pytest.raises(ConfigurationError):
             WAVELAN_11MBPS.one_way(-1)
+
+    def test_zero_bandwidth_is_a_disconnection_not_a_link(self):
+        # The documented floor: interpolating ramps clamp here instead
+        # of ever constructing a zero-bandwidth (division-exploding)
+        # link — outages belong in the fault layer.
+        assert MIN_BANDWIDTH_BPS > 0
+        floor = LinkModel("floor", bandwidth_bps=MIN_BANDWIDTH_BPS,
+                          latency_s=0.0)
+        assert floor.one_way(1000) == pytest.approx(8.0)
+
+    def test_pipelined_transfer_exposes_one_latency(self):
+        link = LinkModel("t", bandwidth_bps=8_000_000, latency_s=0.001)
+        pipelined = link.pipelined_transfer(1_000_000, chunks=10)
+        assert pipelined == pytest.approx(1.001)
+        separate = 10 * link.one_way(100_000)
+        assert separate - pipelined == pytest.approx(9 * link.latency_s)
+
+    def test_pipelined_transfer_rejects_bad_arguments(self):
+        link = LinkModel("t", bandwidth_bps=8_000_000, latency_s=0.001)
+        with pytest.raises(ConfigurationError):
+            link.pipelined_transfer(1000, chunks=0)
+        with pytest.raises(ConfigurationError):
+            link.pipelined_transfer(-1, chunks=1)
 
     def test_profiles_ordering(self):
         # Sanity: the wired LAN beats WaveLAN beats GPRS for any message.

@@ -1,0 +1,173 @@
+"""Unit tests for scheduled link profiles and the mobility config."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.faults import FaultSpec
+from repro.net.link import MIN_BANDWIDTH_BPS, LinkModel
+from repro.net.mobility import (
+    DEFAULT_RAMP_STEPS,
+    NAMED_PROFILES,
+    WAVELAN_WAN_ROAM,
+    LinkProfile,
+    MobilityConfig,
+    ramp_points,
+)
+from repro.net.wavelan import ETHERNET_100MBPS, WAN_384KBPS, WAVELAN_11MBPS
+
+
+class TestRampPoints:
+    def test_quantises_into_discrete_points(self):
+        points = ramp_points(4.0, 8.0, WAVELAN_11MBPS, WAN_384KBPS)
+        assert len(points) == DEFAULT_RAMP_STEPS
+        assert points[0][0] > 4.0
+        assert points[-1] == (8.0, WAN_384KBPS)
+
+    def test_bandwidth_decreases_monotonically_on_a_decay_ramp(self):
+        points = ramp_points(0.0, 1.0, WAVELAN_11MBPS, WAN_384KBPS, steps=4)
+        rates = [link.bandwidth_bps for _, link in points]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_interpolated_bandwidth_clamps_to_the_floor(self):
+        trickle = LinkModel(name="trickle", bandwidth_bps=1.0,
+                            latency_s=0.5)
+        points = ramp_points(0.0, 1.0, WAVELAN_11MBPS, trickle, steps=10)
+        for _, link in points[:-1]:
+            assert link.bandwidth_bps >= MIN_BANDWIDTH_BPS
+        # The endpoint is the requested link, exactly.
+        assert points[-1][1] is trickle
+
+    def test_backwards_ramp_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ramp_points(8.0, 4.0, WAVELAN_11MBPS, WAN_384KBPS)
+
+    def test_zero_steps_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ramp_points(0.0, 1.0, WAVELAN_11MBPS, WAN_384KBPS, steps=0)
+
+
+class TestLinkProfile:
+    def test_link_at_picks_the_last_point_at_or_before(self):
+        profile = LinkProfile(
+            name="two-step",
+            points=((0.0, WAVELAN_11MBPS), (5.0, WAN_384KBPS)),
+        )
+        assert profile.link_at(0.0) is WAVELAN_11MBPS
+        assert profile.link_at(4.999) is WAVELAN_11MBPS
+        assert profile.link_at(5.0) is WAN_384KBPS
+        assert profile.link_at(100.0) is WAN_384KBPS
+
+    def test_next_change_after(self):
+        profile = LinkProfile(
+            name="two-step",
+            points=((0.0, WAVELAN_11MBPS), (5.0, WAN_384KBPS)),
+        )
+        assert profile.next_change_after(0.0) == 5.0
+        assert profile.next_change_after(5.0) == math.inf
+
+    def test_static_profile(self):
+        profile = LinkProfile(name="flat", points=((0.0, WAVELAN_11MBPS),))
+        assert profile.is_static
+        assert profile.next_change_after(0.0) == math.inf
+        assert not WAVELAN_WAN_ROAM.is_static
+
+    def test_points_are_sorted_on_construction(self):
+        profile = LinkProfile(
+            name="shuffled",
+            points=((5.0, WAN_384KBPS), (0.0, WAVELAN_11MBPS)),
+        )
+        assert [t for t, _ in profile.points] == [0.0, 5.0]
+
+    @pytest.mark.parametrize("kwargs", [
+        {"points": ()},
+        {"points": ((1.0, WAVELAN_11MBPS),)},
+        {"points": ((0.0, WAVELAN_11MBPS), (0.0, WAN_384KBPS))},
+        {"points": ((0.0, WAVELAN_11MBPS),),
+         "disconnections": ((5.0, 5.0),)},
+        {"points": ((0.0, WAVELAN_11MBPS),),
+         "disconnections": ((0.0, 10.0), (5.0, 20.0))},
+    ])
+    def test_invalid_profiles_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            LinkProfile(name="bad", **kwargs)
+
+    def test_fault_spec_folds_disconnections_into_partitions(self):
+        spec = WAVELAN_WAN_ROAM.fault_spec()
+        assert spec.partition_windows == ((10.0, 12.0),)
+
+    def test_fault_spec_merges_with_base_windows(self):
+        base = FaultSpec(seed=7, loss_rate=0.05,
+                         partition_windows=((1.0, 2.0),))
+        spec = WAVELAN_WAN_ROAM.fault_spec(base)
+        assert spec.seed == 7
+        assert spec.loss_rate == pytest.approx(0.05)
+        assert spec.partition_windows == ((1.0, 2.0), (10.0, 12.0))
+
+    def test_fault_spec_without_disconnections_returns_base(self):
+        profile = LinkProfile(name="flat", points=((0.0, WAVELAN_11MBPS),))
+        base = FaultSpec(seed=3)
+        assert profile.fault_spec(base) is base
+
+
+class TestProfileSpecGrammar:
+    @pytest.mark.parametrize("text", [
+        "step=0:wavelan",
+        "step=0:wavelan,step=5:wan",
+        "step=0:wavelan,step=5:wan,down=8:10",
+        "step=0:ethernet,link=2:custom:500000:0.04",
+        "step=0:wavelan,ramp=4:8:wavelan:wan",
+        "step=0:wavelan,ramp=4:8:wavelan:gprs:3,step=16:bluetooth",
+    ])
+    def test_parse_canonical_round_trip(self, text):
+        profile = LinkProfile.parse(text)
+        again = LinkProfile.parse(profile.canonical())
+        assert again.points == profile.points
+        assert again.disconnections == profile.disconnections
+        assert again.canonical() == profile.canonical()
+
+    def test_named_profile_lookup(self):
+        assert LinkProfile.parse("wavelan-wan-roam") is WAVELAN_WAN_ROAM
+        assert "wavelan-wan-roam" in NAMED_PROFILES
+
+    def test_named_profile_round_trips_through_its_spec(self):
+        again = LinkProfile.parse(WAVELAN_WAN_ROAM.canonical())
+        assert again.points == WAVELAN_WAN_ROAM.points
+        assert again.disconnections == WAVELAN_WAN_ROAM.disconnections
+
+    def test_spec_without_time_zero_starts_on_wavelan(self):
+        profile = LinkProfile.parse("step=5:wan")
+        assert profile.link_at(0.0) is WAVELAN_11MBPS
+        assert profile.link_at(5.0) is WAN_384KBPS
+
+    @pytest.mark.parametrize("text", [
+        "bogus=1",
+        "step",
+        "step=soon:wavelan",
+        "step=0:modem56k",
+        "ramp=4:8:wavelan",
+        "link=0:half:500000",
+        "down=oops:2",
+    ])
+    def test_malformed_specs_rejected(self, text):
+        with pytest.raises(ConfigurationError):
+            LinkProfile.parse(text)
+
+
+class TestMobilityConfig:
+    def test_defaults(self):
+        config = MobilityConfig()
+        assert config.mode == "handoff"
+        assert config.backhaul is ETHERNET_100MBPS
+
+    @pytest.mark.parametrize("kwargs", [
+        {"mode": "panic"},
+        {"threshold_bps": 0.0},
+        {"restore_bps": -1.0},
+        {"horizon_s": -0.5},
+        {"window": 1},
+    ])
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            MobilityConfig(**kwargs)

@@ -96,3 +96,66 @@ class TestSelection:
         directory.advertise(offer("zeta"))
         directory.advertise(offer("alpha"))
         assert directory.select().name == "alpha"
+
+
+class TestConcurrentWithdrawAndSelect:
+    def test_select_with_exclude_skips_the_named_offer(self):
+        directory = SurrogateDirectory()
+        directory.advertise(offer("near", link=WAVELAN_11MBPS))
+        directory.advertise(offer("far", link=ETHERNET_100MBPS))
+        assert directory.select().name == "far"
+        assert directory.select(exclude=("far",)).name == "near"
+
+    def test_exclude_everything_raises(self):
+        directory = SurrogateDirectory()
+        directory.advertise(offer("only"))
+        with pytest.raises(SurrogateUnavailableError):
+            directory.select(exclude=("only",))
+
+    def test_withdraw_returns_the_offer(self):
+        directory = SurrogateDirectory()
+        advertised = offer("leaving")
+        directory.advertise(advertised)
+        assert directory.withdraw("leaving") is advertised
+        with pytest.raises(PlatformError):
+            directory.withdraw("leaving")
+
+    def test_withdraw_racing_pending_selects(self):
+        """A re-``select`` racing ``withdraw`` sees the offer or its
+        absence, never a half-removed entry.
+
+        One thread flaps the ``flappy`` advertisement on and off while
+        the main thread selects continuously.  Every successful select
+        must return a fully-formed offer, and once ``flappy`` is
+        withdrawn for good, select settles on the stable survivor.
+        """
+        import threading
+
+        directory = SurrogateDirectory()
+        directory.advertise(offer("stable", speed=1.0))
+        flappy = offer("flappy", speed=4.0)
+        stop = threading.Event()
+        errors = []
+
+        def flap():
+            try:
+                for _ in range(500):
+                    directory.advertise(flappy)
+                    directory.withdraw("flappy")
+            except Exception as exc:  # pragma: no cover - the assertion
+                errors.append(exc)
+            finally:
+                stop.set()
+
+        flapper = threading.Thread(target=flap)
+        flapper.start()
+        selects = 0
+        while not stop.is_set() or selects < 100:
+            chosen = directory.select()
+            assert chosen.name in ("stable", "flappy")
+            assert chosen.device.cpu_speed in (1.0, 4.0)
+            selects += 1
+        flapper.join()
+        assert not errors
+        assert directory.select().name == "stable"
+        assert len(directory) == 1

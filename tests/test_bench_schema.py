@@ -93,6 +93,56 @@ class TestValidateReport:
                    for p in problems)
 
 
+class TestMobilityGate:
+    def test_handoff_losing_to_no_action_is_a_regression(self):
+        report = minimal_valid_report()
+        report["mobility"]["handoff_beats_no_action"] = False
+        problems = validate_report(report)
+        assert any("mobility" in p and "riding out" in p for p in problems)
+
+    def test_handoff_losing_to_repatriation_is_a_regression(self):
+        report = minimal_valid_report()
+        report["mobility"]["handoff_beats_repatriate"] = False
+        problems = validate_report(report)
+        assert any("mobility" in p and "handoff did not beat" in p
+                   for p in problems)
+
+    def test_completion_bound_miss_names_the_ratio(self):
+        report = minimal_valid_report()
+        report["mobility"]["completion_bound_ok"] = False
+        report["mobility"]["handoff_vs_static_ratio"] = 7.77
+        problems = validate_report(report)
+        assert any("mobility" in p and "7.77" in p for p in problems)
+
+    def test_handoff_fingerprint_divergence_is_a_regression(self):
+        report = minimal_valid_report()
+        report["mobility"]["fingerprint_parity"] = False
+        problems = validate_report(report)
+        assert any("mobility" in p and "serial/columnar/sharded" in p
+                   for p in problems)
+
+    def test_nondeterministic_handoff_is_a_regression(self):
+        report = minimal_valid_report()
+        report["mobility"]["deterministic"] = False
+        problems = validate_report(report)
+        assert any("mobility" in p and "bit-identical" in p
+                   for p in problems)
+
+    def test_unrecovered_disconnection_is_a_regression(self):
+        report = minimal_valid_report()
+        report["mobility"]["disconnect_recovered"] = False
+        problems = validate_report(report)
+        assert any("mobility" in p and "disconnection" in p
+                   for p in problems)
+
+    def test_missing_mobility_key_is_a_regression(self):
+        report = minimal_valid_report()
+        del report["mobility"]["completion_bound_ok"]
+        problems = validate_report(report)
+        assert any("'mobility'" in p and "completion_bound_ok" in p
+                   for p in problems)
+
+
 class TestWarmColdInversionGate:
     def test_inverted_reeval_size_is_a_regression(self):
         # A steady-state epoch mean above the cold epoch means the warm

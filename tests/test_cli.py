@@ -210,6 +210,33 @@ class TestFaultInjectionCli:
         assert "faults [" not in capsys.readouterr().out
 
 
+class TestMobilityCli:
+    def test_roaming_replay_prints_mobility_counters(self, capsys):
+        assert main(["replay", "dia",
+                     "--link-profile", "wavelan-wan-roam"]) == 0
+        out = capsys.readouterr().out
+        assert "mobility [wavelan-wan-roam]" in out
+        assert "link change(s)" in out
+        assert "completed: True" in out
+
+    def test_mobility_none_rides_the_decay_out(self, capsys):
+        assert main(["replay", "dia",
+                     "--link-profile", "wavelan-wan-roam",
+                     "--mobility", "none"]) == 0
+        out = capsys.readouterr().out
+        assert "mobility [wavelan-wan-roam]" in out
+        assert "handoff" not in out
+
+    def test_bad_link_profile_spec_is_a_usage_error(self, capsys):
+        assert main(["replay", "dia", "--link-profile", "warp=9"]) == 2
+        err = capsys.readouterr().err
+        assert "bad --link-profile spec" in err
+
+    def test_static_replay_prints_no_mobility_line(self, capsys):
+        assert main(["replay", "dia"]) == 0
+        assert "mobility [" not in capsys.readouterr().out
+
+
 class TestJsonExport:
     def test_json_payload_written(self, tmp_path, capsys):
         import json

@@ -51,6 +51,8 @@ DEFAULT_TARGETS = (
     "src/repro/core/mincut.py",
     "src/repro/core/flatgraph.py",
     "src/repro/core/partitioner.py",
+    "src/repro/net/mobility.py",
+    "src/repro/platform/migration.py",
 )
 
 SUPPRESS_MARKER = "detlint: allow"
